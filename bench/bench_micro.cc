@@ -1,0 +1,219 @@
+// Microbenchmarks (google-benchmark): kernel and serving-path costs —
+// tokenization, encoding, convolution forward/backward, tower inference,
+// GBDT training and prediction, KV cache, and the cached-vs-uncached
+// pairwise scoring path that motivates the paper's §4 serving design.
+
+#include <benchmark/benchmark.h>
+
+#include "evrec/gbdt/gbdt.h"
+#include "evrec/model/joint_model.h"
+#include "evrec/store/rep_cache.h"
+#include "evrec/text/encoder.h"
+#include "evrec/text/normalizer.h"
+#include "evrec/util/math_util.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace {
+
+std::vector<std::string> MakeWords(int n, Rng& rng) {
+  std::vector<std::string> words;
+  const char* syllables[] = {"ka", "rem", "tol", "bri", "sha", "nu",
+                             "vel", "dor", "mi", "pa"};
+  for (int i = 0; i < n; ++i) {
+    std::string w;
+    int parts = rng.UniformInt(2, 3);
+    for (int p = 0; p < parts; ++p) w += syllables[rng.UniformInt(0, 9)];
+    words.push_back(std::move(w));
+  }
+  return words;
+}
+
+void BM_Normalize(benchmark::State& state) {
+  std::string text =
+      "Seattle Ice-Cream Festival: first ANNUAL festival, located at "
+      "Chophouse Row on Capitol Hill! A dozen of Seattle's best makers.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::NormalizeToWords(text));
+  }
+}
+BENCHMARK(BM_Normalize);
+
+void BM_TrigramTokenize(benchmark::State& state) {
+  Rng rng(1);
+  auto words = MakeWords(static_cast<int>(state.range(0)), rng);
+  text::LetterTrigramTokenizer tok;
+  for (auto _ : state) {
+    std::vector<text::Token> out;
+    tok.Tokenize(words, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TrigramTokenize)->Arg(16)->Arg(64)->Arg(256);
+
+struct EncoderFixture {
+  EncoderFixture() {
+    Rng rng(2);
+    std::vector<std::vector<std::string>> docs;
+    for (int d = 0; d < 200; ++d) docs.push_back(MakeWords(40, rng));
+    text::LetterTrigramTokenizer tok;
+    encoder = std::make_unique<text::TextEncoder>(
+        std::make_unique<text::LetterTrigramTokenizer>(),
+        text::BuildVocabulary(tok, docs, 1, 100000));
+    sample = MakeWords(40, rng);
+  }
+  std::unique_ptr<text::TextEncoder> encoder;
+  std::vector<std::string> sample;
+};
+
+void BM_Encode(benchmark::State& state) {
+  static EncoderFixture* fixture = new EncoderFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture->encoder->Encode(fixture->sample));
+  }
+}
+BENCHMARK(BM_Encode);
+
+struct ModelFixture {
+  ModelFixture() {
+    model::JointModelConfig cfg;
+    cfg.embedding_dim = 32;
+    cfg.module_out_dim = 32;
+    cfg.hidden_dim = 128;
+    cfg.rep_dim = 64;
+    model = std::make_unique<model::JointModel>(cfg, 4000, 500, 4000);
+    Rng rng(3);
+    model->RandomInit(rng);
+    user_inputs.resize(2);
+    event_inputs.resize(1);
+    for (int i = 0; i < 96; ++i) {
+      user_inputs[0].token_ids.push_back(rng.UniformInt(0, 3999));
+      user_inputs[0].word_index.push_back(i / 4);
+    }
+    for (int i = 0; i < 12; ++i) {
+      user_inputs[1].token_ids.push_back(rng.UniformInt(0, 499));
+      user_inputs[1].word_index.push_back(i);
+    }
+    for (int i = 0; i < 128; ++i) {
+      event_inputs[0].token_ids.push_back(rng.UniformInt(0, 3999));
+      event_inputs[0].word_index.push_back(i / 4);
+    }
+  }
+  std::unique_ptr<model::JointModel> model;
+  std::vector<text::EncodedText> user_inputs;
+  std::vector<text::EncodedText> event_inputs;
+};
+
+ModelFixture& GetModelFixture() {
+  static ModelFixture* fixture = new ModelFixture();
+  return *fixture;
+}
+
+void BM_TowerForwardEvent(benchmark::State& state) {
+  auto& f = GetModelFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.model->EventVector(f.event_inputs));
+  }
+}
+BENCHMARK(BM_TowerForwardEvent);
+
+void BM_PairSimilarityUncached(benchmark::State& state) {
+  // The naive serving path: run both towers per pair.
+  auto& f = GetModelFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model->Score(f.user_inputs, f.event_inputs));
+  }
+}
+BENCHMARK(BM_PairSimilarityUncached);
+
+void BM_PairSimilarityCached(benchmark::State& state) {
+  // The paper's serving path: vectors precomputed and cached; pairwise
+  // scoring is one cosine.
+  auto& f = GetModelFixture();
+  store::RepVectorCache cache(4, 1024);
+  cache.Precompute(store::EntityKind::kUser, 1,
+                   f.model->UserVector(f.user_inputs));
+  cache.Precompute(store::EntityKind::kEvent, 1,
+                   f.model->EventVector(f.event_inputs));
+  auto miss = []() { return std::vector<float>(); };
+  for (auto _ : state) {
+    auto u = cache.GetOrCompute(store::EntityKind::kUser, 1, miss);
+    auto e = cache.GetOrCompute(store::EntityKind::kEvent, 1, miss);
+    benchmark::DoNotOptimize(
+        CosineSimilarity(u.data(), e.data(), static_cast<int>(u.size())));
+  }
+}
+BENCHMARK(BM_PairSimilarityCached);
+
+void BM_TrainStepPair(benchmark::State& state) {
+  auto& f = GetModelFixture();
+  model::JointModel::PairContext ctx;
+  for (auto _ : state) {
+    f.model->Similarity(f.user_inputs, f.event_inputs, &ctx);
+    f.model->AccumulatePairGradient(ctx, 1.0f);
+    f.model->Step(0.0f);  // zero-lr step to flush gradients
+  }
+}
+BENCHMARK(BM_TrainStepPair);
+
+void BM_GbdtTrain(benchmark::State& state) {
+  Rng rng(4);
+  const int n = static_cast<int>(state.range(0));
+  gbdt::DataMatrix x(n, 20);
+  std::vector<float> y(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < 20; ++c) {
+      x.Set(r, c, static_cast<float>(rng.Normal()));
+    }
+    y[static_cast<size_t>(r)] = x.At(r, 0) > 0 ? 1.0f : 0.0f;
+  }
+  gbdt::GbdtConfig cfg;
+  cfg.num_trees = 20;
+  for (auto _ : state) {
+    gbdt::GbdtModel model;
+    model.Train(x, y, cfg);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_GbdtTrain)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  Rng rng(5);
+  gbdt::DataMatrix x(2000, 20);
+  std::vector<float> y(2000);
+  for (int r = 0; r < 2000; ++r) {
+    for (int c = 0; c < 20; ++c) {
+      x.Set(r, c, static_cast<float>(rng.Normal()));
+    }
+    y[static_cast<size_t>(r)] = x.At(r, 0) > 0 ? 1.0f : 0.0f;
+  }
+  gbdt::GbdtConfig cfg;  // 200 trees x 12 leaves (paper capacity)
+  gbdt::GbdtModel model;
+  model.Train(x, y, cfg);
+  int row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictProbability(x.Row(row)));
+    row = (row + 1) % 2000;
+  }
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_KvCacheGet(benchmark::State& state) {
+  store::ShardedKvCache cache(16, 4096);
+  Rng rng(6);
+  std::vector<float> value(64, 1.0f);
+  for (uint64_t k = 0; k < 10000; ++k) cache.Put(k, value);
+  uint64_t key = 0;
+  std::vector<float> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get(key % 10000, &out));
+    ++key;
+  }
+}
+BENCHMARK(BM_KvCacheGet);
+
+}  // namespace
+}  // namespace evrec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,261 @@
+// Reproduces the paper's §3.2.1 claim (no figure; "data not shown"):
+// the Siamese-pretrained event tower — trained only on (title, body)
+// pairs, with zero user feedback — "is already an excellent event-only
+// semantic model" that "improves the semantic-search in events noticeably
+// over using n-gram based text model".
+//
+// Two protocols against a word-level TF-IDF baseline (the "n-gram based
+// text model"):
+//
+//  A. Standard related-event retrieval: rank all events by similarity to a
+//     query event, measure same-category precision@5. On the synthetic
+//     substrate same-topic events share many exact words, so LEXICAL
+//     retrieval saturates here — both methods are expected near ceiling
+//     (reported for completeness).
+//
+//  B. Zero-lexical-overlap retrieval — the paper's actual point ("similar
+//     in semantic topics but do not necessarily overlap much in the word
+//     space"): query with an event's TITLE against candidate BODIES that
+//     share NO word with the title. Word-level TF-IDF has no signal at all
+//     (all scores zero); the Siamese trigram representation still matches
+//     morphology/topic. Same-category precision@5 within the restricted
+//     pool, versus the pool's base rate.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bench/common/bench_profile.h"
+#include "evrec/model/siamese.h"
+#include "evrec/simnet/docs.h"
+#include "evrec/util/math_util.h"
+
+namespace {
+
+using namespace evrec;
+
+// Sparse word-level TF-IDF vector over a corpus-derived vocabulary.
+struct WordStats {
+  std::unordered_map<std::string, int> df;
+  int num_docs = 0;
+};
+
+std::unordered_map<std::string, double> TfidfVector(
+    const std::vector<std::string>& words, const WordStats& stats) {
+  std::unordered_map<std::string, double> tf;
+  for (const auto& w : words) tf[w] += 1.0;
+  double norm = 0.0;
+  for (auto& [w, count] : tf) {
+    auto it = stats.df.find(w);
+    int df = it == stats.df.end() ? 0 : it->second;
+    double idf = std::log((1.0 + stats.num_docs) / (1.0 + df));
+    count *= idf;
+    norm += count * count;
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (auto& [w, count] : tf) count /= norm;
+  return tf;
+}
+
+double SparseCosine(const std::unordered_map<std::string, double>& a,
+                    const std::unordered_map<std::string, double>& b) {
+  const auto& small = a.size() < b.size() ? a : b;
+  const auto& large = a.size() < b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [w, v] : small) {
+    auto it = large.find(w);
+    if (it != large.end()) dot += v * it->second;
+  }
+  return dot;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "SIAMESE INIT (paper 3.2.1) - related-event search vs n-gram model");
+
+  pipeline::PipelineConfig cfg = bench::BenchProfile();
+  pipeline::TwoStagePipeline pipeline(cfg);
+  pipeline.Prepare();
+  const auto& dataset = pipeline.dataset();
+  const auto& encoders = pipeline.encoders();
+
+  // Build and pre-train a standalone event tower (Siamese only — no joint
+  // training, no user feedback).
+  model::Tower tower({encoders.EventTextVocab()}, {cfg.rep.text_windows},
+                     cfg.rep.embedding_dim, cfg.rep.module_out_dim,
+                     cfg.rep.hidden_dim, cfg.rep.rep_dim, cfg.rep.pool,
+                     cfg.rep.residual_bypass);
+  Rng rng(cfg.rep.seed, 41);
+  tower.RandomInit(rng, cfg.rep.embedding_init_scale);
+  tower.CalibrateNormalizer(pipeline.rep_data().event_inputs);
+
+  std::vector<text::EncodedText> titles, bodies;
+  for (const auto& event : dataset.events) {
+    if (event.create_day >=
+        static_cast<double>(cfg.simnet.rep_train_days)) {
+      continue;
+    }
+    titles.push_back(
+        encoders.EncodeEventTitle(event, cfg.max_event_tokens));
+    bodies.push_back(encoders.EncodeEventBody(event, cfg.max_event_tokens));
+  }
+  model::SiameseConfig scfg = cfg.siamese;
+  scfg.max_epochs = 12;
+  Rng siamese_rng(cfg.rep.seed, 43);
+  model::SiameseStats stats =
+      model::SiamesePretrain(&tower, titles, bodies, scfg, siamese_rng);
+  std::printf("siamese pre-training: %d epochs, loss %.3f -> %.3f\n",
+              stats.epochs_run, stats.train_loss.front(),
+              stats.train_loss.back());
+
+  // Representations + word TF-IDF stats for every event.
+  const size_t n = dataset.events.size();
+  std::vector<std::vector<float>> full_reps(n), title_reps(n), body_reps(n);
+  std::vector<std::vector<std::string>> full_words(n), title_words(n),
+      body_words(n);
+  WordStats stats_full;
+  for (size_t e = 0; e < n; ++e) {
+    const auto& event = dataset.events[e];
+    full_reps[e] = tower.Represent(pipeline.rep_data().event_inputs[e]);
+    title_reps[e] = tower.Represent(
+        {encoders.EncodeEventTitle(event, cfg.max_event_tokens)});
+    body_reps[e] = tower.Represent(
+        {encoders.EncodeEventBody(event, cfg.max_event_tokens)});
+    full_words[e] = simnet::EventTextWords(event);
+    title_words[e] = event.title_words;
+    body_words[e] = event.body_words;
+    std::unordered_set<std::string> seen(full_words[e].begin(),
+                                         full_words[e].end());
+    for (const auto& w : seen) ++stats_full.df[w];
+    ++stats_full.num_docs;
+  }
+  std::vector<std::unordered_map<std::string, double>> tfidf_full(n),
+      tfidf_body(n);
+  for (size_t e = 0; e < n; ++e) {
+    tfidf_full[e] = TfidfVector(full_words[e], stats_full);
+    tfidf_body[e] = TfidfVector(body_words[e], stats_full);
+  }
+
+  const int kK = 5;
+  const int rep_dim = static_cast<int>(full_reps[0].size());
+  Rng qrng(99);
+
+  // ---- protocol A: standard retrieval over all events ----
+  {
+    const int kQueries = 150;
+    double siamese_p = 0.0, ngram_p = 0.0;
+    for (int q = 0; q < kQueries; ++q) {
+      int query = qrng.UniformInt(0, static_cast<int>(n) - 1);
+      int category = dataset.events[static_cast<size_t>(query)].category;
+      auto p_at_k = [&](auto score) {
+        std::vector<std::pair<double, int>> scored;
+        for (size_t e = 0; e < n; ++e) {
+          if (static_cast<int>(e) == query) continue;
+          scored.emplace_back(score(e), static_cast<int>(e));
+        }
+        std::partial_sort(scored.begin(), scored.begin() + kK, scored.end(),
+                          std::greater<>());
+        int hits = 0;
+        for (int k = 0; k < kK; ++k) {
+          if (dataset.events[static_cast<size_t>(
+                  scored[static_cast<size_t>(k)].second)].category ==
+              category) {
+            ++hits;
+          }
+        }
+        return static_cast<double>(hits) / kK;
+      };
+      siamese_p += p_at_k([&](size_t e) {
+        return CosineSimilarity(full_reps[static_cast<size_t>(query)].data(),
+                                full_reps[e].data(), rep_dim);
+      });
+      ngram_p += p_at_k([&](size_t e) {
+        return SparseCosine(tfidf_full[static_cast<size_t>(query)],
+                            tfidf_full[e]);
+      });
+    }
+    std::printf("\nA. standard retrieval (lexical overlap available), "
+                "precision@%d over %d queries:\n",
+                kK, 150);
+    std::printf("   siamese %.3f | word tf-idf %.3f | chance %.3f\n",
+                siamese_p / 150, ngram_p / 150,
+                1.0 / cfg.simnet.num_topics);
+    std::printf("   note: the synthetic substrate reuses topical words, so"
+                " lexical retrieval saturates here;\n"
+                "   the discriminating protocol is B.\n");
+  }
+
+  // ---- protocol B: title -> bodies sharing NO word with the title ----
+  {
+    double siamese_p = 0.0, ngram_p = 0.0, base_rate = 0.0;
+    int used_queries = 0;
+    for (size_t query = 0; query < n && used_queries < 200; ++query) {
+      const auto& qwords = title_words[query];
+      std::unordered_set<std::string> qset(qwords.begin(), qwords.end());
+      int category = dataset.events[query].category;
+
+      std::vector<int> pool;
+      int pool_positives = 0;
+      for (size_t e = 0; e < n; ++e) {
+        if (e == query) continue;
+        bool overlap = false;
+        for (const auto& w : body_words[e]) {
+          if (qset.count(w) != 0) {
+            overlap = true;
+            break;
+          }
+        }
+        if (overlap) continue;
+        pool.push_back(static_cast<int>(e));
+        if (dataset.events[e].category == category) ++pool_positives;
+      }
+      if (static_cast<int>(pool.size()) < 20 || pool_positives < 1) continue;
+      ++used_queries;
+      base_rate += static_cast<double>(pool_positives) / pool.size();
+
+      auto p_at_k = [&](auto score) {
+        std::vector<std::pair<double, int>> scored;
+        for (int e : pool) {
+          scored.emplace_back(score(static_cast<size_t>(e)), e);
+        }
+        int k = std::min<int>(kK, static_cast<int>(scored.size()));
+        std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                          std::greater<>());
+        int hits = 0;
+        for (int i = 0; i < k; ++i) {
+          if (dataset.events[static_cast<size_t>(
+                  scored[static_cast<size_t>(i)].second)].category ==
+              category) {
+            ++hits;
+          }
+        }
+        return static_cast<double>(hits) / k;
+      };
+      siamese_p += p_at_k([&](size_t e) {
+        return CosineSimilarity(title_reps[query].data(),
+                                body_reps[e].data(), rep_dim);
+      });
+      ngram_p += p_at_k([&](size_t e) {
+        return SparseCosine(TfidfVector(qwords, stats_full), tfidf_body[e]);
+      });
+    }
+    siamese_p /= std::max(1, used_queries);
+    ngram_p /= std::max(1, used_queries);
+    base_rate /= std::max(1, used_queries);
+
+    std::printf("\nB. zero-word-overlap retrieval (title -> disjoint "
+                "bodies), precision@%d over %d queries:\n",
+                kK, used_queries);
+    std::printf("   siamese representation : %.3f\n", siamese_p);
+    std::printf("   word tf-idf (n-gram)   : %.3f\n", ngram_p);
+    std::printf("   pool base rate         : %.3f\n", base_rate);
+    std::printf("shape: siamese beats the n-gram text model when word "
+                "overlap is absent : %s\n",
+                siamese_p > ngram_p + 0.05 ? "OK" : "MISMATCH");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Cold-start demonstration — the paper's central motivation. A brand-new
+// event has zero feedback, so collaborative-filtering signals are
+// identically zero; the representation model still ranks it sensibly for
+// every user because it reads the event's TEXT.
+//
+// We take cold evaluation-week events (never seen in training) and compare
+// two rankers on "which users will join":
+//   - CF score (user-user collaborative filtering over prior joins)
+//   - representation cosine (this paper's model)
+//
+// Build & run:  ./build/examples/cold_start
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "evrec/pipeline/pipeline.h"
+#include "evrec/util/logging.h"
+#include "evrec/util/math_util.h"
+
+int main() {
+  using namespace evrec;
+  SetLogLevel(LogLevel::kWarn);
+
+  pipeline::PipelineConfig config;
+  config.simnet = simnet::TinySimnetConfig();
+  config.simnet.num_users = 400;
+  config.simnet.num_events = 400;
+  config.rep.embedding_dim = 16;
+  config.rep.module_out_dim = 16;
+  config.rep.hidden_dim = 32;
+  config.rep.rep_dim = 16;
+  config.rep.max_epochs = 6;
+  config.max_user_tokens = 80;
+  config.max_event_tokens = 96;
+
+  pipeline::TwoStagePipeline pipeline(config);
+  pipeline.Prepare();
+  pipeline.TrainRepresentation();
+  pipeline.ComputeRepVectors();
+
+  const auto& dataset = pipeline.dataset();
+  const auto& index = pipeline.feature_index();
+  const auto& user_reps = pipeline.user_reps();
+  const auto& event_reps = pipeline.event_reps();
+  const int rep_dim = static_cast<int>(user_reps[0].size());
+
+  // Events appearing in eval impressions but never in training.
+  std::unordered_set<int> train_events;
+  for (const auto& i : dataset.rep_train) train_events.insert(i.event);
+  std::unordered_set<int> seen;
+  std::vector<double> cf_scores, rep_scores;
+  std::vector<float> labels;
+  int cold_events = 0;
+  baseline::CfFeatureExtractor cf(index);
+  for (const auto& imp : dataset.eval) {
+    if (train_events.count(imp.event) != 0) continue;
+    if (seen.insert(imp.event).second) ++cold_events;
+    std::vector<float> cf_features;
+    cf.Extract(imp.user, imp.event, imp.day, &cf_features);
+    // uucf_join_score is the canonical user-user CF signal.
+    cf_scores.push_back(cf_features[0]);
+    rep_scores.push_back(CosineSimilarity(
+        user_reps[static_cast<size_t>(imp.user)].data(),
+        event_reps[static_cast<size_t>(imp.event)].data(), rep_dim));
+    labels.push_back(imp.label);
+  }
+
+  std::printf("cold evaluation events: %d; labelled impressions on them: "
+              "%zu\n",
+              cold_events, labels.size());
+  double cf_auc = eval::RocAuc(cf_scores, labels);
+  double rep_auc = eval::RocAuc(rep_scores, labels);
+  std::printf("  user-user CF score AUC       : %.3f (no feedback -> "
+              "uninformative)\n",
+              cf_auc);
+  std::printf("  representation cosine AUC    : %.3f (reads the event "
+              "text)\n",
+              rep_auc);
+
+  // How empty is the CF signal on cold events?
+  int zero_cf = 0;
+  for (double s : cf_scores) zero_cf += s == 0.0 ? 1 : 0;
+  std::printf("  CF score exactly zero on %.1f%% of cold impressions\n",
+              100.0 * zero_cf / std::max<size_t>(1, cf_scores.size()));
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "evrec/ann/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace evrec {
+namespace ann {
+
+namespace {
+
+void Normalize(float* v, int dim) {
+  double norm = 0.0;
+  for (int i = 0; i < dim; ++i) norm += static_cast<double>(v[i]) * v[i];
+  if (norm < 1e-24) return;
+  float inv = static_cast<float>(1.0 / std::sqrt(norm));
+  for (int i = 0; i < dim; ++i) v[i] *= inv;
+}
+
+double Dot(const float* a, const float* b, int dim) {
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+}  // namespace
+
+void IvfIndex::Build(const std::vector<std::vector<float>>& vectors,
+                     const IvfConfig& config) {
+  EVREC_CHECK(!vectors.empty());
+  num_vectors_ = static_cast<int>(vectors.size());
+  dim_ = static_cast<int>(vectors[0].size());
+  EVREC_CHECK_GT(dim_, 0);
+
+  data_.resize(static_cast<size_t>(num_vectors_) * dim_);
+  for (int i = 0; i < num_vectors_; ++i) {
+    EVREC_CHECK_EQ(vectors[static_cast<size_t>(i)].size(),
+                   static_cast<size_t>(dim_));
+    std::copy(vectors[static_cast<size_t>(i)].begin(),
+              vectors[static_cast<size_t>(i)].end(),
+              data_.begin() + static_cast<size_t>(i) * dim_);
+    Normalize(data_.data() + static_cast<size_t>(i) * dim_, dim_);
+  }
+
+  const int k = std::min(config.num_lists, num_vectors_);
+  Rng rng(config.seed, 67);
+
+  // k-means++ style seeding: first centroid random, rest from distinct
+  // random picks (cheap variant adequate for a coarse quantizer).
+  centroids_.clear();
+  std::vector<int> perm(static_cast<size_t>(num_vectors_));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  for (int c = 0; c < k; ++c) {
+    const float* v = Vector(perm[static_cast<size_t>(c)]);
+    centroids_.emplace_back(v, v + dim_);
+  }
+
+  std::vector<int> assignment(static_cast<size_t>(num_vectors_), 0);
+  for (int iter = 0; iter < config.kmeans_iterations; ++iter) {
+    // Assign.
+    for (int i = 0; i < num_vectors_; ++i) {
+      assignment[static_cast<size_t>(i)] = NearestCentroid(Vector(i));
+    }
+    // Update (spherical k-means: mean then renormalize).
+    std::vector<std::vector<double>> sums(
+        centroids_.size(), std::vector<double>(static_cast<size_t>(dim_)));
+    std::vector<int> counts(centroids_.size(), 0);
+    for (int i = 0; i < num_vectors_; ++i) {
+      int c = assignment[static_cast<size_t>(i)];
+      const float* v = Vector(i);
+      for (int d = 0; d < dim_; ++d) {
+        sums[static_cast<size_t>(c)][static_cast<size_t>(d)] += v[d];
+      }
+      ++counts[static_cast<size_t>(c)];
+    }
+    for (size_t c = 0; c < centroids_.size(); ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid
+      for (int d = 0; d < dim_; ++d) {
+        centroids_[c][static_cast<size_t>(d)] =
+            static_cast<float>(sums[c][static_cast<size_t>(d)] / counts[c]);
+      }
+      Normalize(centroids_[c].data(), dim_);
+    }
+  }
+
+  lists_.assign(centroids_.size(), {});
+  for (int i = 0; i < num_vectors_; ++i) {
+    lists_[static_cast<size_t>(NearestCentroid(Vector(i)))].push_back(i);
+  }
+}
+
+int IvfIndex::NearestCentroid(const float* v) const {
+  int best = 0;
+  double best_score = -2.0;
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    double s = Dot(centroids_[c].data(), v, dim_);
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<SearchResult> IvfIndex::Search(const std::vector<float>& query,
+                                           int k, int nprobe,
+                                           int exclude) const {
+  EVREC_CHECK(built());
+  EVREC_CHECK_EQ(query.size(), static_cast<size_t>(dim_));
+  std::vector<float> q(query);
+  Normalize(q.data(), dim_);
+
+  // Rank centroids by similarity, take the top nprobe lists.
+  std::vector<std::pair<double, int>> cells;
+  cells.reserve(centroids_.size());
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    cells.emplace_back(Dot(centroids_[c].data(), q.data(), dim_),
+                       static_cast<int>(c));
+  }
+  nprobe = std::min<int>(nprobe, static_cast<int>(cells.size()));
+  std::partial_sort(cells.begin(), cells.begin() + nprobe, cells.end(),
+                    std::greater<>());
+
+  std::vector<SearchResult> results;
+  for (int p = 0; p < nprobe; ++p) {
+    for (int id : lists_[static_cast<size_t>(cells[static_cast<size_t>(p)]
+                                                 .second)]) {
+      if (id == exclude) continue;
+      results.push_back({id, Dot(Vector(id), q.data(), dim_)});
+    }
+  }
+  int keep = std::min<int>(k, static_cast<int>(results.size()));
+  std::partial_sort(results.begin(), results.begin() + keep, results.end(),
+                    [](const SearchResult& a, const SearchResult& b) {
+                      return a.score > b.score;
+                    });
+  results.resize(static_cast<size_t>(keep));
+  return results;
+}
+
+std::vector<SearchResult> IvfIndex::SearchExact(
+    const std::vector<float>& query, int k, int exclude) const {
+  EVREC_CHECK(built());
+  std::vector<float> q(query);
+  Normalize(q.data(), dim_);
+  std::vector<SearchResult> results;
+  results.reserve(static_cast<size_t>(num_vectors_));
+  for (int i = 0; i < num_vectors_; ++i) {
+    if (i == exclude) continue;
+    results.push_back({i, Dot(Vector(i), q.data(), dim_)});
+  }
+  int keep = std::min<int>(k, static_cast<int>(results.size()));
+  std::partial_sort(results.begin(), results.begin() + keep, results.end(),
+                    [](const SearchResult& a, const SearchResult& b) {
+                      return a.score > b.score;
+                    });
+  results.resize(static_cast<size_t>(keep));
+  return results;
+}
+
+double IvfIndex::RecallAtK(const std::vector<float>& query, int k,
+                           int nprobe) const {
+  auto exact = SearchExact(query, k);
+  auto approx = Search(query, k, nprobe);
+  if (exact.empty()) return 1.0;
+  int hits = 0;
+  for (const auto& e : exact) {
+    for (const auto& a : approx) {
+      if (a.id == e.id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(exact.size());
+}
+
+}  // namespace ann
+}  // namespace evrec

@@ -1,0 +1,77 @@
+// IVF (inverted-file) approximate nearest-neighbour index over
+// representation vectors, for the "related events" serving surface: the
+// paper's §4 caches precomputed vectors; finding similar events at product
+// scale additionally needs a sublinear similarity index.
+//
+// Standard two-level design: a k-means coarse quantizer partitions the
+// (L2-normalized) vectors into `num_lists` cells; a query scans only the
+// `nprobe` nearest cells. Similarity is cosine (inner product on the
+// normalized copies stored in the index).
+
+#ifndef EVREC_ANN_IVF_INDEX_H_
+#define EVREC_ANN_IVF_INDEX_H_
+
+#include <vector>
+
+#include "evrec/util/check.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace ann {
+
+struct IvfConfig {
+  int num_lists = 16;     // coarse centroids
+  int kmeans_iterations = 10;
+  uint64_t seed = 61;
+};
+
+struct SearchResult {
+  int id;
+  double score;  // cosine similarity
+};
+
+class IvfIndex {
+ public:
+  IvfIndex() = default;
+
+  // Builds the index from `vectors` (ids are their positions). Vectors
+  // are copied and L2-normalized; zero vectors are stored as-is and never
+  // returned with positive scores.
+  void Build(const std::vector<std::vector<float>>& vectors,
+             const IvfConfig& config);
+
+  bool built() const { return !centroids_.empty(); }
+  int size() const { return num_vectors_; }
+  int dim() const { return dim_; }
+  int num_lists() const { return static_cast<int>(centroids_.size()); }
+
+  // Top-k by cosine similarity, scanning the `nprobe` closest lists.
+  // Results are sorted by descending score. `exclude` (optional id) is
+  // filtered out (self-queries).
+  std::vector<SearchResult> Search(const std::vector<float>& query, int k,
+                                   int nprobe, int exclude = -1) const;
+
+  // Exact top-k (full scan) — ground truth for recall measurement.
+  std::vector<SearchResult> SearchExact(const std::vector<float>& query,
+                                        int k, int exclude = -1) const;
+
+  // Fraction of exact top-k retrieved by the approximate search.
+  double RecallAtK(const std::vector<float>& query, int k, int nprobe) const;
+
+ private:
+  const float* Vector(int id) const {
+    return data_.data() + static_cast<size_t>(id) * dim_;
+  }
+  int NearestCentroid(const float* v) const;
+
+  int num_vectors_ = 0;
+  int dim_ = 0;
+  std::vector<float> data_;                 // normalized, row-major
+  std::vector<std::vector<float>> centroids_;
+  std::vector<std::vector<int>> lists_;     // ids per centroid
+};
+
+}  // namespace ann
+}  // namespace evrec
+
+#endif  // EVREC_ANN_IVF_INDEX_H_

@@ -1,0 +1,81 @@
+#include "evrec/baseline/base_features.h"
+
+#include <cmath>
+
+#include "evrec/util/math_util.h"
+
+namespace evrec {
+namespace baseline {
+
+const std::vector<std::string>& BaseFeatureExtractor::FeatureNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "distance",
+      "same_city",
+      "friends_attending_log",
+      "host_is_friend",
+      "event_popularity_log",
+      "event_interested_log",
+      "event_age_days",
+      "days_until_start",
+      "event_dow",
+      "impression_dow",
+      "title_length",
+      "body_length",
+      "user_join_count_log",
+      "user_interested_count_log",
+      "user_age_bucket",
+      "user_gender",
+      "user_num_pages",
+      "user_num_friends_log",
+      "category_affinity",
+      "category_seen_before",
+      "host_prior_attendance_log",
+  };
+  return *names;
+}
+
+int BaseFeatureExtractor::NumFeatures() {
+  return static_cast<int>(FeatureNames().size());
+}
+
+void BaseFeatureExtractor::Extract(int user, int event, int day,
+                                   std::vector<float>* out) const {
+  const auto& ds = index_->dataset();
+  const simnet::User& u = ds.world.users[static_cast<size_t>(user)];
+  const simnet::Event& e = ds.events[static_cast<size_t>(event)];
+
+  double dist = EuclideanDistance2D(u.x, u.y, e.x, e.y);
+  double affinity = index_->CategoryAffinityBefore(user, e.category, day);
+
+  out->push_back(static_cast<float>(dist));
+  out->push_back(u.city == e.city ? 1.0f : 0.0f);
+  out->push_back(static_cast<float>(
+      std::log1p(index_->FriendsAttendingBefore(user, event, day))));
+  out->push_back(index_->AreFriends(user, e.host_user) ? 1.0f : 0.0f);
+  out->push_back(static_cast<float>(
+      std::log1p(index_->AttendeesBefore(event, day))));
+  out->push_back(static_cast<float>(
+      std::log1p(index_->InterestedBefore(event, day))));
+  out->push_back(static_cast<float>(day - e.create_day));
+  out->push_back(static_cast<float>(e.start_day - day));
+  out->push_back(static_cast<float>(
+      static_cast<int>(e.start_day) % 7));
+  out->push_back(static_cast<float>(day % 7));
+  out->push_back(static_cast<float>(e.title_words.size()));
+  out->push_back(static_cast<float>(e.body_words.size()));
+  out->push_back(static_cast<float>(
+      std::log1p(index_->UserJoinCountBefore(user, day))));
+  out->push_back(static_cast<float>(
+      std::log1p(index_->UserInterestedCountBefore(user, day))));
+  out->push_back(static_cast<float>(u.age_bucket));
+  out->push_back(static_cast<float>(u.gender));
+  out->push_back(static_cast<float>(u.pages.size()));
+  out->push_back(static_cast<float>(std::log1p(u.friends.size())));
+  out->push_back(static_cast<float>(affinity));
+  out->push_back(affinity > 0.0 ? 1.0f : 0.0f);
+  out->push_back(static_cast<float>(
+      std::log1p(index_->HostPriorAttendanceBefore(e.host_user, day))));
+}
+
+}  // namespace baseline
+}  // namespace evrec

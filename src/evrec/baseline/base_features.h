@@ -1,0 +1,37 @@
+// Base feature set ("Base Features (No-CF)" in Table 2): standard user and
+// event attributes plus engineered attribute-matching statistics — the
+// non-collaborative part of the production baseline the paper describes in
+// §4/§5.1 (location, date & time, friends' participation, popularity,
+// demographics, crude category matching from sparse history).
+
+#ifndef EVREC_BASELINE_BASE_FEATURES_H_
+#define EVREC_BASELINE_BASE_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "evrec/baseline/feature_index.h"
+
+namespace evrec {
+namespace baseline {
+
+class BaseFeatureExtractor {
+ public:
+  explicit BaseFeatureExtractor(const FeatureIndex& index)
+      : index_(&index) {}
+
+  static const std::vector<std::string>& FeatureNames();
+  static int NumFeatures();
+
+  // Features for showing `event` to `user` on `day` (appended to `out`).
+  void Extract(int user, int event, int day,
+               std::vector<float>* out) const;
+
+ private:
+  const FeatureIndex* index_;
+};
+
+}  // namespace baseline
+}  // namespace evrec
+
+#endif  // EVREC_BASELINE_BASE_FEATURES_H_

@@ -1,0 +1,129 @@
+#include "evrec/baseline/cf_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evrec {
+namespace baseline {
+
+double JaccardSorted(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+const std::vector<std::string>& CfFeatureExtractor::FeatureNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "uucf_join_score",       // sum over attendees of join-set Jaccard
+      "uucf_interested_score", // same over interested-sets
+      "iicf_max_sim",          // max attendee-overlap with past joins
+      "iicf_mean_sim",
+      "social_second_degree",  // friends-of-friends attending (log)
+      "page_overlap_attendees",// attendees sharing a subscribed page
+      "cf_support",            // log1p(#attendees): how much CF evidence
+  };
+  return *names;
+}
+
+int CfFeatureExtractor::NumFeatures() {
+  return static_cast<int>(FeatureNames().size());
+}
+
+void CfFeatureExtractor::Extract(int user, int event, int day,
+                                 std::vector<float>* out) const {
+  const auto& ds = index_->dataset();
+  const simnet::User& u = ds.world.users[static_cast<size_t>(user)];
+
+  std::vector<int> my_joins = index_->UserJoinedEventsBefore(user, day);
+  std::vector<int> my_interested =
+      index_->UserInterestedEventsBefore(user, day);
+  std::sort(my_joins.begin(), my_joins.end());
+  std::sort(my_interested.begin(), my_interested.end());
+
+  std::vector<int> attendees = index_->EventAttendeesBefore(event, day);
+
+  // User-user CF: accumulate similarity between this user and each user
+  // who already joined the event, over two feedback types.
+  double uu_join = 0.0, uu_interested = 0.0;
+  for (int v : attendees) {
+    std::vector<int> their_joins = index_->UserJoinedEventsBefore(v, day);
+    std::sort(their_joins.begin(), their_joins.end());
+    uu_join += JaccardSorted(my_joins, their_joins);
+    std::vector<int> their_interested =
+        index_->UserInterestedEventsBefore(v, day);
+    std::sort(their_interested.begin(), their_interested.end());
+    uu_interested += JaccardSorted(my_interested, their_interested);
+  }
+
+  // Item-item CF: similarity between this event and events the user
+  // joined, measured by attendee overlap.
+  std::vector<int> this_attendees = attendees;
+  std::sort(this_attendees.begin(), this_attendees.end());
+  double ii_max = 0.0, ii_sum = 0.0;
+  for (int e : my_joins) {
+    std::vector<int> other = index_->EventAttendeesBefore(e, day);
+    std::sort(other.begin(), other.end());
+    double s = JaccardSorted(this_attendees, other);
+    ii_max = std::max(ii_max, s);
+    ii_sum += s;
+  }
+  double ii_mean =
+      my_joins.empty() ? 0.0 : ii_sum / static_cast<double>(my_joins.size());
+
+  // Social propagation: second-degree friends among attendees.
+  int second_degree = 0;
+  for (int v : attendees) {
+    if (index_->AreFriends(user, v)) continue;  // first degree is a base feat
+    const auto& vf = ds.world.users[static_cast<size_t>(v)].friends;
+    // Does v share a friend with u? (sorted intersection, early exit)
+    size_t i = 0, j = 0;
+    const auto& uf = u.friends;
+    bool shared = false;
+    while (i < uf.size() && j < vf.size()) {
+      if (uf[i] == vf[j]) {
+        shared = true;
+        break;
+      }
+      if (uf[i] < vf[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (shared) ++second_degree;
+  }
+
+  // Page-connection CF: attendees subscribed to a page the user follows.
+  std::vector<int> my_pages = u.pages;
+  std::sort(my_pages.begin(), my_pages.end());
+  int page_overlap = 0;
+  for (int v : attendees) {
+    std::vector<int> their_pages =
+        ds.world.users[static_cast<size_t>(v)].pages;
+    std::sort(their_pages.begin(), their_pages.end());
+    if (JaccardSorted(my_pages, their_pages) > 0.0) ++page_overlap;
+  }
+
+  out->push_back(static_cast<float>(uu_join));
+  out->push_back(static_cast<float>(uu_interested));
+  out->push_back(static_cast<float>(ii_max));
+  out->push_back(static_cast<float>(ii_mean));
+  out->push_back(static_cast<float>(std::log1p(second_degree)));
+  out->push_back(static_cast<float>(std::log1p(page_overlap)));
+  out->push_back(static_cast<float>(std::log1p(attendees.size())));
+}
+
+}  // namespace baseline
+}  // namespace evrec

@@ -1,0 +1,42 @@
+// Collaborative-filtering feature set (the "CF Features" of Table 2):
+// similarity propagation over multiple feedback types (join, interested)
+// and social/page connections, as described in §5.1 ("multiple
+// collaborative filtering features based on different types of user
+// feedback ... and social connections").
+//
+// All scores are causal (day cutoff) and — by construction — collapse to
+// zero for cold events with no prior feedback, which is the paper's core
+// argument for why CF underperforms representation features under event
+// transiency.
+
+#ifndef EVREC_BASELINE_CF_FEATURES_H_
+#define EVREC_BASELINE_CF_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "evrec/baseline/feature_index.h"
+
+namespace evrec {
+namespace baseline {
+
+class CfFeatureExtractor {
+ public:
+  explicit CfFeatureExtractor(const FeatureIndex& index) : index_(&index) {}
+
+  static const std::vector<std::string>& FeatureNames();
+  static int NumFeatures();
+
+  void Extract(int user, int event, int day, std::vector<float>* out) const;
+
+ private:
+  const FeatureIndex* index_;
+};
+
+// Jaccard similarity of two id sets given as sorted vectors.
+double JaccardSorted(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace baseline
+}  // namespace evrec
+
+#endif  // EVREC_BASELINE_CF_FEATURES_H_

@@ -1,0 +1,124 @@
+#include "evrec/baseline/feature_index.h"
+
+#include <algorithm>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace baseline {
+
+namespace {
+
+// Edges are stored day-ascending; count the prefix with day < before_day.
+int CountBefore(const std::vector<simnet::FeedbackEdge>& edges,
+                int before_day) {
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), before_day,
+      [](const simnet::FeedbackEdge& e, int day) { return e.day < day; });
+  return static_cast<int>(it - edges.begin());
+}
+
+std::vector<int> CounterpartsBefore(
+    const std::vector<simnet::FeedbackEdge>& edges, int before_day) {
+  std::vector<int> out;
+  for (const auto& e : edges) {
+    if (e.day >= before_day) break;
+    out.push_back(e.counterpart);
+  }
+  return out;
+}
+
+}  // namespace
+
+FeatureIndex::FeatureIndex(const simnet::SimnetDataset& dataset)
+    : dataset_(&dataset) {
+  hosted_events_.resize(dataset.world.users.size());
+  for (const simnet::Event& e : dataset.events) {
+    hosted_events_[static_cast<size_t>(e.host_user)].push_back(e.id);
+  }
+}
+
+bool FeatureIndex::AreFriends(int user_a, int user_b) const {
+  const auto& friends =
+      dataset_->world.users[static_cast<size_t>(user_a)].friends;
+  return std::binary_search(friends.begin(), friends.end(), user_b);
+}
+
+int FeatureIndex::AttendeesBefore(int event, int before_day) const {
+  return CountBefore(
+      dataset_->feedback.event_attendees[static_cast<size_t>(event)],
+      before_day);
+}
+
+int FeatureIndex::InterestedBefore(int event, int before_day) const {
+  return CountBefore(
+      dataset_->feedback.event_interested[static_cast<size_t>(event)],
+      before_day);
+}
+
+int FeatureIndex::FriendsAttendingBefore(int user, int event,
+                                         int before_day) const {
+  const auto& attendees =
+      dataset_->feedback.event_attendees[static_cast<size_t>(event)];
+  int count = 0;
+  for (const auto& e : attendees) {
+    if (e.day >= before_day) break;
+    if (AreFriends(user, e.counterpart)) ++count;
+  }
+  return count;
+}
+
+int FeatureIndex::UserJoinCountBefore(int user, int before_day) const {
+  return CountBefore(
+      dataset_->feedback.user_joins[static_cast<size_t>(user)], before_day);
+}
+
+int FeatureIndex::UserInterestedCountBefore(int user, int before_day) const {
+  return CountBefore(
+      dataset_->feedback.user_interested[static_cast<size_t>(user)],
+      before_day);
+}
+
+std::vector<int> FeatureIndex::UserJoinedEventsBefore(int user,
+                                                      int before_day) const {
+  return CounterpartsBefore(
+      dataset_->feedback.user_joins[static_cast<size_t>(user)], before_day);
+}
+
+std::vector<int> FeatureIndex::UserInterestedEventsBefore(
+    int user, int before_day) const {
+  return CounterpartsBefore(
+      dataset_->feedback.user_interested[static_cast<size_t>(user)],
+      before_day);
+}
+
+std::vector<int> FeatureIndex::EventAttendeesBefore(int event,
+                                                    int before_day) const {
+  return CounterpartsBefore(
+      dataset_->feedback.event_attendees[static_cast<size_t>(event)],
+      before_day);
+}
+
+double FeatureIndex::CategoryAffinityBefore(int user, int category,
+                                            int before_day) const {
+  std::vector<int> joined = UserJoinedEventsBefore(user, before_day);
+  if (joined.empty()) return 0.0;
+  int matches = 0;
+  for (int e : joined) {
+    if (dataset_->events[static_cast<size_t>(e)].category == category) {
+      ++matches;
+    }
+  }
+  return static_cast<double>(matches) / static_cast<double>(joined.size());
+}
+
+int FeatureIndex::HostPriorAttendanceBefore(int host, int before_day) const {
+  int total = 0;
+  for (int e : hosted_events_[static_cast<size_t>(host)]) {
+    total += AttendeesBefore(e, before_day);
+  }
+  return total;
+}
+
+}  // namespace baseline
+}  // namespace evrec

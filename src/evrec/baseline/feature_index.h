@@ -1,0 +1,58 @@
+// FeatureIndex: query layer over the synthetic world's behavioral logs.
+// Every behavioral query takes a `before_day` cutoff and only counts
+// feedback that happened strictly earlier, so features are causal at
+// impression time — the production setting the paper's date-based split is
+// designed to respect.
+
+#ifndef EVREC_BASELINE_FEATURE_INDEX_H_
+#define EVREC_BASELINE_FEATURE_INDEX_H_
+
+#include <vector>
+
+#include "evrec/simnet/generator.h"
+
+namespace evrec {
+namespace baseline {
+
+class FeatureIndex {
+ public:
+  explicit FeatureIndex(const simnet::SimnetDataset& dataset);
+
+  const simnet::SimnetDataset& dataset() const { return *dataset_; }
+
+  // --- social graph (static) ---
+  bool AreFriends(int user_a, int user_b) const;
+
+  // --- behavioral, causal in `before_day` ---
+  int AttendeesBefore(int event, int before_day) const;
+  int InterestedBefore(int event, int before_day) const;
+  int FriendsAttendingBefore(int user, int event, int before_day) const;
+  int UserJoinCountBefore(int user, int before_day) const;
+  int UserInterestedCountBefore(int user, int before_day) const;
+
+  // Event ids the user joined before `before_day`.
+  std::vector<int> UserJoinedEventsBefore(int user, int before_day) const;
+  std::vector<int> UserInterestedEventsBefore(int user,
+                                              int before_day) const;
+  // User ids attending the event before `before_day`.
+  std::vector<int> EventAttendeesBefore(int event, int before_day) const;
+
+  // Fraction of the user's past joins whose event category matches
+  // `category` (0 when the user has no history — the sparse case).
+  double CategoryAffinityBefore(int user, int category,
+                                int before_day) const;
+
+  // Number of events the host had previously hosted that drew at least one
+  // attendee (host reputation proxy).
+  int HostPriorAttendanceBefore(int host, int before_day) const;
+
+ private:
+  const simnet::SimnetDataset* dataset_;
+  // events hosted by each user, for the host-reputation feature
+  std::vector<std::vector<int>> hosted_events_;
+};
+
+}  // namespace baseline
+}  // namespace evrec
+
+#endif  // EVREC_BASELINE_FEATURE_INDEX_H_

@@ -1,0 +1,123 @@
+#include "evrec/eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "evrec/util/check.h"
+#include "evrec/util/math_util.h"
+
+namespace evrec {
+namespace eval {
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<float>& labels) {
+  EVREC_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  size_t num_pos = 0;
+  for (float y : labels) num_pos += (y > 0.5f) ? 1 : 0;
+  size_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Sum of positive ranks with average ranks for ties.
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                      1.0;  // 1-based
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] > 0.5f) rank_sum_pos += avg_rank;
+    }
+    i = j + 1;
+  }
+  double u = rank_sum_pos - static_cast<double>(num_pos) *
+                                (static_cast<double>(num_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<double>& scores,
+                                          const std::vector<float>& labels) {
+  EVREC_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  size_t num_pos = 0;
+  for (float y : labels) num_pos += (y > 0.5f) ? 1 : 0;
+  std::vector<PrPoint> curve;
+  if (num_pos == 0 || n == 0) return curve;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+  size_t tp = 0;
+  size_t predicted = 0;
+  for (size_t i = 0; i < n;) {
+    // Consume a tie group atomically: a threshold either admits all equal
+    // scores or none.
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    for (size_t k = i; k <= j; ++k) {
+      ++predicted;
+      if (labels[order[k]] > 0.5f) ++tp;
+    }
+    curve.push_back(PrPoint{scores[order[i]],
+                            static_cast<double>(tp) / predicted,
+                            static_cast<double>(tp) / num_pos});
+    i = j + 1;
+  }
+  return curve;
+}
+
+double PrecisionAtRecall(const std::vector<PrPoint>& curve,
+                         double target_recall) {
+  for (const PrPoint& p : curve) {
+    if (p.recall >= target_recall) return p.precision;
+  }
+  return 0.0;
+}
+
+std::vector<PrPoint> SampleCurve(const std::vector<PrPoint>& curve,
+                                 int grid_points) {
+  std::vector<PrPoint> out;
+  if (curve.empty() || grid_points <= 1) return out;
+  out.reserve(static_cast<size_t>(grid_points));
+  for (int g = 1; g <= grid_points; ++g) {
+    double recall = static_cast<double>(g) / grid_points;
+    double precision = PrecisionAtRecall(curve, recall);
+    out.push_back(PrPoint{0.0, precision, recall});
+  }
+  return out;
+}
+
+double MeanLogLoss(const std::vector<double>& probabilities,
+                   const std::vector<float>& labels) {
+  EVREC_CHECK_EQ(probabilities.size(), labels.size());
+  if (probabilities.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    total += CrossEntropy(labels[i], probabilities[i]);
+  }
+  return total / static_cast<double>(probabilities.size());
+}
+
+double Accuracy(const std::vector<double>& scores,
+                const std::vector<float>& labels, double threshold) {
+  EVREC_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    bool predicted = scores[i] >= threshold;
+    bool actual = labels[i] > 0.5f;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+}  // namespace eval
+}  // namespace evrec

@@ -1,0 +1,53 @@
+// Binary classification metrics used in the paper's evaluation (§5.1):
+// area under the ROC curve, precision/recall curves, and precision at a
+// fixed recall level (PR60 = precision at recall 0.60, PR80 at 0.80).
+
+#ifndef EVREC_EVAL_METRICS_H_
+#define EVREC_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace evrec {
+namespace eval {
+
+// Rank-based ROC AUC (equals the Mann-Whitney U statistic); ties receive
+// average rank. Returns 0.5 when either class is absent.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<float>& labels);
+
+struct PrPoint {
+  double threshold;  // score cut: predict positive when score >= threshold
+  double precision;
+  double recall;
+};
+
+// Full precision/recall curve, one point per distinct threshold, ordered by
+// increasing recall (decreasing threshold). Returns an empty vector when
+// there are no positives.
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<double>& scores,
+                                          const std::vector<float>& labels);
+
+// Precision where the curve first reaches `target_recall` (reading the
+// paper's P/R plots at a fixed recall). Returns 0 if the recall level is
+// never reached.
+double PrecisionAtRecall(const std::vector<PrPoint>& curve,
+                         double target_recall);
+
+// Samples the curve at evenly spaced recall grid points (for CSV series);
+// each grid point gets the precision at the first curve point with
+// recall >= grid value.
+std::vector<PrPoint> SampleCurve(const std::vector<PrPoint>& curve,
+                                 int grid_points);
+
+// Mean binary cross-entropy of probability predictions.
+double MeanLogLoss(const std::vector<double>& probabilities,
+                   const std::vector<float>& labels);
+
+// Classification accuracy at a fixed probability threshold.
+double Accuracy(const std::vector<double>& scores,
+                const std::vector<float>& labels, double threshold);
+
+}  // namespace eval
+}  // namespace evrec
+
+#endif  // EVREC_EVAL_METRICS_H_

@@ -1,0 +1,36 @@
+// Fixed-width table printer for the bench harness reports (reproducing the
+// paper's Tables 1-3 side by side with the measured values).
+
+#ifndef EVREC_EVAL_TABLE_PRINTER_H_
+#define EVREC_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace evrec {
+namespace eval {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with column alignment and a header separator.
+  std::string Render() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a metric as "0.xxx".
+std::string Metric3(double v);
+
+}  // namespace eval
+}  // namespace evrec
+
+#endif  // EVREC_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,63 @@
+#include "evrec/gbdt/binner.h"
+
+#include <algorithm>
+
+namespace evrec {
+namespace gbdt {
+
+QuantileBinner::QuantileBinner(const DataMatrix& data, int max_bins)
+    : max_bins_(max_bins) {
+  EVREC_CHECK_GE(max_bins, 2);
+  EVREC_CHECK_LE(max_bins, 256);
+  EVREC_CHECK_GT(data.num_rows(), 0);
+  const int n = data.num_rows();
+  upper_bounds_.resize(static_cast<size_t>(data.num_cols()));
+
+  std::vector<float> column(static_cast<size_t>(n));
+  for (int c = 0; c < data.num_cols(); ++c) {
+    for (int r = 0; r < n; ++r) column[static_cast<size_t>(r)] = data.At(r, c);
+    std::sort(column.begin(), column.end());
+
+    // Candidate boundaries at quantile positions; dedupe equal values so a
+    // low-cardinality feature gets one bin per distinct value.
+    std::vector<float>& bounds = upper_bounds_[static_cast<size_t>(c)];
+    for (int b = 1; b < max_bins_; ++b) {
+      size_t idx = static_cast<size_t>(
+          static_cast<double>(b) * n / max_bins_);
+      if (idx >= static_cast<size_t>(n)) idx = static_cast<size_t>(n) - 1;
+      float v = column[idx];
+      if (bounds.empty() || v > bounds.back()) bounds.push_back(v);
+    }
+    // A boundary equal to the max value would leave the last bin empty but
+    // is harmless; a constant column yields zero boundaries (single bin).
+    if (!bounds.empty() && bounds.back() >= column.back()) {
+      bounds.pop_back();
+    }
+  }
+}
+
+uint8_t QuantileBinner::BinOf(int c, float value) const {
+  const auto& bounds = upper_bounds_[static_cast<size_t>(c)];
+  // First bin whose upper bound is >= value; rows in bin b satisfy
+  // value <= UpperBound(c, b).
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<uint8_t>(it - bounds.begin());
+}
+
+BinnedMatrix QuantileBinner::Transform(const DataMatrix& data) const {
+  EVREC_CHECK_EQ(data.num_cols(), num_features());
+  BinnedMatrix out;
+  out.num_rows = data.num_rows();
+  out.num_cols = data.num_cols();
+  out.codes.resize(static_cast<size_t>(out.num_rows) * out.num_cols);
+  for (int c = 0; c < out.num_cols; ++c) {
+    uint8_t* col = out.codes.data() + static_cast<size_t>(c) * out.num_rows;
+    for (int r = 0; r < out.num_rows; ++r) {
+      col[r] = BinOf(c, data.At(r, c));
+    }
+  }
+  return out;
+}
+
+}  // namespace gbdt
+}  // namespace evrec

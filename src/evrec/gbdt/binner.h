@@ -1,0 +1,66 @@
+// Quantile binning for histogram-based tree construction (the LightGBM /
+// XGBoost-hist approach): each feature is discretized into at most
+// `max_bins` bins whose boundaries are training-set quantiles. Split search
+// then scans bin histograms instead of sorted raw values.
+
+#ifndef EVREC_GBDT_BINNER_H_
+#define EVREC_GBDT_BINNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "evrec/gbdt/data_matrix.h"
+
+namespace evrec {
+namespace gbdt {
+
+// Column-major bin codes: code(r, c) = codes[c * num_rows + r].
+struct BinnedMatrix {
+  int num_rows = 0;
+  int num_cols = 0;
+  std::vector<uint8_t> codes;
+
+  uint8_t Code(int r, int c) const {
+    return codes[static_cast<size_t>(c) * num_rows + r];
+  }
+  const uint8_t* Column(int c) const {
+    return codes.data() + static_cast<size_t>(c) * num_rows;
+  }
+};
+
+class QuantileBinner {
+ public:
+  // Learns per-feature bin boundaries from `data`. `max_bins` <= 256.
+  QuantileBinner(const DataMatrix& data, int max_bins);
+
+  int max_bins() const { return max_bins_; }
+  int num_features() const { return static_cast<int>(upper_bounds_.size()); }
+
+  // Number of distinct bins actually used by feature `c` (1 for constant
+  // features).
+  int NumBins(int c) const {
+    return static_cast<int>(upper_bounds_[static_cast<size_t>(c)].size()) + 1;
+  }
+
+  // Raw-value upper boundary of bin `b` for feature `c`: rows with
+  // value <= bound fall in bins [0..b]. The last bin is unbounded.
+  float UpperBound(int c, int b) const {
+    return upper_bounds_[static_cast<size_t>(c)][static_cast<size_t>(b)];
+  }
+
+  // Bin code of a raw value.
+  uint8_t BinOf(int c, float value) const;
+
+  // Bins a whole matrix (must have the same feature count).
+  BinnedMatrix Transform(const DataMatrix& data) const;
+
+ private:
+  int max_bins_;
+  // upper_bounds_[c] is sorted ascending; size NumBins(c) - 1.
+  std::vector<std::vector<float>> upper_bounds_;
+};
+
+}  // namespace gbdt
+}  // namespace evrec
+
+#endif  // EVREC_GBDT_BINNER_H_

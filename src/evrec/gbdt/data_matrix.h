@@ -1,0 +1,56 @@
+// Dense row-major feature matrix consumed by the GBDT trainer and by the
+// feature assembler that builds combiner inputs.
+
+#ifndef EVREC_GBDT_DATA_MATRIX_H_
+#define EVREC_GBDT_DATA_MATRIX_H_
+
+#include <vector>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace gbdt {
+
+class DataMatrix {
+ public:
+  DataMatrix() : num_rows_(0), num_cols_(0) {}
+  DataMatrix(int num_rows, int num_cols)
+      : num_rows_(num_rows), num_cols_(num_cols),
+        values_(static_cast<size_t>(num_rows) * num_cols, 0.0f) {
+    EVREC_CHECK_GE(num_rows, 0);
+    EVREC_CHECK_GT(num_cols, 0);
+  }
+
+  int num_rows() const { return num_rows_; }
+  int num_cols() const { return num_cols_; }
+
+  float At(int r, int c) const {
+    EVREC_CHECK_LT(r, num_rows_);
+    EVREC_CHECK_LT(c, num_cols_);
+    return values_[static_cast<size_t>(r) * num_cols_ + c];
+  }
+  void Set(int r, int c, float v) {
+    EVREC_CHECK_LT(r, num_rows_);
+    EVREC_CHECK_LT(c, num_cols_);
+    values_[static_cast<size_t>(r) * num_cols_ + c] = v;
+  }
+
+  const float* Row(int r) const {
+    EVREC_CHECK_LT(r, num_rows_);
+    return values_.data() + static_cast<size_t>(r) * num_cols_;
+  }
+  float* MutableRow(int r) {
+    EVREC_CHECK_LT(r, num_rows_);
+    return values_.data() + static_cast<size_t>(r) * num_cols_;
+  }
+
+ private:
+  int num_rows_;
+  int num_cols_;
+  std::vector<float> values_;
+};
+
+}  // namespace gbdt
+}  // namespace evrec
+
+#endif  // EVREC_GBDT_DATA_MATRIX_H_

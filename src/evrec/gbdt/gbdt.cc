@@ -1,0 +1,140 @@
+#include "evrec/gbdt/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "evrec/gbdt/binner.h"
+#include "evrec/gbdt/tree_builder.h"
+#include "evrec/util/logging.h"
+#include "evrec/util/math_util.h"
+
+namespace evrec {
+namespace gbdt {
+
+GbdtTrainStats GbdtModel::Train(const DataMatrix& features,
+                                const std::vector<float>& labels,
+                                const GbdtConfig& config) {
+  const int n = features.num_rows();
+  EVREC_CHECK_GT(n, 0);
+  EVREC_CHECK_EQ(labels.size(), static_cast<size_t>(n));
+  num_features_ = features.num_cols();
+  trees_.clear();
+
+  // Prior: log-odds of the positive rate.
+  double pos = 0.0;
+  for (float y : labels) pos += y;
+  double rate = ClampProb(pos / n, 1e-6);
+  base_score_ = static_cast<float>(std::log(rate / (1.0 - rate)));
+
+  QuantileBinner binner(features, config.max_bins);
+  BinnedMatrix binned = binner.Transform(features);
+
+  TreeParams tree_params;
+  tree_params.max_leaves = config.max_leaves;
+  tree_params.lambda = config.lambda;
+  tree_params.min_samples_leaf = config.min_samples_leaf;
+  tree_params.leaf_scale = config.learning_rate;
+  TreeBuilder builder(binned, binner, tree_params);
+
+  std::vector<double> scores(static_cast<size_t>(n), base_score_);
+  std::vector<float> grad(static_cast<size_t>(n));
+  std::vector<float> hess(static_cast<size_t>(n));
+  std::vector<int> all_rows(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) all_rows[static_cast<size_t>(i)] = i;
+
+  Rng rng(config.seed, /*stream=*/77);
+  GbdtTrainStats stats;
+  stats.train_logloss.reserve(static_cast<size_t>(config.num_trees));
+
+  std::vector<int> sampled;
+  for (int t = 0; t < config.num_trees; ++t) {
+    // Logistic loss derivatives w.r.t. the additive score.
+    for (int i = 0; i < n; ++i) {
+      double p = Sigmoid(scores[static_cast<size_t>(i)]);
+      grad[static_cast<size_t>(i)] =
+          static_cast<float>(p - labels[static_cast<size_t>(i)]);
+      hess[static_cast<size_t>(i)] = static_cast<float>(p * (1.0 - p));
+    }
+
+    const std::vector<int>* rows = &all_rows;
+    if (config.subsample < 1.0) {
+      sampled.clear();
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(config.subsample)) sampled.push_back(i);
+      }
+      if (sampled.size() >=
+          static_cast<size_t>(2 * config.min_samples_leaf)) {
+        rows = &sampled;
+      }
+    }
+
+    RegressionTree tree = builder.Build(grad, hess, *rows);
+    // Update every row's score with the new tree (not just sampled rows).
+    double logloss = 0.0;
+    for (int i = 0; i < n; ++i) {
+      scores[static_cast<size_t>(i)] += tree.Predict(features.Row(i));
+      double p = Sigmoid(scores[static_cast<size_t>(i)]);
+      logloss += CrossEntropy(labels[static_cast<size_t>(i)], p);
+    }
+    stats.train_logloss.push_back(logloss / n);
+    trees_.push_back(std::move(tree));
+  }
+  EVREC_LOG(INFO) << "gbdt trained " << trees_.size() << " trees, final "
+                  << "train logloss=" << stats.train_logloss.back();
+  return stats;
+}
+
+double GbdtModel::PredictScore(const float* row) const {
+  double s = base_score_;
+  for (const auto& t : trees_) s += t.Predict(row);
+  return s;
+}
+
+double GbdtModel::PredictProbability(const float* row) const {
+  return Sigmoid(PredictScore(row));
+}
+
+std::vector<double> GbdtModel::PredictProbabilities(
+    const DataMatrix& features) const {
+  std::vector<double> out(static_cast<size_t>(features.num_rows()));
+  for (int i = 0; i < features.num_rows(); ++i) {
+    out[static_cast<size_t>(i)] = PredictProbability(features.Row(i));
+  }
+  return out;
+}
+
+std::vector<double> GbdtModel::FeatureImportance() const {
+  std::vector<double> imp(static_cast<size_t>(num_features_), 0.0);
+  for (const auto& t : trees_) t.AccumulateFeatureGain(&imp);
+  double total = 0.0;
+  for (double v : imp) total += v;
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+void GbdtModel::Serialize(BinaryWriter& w) const {
+  w.WriteMagic("GBDT");
+  w.WriteF32(base_score_);
+  w.WriteI32(num_features_);
+  w.WriteI32(static_cast<int>(trees_.size()));
+  for (const auto& t : trees_) t.Serialize(w);
+}
+
+GbdtModel GbdtModel::Deserialize(BinaryReader& r) {
+  GbdtModel m;
+  r.ExpectMagic("GBDT");
+  m.base_score_ = r.ReadF32();
+  m.num_features_ = r.ReadI32();
+  int n = r.ReadI32();
+  if (!r.ok() || n < 0) return m;
+  m.trees_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n && r.ok(); ++i) {
+    m.trees_.push_back(RegressionTree::Deserialize(r));
+  }
+  return m;
+}
+
+}  // namespace gbdt
+}  // namespace evrec

@@ -1,0 +1,73 @@
+// Gradient-boosted decision trees with logistic (cross-entropy) loss — the
+// combiner prediction model of paper §4. The paper's configuration is 200
+// trees with 12 leaves each, trained by stochastic gradient boosting [28]
+// minimizing cross-entropy over observed (user, event) pairs; this trainer
+// adds the standard Newton-step leaf values and row subsampling.
+
+#ifndef EVREC_GBDT_GBDT_H_
+#define EVREC_GBDT_GBDT_H_
+
+#include <string>
+#include <vector>
+
+#include "evrec/gbdt/data_matrix.h"
+#include "evrec/gbdt/tree.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace gbdt {
+
+struct GbdtConfig {
+  int num_trees = 200;
+  int max_leaves = 12;
+  double learning_rate = 0.1;
+  double lambda = 1.0;          // L2 on leaf values
+  double subsample = 0.8;       // stochastic boosting row fraction
+  int min_samples_leaf = 20;
+  int max_bins = 64;
+  uint64_t seed = 13;
+};
+
+struct GbdtTrainStats {
+  std::vector<double> train_logloss;  // after each tree
+};
+
+class GbdtModel {
+ public:
+  GbdtModel() : base_score_(0.0f), num_features_(0) {}
+
+  // Trains from scratch on (features, labels in {0,1}).
+  GbdtTrainStats Train(const DataMatrix& features,
+                       const std::vector<float>& labels,
+                       const GbdtConfig& config);
+
+  // Probability of the positive class.
+  double PredictProbability(const float* row) const;
+  std::vector<double> PredictProbabilities(const DataMatrix& features) const;
+
+  // Raw additive score (logit).
+  double PredictScore(const float* row) const;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  int num_features() const { return num_features_; }
+  const RegressionTree& tree(int i) const {
+    return trees_[static_cast<size_t>(i)];
+  }
+
+  // Total split gain per feature, normalized to sum to 1 (empty if the
+  // model has no splits).
+  std::vector<double> FeatureImportance() const;
+
+  void Serialize(BinaryWriter& w) const;
+  static GbdtModel Deserialize(BinaryReader& r);
+
+ private:
+  float base_score_;  // prior logit
+  int num_features_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace gbdt
+}  // namespace evrec
+
+#endif  // EVREC_GBDT_GBDT_H_

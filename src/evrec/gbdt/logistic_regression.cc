@@ -1,0 +1,117 @@
+#include "evrec/gbdt/logistic_regression.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "evrec/util/check.h"
+#include "evrec/util/math_util.h"
+
+namespace evrec {
+namespace gbdt {
+
+double LogisticRegression::Score(const float* row) const {
+  double s = bias_;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    double z = (row[i] - mean_[i]) * inv_std_[i];
+    s += weights_[i] * z;
+  }
+  return s;
+}
+
+double LogisticRegression::PredictProbability(const float* row) const {
+  return Sigmoid(Score(row));
+}
+
+std::vector<double> LogisticRegression::PredictProbabilities(
+    const DataMatrix& features) const {
+  std::vector<double> out(static_cast<size_t>(features.num_rows()));
+  for (int r = 0; r < features.num_rows(); ++r) {
+    out[static_cast<size_t>(r)] = PredictProbability(features.Row(r));
+  }
+  return out;
+}
+
+std::vector<double> LogisticRegression::Train(
+    const DataMatrix& features, const std::vector<float>& labels,
+    const LogisticRegressionConfig& config) {
+  const int n = features.num_rows();
+  const int d = features.num_cols();
+  EVREC_CHECK_GT(n, 0);
+  EVREC_CHECK_EQ(labels.size(), static_cast<size_t>(n));
+
+  // Fit standardization.
+  mean_.assign(static_cast<size_t>(d), 0.0);
+  inv_std_.assign(static_cast<size_t>(d), 1.0);
+  for (int r = 0; r < n; ++r) {
+    const float* row = features.Row(r);
+    for (int c = 0; c < d; ++c) mean_[static_cast<size_t>(c)] += row[c];
+  }
+  for (auto& m : mean_) m /= n;
+  std::vector<double> var(static_cast<size_t>(d), 0.0);
+  for (int r = 0; r < n; ++r) {
+    const float* row = features.Row(r);
+    for (int c = 0; c < d; ++c) {
+      double delta = row[c] - mean_[static_cast<size_t>(c)];
+      var[static_cast<size_t>(c)] += delta * delta;
+    }
+  }
+  for (int c = 0; c < d; ++c) {
+    double v = var[static_cast<size_t>(c)] / n;
+    inv_std_[static_cast<size_t>(c)] = v > 1e-10 ? 1.0 / std::sqrt(v) : 1.0;
+  }
+
+  weights_.assign(static_cast<size_t>(d), 0.0);
+  // Start from the prior log-odds so the intercept needs no burn-in.
+  double pos = 0.0;
+  for (float y : labels) pos += y;
+  double rate = ClampProb(pos / n, 1e-6);
+  bias_ = std::log(rate / (1.0 - rate));
+
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(config.seed, 53);
+
+  std::vector<double> losses;
+  std::vector<double> grad(static_cast<size_t>(d));
+  double lr = config.learning_rate;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double total = 0.0;
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double bias_grad = 0.0;
+    int batch_count = 0;
+    for (int i = 0; i < n; ++i) {
+      int r = order[static_cast<size_t>(i)];
+      const float* row = features.Row(r);
+      double p = Sigmoid(Score(row));
+      double y = labels[static_cast<size_t>(r)];
+      total += CrossEntropy(y, p);
+      double err = p - y;
+      for (int c = 0; c < d; ++c) {
+        double z = (row[c] - mean_[static_cast<size_t>(c)]) *
+                   inv_std_[static_cast<size_t>(c)];
+        grad[static_cast<size_t>(c)] +=
+            err * z + config.l2 * weights_[static_cast<size_t>(c)];
+      }
+      bias_grad += err;
+      ++batch_count;
+      if (batch_count == config.batch_size || i + 1 == n) {
+        double scale = lr / batch_count;
+        for (int c = 0; c < d; ++c) {
+          weights_[static_cast<size_t>(c)] -=
+              scale * grad[static_cast<size_t>(c)];
+          grad[static_cast<size_t>(c)] = 0.0;
+        }
+        bias_ -= scale * bias_grad;
+        bias_grad = 0.0;
+        batch_count = 0;
+      }
+    }
+    losses.push_back(total / n);
+    lr *= 0.95;
+  }
+  return losses;
+}
+
+}  // namespace gbdt
+}  // namespace evrec

@@ -1,0 +1,64 @@
+// L2-regularized logistic regression — the alternative combiner the paper
+// discusses in §5.2: "the integration choice can be different for
+// different types of combiner models. For example, for logistic
+// regression, one may need to design additional interaction features and
+// include multiple types of summary scores."
+//
+// Unlike the GBDT, a linear model cannot discover feature interactions on
+// its own, which is exactly what bench_extensions demonstrates: LR with
+// raw representation vectors underperforms LR with the similarity score,
+// while the GBDT is indifferent.
+//
+// Features are standardized internally (z-scaling fitted on the training
+// matrix) so the single learning rate behaves across heterogeneous
+// feature scales.
+
+#ifndef EVREC_GBDT_LOGISTIC_REGRESSION_H_
+#define EVREC_GBDT_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "evrec/gbdt/data_matrix.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace gbdt {
+
+struct LogisticRegressionConfig {
+  int epochs = 40;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;        // per-example weight penalty
+  int batch_size = 32;
+  uint64_t seed = 31;
+};
+
+class LogisticRegression {
+ public:
+  LogisticRegression() = default;
+
+  // Trains from scratch; returns mean train logloss per epoch.
+  std::vector<double> Train(const DataMatrix& features,
+                            const std::vector<float>& labels,
+                            const LogisticRegressionConfig& config);
+
+  double PredictProbability(const float* row) const;
+  std::vector<double> PredictProbabilities(const DataMatrix& features) const;
+
+  int num_features() const { return static_cast<int>(weights_.size()); }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  double Score(const float* row) const;
+
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  // Standardization fitted on the training matrix.
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace gbdt
+}  // namespace evrec
+
+#endif  // EVREC_GBDT_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,69 @@
+#include "evrec/gbdt/tree.h"
+
+namespace evrec {
+namespace gbdt {
+
+int RegressionTree::num_leaves() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    if (node.is_leaf) ++n;
+  }
+  return n;
+}
+
+float RegressionTree::Predict(const float* row) const {
+  if (nodes_.empty()) return 0.0f;
+  int i = 0;
+  while (!nodes_[static_cast<size_t>(i)].is_leaf) {
+    const TreeNode& n = nodes_[static_cast<size_t>(i)];
+    i = (row[n.feature] <= n.threshold) ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(i)].leaf_value;
+}
+
+void RegressionTree::AccumulateFeatureGain(
+    std::vector<double>* importance) const {
+  for (const auto& n : nodes_) {
+    if (!n.is_leaf && n.feature >= 0 &&
+        n.feature < static_cast<int>(importance->size())) {
+      (*importance)[static_cast<size_t>(n.feature)] += n.gain;
+    }
+  }
+}
+
+void RegressionTree::Serialize(BinaryWriter& w) const {
+  w.WriteMagic("TREE");
+  w.WriteI32(static_cast<int>(nodes_.size()));
+  for (const auto& n : nodes_) {
+    w.WriteI32(n.is_leaf ? 1 : 0);
+    w.WriteI32(n.feature);
+    w.WriteF32(n.threshold);
+    w.WriteI32(n.left);
+    w.WriteI32(n.right);
+    w.WriteF32(n.gain);
+    w.WriteF32(n.leaf_value);
+  }
+}
+
+RegressionTree RegressionTree::Deserialize(BinaryReader& r) {
+  RegressionTree t;
+  r.ExpectMagic("TREE");
+  int n = r.ReadI32();
+  if (!r.ok() || n < 0) return t;
+  t.nodes_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n && r.ok(); ++i) {
+    TreeNode node;
+    node.is_leaf = r.ReadI32() != 0;
+    node.feature = r.ReadI32();
+    node.threshold = r.ReadF32();
+    node.left = r.ReadI32();
+    node.right = r.ReadI32();
+    node.gain = r.ReadF32();
+    node.leaf_value = r.ReadF32();
+    t.nodes_.push_back(node);
+  }
+  return t;
+}
+
+}  // namespace gbdt
+}  // namespace evrec

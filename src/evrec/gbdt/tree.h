@@ -1,0 +1,61 @@
+// Regression tree produced by the boosting trainer. Internal nodes split on
+// "feature value <= threshold"; leaves carry the additive score
+// contribution. Prediction works on raw (un-binned) feature rows so a
+// trained model is independent of the training-time binner.
+
+#ifndef EVREC_GBDT_TREE_H_
+#define EVREC_GBDT_TREE_H_
+
+#include <vector>
+
+#include "evrec/util/binary_io.h"
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace gbdt {
+
+struct TreeNode {
+  bool is_leaf = true;
+  // Internal node fields.
+  int feature = -1;
+  float threshold = 0.0f;   // raw-value threshold: go left if value <= it
+  int left = -1;
+  int right = -1;
+  float gain = 0.0f;        // split gain, for feature importance
+  // Leaf field.
+  float leaf_value = 0.0f;
+};
+
+class RegressionTree {
+ public:
+  RegressionTree() = default;
+
+  // Node 0 is the root; an empty tree predicts 0.
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_leaves() const;
+  const TreeNode& node(int i) const {
+    return nodes_[static_cast<size_t>(i)];
+  }
+
+  int AddNode(const TreeNode& node) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+  TreeNode& MutableNode(int i) { return nodes_[static_cast<size_t>(i)]; }
+
+  float Predict(const float* row) const;
+
+  // Adds each internal node's gain to importance[feature].
+  void AccumulateFeatureGain(std::vector<double>* importance) const;
+
+  void Serialize(BinaryWriter& w) const;
+  static RegressionTree Deserialize(BinaryReader& r);
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace gbdt
+}  // namespace evrec
+
+#endif  // EVREC_GBDT_TREE_H_

@@ -1,0 +1,202 @@
+#include "evrec/gbdt/tree_builder.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace evrec {
+namespace gbdt {
+
+void TreeBuilder::Histogram::SubtractFrom(const Histogram& parent,
+                                          const Histogram& sibling) {
+  size_t n = parent.g.size();
+  Resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    g[i] = parent.g[i] - sibling.g[i];
+    h[i] = parent.h[i] - sibling.h[i];
+    count[i] = parent.count[i] - sibling.count[i];
+  }
+}
+
+TreeBuilder::TreeBuilder(const BinnedMatrix& binned,
+                         const QuantileBinner& binner,
+                         const TreeParams& params)
+    : binned_(binned), binner_(binner), params_(params) {
+  EVREC_CHECK_GE(params.max_leaves, 2);
+}
+
+void TreeBuilder::BuildHistogram(int begin, int end,
+                                 const std::vector<float>& grad,
+                                 const std::vector<float>& hess,
+                                 Histogram* out) const {
+  const int num_features = binned_.num_cols;
+  const int bins = binner_.max_bins();
+  out->Resize(static_cast<size_t>(num_features) * bins);
+  for (int c = 0; c < num_features; ++c) {
+    const uint8_t* col = binned_.Column(c);
+    double* hg = out->g.data() + static_cast<size_t>(c) * bins;
+    double* hh = out->h.data() + static_cast<size_t>(c) * bins;
+    int* hc = out->count.data() + static_cast<size_t>(c) * bins;
+    for (int i = begin; i < end; ++i) {
+      int r = row_order_[static_cast<size_t>(i)];
+      uint8_t b = col[r];
+      hg[b] += grad[static_cast<size_t>(r)];
+      hh[b] += hess[static_cast<size_t>(r)];
+      ++hc[b];
+    }
+  }
+}
+
+TreeBuilder::Split TreeBuilder::FindBestSplit(const Histogram& hist,
+                                              double sum_g, double sum_h,
+                                              int count) const {
+  const int num_features = binned_.num_cols;
+  const int bins = binner_.max_bins();
+  const double lambda = params_.lambda;
+  auto score = [lambda](double g, double h) { return g * g / (h + lambda); };
+
+  Split best;
+  const double parent_score = score(sum_g, sum_h);
+  for (int c = 0; c < num_features; ++c) {
+    const int nbins = binner_.NumBins(c);
+    if (nbins < 2) continue;
+    const double* hg = hist.g.data() + static_cast<size_t>(c) * bins;
+    const double* hh = hist.h.data() + static_cast<size_t>(c) * bins;
+    const int* hc = hist.count.data() + static_cast<size_t>(c) * bins;
+    double lg = 0.0, lh = 0.0;
+    int lc = 0;
+    for (int b = 0; b + 1 < nbins; ++b) {
+      lg += hg[b];
+      lh += hh[b];
+      lc += hc[b];
+      int rc = count - lc;
+      if (lc < params_.min_samples_leaf || rc < params_.min_samples_leaf) {
+        continue;
+      }
+      double gain =
+          score(lg, lh) + score(sum_g - lg, sum_h - lh) - parent_score;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = c;
+        best.bin_threshold = b;
+        best.left_g = lg;
+        best.left_h = lh;
+        best.left_count = lc;
+      }
+    }
+  }
+  return best;
+}
+
+double TreeBuilder::LeafValue(double sum_g, double sum_h) const {
+  return params_.leaf_scale * (-sum_g / (sum_h + params_.lambda));
+}
+
+RegressionTree TreeBuilder::Build(const std::vector<float>& grad,
+                                  const std::vector<float>& hess,
+                                  const std::vector<int>& rows) {
+  EVREC_CHECK(!rows.empty());
+  row_order_ = rows;
+  RegressionTree tree;
+
+  double root_g = 0.0, root_h = 0.0;
+  for (int r : rows) {
+    root_g += grad[static_cast<size_t>(r)];
+    root_h += hess[static_cast<size_t>(r)];
+  }
+
+  TreeNode root_node;
+  root_node.is_leaf = true;
+  root_node.leaf_value = static_cast<float>(LeafValue(root_g, root_h));
+  int root_id = tree.AddNode(root_node);
+
+  auto root = std::make_unique<Leaf>();
+  root->node_id = root_id;
+  root->begin = 0;
+  root->end = static_cast<int>(rows.size());
+  root->sum_g = root_g;
+  root->sum_h = root_h;
+  BuildHistogram(root->begin, root->end, grad, hess, &root->hist);
+  root->best =
+      FindBestSplit(root->hist, root_g, root_h, root->end - root->begin);
+
+  // Best-first frontier. Linear scan for the max-gain leaf: the frontier
+  // never exceeds max_leaves (12 here), so a heap buys nothing.
+  std::vector<std::unique_ptr<Leaf>> frontier;
+  frontier.push_back(std::move(root));
+  int num_leaves = 1;
+
+  while (num_leaves < params_.max_leaves) {
+    int best_idx = -1;
+    double best_gain = params_.min_split_gain;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      if (frontier[i]->best.gain > best_gain) {
+        best_gain = frontier[i]->best.gain;
+        best_idx = static_cast<int>(i);
+      }
+    }
+    if (best_idx < 0) break;  // nothing left worth splitting
+
+    std::unique_ptr<Leaf> leaf = std::move(frontier[static_cast<size_t>(best_idx)]);
+    frontier.erase(frontier.begin() + best_idx);
+    const Split& split = leaf->best;
+
+    // Partition the row range: bin <= threshold goes left.
+    const uint8_t* col = binned_.Column(split.feature);
+    auto mid_it = std::stable_partition(
+        row_order_.begin() + leaf->begin, row_order_.begin() + leaf->end,
+        [&](int r) { return col[r] <= split.bin_threshold; });
+    int mid = static_cast<int>(mid_it - row_order_.begin());
+    EVREC_CHECK_EQ(mid - leaf->begin, split.left_count);
+
+    auto left = std::make_unique<Leaf>();
+    auto right = std::make_unique<Leaf>();
+    left->begin = leaf->begin;
+    left->end = mid;
+    left->sum_g = split.left_g;
+    left->sum_h = split.left_h;
+    right->begin = mid;
+    right->end = leaf->end;
+    right->sum_g = leaf->sum_g - split.left_g;
+    right->sum_h = leaf->sum_h - split.left_h;
+
+    // Histogram subtraction: build the smaller child directly.
+    if (left->end - left->begin <= right->end - right->begin) {
+      BuildHistogram(left->begin, left->end, grad, hess, &left->hist);
+      right->hist.SubtractFrom(leaf->hist, left->hist);
+    } else {
+      BuildHistogram(right->begin, right->end, grad, hess, &right->hist);
+      left->hist.SubtractFrom(leaf->hist, right->hist);
+    }
+
+    // Materialize the split in the tree.
+    TreeNode left_node, right_node;
+    left_node.is_leaf = true;
+    left_node.leaf_value =
+        static_cast<float>(LeafValue(left->sum_g, left->sum_h));
+    right_node.is_leaf = true;
+    right_node.leaf_value =
+        static_cast<float>(LeafValue(right->sum_g, right->sum_h));
+    left->node_id = tree.AddNode(left_node);
+    right->node_id = tree.AddNode(right_node);
+
+    TreeNode& parent = tree.MutableNode(leaf->node_id);
+    parent.is_leaf = false;
+    parent.feature = split.feature;
+    parent.threshold = binner_.UpperBound(split.feature, split.bin_threshold);
+    parent.left = left->node_id;
+    parent.right = right->node_id;
+    parent.gain = static_cast<float>(split.gain);
+
+    left->best = FindBestSplit(left->hist, left->sum_g, left->sum_h,
+                               left->end - left->begin);
+    right->best = FindBestSplit(right->hist, right->sum_g, right->sum_h,
+                                right->end - right->begin);
+    frontier.push_back(std::move(left));
+    frontier.push_back(std::move(right));
+    ++num_leaves;
+  }
+  return tree;
+}
+
+}  // namespace gbdt
+}  // namespace evrec

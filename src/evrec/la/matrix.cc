@@ -1,0 +1,85 @@
+#include "evrec/la/matrix.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace evrec {
+namespace la {
+
+void Matrix::SetZero() {
+  std::memset(data_.data(), 0, data_.size() * sizeof(float));
+}
+
+void Matrix::XavierInit(Rng& rng) {
+  double s = std::sqrt(6.0 / (rows_ + cols_ + 1e-12));
+  for (auto& v : data_) v = static_cast<float>(rng.Uniform(-s, s));
+}
+
+void Matrix::UniformInit(Rng& rng, float scale) {
+  for (auto& v : data_) v = static_cast<float>(rng.Uniform(-scale, scale));
+}
+
+void Matrix::Gemv(const float* x, float* out) const {
+  for (int r = 0; r < rows_; ++r) {
+    const float* row = data_.data() + static_cast<size_t>(r) * cols_;
+    float s = 0.0f;
+    for (int c = 0; c < cols_; ++c) s += row[c] * x[c];
+    out[r] = s;
+  }
+}
+
+void Matrix::GemvTransposedAccum(const float* y, float* out) const {
+  for (int r = 0; r < rows_; ++r) {
+    const float* row = data_.data() + static_cast<size_t>(r) * cols_;
+    float yr = y[r];
+    if (yr == 0.0f) continue;
+    for (int c = 0; c < cols_; ++c) out[c] += yr * row[c];
+  }
+}
+
+void Matrix::AddOuter(float alpha, const float* y, const float* x) {
+  for (int r = 0; r < rows_; ++r) {
+    float* row = data_.data() + static_cast<size_t>(r) * cols_;
+    float ay = alpha * y[r];
+    if (ay == 0.0f) continue;
+    for (int c = 0; c < cols_; ++c) row[c] += ay * x[c];
+  }
+}
+
+void Matrix::AddScaled(float alpha, const Matrix& other) {
+  EVREC_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+void Matrix::Serialize(BinaryWriter& w) const {
+  w.WriteMagic("MTRX");
+  w.WriteI32(rows_);
+  w.WriteI32(cols_);
+  w.WriteFloatVector(data_);
+}
+
+Matrix Matrix::Deserialize(BinaryReader& r) {
+  r.ExpectMagic("MTRX");
+  int rows = r.ReadI32();
+  int cols = r.ReadI32();
+  Matrix m;
+  if (!r.ok() || rows < 0 || cols < 0) return m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = r.ReadFloatVector();
+  if (m.data_.size() != static_cast<size_t>(rows) * cols) {
+    m = Matrix();  // corrupt; reader status already reflects short read
+  }
+  return m;
+}
+
+}  // namespace la
+}  // namespace evrec

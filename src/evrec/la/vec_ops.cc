@@ -1,0 +1,44 @@
+#include "evrec/la/vec_ops.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace evrec {
+namespace la {
+
+void Axpy(float alpha, const float* x, float* y, int n) {
+  for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+float DotF(const float* x, const float* y, int n) {
+  float s = 0.0f;
+  for (int i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void Scale(float alpha, float* x, int n) {
+  for (int i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void Add(const float* a, const float* b, float* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void TanhForward(const float* x, float* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = std::tanh(x[i]);
+}
+
+void TanhBackward(const float* y, const float* dy, float* dx, int n) {
+  for (int i = 0; i < n; ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+}
+
+void Zero(float* x, int n) { std::memset(x, 0, sizeof(float) * n); }
+
+float Norm(const float* x, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
+  return static_cast<float>(std::sqrt(s));
+}
+
+}  // namespace la
+}  // namespace evrec

@@ -1,0 +1,41 @@
+// Flat float-span kernels used by the NN layers. All loops are written so
+// the compiler auto-vectorizes them; sizes in this project are small
+// (64-512), so a hand-rolled BLAS is not warranted.
+
+#ifndef EVREC_LA_VEC_OPS_H_
+#define EVREC_LA_VEC_OPS_H_
+
+#include <cstddef>
+
+namespace evrec {
+namespace la {
+
+// y += alpha * x
+void Axpy(float alpha, const float* x, float* y, int n);
+
+// <x, y>
+float DotF(const float* x, const float* y, int n);
+
+// x *= alpha
+void Scale(float alpha, float* x, int n);
+
+// out = a + b
+void Add(const float* a, const float* b, float* out, int n);
+
+// out[i] = tanh(x[i])
+void TanhForward(const float* x, float* out, int n);
+
+// dx[i] = dy[i] * (1 - y[i]^2), where y = tanh(x) (uses the activation,
+// not the pre-activation, so callers keep only the forward output).
+void TanhBackward(const float* y, const float* dy, float* dx, int n);
+
+// Fills with zeros.
+void Zero(float* x, int n);
+
+// L2 norm.
+float Norm(const float* x, int n);
+
+}  // namespace la
+}  // namespace evrec
+
+#endif  // EVREC_LA_VEC_OPS_H_

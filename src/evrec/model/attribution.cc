@@ -1,0 +1,74 @@
+#include "evrec/model/attribution.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace evrec {
+namespace model {
+
+std::vector<ModuleAttribution> AttributeTopWords(
+    const ExtractionBank& bank, const text::EncodedText& input) {
+  ExtractionBank::Context ctx;
+  bank.Forward(input, &ctx);
+
+  std::vector<ModuleAttribution> out;
+  out.reserve(static_cast<size_t>(bank.num_modules()));
+  for (int m = 0; m < bank.num_modules(); ++m) {
+    const nn::ConvContext& mc = ctx.modules[static_cast<size_t>(m)];
+    const int d = bank.module(m).window_size();
+    ModuleAttribution attr;
+    attr.window_size = d;
+    if (mc.empty) {
+      out.push_back(std::move(attr));
+      continue;
+    }
+    const int n = static_cast<int>(mc.token_ids.size());
+    std::map<int, double> credit;  // word_index -> credit
+    for (int k = 0; k < bank.module(m).out_dim(); ++k) {
+      int win = mc.argmax_window[static_cast<size_t>(k)];
+      std::set<int> covered;
+      for (int p = 0; p < d; ++p) {
+        int tok = win + p;
+        if (tok >= n) break;
+        covered.insert(mc.word_index[static_cast<size_t>(tok)]);
+      }
+      if (covered.empty()) continue;
+      double share = 1.0 / static_cast<double>(covered.size());
+      for (int w : covered) credit[w] += share;
+    }
+    attr.ranked_words.reserve(credit.size());
+    for (const auto& [w, c] : credit) {
+      attr.ranked_words.push_back({w, c});
+    }
+    std::sort(attr.ranked_words.begin(), attr.ranked_words.end(),
+              [](const WordCredit& a, const WordCredit& b) {
+                if (a.credit != b.credit) return a.credit > b.credit;
+                return a.word_index < b.word_index;
+              });
+    out.push_back(std::move(attr));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> TopWordStrings(
+    const std::vector<ModuleAttribution>& attributions,
+    const std::vector<std::string>& words, int k) {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(attributions.size());
+  for (const auto& attr : attributions) {
+    std::vector<std::string> top;
+    for (const auto& wc : attr.ranked_words) {
+      if (static_cast<int>(top.size()) >= k) break;
+      if (wc.word_index >= 0 &&
+          wc.word_index < static_cast<int>(words.size())) {
+        top.push_back(words[static_cast<size_t>(wc.word_index)]);
+      }
+    }
+    out.push_back(std::move(top));
+  }
+  return out;
+}
+
+}  // namespace model
+}  // namespace evrec

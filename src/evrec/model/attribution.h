@@ -1,0 +1,47 @@
+// Pooling-layer attribution (paper §5.3 / Figure 7): for each convolution
+// window size, trace every output dimension's max-value window back to the
+// input words it covers and accumulate per-word credit; the top-ranked
+// words are the ones "spotted" by the representation model.
+//
+// Paper protocol: each of the 64 max-value windows credits the words it
+// overlaps with 1/d each (d = window size in words). Our token stream is
+// letter trigrams, so a window of d tokens covers between 1 and d distinct
+// words; we credit each distinct covered word with 1/(#distinct covered
+// words), which reduces to the paper's rule when tokens are words.
+
+#ifndef EVREC_MODEL_ATTRIBUTION_H_
+#define EVREC_MODEL_ATTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "evrec/model/extraction_bank.h"
+
+namespace evrec {
+namespace model {
+
+struct WordCredit {
+  int word_index;   // into the caller's word sequence
+  double credit;    // accumulated max-pool contribution
+};
+
+struct ModuleAttribution {
+  int window_size;
+  std::vector<WordCredit> ranked_words;  // descending credit
+};
+
+// Runs `bank` on `input` and returns, for every module, the words ranked by
+// their contribution to the pooling-layer maxima.
+std::vector<ModuleAttribution> AttributeTopWords(
+    const ExtractionBank& bank, const text::EncodedText& input);
+
+// Convenience for reports: the top-k word strings per module, given the
+// original word sequence the input was encoded from.
+std::vector<std::vector<std::string>> TopWordStrings(
+    const std::vector<ModuleAttribution>& attributions,
+    const std::vector<std::string>& words, int k);
+
+}  // namespace model
+}  // namespace evrec
+
+#endif  // EVREC_MODEL_ATTRIBUTION_H_

@@ -1,0 +1,79 @@
+// Hyper-parameters of the joint user-event representation model.
+// Defaults follow the paper (§3.1-3.2.1): 64-d token vectors, 64-d module
+// outputs, text windows {1,3,5}, categorical window {1}, 256-node hidden
+// layer, 128-node representation layer, residual bypass, log-sum-exp
+// pooling, theta_r = 0, lr decayed to 90% per epoch, <= 20 epochs.
+
+#ifndef EVREC_MODEL_CONFIG_H_
+#define EVREC_MODEL_CONFIG_H_
+
+#include <vector>
+
+#include "evrec/nn/conv_text_module.h"
+
+namespace evrec {
+namespace model {
+
+struct JointModelConfig {
+  // Shared dimensions.
+  int embedding_dim = 64;       // token lookup vector length
+  int module_out_dim = 64;      // each extraction module's output length
+  int hidden_dim = 256;         // affine hidden layer
+  int rep_dim = 128;            // representation layer (per side)
+
+  // Extraction module windows.
+  std::vector<int> text_windows = {1, 3, 5};
+  std::vector<int> categorical_windows = {1};
+
+  // Architecture switches (ablations).
+  nn::PoolType pool = nn::PoolType::kLogSumExp;
+  bool residual_bypass = true;
+
+  // Embedding-table init scale: U(-s, s). Larger scales sharpen the
+  // log-sum-exp pooling toward max pooling at init, which differentiates
+  // long documents (a flat pooling softmax averages every document to the
+  // same vector and stalls training).
+  float embedding_init_scale = 1.0f;
+
+  // Loss (Eq. 1).
+  float theta_r = 0.0f;  // desired dissimilarity margin for negatives
+
+  // Optimization. Adagrad gives per-coordinate adaptive rates, without
+  // which the sparse lookup tables need far more than the paper's 20
+  // epochs at our data scale.
+  bool use_adagrad = true;
+  float learning_rate = 0.05f;
+  float lr_decay_per_epoch = 0.9f;  // "adjust learning rate to 90%"
+  int max_epochs = 20;              // "converges well in under 20 epochs"
+  int batch_size = 32;
+  // Early stopping: stop when validation loss fails to improve by at least
+  // `early_stop_tolerance` for `early_stop_patience` consecutive epochs.
+  int early_stop_patience = 3;
+  double early_stop_tolerance = 1e-4;
+  // Fraction of training pairs held out for the early-stopping signal.
+  double validation_fraction = 0.1;
+
+  // Vocabulary building (DF filter; paper keeps total tables under 500k).
+  int min_document_frequency = 2;
+  size_t max_vocabulary_size = 500000;
+  // Stop-token removal: drop tokens present in more than this fraction of
+  // documents. Ubiquitous trigrams make every long document look alike,
+  // which stalls the cosine loss (see nn/conv_text_module.h).
+  double max_df_fraction = 0.25;
+
+  uint64_t seed = 2017;
+
+  // Derived sizes.
+  int UserConcatDim() const {
+    return module_out_dim * static_cast<int>(text_windows.size() +
+                                             categorical_windows.size());
+  }
+  int EventConcatDim() const {
+    return module_out_dim * static_cast<int>(text_windows.size());
+  }
+};
+
+}  // namespace model
+}  // namespace evrec
+
+#endif  // EVREC_MODEL_CONFIG_H_

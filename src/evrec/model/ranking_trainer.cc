@@ -1,0 +1,141 @@
+#include "evrec/model/ranking_trainer.h"
+
+#include <unordered_map>
+
+#include "evrec/util/logging.h"
+
+namespace evrec {
+namespace model {
+
+namespace {
+
+struct Contrast {
+  int user;
+  int pos_event;
+  int neg_event;
+};
+
+// Per-user positive / negative event pools.
+struct UserPools {
+  std::vector<int> positives;
+  std::vector<int> negatives;
+};
+
+std::vector<UserPools> BuildPools(const RepDataset& data) {
+  std::vector<UserPools> pools(static_cast<size_t>(data.num_users()));
+  for (const RepPair& p : data.pairs) {
+    auto& pool = pools[static_cast<size_t>(p.user)];
+    if (p.label > 0.5f) {
+      pool.positives.push_back(p.event);
+    } else {
+      pool.negatives.push_back(p.event);
+    }
+  }
+  return pools;
+}
+
+std::vector<Contrast> SampleContrasts(const std::vector<UserPools>& pools,
+                                      int contrasts_per_positive,
+                                      Rng& rng) {
+  std::vector<Contrast> contrasts;
+  for (size_t u = 0; u < pools.size(); ++u) {
+    const UserPools& pool = pools[u];
+    if (pool.positives.empty() || pool.negatives.empty()) continue;
+    for (int pos : pool.positives) {
+      for (int k = 0; k < contrasts_per_positive; ++k) {
+        int neg = pool.negatives[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int>(pool.negatives.size()) - 1))];
+        contrasts.push_back({static_cast<int>(u), pos, neg});
+      }
+    }
+  }
+  return contrasts;
+}
+
+}  // namespace
+
+double RankingTrainer::EvaluateLoss(const RepDataset& data,
+                                    const RankingConfig& config,
+                                    Rng& rng) const {
+  auto pools = BuildPools(data);
+  auto contrasts = SampleContrasts(pools, config.contrasts_per_positive, rng);
+  if (contrasts.empty()) return 0.0;
+  double total = 0.0;
+  JointModel::PairContext pos_ctx, neg_ctx;
+  for (const Contrast& c : contrasts) {
+    double sp = model_->Similarity(data.user_inputs[c.user],
+                                   data.event_inputs[c.pos_event], &pos_ctx);
+    double sn = model_->Similarity(data.user_inputs[c.user],
+                                   data.event_inputs[c.neg_event], &neg_ctx);
+    total += std::max(0.0, config.margin - (sp - sn));
+  }
+  return total / static_cast<double>(contrasts.size());
+}
+
+RankingStats RankingTrainer::Train(const RepDataset& data,
+                                   const RankingConfig& config,
+                                   Rng& rng) const {
+  RankingStats stats;
+  auto pools = BuildPools(data);
+  float lr = config.learning_rate;
+  JointModel::PairContext pos_ctx, neg_ctx;
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    auto contrasts =
+        SampleContrasts(pools, config.contrasts_per_positive, rng);
+    if (contrasts.empty()) break;
+    rng.Shuffle(contrasts);
+
+    double epoch_loss = 0.0;
+    size_t batch_count = 0;
+    for (size_t i = 0; i < contrasts.size(); ++i) {
+      const Contrast& c = contrasts[i];
+      double sp = model_->Similarity(data.user_inputs[c.user],
+                                     data.event_inputs[c.pos_event],
+                                     &pos_ctx);
+      double sn = model_->Similarity(data.user_inputs[c.user],
+                                     data.event_inputs[c.neg_event],
+                                     &neg_ctx);
+      double hinge = config.margin - (sp - sn);
+      if (hinge > 0.0) {
+        epoch_loss += hinge;
+        // dL/dsp = -1, dL/dsn = +1; propagate through both contexts.
+        // Both forwards share the user tower's weights, and each context
+        // carries its own activations, so two backward passes accumulate
+        // correctly.
+        {
+          std::vector<float> du(pos_ctx.user.head.rep.size(), 0.0f);
+          std::vector<float> de(pos_ctx.event.head.rep.size(), 0.0f);
+          CosineBackward(pos_ctx.user.head.rep, pos_ctx.event.head.rep, sp,
+                         -1.0, &du, &de);
+          model_->mutable_user_tower().Backward(du.data(), pos_ctx.user);
+          model_->mutable_event_tower().Backward(de.data(), pos_ctx.event);
+        }
+        {
+          std::vector<float> du(neg_ctx.user.head.rep.size(), 0.0f);
+          std::vector<float> de(neg_ctx.event.head.rep.size(), 0.0f);
+          CosineBackward(neg_ctx.user.head.rep, neg_ctx.event.head.rep, sn,
+                         1.0, &du, &de);
+          model_->mutable_user_tower().Backward(du.data(), neg_ctx.user);
+          model_->mutable_event_tower().Backward(de.data(), neg_ctx.event);
+        }
+      }
+      ++batch_count;
+      if (batch_count == static_cast<size_t>(config.batch_size) ||
+          i + 1 == contrasts.size()) {
+        model_->Step(lr / static_cast<float>(batch_count));
+        batch_count = 0;
+      }
+    }
+    epoch_loss /= static_cast<double>(contrasts.size());
+    stats.train_loss.push_back(epoch_loss);
+    stats.epochs_run = epoch + 1;
+    EVREC_LOG(INFO) << "ranking epoch " << epoch << " loss=" << epoch_loss
+                    << " contrasts=" << contrasts.size();
+    lr *= config.lr_decay_per_epoch;
+  }
+  return stats;
+}
+
+}  // namespace model
+}  // namespace evrec

@@ -1,0 +1,61 @@
+// Pairwise ranking objective — the alternative loss the paper sketches in
+// §3.2.1: "Another possible way of defining the loss function is to
+// consider a user's relative preference over a set of events (ranking
+// loss). Though more flexible, it adds training complexity."
+//
+// For a user u with a participated event e+ and an unparticipated event
+// e-, the hinge ranking loss is
+//
+//   L(u, e+, e-) = max(0, margin - (s(u, e+) - s(u, e-)))
+//
+// Each epoch samples `contrasts_per_positive` (e+, e-) pairs per positive;
+// both event towers and the (shared) user tower receive gradients.
+
+#ifndef EVREC_MODEL_RANKING_TRAINER_H_
+#define EVREC_MODEL_RANKING_TRAINER_H_
+
+#include <vector>
+
+#include "evrec/model/trainer.h"
+
+namespace evrec {
+namespace model {
+
+struct RankingConfig {
+  float margin = 0.5f;
+  int contrasts_per_positive = 2;
+  float learning_rate = 0.05f;
+  float lr_decay_per_epoch = 0.9f;
+  int max_epochs = 10;
+  int batch_size = 32;
+};
+
+struct RankingStats {
+  std::vector<double> train_loss;  // mean hinge per epoch
+  int epochs_run = 0;
+};
+
+class RankingTrainer {
+ public:
+  explicit RankingTrainer(JointModel* model) : model_(model) {
+    EVREC_CHECK(model != nullptr);
+  }
+
+  // Trains on the same RepDataset as the pointwise trainer; pairs with
+  // label 1 are positives, label 0 negatives. Users lacking either class
+  // contribute nothing.
+  RankingStats Train(const RepDataset& data, const RankingConfig& config,
+                     Rng& rng) const;
+
+  // Mean hinge loss over sampled contrasts (diagnostic).
+  double EvaluateLoss(const RepDataset& data, const RankingConfig& config,
+                      Rng& rng) const;
+
+ private:
+  JointModel* model_;
+};
+
+}  // namespace model
+}  // namespace evrec
+
+#endif  // EVREC_MODEL_RANKING_TRAINER_H_

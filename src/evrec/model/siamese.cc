@@ -1,0 +1,91 @@
+#include "evrec/model/siamese.h"
+
+#include "evrec/model/joint_model.h"
+#include "evrec/util/logging.h"
+#include "evrec/util/math_util.h"
+
+namespace evrec {
+namespace model {
+
+namespace {
+
+struct SiamesePair {
+  int title_event;
+  int body_event;
+  float label;
+};
+
+}  // namespace
+
+SiameseStats SiamesePretrain(Tower* tower,
+                             const std::vector<text::EncodedText>& titles,
+                             const std::vector<text::EncodedText>& bodies,
+                             const SiameseConfig& config, Rng& rng) {
+  EVREC_CHECK(tower != nullptr);
+  EVREC_CHECK_EQ(tower->num_banks(), 1);
+  EVREC_CHECK_EQ(titles.size(), bodies.size());
+  EVREC_CHECK(!titles.empty());
+  const int n = static_cast<int>(titles.size());
+
+  // Positive: (title_i, body_i). Negative: (title_i, body_j), j != i.
+  std::vector<SiamesePair> pairs;
+  pairs.reserve(static_cast<size_t>(n) *
+                (1 + config.negatives_per_positive));
+  for (int i = 0; i < n; ++i) {
+    pairs.push_back({i, i, 1.0f});
+    for (int k = 0; k < config.negatives_per_positive; ++k) {
+      int j = rng.UniformInt(0, n - 1);
+      if (j == i) j = (j + 1) % n;
+      pairs.push_back({i, j, 0.0f});
+    }
+  }
+
+  SiameseStats stats;
+  float lr = config.learning_rate;
+  Tower::Context title_ctx, body_ctx;
+  std::vector<text::EncodedText> one_input(1);
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    double epoch_loss = 0.0;
+    size_t batch_count = 0;
+    for (size_t idx = 0; idx < pairs.size(); ++idx) {
+      const SiamesePair& p = pairs[idx];
+      one_input[0] = titles[static_cast<size_t>(p.title_event)];
+      tower->Forward(one_input, &title_ctx);
+      one_input[0] = bodies[static_cast<size_t>(p.body_event)];
+      tower->Forward(one_input, &body_ctx);
+
+      double sim = CosineSimilarity(
+          title_ctx.head.rep.data(), body_ctx.head.rep.data(),
+          static_cast<int>(title_ctx.head.rep.size()));
+      LossGrad lg = Eq1Loss(sim, p.label, config.theta_r);
+      epoch_loss += lg.loss;
+      if (lg.dloss_dsim != 0.0) {
+        std::vector<float> da(title_ctx.head.rep.size(), 0.0f);
+        std::vector<float> db(body_ctx.head.rep.size(), 0.0f);
+        CosineBackward(title_ctx.head.rep, body_ctx.head.rep, sim,
+                       lg.dloss_dsim, &da, &db);
+        // Both halves share the tower's parameters: two backward passes
+        // accumulate into the same gradient buffers.
+        tower->Backward(da.data(), title_ctx);
+        tower->Backward(db.data(), body_ctx);
+      }
+      ++batch_count;
+      if (batch_count == static_cast<size_t>(config.batch_size) ||
+          idx + 1 == pairs.size()) {
+        tower->Step(lr / static_cast<float>(batch_count));
+        batch_count = 0;
+      }
+    }
+    epoch_loss /= static_cast<double>(pairs.size());
+    stats.train_loss.push_back(epoch_loss);
+    stats.epochs_run = epoch + 1;
+    EVREC_LOG(INFO) << "siamese epoch " << epoch << " loss=" << epoch_loss;
+    lr *= config.lr_decay_per_epoch;
+  }
+  return stats;
+}
+
+}  // namespace model
+}  // namespace evrec

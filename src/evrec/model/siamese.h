@@ -1,0 +1,51 @@
+// Siamese event-tower pre-training (paper §3.2.1): "We take the event
+// sub-net and construct a Siamese Network. We then sample a large number of
+// events and feed the title and body text into the network as positive
+// training instances. We also randomly pair title and body text from
+// different events and use these as negative training instances."
+//
+// The resulting tower is an event-only semantic model usable for
+// related-event search with zero user feedback, and its lookup table
+// initializes the event side of the joint model.
+
+#ifndef EVREC_MODEL_SIAMESE_H_
+#define EVREC_MODEL_SIAMESE_H_
+
+#include <vector>
+
+#include "evrec/model/tower.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace model {
+
+// Defaults are conservative: a cosine Siamese net has a collapse saddle
+// (all inputs mapped to one point, where the cosine gradient vanishes), so
+// the learning rate is kept low and each positive is countered by two
+// negatives.
+struct SiameseConfig {
+  float learning_rate = 0.02f;
+  float lr_decay_per_epoch = 0.9f;
+  int max_epochs = 10;
+  int batch_size = 8;
+  int negatives_per_positive = 2;
+  float theta_r = 0.0f;
+};
+
+struct SiameseStats {
+  std::vector<double> train_loss;  // per epoch
+  int epochs_run = 0;
+};
+
+// Trains `tower` (a single-text-bank event tower) so that an event's title
+// and body map to nearby representations. `titles[i]` / `bodies[i]` are the
+// encoded halves of event i; both sides pass through the SAME weights.
+SiameseStats SiamesePretrain(Tower* tower,
+                             const std::vector<text::EncodedText>& titles,
+                             const std::vector<text::EncodedText>& bodies,
+                             const SiameseConfig& config, Rng& rng);
+
+}  // namespace model
+}  // namespace evrec
+
+#endif  // EVREC_MODEL_SIAMESE_H_

@@ -1,0 +1,133 @@
+#include "evrec/model/tower.h"
+
+#include <algorithm>
+
+namespace evrec {
+namespace model {
+
+Tower::Tower(const std::vector<int>& vocab_sizes,
+             const std::vector<std::vector<int>>& windows, int embedding_dim,
+             int module_out_dim, int hidden_dim, int rep_dim,
+             nn::PoolType pool, bool residual_bypass)
+    : head_(1, 1, 1, false) {
+  EVREC_CHECK_EQ(vocab_sizes.size(), windows.size());
+  EVREC_CHECK(!vocab_sizes.empty());
+  int concat = 0;
+  banks_.reserve(vocab_sizes.size());
+  for (size_t i = 0; i < vocab_sizes.size(); ++i) {
+    banks_.emplace_back(vocab_sizes[i], embedding_dim, windows[i],
+                        module_out_dim, pool);
+    concat += banks_.back().output_dim();
+  }
+  norm_ = nn::FeatureNorm(concat);
+  head_ = TowerHead(concat, hidden_dim, rep_dim, residual_bypass);
+}
+
+int Tower::concat_dim() const {
+  int d = 0;
+  for (const auto& b : banks_) d += b.output_dim();
+  return d;
+}
+
+void Tower::RandomInit(Rng& rng, float embedding_scale) {
+  for (auto& b : banks_) b.RandomInit(rng, embedding_scale);
+  head_.XavierInit(rng);
+}
+
+void Tower::Forward(const std::vector<text::EncodedText>& inputs,
+                    Context* ctx) const {
+  EVREC_CHECK_EQ(inputs.size(), banks_.size());
+  ctx->banks.resize(banks_.size());
+  ctx->concat.assign(static_cast<size_t>(concat_dim()), 0.0f);
+  int offset = 0;
+  for (size_t i = 0; i < banks_.size(); ++i) {
+    banks_[i].Forward(inputs[i], &ctx->banks[i]);
+    std::copy(ctx->banks[i].output.begin(), ctx->banks[i].output.end(),
+              ctx->concat.begin() + offset);
+    offset += banks_[i].output_dim();
+  }
+  norm_.Forward(ctx->concat.data(), ctx->concat.data());
+  head_.Forward(ctx->concat.data(), &ctx->head);
+}
+
+void Tower::CalibrateNormalizer(
+    const std::vector<std::vector<text::EncodedText>>& sample_inputs,
+    size_t max_samples) {
+  EVREC_CHECK(!sample_inputs.empty());
+  std::vector<std::vector<float>> rows;
+  size_t stride =
+      std::max<size_t>(1, sample_inputs.size() / max_samples);
+  std::vector<ExtractionBank::Context> bctx(banks_.size());
+  for (size_t s = 0; s < sample_inputs.size(); s += stride) {
+    const auto& inputs = sample_inputs[s];
+    EVREC_CHECK_EQ(inputs.size(), banks_.size());
+    std::vector<float> row(static_cast<size_t>(concat_dim()), 0.0f);
+    int offset = 0;
+    for (size_t i = 0; i < banks_.size(); ++i) {
+      banks_[i].Forward(inputs[i], &bctx[i]);
+      std::copy(bctx[i].output.begin(), bctx[i].output.end(),
+                row.begin() + offset);
+      offset += banks_[i].output_dim();
+    }
+    rows.push_back(std::move(row));
+  }
+  norm_.Calibrate(rows);
+}
+
+std::vector<float> Tower::Represent(
+    const std::vector<text::EncodedText>& inputs) const {
+  Context ctx;
+  Forward(inputs, &ctx);
+  return ctx.head.rep;
+}
+
+void Tower::Backward(const float* drep, const Context& ctx) {
+  std::vector<float> dconcat(static_cast<size_t>(concat_dim()), 0.0f);
+  head_.Backward(drep, ctx.head, dconcat.data());
+  norm_.Backward(dconcat.data(), dconcat.data());
+  int offset = 0;
+  for (size_t i = 0; i < banks_.size(); ++i) {
+    banks_[i].Backward(dconcat.data() + offset, ctx.banks[i]);
+    offset += banks_[i].output_dim();
+  }
+}
+
+void Tower::EnableAdagrad() {
+  for (auto& b : banks_) b.EnableAdagrad();
+  head_.EnableAdagrad();
+}
+
+void Tower::Step(float lr) {
+  for (auto& b : banks_) b.Step(lr);
+  head_.Step(lr);
+}
+
+void Tower::ZeroGrad() {
+  for (auto& b : banks_) b.ZeroGrad();
+  head_.ZeroGrad();
+}
+
+void Tower::Serialize(BinaryWriter& w) const {
+  w.WriteMagic("TOWR");
+  w.WriteI32(static_cast<int>(banks_.size()));
+  for (const auto& b : banks_) b.Serialize(w);
+  norm_.Serialize(w);
+  head_.Serialize(w);
+}
+
+Tower Tower::Deserialize(BinaryReader& r) {
+  Tower t;
+  r.ExpectMagic("TOWR");
+  int n = r.ReadI32();
+  if (!r.ok() || n <= 0) return t;
+  t.banks_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n && r.ok(); ++i) {
+    t.banks_.push_back(ExtractionBank::Deserialize(r));
+  }
+  t.norm_ = nn::FeatureNorm::Deserialize(r);
+  t.head_ = TowerHead::Deserialize(r);
+  return t;
+}
+
+}  // namespace model
+}  // namespace evrec

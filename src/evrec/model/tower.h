@@ -1,0 +1,82 @@
+// Tower: one sub-model of the joint network (left or right half of the
+// paper's Figure 4). A tower is a list of extraction banks — each consuming
+// its own input document — whose concatenated outputs feed a TowerHead.
+//
+// The user tower instantiates two banks (letter-trigram text with windows
+// {1,3,5}; word-unigram categorical ids with window {1}); the event tower
+// instantiates one (text, windows {1,3,5}).
+
+#ifndef EVREC_MODEL_TOWER_H_
+#define EVREC_MODEL_TOWER_H_
+
+#include <vector>
+
+#include "evrec/model/extraction_bank.h"
+#include "evrec/nn/feature_norm.h"
+#include "evrec/model/tower_head.h"
+
+namespace evrec {
+namespace model {
+
+class Tower {
+ public:
+  // vocab_sizes[i] / windows[i] describe bank i.
+  Tower(const std::vector<int>& vocab_sizes,
+        const std::vector<std::vector<int>>& windows, int embedding_dim,
+        int module_out_dim, int hidden_dim, int rep_dim, nn::PoolType pool,
+        bool residual_bypass);
+
+  struct Context {
+    std::vector<ExtractionBank::Context> banks;
+    std::vector<float> concat;   // standardized concatenated bank outputs
+    TowerHead::Context head;
+  };
+
+  int num_banks() const { return static_cast<int>(banks_.size()); }
+  int concat_dim() const;
+  int rep_dim() const { return head_.rep_dim(); }
+  const ExtractionBank& bank(int i) const { return banks_[i]; }
+  ExtractionBank& mutable_bank(int i) { return banks_[i]; }
+  const TowerHead& head() const { return head_; }
+
+  void RandomInit(Rng& rng, float embedding_scale = 0.1f);
+
+  // Calibrates the frozen feature standardization (nn::FeatureNorm) from a
+  // sample of encoded documents. Must run before training; see
+  // nn/feature_norm.h for why pooled features need corpus centering.
+  void CalibrateNormalizer(
+      const std::vector<std::vector<text::EncodedText>>& sample_inputs,
+      size_t max_samples = 4096);
+
+  const nn::FeatureNorm& normalizer() const { return norm_; }
+
+  // `inputs` supplies one encoded document per bank. The representation
+  // vector is ctx->head.rep after the call.
+  void Forward(const std::vector<text::EncodedText>& inputs,
+               Context* ctx) const;
+
+  // Convenience: forward and return the representation vector.
+  std::vector<float> Represent(
+      const std::vector<text::EncodedText>& inputs) const;
+
+  void Backward(const float* drep, const Context& ctx);
+
+  void EnableAdagrad();
+  void Step(float lr);
+  void ZeroGrad();
+
+  void Serialize(BinaryWriter& w) const;
+  static Tower Deserialize(BinaryReader& r);
+
+ private:
+  Tower() : head_(1, 1, 1, false) {}
+
+  std::vector<ExtractionBank> banks_;
+  nn::FeatureNorm norm_;
+  TowerHead head_;
+};
+
+}  // namespace model
+}  // namespace evrec
+
+#endif  // EVREC_MODEL_TOWER_H_

@@ -1,0 +1,107 @@
+#include "evrec/model/tower_head.h"
+
+#include "evrec/la/vec_ops.h"
+
+namespace evrec {
+namespace model {
+
+TowerHead::TowerHead(int in_dim, int hidden_dim, int rep_dim,
+                     bool residual_bypass)
+    : hidden_layer_(in_dim, hidden_dim, /*has_bias=*/true),
+      projection_(hidden_dim, rep_dim, /*has_bias=*/true),
+      bypass_(in_dim, rep_dim, /*has_bias=*/false),
+      residual_bypass_(residual_bypass) {}
+
+void TowerHead::XavierInit(Rng& rng) {
+  hidden_layer_.XavierInit(rng);
+  projection_.XavierInit(rng);
+  if (residual_bypass_) bypass_.XavierInit(rng);
+}
+
+void TowerHead::Forward(const float* x, Context* ctx) const {
+  const int in = in_dim();
+  const int hid = hidden_dim();
+  const int rep = rep_dim();
+  ctx->x.assign(x, x + in);
+  ctx->h.resize(static_cast<size_t>(hid));
+  ctx->rep.resize(static_cast<size_t>(rep));
+
+  std::vector<float> pre_h(static_cast<size_t>(hid));
+  hidden_layer_.Forward(x, pre_h.data());
+  la::TanhForward(pre_h.data(), ctx->h.data(), hid);
+
+  std::vector<float> pre_r(static_cast<size_t>(rep));
+  projection_.Forward(ctx->h.data(), pre_r.data());
+  if (residual_bypass_) {
+    std::vector<float> bypass_out(static_cast<size_t>(rep));
+    bypass_.Forward(x, bypass_out.data());
+    la::Axpy(1.0f, bypass_out.data(), pre_r.data(), rep);
+  }
+  la::TanhForward(pre_r.data(), ctx->rep.data(), rep);
+}
+
+void TowerHead::Backward(const float* drep, const Context& ctx, float* dx) {
+  const int hid = hidden_dim();
+  const int rep = rep_dim();
+
+  // Through the representation tanh.
+  std::vector<float> dpre_r(static_cast<size_t>(rep));
+  la::TanhBackward(ctx.rep.data(), drep, dpre_r.data(), rep);
+
+  // Through the projection (and bypass) into dh / dx.
+  std::vector<float> dh(static_cast<size_t>(hid), 0.0f);
+  projection_.Backward(ctx.h.data(), dpre_r.data(), dh.data());
+  if (residual_bypass_) {
+    bypass_.Backward(ctx.x.data(), dpre_r.data(), dx);
+  }
+
+  // Through the hidden tanh and the affine layer.
+  std::vector<float> dpre_h(static_cast<size_t>(hid));
+  la::TanhBackward(ctx.h.data(), dh.data(), dpre_h.data(), hid);
+  hidden_layer_.Backward(ctx.x.data(), dpre_h.data(), dx);
+}
+
+void TowerHead::EnableAdagrad() {
+  hidden_layer_.EnableAdagrad();
+  projection_.EnableAdagrad();
+  if (residual_bypass_) bypass_.EnableAdagrad();
+}
+
+void TowerHead::Step(float lr) {
+  hidden_layer_.Step(lr);
+  projection_.Step(lr);
+  if (residual_bypass_) bypass_.Step(lr);
+}
+
+void TowerHead::ZeroGrad() {
+  hidden_layer_.ZeroGrad();
+  projection_.ZeroGrad();
+  bypass_.ZeroGrad();
+}
+
+void TowerHead::Serialize(BinaryWriter& w) const {
+  w.WriteMagic("HEAD");
+  w.WriteI32(residual_bypass_ ? 1 : 0);
+  hidden_layer_.Serialize(w);
+  projection_.Serialize(w);
+  bypass_.Serialize(w);
+}
+
+TowerHead TowerHead::Deserialize(BinaryReader& r) {
+  r.ExpectMagic("HEAD");
+  int bypass = r.ReadI32();
+  nn::LinearLayer hidden = nn::LinearLayer::Deserialize(r);
+  nn::LinearLayer projection = nn::LinearLayer::Deserialize(r);
+  nn::LinearLayer bypass_layer = nn::LinearLayer::Deserialize(r);
+  TowerHead head(hidden.in_dim(), hidden.out_dim(), projection.out_dim(),
+                 bypass != 0);
+  if (r.ok()) {
+    head.hidden_layer_ = std::move(hidden);
+    head.projection_ = std::move(projection);
+    head.bypass_ = std::move(bypass_layer);
+  }
+  return head;
+}
+
+}  // namespace model
+}  // namespace evrec

@@ -1,0 +1,85 @@
+#include "evrec/model/trainer.h"
+
+#include <algorithm>
+
+#include "evrec/util/logging.h"
+
+namespace evrec {
+namespace model {
+
+double RepTrainer::EvaluateLoss(const RepDataset& data,
+                                const std::vector<RepPair>& pairs) const {
+  if (pairs.empty()) return 0.0;
+  double total = 0.0;
+  JointModel::PairContext ctx;
+  for (const RepPair& p : pairs) {
+    double sim = model_->Similarity(data.user_inputs[p.user],
+                                    data.event_inputs[p.event], &ctx);
+    total += p.weight * Eq1Loss(sim, p.label, model_->config().theta_r).loss;
+  }
+  return total / static_cast<double>(pairs.size());
+}
+
+TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
+  const JointModelConfig& cfg = model_->config();
+  TrainStats stats;
+
+  // Deterministic train/validation split for the early-stopping signal.
+  std::vector<RepPair> pairs = data.pairs;
+  rng.Shuffle(pairs);
+  size_t val_count = static_cast<size_t>(
+      static_cast<double>(pairs.size()) * cfg.validation_fraction);
+  val_count = std::min(val_count, pairs.size());
+  std::vector<RepPair> val(pairs.end() - static_cast<long>(val_count),
+                           pairs.end());
+  pairs.resize(pairs.size() - val_count);
+  EVREC_CHECK(!pairs.empty()) << "no training pairs";
+
+  float lr = cfg.learning_rate;
+  double best_val = 1e300;
+  int epochs_since_improvement = 0;
+  JointModel::PairContext ctx;
+
+  for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    double epoch_loss = 0.0;
+    size_t batch_count = 0;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const RepPair& p = pairs[i];
+      model_->Similarity(data.user_inputs[p.user],
+                         data.event_inputs[p.event], &ctx);
+      epoch_loss += model_->AccumulatePairGradient(ctx, p.label, p.weight);
+      ++batch_count;
+      if (batch_count == static_cast<size_t>(cfg.batch_size) ||
+          i + 1 == pairs.size()) {
+        model_->Step(lr / static_cast<float>(batch_count));
+        batch_count = 0;
+      }
+    }
+    epoch_loss /= static_cast<double>(pairs.size());
+    stats.train_loss.push_back(epoch_loss);
+    stats.epochs_run = epoch + 1;
+
+    double val_loss = val.empty() ? epoch_loss : EvaluateLoss(data, val);
+    stats.validation_loss.push_back(val_loss);
+    EVREC_LOG(INFO) << "rep epoch " << epoch << " train_loss=" << epoch_loss
+                    << " val_loss=" << val_loss << " lr=" << lr;
+
+    if (val_loss < best_val - cfg.early_stop_tolerance) {
+      best_val = val_loss;
+      epochs_since_improvement = 0;
+    } else {
+      ++epochs_since_improvement;
+      if (epochs_since_improvement >= cfg.early_stop_patience) {
+        stats.early_stopped = true;
+        break;
+      }
+    }
+    lr *= cfg.lr_decay_per_epoch;
+  }
+  stats.final_learning_rate = lr;
+  return stats;
+}
+
+}  // namespace model
+}  // namespace evrec

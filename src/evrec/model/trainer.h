@@ -1,0 +1,70 @@
+// RepTrainer: minibatch SGD training loop for the joint model
+// (paper §3.2.1): shuffled epochs, learning rate decayed to 90% per epoch,
+// early stopping on a held-out validation slice, at most `max_epochs`
+// (paper: converges in under 20).
+//
+// The dataset stores each user's and event's encoded documents once;
+// training pairs reference them by index so a user appearing in thousands
+// of impressions is encoded a single time.
+
+#ifndef EVREC_MODEL_TRAINER_H_
+#define EVREC_MODEL_TRAINER_H_
+
+#include <vector>
+
+#include "evrec/model/joint_model.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace model {
+
+struct RepPair {
+  int user;     // index into RepDataset::user_inputs
+  int event;    // index into RepDataset::event_inputs
+  float label;  // 1 = participated, 0 = not
+  // Gradient weight; the paper's future-work extension ("clicks and views
+  // information could be integrated into the training process") enters as
+  // weak positive pairs with weight < 1.
+  float weight = 1.0f;
+};
+
+struct RepDataset {
+  // user_inputs[u] = {text document, categorical id document}.
+  std::vector<std::vector<text::EncodedText>> user_inputs;
+  // event_inputs[e] = {text document}.
+  std::vector<std::vector<text::EncodedText>> event_inputs;
+  std::vector<RepPair> pairs;
+
+  int num_users() const { return static_cast<int>(user_inputs.size()); }
+  int num_events() const { return static_cast<int>(event_inputs.size()); }
+};
+
+struct TrainStats {
+  std::vector<double> train_loss;       // mean Eq. 1 loss per epoch
+  std::vector<double> validation_loss;  // per epoch
+  int epochs_run = 0;
+  bool early_stopped = false;
+  double final_learning_rate = 0.0;
+};
+
+class RepTrainer {
+ public:
+  explicit RepTrainer(JointModel* model) : model_(model) {
+    EVREC_CHECK(model != nullptr);
+  }
+
+  // Trains in place. Uses model->config() for all hyper-parameters.
+  TrainStats Train(const RepDataset& data, Rng& rng) const;
+
+  // Mean Eq. 1 loss of `pairs` under the current parameters.
+  double EvaluateLoss(const RepDataset& data,
+                      const std::vector<RepPair>& pairs) const;
+
+ private:
+  JointModel* model_;
+};
+
+}  // namespace model
+}  // namespace evrec
+
+#endif  // EVREC_MODEL_TRAINER_H_

@@ -1,0 +1,183 @@
+#include "evrec/nn/conv_text_module.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "evrec/la/vec_ops.h"
+
+namespace evrec {
+namespace nn {
+
+const char* PoolTypeName(PoolType type) {
+  switch (type) {
+    case PoolType::kLogSumExp:
+      return "logsumexp";
+    case PoolType::kMax:
+      return "max";
+    case PoolType::kMean:
+      return "mean";
+  }
+  return "unknown";
+}
+
+ConvTextModule::ConvTextModule(std::shared_ptr<EmbeddingTable> table,
+                               int window_size, int out_dim, PoolType pool)
+    : table_(std::move(table)),
+      window_size_(window_size),
+      pool_(pool),
+      conv_(window_size * (table_ ? table_->dim() : 1), out_dim) {
+  EVREC_CHECK(table_ != nullptr);
+  EVREC_CHECK_GT(window_size, 0);
+  EVREC_CHECK_GT(out_dim, 0);
+}
+
+void ConvTextModule::Forward(const text::EncodedText& input,
+                             ConvContext* ctx) const {
+  const int emb = table_->dim();
+  const int k = out_dim();
+  const int d = window_size_;
+  ctx->token_ids = input.token_ids;
+  ctx->word_index = input.word_index;
+  ctx->output.assign(static_cast<size_t>(k), 0.0f);
+  ctx->argmax_window.assign(static_cast<size_t>(k), 0);
+
+  const int n = input.size();
+  if (n == 0) {
+    ctx->empty = true;
+    ctx->num_windows = 0;
+    return;
+  }
+  ctx->empty = false;
+  const int num_windows = std::max(1, n - d + 1);
+  ctx->num_windows = num_windows;
+  ctx->windows = la::Matrix(num_windows, d * emb);
+  ctx->pre_pool = la::Matrix(num_windows, k);
+
+  for (int i = 0; i < num_windows; ++i) {
+    float* win = ctx->windows.Row(i);
+    for (int p = 0; p < d; ++p) {
+      int tok_pos = i + p;
+      if (tok_pos < n) {
+        const float* v = table_->Vector(input.token_ids[tok_pos]);
+        std::copy(v, v + emb, win + p * emb);
+      }
+      // else: already zero (right padding for n < d)
+    }
+    conv_.Forward(win, ctx->pre_pool.Row(i));
+  }
+
+  // Pool each output dimension over windows.
+  for (int c = 0; c < k; ++c) {
+    float max_v = ctx->pre_pool.At(0, c);
+    int argmax = 0;
+    for (int i = 1; i < num_windows; ++i) {
+      float v = ctx->pre_pool.At(i, c);
+      if (v > max_v) {
+        max_v = v;
+        argmax = i;
+      }
+    }
+    ctx->argmax_window[c] = argmax;
+    switch (pool_) {
+      case PoolType::kLogSumExp: {
+        // Log-MEAN-exp: the paper's log-sum-exp shifted by -log(#windows).
+        // The raw sum adds the same +log(n) offset to every output
+        // dimension, which (a) points all pooled vectors toward the
+        // all-ones direction, making initial cosines ~1 regardless of
+        // content, and (b) saturates the downstream tanh layers so
+        // gradients vanish. The shift is constant per example, leaves the
+        // soft-max semantics and the max-window attribution unchanged, and
+        // keeps the gradient field identical.
+        float sum = 0.0f;
+        for (int i = 0; i < num_windows; ++i) {
+          sum += std::exp(ctx->pre_pool.At(i, c) - max_v);
+        }
+        ctx->output[c] =
+            max_v + std::log(sum / static_cast<float>(num_windows));
+        break;
+      }
+      case PoolType::kMax:
+        ctx->output[c] = max_v;
+        break;
+      case PoolType::kMean: {
+        float sum = 0.0f;
+        for (int i = 0; i < num_windows; ++i) {
+          sum += ctx->pre_pool.At(i, c);
+        }
+        ctx->output[c] = sum / static_cast<float>(num_windows);
+        break;
+      }
+    }
+  }
+}
+
+void ConvTextModule::Backward(const float* dout, const ConvContext& ctx) {
+  if (ctx.empty) return;
+  const int emb = table_->dim();
+  const int k = out_dim();
+  const int d = window_size_;
+  const int n = static_cast<int>(ctx.token_ids.size());
+  const int num_windows = ctx.num_windows;
+
+  // d(pool)/d(pre_pool) per window.
+  la::Matrix dpre(num_windows, k);
+  for (int c = 0; c < k; ++c) {
+    switch (pool_) {
+      case PoolType::kLogSumExp: {
+        // Softmax over windows for this channel. output = lse - log(n),
+        // so the true log-sum-exp is output + log(n).
+        float lse = ctx.output[c] +
+                    std::log(static_cast<float>(num_windows));
+        for (int i = 0; i < num_windows; ++i) {
+          float alpha = std::exp(ctx.pre_pool.At(i, c) - lse);
+          dpre.At(i, c) = dout[c] * alpha;
+        }
+        break;
+      }
+      case PoolType::kMax:
+        dpre.At(ctx.argmax_window[c], c) = dout[c];
+        break;
+      case PoolType::kMean: {
+        float g = dout[c] / static_cast<float>(num_windows);
+        for (int i = 0; i < num_windows; ++i) dpre.At(i, c) = g;
+        break;
+      }
+    }
+  }
+
+  std::vector<float> dwindow(static_cast<size_t>(d) * emb);
+  for (int i = 0; i < num_windows; ++i) {
+    la::Zero(dwindow.data(), d * emb);
+    conv_.Backward(ctx.windows.Row(i), dpre.Row(i), dwindow.data());
+    for (int p = 0; p < d; ++p) {
+      int tok_pos = i + p;
+      if (tok_pos >= n) break;
+      table_->AccumulateGrad(ctx.token_ids[tok_pos], dwindow.data() + p * emb);
+    }
+  }
+}
+
+void ConvTextModule::Serialize(BinaryWriter& w) const {
+  w.WriteMagic("CONV");
+  w.WriteI32(window_size_);
+  w.WriteI32(static_cast<int>(pool_));
+  conv_.Serialize(w);
+}
+
+ConvTextModule ConvTextModule::Deserialize(
+    BinaryReader& r, std::shared_ptr<EmbeddingTable> table) {
+  r.ExpectMagic("CONV");
+  int window_size = r.ReadI32();
+  int pool = r.ReadI32();
+  LinearLayer conv = LinearLayer::Deserialize(r);
+  int out_dim = conv.out_dim();
+  ConvTextModule m(std::move(table), window_size > 0 ? window_size : 1,
+                   out_dim, static_cast<PoolType>(pool));
+  if (r.ok()) {
+    m.conv_ = std::move(conv);
+  }
+  return m;
+}
+
+}  // namespace nn
+}  // namespace evrec

@@ -1,0 +1,103 @@
+// Convolutional feature extraction module (paper §3.1, Figure 2).
+//
+// Pipeline: token ids -> shared lookup table -> sliding windows of
+// `window_size` consecutive token vectors (concatenated) -> convolution
+// matrix M_c (out_dim x window_size*emb_dim) -> pooling over windows.
+//
+// The paper pools with log-sum-exp ("soft max-pooling"):
+//   v_k = v*_k + log sum_i exp(v'_{w_i,k} - v*_k),  v*_k = max_i v'_{w_i,k}
+// We implement the shift-invariant log-MEAN-exp variant (subtract
+// log(#windows)): identical gradients and max-window semantics, but
+// without the constant per-example offset that otherwise dominates cosine
+// similarity and saturates the tanh head (see the comment in Forward).
+// Max and mean pooling are provided for the ablation bench.
+//
+// Sequences shorter than the window are right-padded with zero vectors so
+// every non-empty document produces at least one window; an empty document
+// yields an all-zero output vector (documented convention — cosine treats
+// it as "no information").
+//
+// Forward state lives in a caller-owned ConvContext so one module can be
+// evaluated on several inputs before Backward (Siamese training pushes two
+// documents through shared weights per step).
+
+#ifndef EVREC_NN_CONV_TEXT_MODULE_H_
+#define EVREC_NN_CONV_TEXT_MODULE_H_
+
+#include <memory>
+#include <vector>
+
+#include "evrec/la/matrix.h"
+#include "evrec/nn/embedding_table.h"
+#include "evrec/nn/linear_layer.h"
+#include "evrec/text/encoder.h"
+
+namespace evrec {
+namespace nn {
+
+enum class PoolType { kLogSumExp = 0, kMax = 1, kMean = 2 };
+
+const char* PoolTypeName(PoolType type);
+
+// Per-example forward cache.
+struct ConvContext {
+  std::vector<int> token_ids;        // copy of the encoded input
+  std::vector<int> word_index;       // provenance for attribution
+  int num_windows = 0;
+  bool empty = false;                // true when the document had no tokens
+  la::Matrix windows;                // num_windows x (window_size*emb_dim)
+  la::Matrix pre_pool;               // num_windows x out_dim
+  std::vector<float> output;         // out_dim
+  std::vector<int> argmax_window;    // out_dim; window achieving the max
+};
+
+class ConvTextModule {
+ public:
+  // `table` is shared among the modules of a feature-extraction bank and
+  // stepped once by the owner; Step() here updates only the convolution.
+  ConvTextModule(std::shared_ptr<EmbeddingTable> table, int window_size,
+                 int out_dim, PoolType pool = PoolType::kLogSumExp);
+
+  int window_size() const { return window_size_; }
+  int out_dim() const { return conv_.out_dim(); }
+  int emb_dim() const { return table_->dim(); }
+  PoolType pool_type() const { return pool_; }
+  const EmbeddingTable& table() const { return *table_; }
+  std::shared_ptr<EmbeddingTable> shared_table() const { return table_; }
+
+  void XavierInit(Rng& rng) { conv_.XavierInit(rng); }
+
+  // Runs the module; fills `ctx` (including argmax_window for attribution).
+  void Forward(const text::EncodedText& input, ConvContext* ctx) const;
+
+  // Accumulates gradients into the convolution layer and the shared
+  // embedding table. `dout` has out_dim entries; `ctx` must come from a
+  // matching Forward on this module.
+  void Backward(const float* dout, const ConvContext& ctx);
+
+  // Updates the convolution parameters only (the shared table is stepped
+  // by the bank that owns it).
+  void EnableAdagrad() { conv_.EnableAdagrad(); }
+  void Step(float lr) { conv_.Step(lr); }
+  void ZeroGrad() { conv_.ZeroGrad(); }
+
+  const LinearLayer& conv() const { return conv_; }
+  LinearLayer& mutable_conv() { return conv_; }
+
+  void Serialize(BinaryWriter& w) const;
+  // The embedding table is serialized by the owning bank; Deserialize
+  // re-attaches the provided shared table.
+  static ConvTextModule Deserialize(BinaryReader& r,
+                                    std::shared_ptr<EmbeddingTable> table);
+
+ private:
+  std::shared_ptr<EmbeddingTable> table_;
+  int window_size_;
+  PoolType pool_;
+  LinearLayer conv_;
+};
+
+}  // namespace nn
+}  // namespace evrec
+
+#endif  // EVREC_NN_CONV_TEXT_MODULE_H_

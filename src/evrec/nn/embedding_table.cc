@@ -1,0 +1,87 @@
+#include "evrec/nn/embedding_table.h"
+
+#include <cmath>
+
+#include "evrec/la/vec_ops.h"
+
+namespace evrec {
+namespace nn {
+
+EmbeddingTable::EmbeddingTable(int vocab_size, int dim)
+    : table_(vocab_size, dim),
+      grad_(vocab_size, dim),
+      is_touched_(static_cast<size_t>(vocab_size), 0) {
+  EVREC_CHECK_GT(vocab_size, 0);
+  EVREC_CHECK_GT(dim, 0);
+}
+
+void EmbeddingTable::RandomInit(Rng& rng, float scale) {
+  table_.UniformInit(rng, scale);
+}
+
+void EmbeddingTable::AccumulateGrad(int id, const float* grad, float scale) {
+  EVREC_CHECK_GE(id, 0);
+  EVREC_CHECK_LT(id, vocab_size());
+  if (!is_touched_[static_cast<size_t>(id)]) {
+    is_touched_[static_cast<size_t>(id)] = 1;
+    touched_.push_back(id);
+  }
+  la::Axpy(scale, grad, grad_.Row(id), dim());
+}
+
+void EmbeddingTable::EnableAdagrad() {
+  if (!adagrad_) {
+    accum_ = la::Matrix(vocab_size(), dim());
+    adagrad_ = true;
+  }
+}
+
+void EmbeddingTable::Step(float lr) {
+  constexpr float kEps = 1e-8f;
+  for (int id : touched_) {
+    float* row = table_.Row(id);
+    float* g = grad_.Row(id);
+    if (adagrad_) {
+      float* a = accum_.Row(id);
+      for (int d = 0; d < dim(); ++d) {
+        a[d] += g[d] * g[d];
+        row[d] -= lr * g[d] / std::sqrt(a[d] + kEps);
+      }
+    } else {
+      la::Axpy(-lr, g, row, dim());
+    }
+    la::Zero(g, dim());
+    is_touched_[static_cast<size_t>(id)] = 0;
+  }
+  touched_.clear();
+}
+
+void EmbeddingTable::ZeroGrad() {
+  for (int id : touched_) {
+    la::Zero(grad_.Row(id), dim());
+    is_touched_[static_cast<size_t>(id)] = 0;
+  }
+  touched_.clear();
+}
+
+void EmbeddingTable::Serialize(BinaryWriter& w) const {
+  w.WriteMagic("EMBT");
+  table_.Serialize(w);
+}
+
+EmbeddingTable EmbeddingTable::Deserialize(BinaryReader& r) {
+  r.ExpectMagic("EMBT");
+  la::Matrix table = la::Matrix::Deserialize(r);
+  int rows = table.rows() > 0 ? table.rows() : 1;
+  int cols = table.cols() > 0 ? table.cols() : 1;
+  EmbeddingTable t(rows, cols);
+  if (r.ok() && table.rows() > 0) {
+    t.table_ = std::move(table);
+    t.grad_ = la::Matrix(t.table_.rows(), t.table_.cols());
+    t.is_touched_.assign(static_cast<size_t>(t.table_.rows()), 0);
+  }
+  return t;
+}
+
+}  // namespace nn
+}  // namespace evrec

@@ -1,0 +1,69 @@
+// Trainable token lookup table (paper §3.1: "maps each token into a feature
+// vector by a lookup table operation"; the table is part of the network
+// parameters and trained by backprop).
+//
+// Gradients are sparse: only rows touched since the last Step carry
+// gradient, tracked with a touched-row list so Step/ZeroGrad cost is
+// proportional to the minibatch footprint, not the vocabulary size.
+
+#ifndef EVREC_NN_EMBEDDING_TABLE_H_
+#define EVREC_NN_EMBEDDING_TABLE_H_
+
+#include <vector>
+
+#include "evrec/la/matrix.h"
+#include "evrec/util/binary_io.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace nn {
+
+class EmbeddingTable {
+ public:
+  EmbeddingTable(int vocab_size, int dim);
+
+  int vocab_size() const { return table_.rows(); }
+  int dim() const { return table_.cols(); }
+
+  // Random init in [-scale, scale]; paper: "randomly initialized".
+  void RandomInit(Rng& rng, float scale = 0.1f);
+
+  const float* Vector(int id) const { return table_.Row(id); }
+  float* MutableVector(int id) { return table_.Row(id); }
+  const float* GradRow(int id) const { return grad_.Row(id); }
+
+  // grad_row(id) += scale * grad
+  void AccumulateGrad(int id, const float* grad, float scale = 1.0f);
+
+  // Enables Adagrad updates: step becomes
+  //   accum += grad^2;  table -= lr * grad / sqrt(accum + eps)
+  // Adaptive per-coordinate rates are what make sparse lookup tables
+  // trainable in few epochs; plain SGD starves rare tokens.
+  void EnableAdagrad();
+  bool adagrad_enabled() const { return adagrad_; }
+
+  // table -= lr * grad over touched rows (Adagrad-scaled when enabled),
+  // then clears the gradient.
+  void Step(float lr);
+
+  void ZeroGrad();
+
+  // Number of rows with pending gradient (test/diagnostic hook).
+  int num_touched() const { return static_cast<int>(touched_.size()); }
+
+  void Serialize(BinaryWriter& w) const;
+  static EmbeddingTable Deserialize(BinaryReader& r);
+
+ private:
+  la::Matrix table_;
+  la::Matrix grad_;
+  la::Matrix accum_;  // Adagrad accumulators (empty unless enabled)
+  bool adagrad_ = false;
+  std::vector<int> touched_;
+  std::vector<uint8_t> is_touched_;
+};
+
+}  // namespace nn
+}  // namespace evrec
+
+#endif  // EVREC_NN_EMBEDDING_TABLE_H_

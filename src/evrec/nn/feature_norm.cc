@@ -1,0 +1,66 @@
+#include "evrec/nn/feature_norm.h"
+
+#include <cmath>
+
+namespace evrec {
+namespace nn {
+
+void FeatureNorm::Calibrate(const std::vector<std::vector<float>>& samples) {
+  EVREC_CHECK(!samples.empty());
+  const size_t d = mean_.size();
+  EVREC_CHECK_EQ(samples[0].size(), d);
+  std::vector<double> sum(d, 0.0), sq(d, 0.0);
+  for (const auto& row : samples) {
+    EVREC_CHECK_EQ(row.size(), d);
+    for (size_t i = 0; i < d; ++i) {
+      sum[i] += row[i];
+      sq[i] += static_cast<double>(row[i]) * row[i];
+    }
+  }
+  const double n = static_cast<double>(samples.size());
+  for (size_t i = 0; i < d; ++i) {
+    double mu = sum[i] / n;
+    double var = sq[i] / n - mu * mu;
+    mean_[i] = static_cast<float>(mu);
+    inv_std_[i] =
+        var > 1e-10 ? static_cast<float>(1.0 / std::sqrt(var)) : 1.0f;
+  }
+  calibrated_ = true;
+}
+
+void FeatureNorm::Forward(const float* x, float* y) const {
+  const int d = dim();
+  for (int i = 0; i < d; ++i) {
+    y[i] = (x[i] - mean_[static_cast<size_t>(i)]) *
+           inv_std_[static_cast<size_t>(i)];
+  }
+}
+
+void FeatureNorm::Backward(const float* dy, float* dx) const {
+  const int d = dim();
+  for (int i = 0; i < d; ++i) {
+    dx[i] = dy[i] * inv_std_[static_cast<size_t>(i)];
+  }
+}
+
+void FeatureNorm::Serialize(BinaryWriter& w) const {
+  w.WriteMagic("FNRM");
+  w.WriteI32(calibrated_ ? 1 : 0);
+  w.WriteFloatVector(mean_);
+  w.WriteFloatVector(inv_std_);
+}
+
+FeatureNorm FeatureNorm::Deserialize(BinaryReader& r) {
+  r.ExpectMagic("FNRM");
+  FeatureNorm n;
+  n.calibrated_ = r.ReadI32() != 0;
+  n.mean_ = r.ReadFloatVector();
+  n.inv_std_ = r.ReadFloatVector();
+  if (n.inv_std_.size() != n.mean_.size()) {
+    n = FeatureNorm();
+  }
+  return n;
+}
+
+}  // namespace nn
+}  // namespace evrec

@@ -1,0 +1,63 @@
+// Fixed feature standardization: y = (x - mean) / std, calibrated once
+// from a sample of training documents and frozen.
+//
+// Why it exists: pooling over the many windows of a long document
+// concentrates (extreme-value statistics) — each channel's pooled value
+// lands near a channel-dependent but document-INDEPENDENT constant, so all
+// document vectors share one dominant direction, every cosine starts
+// near 1, and the contrastive loss stalls in a collapsed equilibrium.
+// Removing the corpus mean and rescaling per channel leaves exactly the
+// document-specific fluctuation, at unit scale, which is the signal the
+// joint model needs. Production recommenders apply the same input
+// standardization; the paper does not discuss it (its Torch stack
+// presumably normalized inputs).
+//
+// The layer is a frozen affine map: backward multiplies by 1/std.
+
+#ifndef EVREC_NN_FEATURE_NORM_H_
+#define EVREC_NN_FEATURE_NORM_H_
+
+#include <vector>
+
+#include "evrec/util/binary_io.h"
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace nn {
+
+class FeatureNorm {
+ public:
+  // Identity transform of the given width until Calibrate is called.
+  explicit FeatureNorm(int dim = 0)
+      : mean_(static_cast<size_t>(dim), 0.0f),
+        inv_std_(static_cast<size_t>(dim), 1.0f) {}
+
+  int dim() const { return static_cast<int>(mean_.size()); }
+  bool calibrated() const { return calibrated_; }
+
+  // Fits mean/std per dimension from sample rows (each of size dim()).
+  // Dimensions with near-zero variance get inv_std = 1 (pass-through).
+  void Calibrate(const std::vector<std::vector<float>>& samples);
+
+  // y[i] = (x[i] - mean[i]) * inv_std[i]; in-place allowed (y == x).
+  void Forward(const float* x, float* y) const;
+
+  // dx[i] = dy[i] * inv_std[i]; in-place allowed.
+  void Backward(const float* dy, float* dx) const;
+
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& inv_std() const { return inv_std_; }
+
+  void Serialize(BinaryWriter& w) const;
+  static FeatureNorm Deserialize(BinaryReader& r);
+
+ private:
+  bool calibrated_ = false;
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+}  // namespace nn
+}  // namespace evrec
+
+#endif  // EVREC_NN_FEATURE_NORM_H_

@@ -1,0 +1,26 @@
+#include "evrec/nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evrec {
+namespace nn {
+
+double NumericGradient(const std::function<double()>& loss_fn, float* param,
+                       double eps) {
+  float original = *param;
+  *param = static_cast<float>(original + eps);
+  double plus = loss_fn();
+  *param = static_cast<float>(original - eps);
+  double minus = loss_fn();
+  *param = original;
+  return (plus - minus) / (2.0 * eps);
+}
+
+double RelativeError(double a, double b) {
+  double denom = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace nn
+}  // namespace evrec

@@ -1,0 +1,25 @@
+// Numeric gradient checking for backprop tests. Central differences on a
+// caller-supplied scalar loss closure; the analytic gradient of every layer
+// in this library is validated against it in tests/nn_test.cc.
+
+#ifndef EVREC_NN_GRAD_CHECK_H_
+#define EVREC_NN_GRAD_CHECK_H_
+
+#include <functional>
+
+namespace evrec {
+namespace nn {
+
+// Estimates d(loss)/d(*param) by central differences with step `eps`.
+// The closure must recompute the loss from scratch (the parameter is
+// perturbed in place and restored before returning).
+double NumericGradient(const std::function<double()>& loss_fn, float* param,
+                       double eps = 1e-3);
+
+// Relative error |a - b| / max(1, |a|, |b|); the standard grad-check metric.
+double RelativeError(double a, double b);
+
+}  // namespace nn
+}  // namespace evrec
+
+#endif  // EVREC_NN_GRAD_CHECK_H_

@@ -1,0 +1,108 @@
+#include "evrec/nn/linear_layer.h"
+
+#include <cmath>
+
+#include "evrec/la/vec_ops.h"
+
+namespace evrec {
+namespace nn {
+
+LinearLayer::LinearLayer(int in_dim, int out_dim, bool has_bias)
+    : weight_(out_dim, in_dim),
+      weight_grad_(out_dim, in_dim),
+      bias_(static_cast<size_t>(out_dim), 0.0f),
+      bias_grad_(static_cast<size_t>(out_dim), 0.0f),
+      has_bias_(has_bias) {
+  EVREC_CHECK_GT(in_dim, 0);
+  EVREC_CHECK_GT(out_dim, 0);
+}
+
+void LinearLayer::XavierInit(Rng& rng) { weight_.XavierInit(rng); }
+
+void LinearLayer::Forward(const float* x, float* y) const {
+  weight_.Gemv(x, y);
+  if (has_bias_) {
+    for (int i = 0; i < out_dim(); ++i) y[i] += bias_[static_cast<size_t>(i)];
+  }
+}
+
+void LinearLayer::Backward(const float* x, const float* dy, float* dx) {
+  weight_grad_.AddOuter(1.0f, dy, x);
+  if (has_bias_) {
+    la::Axpy(1.0f, dy, bias_grad_.data(), out_dim());
+  }
+  if (dx != nullptr) {
+    weight_.GemvTransposedAccum(dy, dx);
+  }
+}
+
+void LinearLayer::EnableAdagrad() {
+  if (!adagrad_) {
+    weight_accum_ = la::Matrix(weight_.rows(), weight_.cols());
+    bias_accum_.assign(bias_.size(), 0.0f);
+    adagrad_ = true;
+  }
+}
+
+void LinearLayer::Step(float lr) {
+  constexpr float kEps = 1e-8f;
+  if (adagrad_) {
+    float* w = weight_.data();
+    float* g = weight_grad_.data();
+    float* a = weight_accum_.data();
+    size_t n = weight_.size();
+    for (size_t i = 0; i < n; ++i) {
+      a[i] += g[i] * g[i];
+      w[i] -= lr * g[i] / std::sqrt(a[i] + kEps);
+    }
+    weight_grad_.SetZero();
+    if (has_bias_) {
+      for (int i = 0; i < out_dim(); ++i) {
+        size_t si = static_cast<size_t>(i);
+        bias_accum_[si] += bias_grad_[si] * bias_grad_[si];
+        bias_[si] -= lr * bias_grad_[si] / std::sqrt(bias_accum_[si] + kEps);
+      }
+      la::Zero(bias_grad_.data(), out_dim());
+    }
+    return;
+  }
+  weight_.AddScaled(-lr, weight_grad_);
+  weight_grad_.SetZero();
+  if (has_bias_) {
+    la::Axpy(-lr, bias_grad_.data(), bias_.data(), out_dim());
+    la::Zero(bias_grad_.data(), out_dim());
+  }
+}
+
+void LinearLayer::ZeroGrad() {
+  weight_grad_.SetZero();
+  la::Zero(bias_grad_.data(), out_dim());
+}
+
+void LinearLayer::Serialize(BinaryWriter& w) const {
+  w.WriteMagic("LINL");
+  w.WriteI32(has_bias_ ? 1 : 0);
+  weight_.Serialize(w);
+  w.WriteFloatVector(bias_);
+}
+
+LinearLayer LinearLayer::Deserialize(BinaryReader& r) {
+  r.ExpectMagic("LINL");
+  int has_bias = r.ReadI32();
+  la::Matrix weight = la::Matrix::Deserialize(r);
+  std::vector<float> bias = r.ReadFloatVector();
+  int out_dim = weight.rows() > 0 ? weight.rows() : 1;
+  int in_dim = weight.cols() > 0 ? weight.cols() : 1;
+  LinearLayer l(in_dim, out_dim, has_bias != 0);
+  if (r.ok() && weight.rows() > 0) {
+    l.weight_ = std::move(weight);
+    l.weight_grad_ = la::Matrix(l.weight_.rows(), l.weight_.cols());
+    if (bias.size() == static_cast<size_t>(l.weight_.rows())) {
+      l.bias_ = std::move(bias);
+    }
+  }
+  return l;
+}
+
+}  // namespace nn
+}  // namespace evrec

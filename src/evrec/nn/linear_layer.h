@@ -1,0 +1,66 @@
+// Affine layer y = Wx + b with accumulated gradients. Forward is
+// re-entrant (no per-example state); the caller retains the input and
+// passes it back to Backward, which keeps the layer usable from several
+// contexts at once (needed by the Siamese pre-trainer, which pushes two
+// inputs through shared weights before stepping).
+
+#ifndef EVREC_NN_LINEAR_LAYER_H_
+#define EVREC_NN_LINEAR_LAYER_H_
+
+#include <vector>
+
+#include "evrec/la/matrix.h"
+#include "evrec/util/binary_io.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace nn {
+
+class LinearLayer {
+ public:
+  LinearLayer(int in_dim, int out_dim, bool has_bias = true);
+
+  int in_dim() const { return weight_.cols(); }
+  int out_dim() const { return weight_.rows(); }
+
+  void XavierInit(Rng& rng);
+
+  // y = Wx + b. `y` must hold out_dim floats.
+  void Forward(const float* x, float* y) const;
+
+  // Accumulates dW += dy x^T, db += dy and, if dx != nullptr,
+  // dx += W^T dy. `x` must be the input passed to the matching Forward.
+  void Backward(const float* x, const float* dy, float* dx);
+
+  // Enables Adagrad updates (see EmbeddingTable::EnableAdagrad).
+  void EnableAdagrad();
+
+  // param -= lr * grad (Adagrad-scaled when enabled); clears gradients.
+  void Step(float lr);
+  void ZeroGrad();
+
+  const la::Matrix& weight() const { return weight_; }
+  la::Matrix& mutable_weight() { return weight_; }
+  const std::vector<float>& bias() const { return bias_; }
+  std::vector<float>& mutable_bias() { return bias_; }
+  const la::Matrix& weight_grad() const { return weight_grad_; }
+  const std::vector<float>& bias_grad() const { return bias_grad_; }
+
+  void Serialize(BinaryWriter& w) const;
+  static LinearLayer Deserialize(BinaryReader& r);
+
+ private:
+  la::Matrix weight_;       // out x in
+  la::Matrix weight_grad_;  // out x in
+  la::Matrix weight_accum_;
+  std::vector<float> bias_;
+  std::vector<float> bias_grad_;
+  std::vector<float> bias_accum_;
+  bool has_bias_;
+  bool adagrad_ = false;
+};
+
+}  // namespace nn
+}  // namespace evrec
+
+#endif  // EVREC_NN_LINEAR_LAYER_H_

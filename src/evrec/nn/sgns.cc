@@ -1,0 +1,99 @@
+#include "evrec/nn/sgns.h"
+
+#include <cmath>
+
+#include "evrec/la/vec_ops.h"
+#include "evrec/util/math_util.h"
+
+namespace evrec {
+namespace nn {
+
+SgnsStats PretrainEmbeddings(EmbeddingTable* table,
+                             const std::vector<std::vector<int>>& corpus,
+                             const SgnsConfig& config, Rng& rng) {
+  EVREC_CHECK(table != nullptr);
+  const int vocab = table->vocab_size();
+  const int dim = table->dim();
+  SgnsStats stats;
+
+  // Unigram^power negative-sampling table (alias-free: cumulative scan).
+  std::vector<double> weights(static_cast<size_t>(vocab), 0.0);
+  for (const auto& doc : corpus) {
+    for (int id : doc) {
+      if (id >= 0 && id < vocab) weights[static_cast<size_t>(id)] += 1.0;
+    }
+  }
+  double total = 0.0;
+  for (auto& w : weights) {
+    w = std::pow(w, config.unigram_power);
+    total += w;
+  }
+  if (total <= 0.0) return stats;  // empty corpus
+  std::vector<double> cumulative(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    cumulative[i] = acc;
+  }
+  auto sample_negative = [&]() {
+    double r = rng.UniformDouble() * acc;
+    auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    return static_cast<int>(it - cumulative.begin());
+  };
+
+  // Output (context) embeddings, zero-initialized per word2vec convention.
+  la::Matrix context(vocab, dim);
+
+  std::vector<float> center_grad(static_cast<size_t>(dim));
+  float lr = config.learning_rate;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    long long pairs = 0;
+    for (const auto& doc : corpus) {
+      const int n = static_cast<int>(doc.size());
+      for (int i = 0; i < n; ++i) {
+        int center = doc[static_cast<size_t>(i)];
+        if (center < 0 || center >= vocab) continue;
+        int lo = std::max(0, i - config.window);
+        int hi = std::min(n - 1, i + config.window);
+        for (int j = lo; j <= hi; ++j) {
+          if (j == i) continue;
+          int ctx = doc[static_cast<size_t>(j)];
+          if (ctx < 0 || ctx >= vocab) continue;
+
+          la::Zero(center_grad.data(), dim);
+          float* v_center = table->MutableVector(center);
+
+          // One positive + `negatives` negatives, SGD applied immediately
+          // (the standard word2vec update).
+          for (int s = 0; s <= config.negatives; ++s) {
+            int target = s == 0 ? ctx : sample_negative();
+            double label = s == 0 ? 1.0 : 0.0;
+            float* v_ctx = context.Row(target);
+            double score = 0.0;
+            for (int d = 0; d < dim; ++d) score += v_center[d] * v_ctx[d];
+            double p = Sigmoid(score);
+            epoch_loss += CrossEntropy(label, p);
+            float g = static_cast<float>(p - label);
+            for (int d = 0; d < dim; ++d) {
+              center_grad[static_cast<size_t>(d)] += g * v_ctx[d];
+              v_ctx[d] -= lr * g * v_center[d];
+            }
+          }
+          la::Axpy(-lr, center_grad.data(), v_center, dim);
+          ++pairs;
+        }
+      }
+    }
+    stats.pairs_trained += pairs;
+    stats.train_loss.push_back(
+        pairs == 0 ? 0.0
+                   : epoch_loss / (static_cast<double>(pairs) *
+                                   (1 + config.negatives)));
+    lr *= 0.7f;
+  }
+  return stats;
+}
+
+}  // namespace nn
+}  // namespace evrec

@@ -1,0 +1,44 @@
+// Skip-gram with negative sampling (word2vec-style) over token sequences —
+// the unsupervised lookup-table initialization the paper mentions in
+// §3.2.1: "some lookup table values can be partially initialized from
+// other sources such as a general embedding trained on text corpus
+// [22], [26]".
+//
+// Trains the supplied EmbeddingTable in place as the input ("center")
+// matrix; the output ("context") matrix is internal and discarded.
+// Negative sampling uses the unigram^(3/4) distribution.
+
+#ifndef EVREC_NN_SGNS_H_
+#define EVREC_NN_SGNS_H_
+
+#include <vector>
+
+#include "evrec/nn/embedding_table.h"
+
+namespace evrec {
+namespace nn {
+
+struct SgnsConfig {
+  int window = 4;              // context half-window in tokens
+  int negatives = 4;           // negative samples per positive
+  float learning_rate = 0.025f;
+  int epochs = 3;
+  double unigram_power = 0.75;
+  uint64_t seed = 71;
+};
+
+struct SgnsStats {
+  std::vector<double> train_loss;  // mean logistic loss per epoch
+  long long pairs_trained = 0;
+};
+
+// `corpus` holds token-id sequences over `table`'s vocabulary; ids outside
+// [0, vocab) are skipped.
+SgnsStats PretrainEmbeddings(EmbeddingTable* table,
+                             const std::vector<std::vector<int>>& corpus,
+                             const SgnsConfig& config, Rng& rng);
+
+}  // namespace nn
+}  // namespace evrec
+
+#endif  // EVREC_NN_SGNS_H_

@@ -1,0 +1,92 @@
+#include "evrec/pipeline/encoders.h"
+
+namespace evrec {
+namespace pipeline {
+
+text::EncodedText Truncate(text::EncodedText encoded, int max_tokens) {
+  if (max_tokens > 0 &&
+      static_cast<int>(encoded.token_ids.size()) > max_tokens) {
+    encoded.token_ids.resize(static_cast<size_t>(max_tokens));
+    encoded.word_index.resize(static_cast<size_t>(max_tokens));
+  }
+  return encoded;
+}
+
+std::vector<text::EncodedText> EncoderSet::EncodeUser(
+    const simnet::User& user, const std::vector<simnet::Page>& pages,
+    int max_tokens) const {
+  std::vector<text::EncodedText> out;
+  out.reserve(2);
+  out.push_back(Truncate(
+      user_text->Encode(simnet::UserTextWords(user, pages)), max_tokens));
+  out.push_back(Truncate(
+      user_categorical->Encode(simnet::UserCategoricalIds(user)),
+      max_tokens));
+  return out;
+}
+
+std::vector<text::EncodedText> EncoderSet::EncodeEvent(
+    const simnet::Event& event, int max_tokens) const {
+  std::vector<text::EncodedText> out;
+  out.push_back(Truncate(event_text->Encode(simnet::EventTextWords(event)),
+                         max_tokens));
+  return out;
+}
+
+text::EncodedText EncoderSet::EncodeEventTitle(const simnet::Event& event,
+                                               int max_tokens) const {
+  return Truncate(event_text->Encode(simnet::EventTitleWords(event)),
+                  max_tokens);
+}
+
+text::EncodedText EncoderSet::EncodeEventBody(const simnet::Event& event,
+                                              int max_tokens) const {
+  return Truncate(event_text->Encode(simnet::EventBodyWords(event)),
+                  max_tokens);
+}
+
+EncoderSet BuildEncoders(const simnet::SimnetDataset& dataset,
+                         int event_knowledge_day, int min_df,
+                         size_t max_vocab, double max_df_fraction) {
+  std::vector<std::vector<std::string>> user_docs;
+  std::vector<std::vector<std::string>> user_cat_docs;
+  user_docs.reserve(dataset.world.users.size());
+  user_cat_docs.reserve(dataset.world.users.size());
+  for (const auto& user : dataset.world.users) {
+    user_docs.push_back(simnet::UserTextWords(user, dataset.world.pages));
+    user_cat_docs.push_back(simnet::UserCategoricalIds(user));
+  }
+
+  std::vector<std::vector<std::string>> event_docs;
+  for (const auto& event : dataset.events) {
+    if (event.create_day < static_cast<double>(event_knowledge_day)) {
+      event_docs.push_back(simnet::EventTextWords(event));
+    }
+  }
+
+  EncoderSet set;
+  {
+    text::LetterTrigramTokenizer trigram;
+    set.user_text = std::make_unique<text::TextEncoder>(
+        std::make_unique<text::LetterTrigramTokenizer>(),
+        text::BuildVocabulary(trigram, user_docs, min_df, max_vocab,
+                              max_df_fraction));
+    set.event_text = std::make_unique<text::TextEncoder>(
+        std::make_unique<text::LetterTrigramTokenizer>(),
+        text::BuildVocabulary(trigram, event_docs, min_df, max_vocab,
+                              max_df_fraction));
+  }
+  {
+    text::WordUnigramTokenizer unigram;
+    // Categorical ids are not DF-filtered as aggressively: an id feature
+    // seen once is still a legitimate signal, so min_df = 1.
+    set.user_categorical = std::make_unique<text::TextEncoder>(
+        std::make_unique<text::WordUnigramTokenizer>(),
+        text::BuildVocabulary(unigram, user_cat_docs, /*min_df=*/1,
+                              max_vocab));
+  }
+  return set;
+}
+
+}  // namespace pipeline
+}  // namespace evrec

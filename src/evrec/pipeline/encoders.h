@@ -1,0 +1,65 @@
+// EncoderSet: the three trained encoders of the joint model — user text
+// (letter trigram), user categorical ids (word unigram), event text
+// (letter trigram) — with DF-filtered vocabularies built from the
+// representation-training period only (paper §5.1: "all model knowledge
+// comes from the data before evaluation period"). Evaluation-week events
+// are encoded with the frozen vocabularies; unseen trigrams drop out, and
+// letter-trigram coverage is what keeps cold events representable.
+
+#ifndef EVREC_PIPELINE_ENCODERS_H_
+#define EVREC_PIPELINE_ENCODERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "evrec/simnet/docs.h"
+#include "evrec/simnet/generator.h"
+#include "evrec/text/encoder.h"
+
+namespace evrec {
+namespace pipeline {
+
+struct EncoderSet {
+  std::unique_ptr<text::TextEncoder> user_text;
+  std::unique_ptr<text::TextEncoder> user_categorical;
+  std::unique_ptr<text::TextEncoder> event_text;
+
+  // Vocabulary sizes, in the order the user/event towers expect banks.
+  int UserTextVocab() const { return user_text->vocabulary().size(); }
+  int UserCategoricalVocab() const {
+    return user_categorical->vocabulary().size();
+  }
+  int EventTextVocab() const { return event_text->vocabulary().size(); }
+
+  // Encodes a user's two documents; token streams optionally truncated.
+  std::vector<text::EncodedText> EncodeUser(
+      const simnet::User& user, const std::vector<simnet::Page>& pages,
+      int max_tokens) const;
+
+  // Encodes an event's text document.
+  std::vector<text::EncodedText> EncodeEvent(const simnet::Event& event,
+                                             int max_tokens) const;
+
+  // Title-only / body-only encodings for Siamese pre-training.
+  text::EncodedText EncodeEventTitle(const simnet::Event& event,
+                                     int max_tokens) const;
+  text::EncodedText EncodeEventBody(const simnet::Event& event,
+                                    int max_tokens) const;
+};
+
+// Truncates an encoded document to its first `max_tokens` tokens
+// (0 = unlimited). Production systems cap document length for latency;
+// the bench profile uses this to bound convolution cost.
+text::EncodedText Truncate(text::EncodedText encoded, int max_tokens);
+
+// Builds the three encoders. Vocabularies: user documents from every user
+// (profiles are long-lived), event documents from events created before
+// `event_knowledge_day` only (transiency: future events are unknown).
+EncoderSet BuildEncoders(const simnet::SimnetDataset& dataset,
+                         int event_knowledge_day, int min_df,
+                         size_t max_vocab, double max_df_fraction = 1.0);
+
+}  // namespace pipeline
+}  // namespace evrec
+
+#endif  // EVREC_PIPELINE_ENCODERS_H_

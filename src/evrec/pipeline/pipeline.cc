@@ -1,0 +1,257 @@
+#include "evrec/pipeline/pipeline.h"
+
+#include "evrec/util/binary_io.h"
+#include "evrec/util/logging.h"
+#include "evrec/util/string_util.h"
+#include "evrec/util/timer.h"
+
+namespace evrec {
+namespace pipeline {
+
+namespace {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+TwoStagePipeline::TwoStagePipeline(const PipelineConfig& config)
+    : config_(config), cache_(/*num_shards=*/16,
+                              /*capacity_per_shard=*/1u << 16) {}
+
+void TwoStagePipeline::Prepare() {
+  Timer timer;
+  data_ = simnet::GenerateDataset(config_.simnet);
+  encoders_ = BuildEncoders(data_, config_.simnet.rep_train_days,
+                            config_.rep.min_document_frequency,
+                            config_.rep.max_vocabulary_size,
+                            config_.rep.max_df_fraction);
+  EVREC_LOG(INFO) << "vocabularies: user_text=" << encoders_.UserTextVocab()
+                  << " user_cat=" << encoders_.UserCategoricalVocab()
+                  << " event_text=" << encoders_.EventTextVocab();
+
+  // Encode every user and event once; training pairs reference by id.
+  rep_data_.user_inputs.reserve(data_.world.users.size());
+  for (const auto& user : data_.world.users) {
+    rep_data_.user_inputs.push_back(encoders_.EncodeUser(
+        user, data_.world.pages, config_.max_user_tokens));
+  }
+  rep_data_.event_inputs.reserve(data_.events.size());
+  for (const auto& event : data_.events) {
+    rep_data_.event_inputs.push_back(
+        encoders_.EncodeEvent(event, config_.max_event_tokens));
+  }
+  rep_data_.pairs.reserve(data_.rep_train.size());
+  for (const auto& imp : data_.rep_train) {
+    rep_data_.pairs.push_back({imp.user, imp.event, imp.label, 1.0f});
+  }
+  if (config_.interested_pair_weight > 0.0f) {
+    int added = 0;
+    for (size_t u = 0; u < data_.feedback.user_interested.size(); ++u) {
+      for (const auto& edge : data_.feedback.user_interested[u]) {
+        if (edge.day >= config_.simnet.rep_train_days) break;
+        rep_data_.pairs.push_back({static_cast<int>(u), edge.counterpart,
+                                   1.0f, config_.interested_pair_weight});
+        ++added;
+      }
+    }
+    EVREC_LOG(INFO) << "multi-feedback: added " << added
+                    << " weak positive pairs (weight="
+                    << config_.interested_pair_weight << ")";
+  }
+
+  index_ = std::make_unique<baseline::FeatureIndex>(data_);
+  prepared_ = true;
+  EVREC_LOG(INFO) << "pipeline prepared in " << timer.ElapsedSeconds()
+                  << "s (" << rep_data_.pairs.size() << " training pairs)";
+}
+
+uint64_t TwoStagePipeline::RepModelFingerprint() const {
+  const auto& s = config_.simnet;
+  const auto& r = config_.rep;
+  std::string windows = "w";
+  for (int w : r.text_windows) windows += StrFormat("%d,", w);
+  windows += "c";
+  for (int w : r.categorical_windows) windows += StrFormat("%d,", w);
+  std::string key = windows + StrFormat(
+      "v5|seed=%llu|users=%d|events=%d|pages=%d|topics=%d|days=%d|"
+      "emb=%d|mod=%d|hid=%d|rep=%d|pool=%d|bypass=%d|theta=%g|lr=%g|"
+      "epochs=%d|batch=%d|mindf=%d|maxdf=%g|siamese=%d|caps=%d,%d|"
+      "embs=%g|ada=%d|ifw=%g",
+      static_cast<unsigned long long>(s.seed), s.num_users, s.num_events,
+      s.num_pages, s.num_topics, s.num_days, r.embedding_dim,
+      r.module_out_dim, r.hidden_dim, r.rep_dim, static_cast<int>(r.pool),
+      r.residual_bypass ? 1 : 0, static_cast<double>(r.theta_r),
+      static_cast<double>(r.learning_rate), r.max_epochs, r.batch_size,
+      r.min_document_frequency, r.max_df_fraction,
+      config_.use_siamese_init ? 1 : 0,
+      config_.max_user_tokens, config_.max_event_tokens,
+      static_cast<double>(r.embedding_init_scale), r.use_adagrad ? 1 : 0,
+      static_cast<double>(config_.interested_pair_weight));
+  return Fnv1a(key);
+}
+
+std::string TwoStagePipeline::CacheFilePath() const {
+  return StrFormat("%s/evrec_repmodel_%016llx.bin",
+                   config_.cache_dir.c_str(),
+                   static_cast<unsigned long long>(RepModelFingerprint()));
+}
+
+bool TwoStagePipeline::TryLoadCachedModel() {
+  if (config_.cache_dir.empty()) return false;
+  std::string path = CacheFilePath();
+  if (!FileExists(path)) return false;
+  BinaryReader reader(path);
+  model::JointModel loaded = model::JointModel::Deserialize(reader);
+  if (!reader.ok()) {
+    EVREC_LOG(WARN) << "rep-model cache unreadable, retraining: "
+                    << reader.status().ToString();
+    return false;
+  }
+  // Guard against stale caches: table sizes must match the encoders.
+  if (loaded.user_tower().bank(0).table().vocab_size() !=
+          encoders_.UserTextVocab() ||
+      loaded.user_tower().bank(1).table().vocab_size() !=
+          encoders_.UserCategoricalVocab() ||
+      loaded.event_tower().bank(0).table().vocab_size() !=
+          encoders_.EventTextVocab()) {
+    EVREC_LOG(WARN) << "rep-model cache vocab mismatch, retraining";
+    return false;
+  }
+  model_ = std::make_unique<model::JointModel>(std::move(loaded));
+  EVREC_LOG(INFO) << "loaded cached rep model from " << path;
+  return true;
+}
+
+void TwoStagePipeline::SaveCachedModel() const {
+  if (config_.cache_dir.empty()) return;
+  std::string path = CacheFilePath();
+  BinaryWriter writer(path);
+  model_->Serialize(writer);
+  Status status = writer.Close();
+  if (!status.ok()) {
+    EVREC_LOG(WARN) << "failed to cache rep model: " << status.ToString();
+  } else {
+    EVREC_LOG(INFO) << "cached rep model to " << path;
+  }
+}
+
+model::TrainStats TwoStagePipeline::TrainRepresentation() {
+  EVREC_CHECK(prepared_) << "call Prepare() first";
+  model::TrainStats stats;
+  if (TryLoadCachedModel()) {
+    trained_ = true;
+    return stats;
+  }
+
+  Timer timer;
+  model_ = std::make_unique<model::JointModel>(
+      config_.rep, encoders_.UserTextVocab(),
+      encoders_.UserCategoricalVocab(), encoders_.EventTextVocab());
+  Rng rng(config_.rep.seed, /*stream=*/5);
+  model_->RandomInit(rng);
+  model_->CalibrateNormalizers(rep_data_);
+
+  if (config_.use_siamese_init) {
+    // Paper §3.2.1: initialize the event tower with title/body pairs from
+    // training-period events — no user feedback involved.
+    std::vector<text::EncodedText> titles, bodies;
+    for (const auto& event : data_.events) {
+      if (event.create_day >=
+          static_cast<double>(config_.simnet.rep_train_days)) {
+        continue;
+      }
+      titles.push_back(
+          encoders_.EncodeEventTitle(event, config_.max_event_tokens));
+      bodies.push_back(
+          encoders_.EncodeEventBody(event, config_.max_event_tokens));
+    }
+    Rng siamese_rng = rng.Fork(17);
+    model::SiameseStats siamese_stats =
+        model::SiamesePretrain(&model_->mutable_event_tower(), titles,
+                               bodies, config_.siamese, siamese_rng);
+    EVREC_LOG(INFO) << "siamese init: " << siamese_stats.epochs_run
+                    << " epochs, final loss="
+                    << (siamese_stats.train_loss.empty()
+                            ? 0.0
+                            : siamese_stats.train_loss.back());
+  }
+
+  model::RepTrainer trainer(model_.get());
+  Rng train_rng = rng.Fork(29);
+  stats = trainer.Train(rep_data_, train_rng);
+  trained_ = true;
+  EVREC_LOG(INFO) << "representation model trained in "
+                  << timer.ElapsedSeconds() << "s (" << stats.epochs_run
+                  << " epochs)";
+  SaveCachedModel();
+  return stats;
+}
+
+void TwoStagePipeline::ComputeRepVectors() {
+  EVREC_CHECK(trained_) << "call TrainRepresentation() first";
+  Timer timer;
+  user_reps_.resize(data_.world.users.size());
+  for (size_t u = 0; u < data_.world.users.size(); ++u) {
+    user_reps_[u] = cache_.GetOrCompute(
+        store::EntityKind::kUser, static_cast<int>(u), [&]() {
+          return model_->UserVector(rep_data_.user_inputs[u]);
+        });
+  }
+  event_reps_.resize(data_.events.size());
+  for (size_t e = 0; e < data_.events.size(); ++e) {
+    event_reps_[e] = cache_.GetOrCompute(
+        store::EntityKind::kEvent, static_cast<int>(e), [&]() {
+          return model_->EventVector(rep_data_.event_inputs[e]);
+        });
+  }
+  EVREC_LOG(INFO) << "precomputed " << user_reps_.size() << " user and "
+                  << event_reps_.size() << " event vectors in "
+                  << timer.ElapsedSeconds() << "s";
+}
+
+EvalResult TwoStagePipeline::EvaluateFeatureConfig(
+    const baseline::FeatureConfig& features,
+    gbdt::GbdtModel* trained_combiner) {
+  EVREC_CHECK(prepared_);
+  if (features.rep_vectors || features.rep_score) {
+    EVREC_CHECK(!user_reps_.empty())
+        << "rep features requested before ComputeRepVectors()";
+  }
+  baseline::FeatureAssembler assembler(
+      *index_, user_reps_.empty() ? nullptr : &user_reps_,
+      event_reps_.empty() ? nullptr : &event_reps_);
+
+  gbdt::DataMatrix train_x;
+  std::vector<float> train_y;
+  assembler.Assemble(data_.combiner_train, features, &train_x, &train_y);
+
+  gbdt::GbdtModel combiner;
+  combiner.Train(train_x, train_y, config_.gbdt);
+
+  gbdt::DataMatrix eval_x;
+  std::vector<float> eval_y;
+  assembler.Assemble(data_.eval, features, &eval_x, &eval_y);
+  std::vector<double> probs = combiner.PredictProbabilities(eval_x);
+
+  EvalResult result;
+  result.name = features.Name();
+  result.auc = eval::RocAuc(probs, eval_y);
+  result.curve = eval::PrecisionRecallCurve(probs, eval_y);
+  result.pr60 = eval::PrecisionAtRecall(result.curve, 0.60);
+  result.pr80 = eval::PrecisionAtRecall(result.curve, 0.80);
+  result.logloss = eval::MeanLogLoss(probs, eval_y);
+  EVREC_LOG(INFO) << "config " << result.name << ": AUC=" << result.auc
+                  << " PR60=" << result.pr60 << " PR80=" << result.pr80;
+  if (trained_combiner != nullptr) *trained_combiner = std::move(combiner);
+  return result;
+}
+
+}  // namespace pipeline
+}  // namespace evrec

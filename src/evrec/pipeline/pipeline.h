@@ -1,0 +1,123 @@
+// TwoStagePipeline: the full system of the paper, end to end.
+//
+//   stage 0  simnet        generate the 6-week world and impression log
+//   stage 1  model         train the joint representation model on the
+//                          first 4 weeks (optionally Siamese-initialized),
+//                          then precompute every user/event vector through
+//                          the serving cache (store/)
+//   stage 2  baseline+gbdt assemble combiner features for any of the
+//                          paper's feature-set configurations, train the
+//                          200x12 GBDT on week 5, evaluate on week 6
+//
+// Bench binaries share one pipeline: the expensive representation model is
+// fingerprinted by its configuration and cached on disk, so bench_table1,
+// bench_fig5, etc. train it once and reuse it.
+
+#ifndef EVREC_PIPELINE_PIPELINE_H_
+#define EVREC_PIPELINE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "evrec/baseline/assembler.h"
+#include "evrec/eval/metrics.h"
+#include "evrec/gbdt/gbdt.h"
+#include "evrec/model/joint_model.h"
+#include "evrec/model/siamese.h"
+#include "evrec/model/trainer.h"
+#include "evrec/pipeline/encoders.h"
+#include "evrec/store/rep_cache.h"
+
+namespace evrec {
+namespace pipeline {
+
+struct PipelineConfig {
+  simnet::SimnetConfig simnet;
+  model::JointModelConfig rep;
+  model::SiameseConfig siamese;
+  gbdt::GbdtConfig gbdt;
+
+  bool use_siamese_init = false;
+  // Multi-feedback training (paper's future-work direction): add the
+  // "interested" feedback edges from the representation-training period as
+  // weak positive pairs with this weight (0 disables).
+  float interested_pair_weight = 0.0f;
+  // Token caps applied when encoding documents (0 = unlimited). The bench
+  // profile bounds convolution cost with these.
+  int max_user_tokens = 0;
+  int max_event_tokens = 0;
+  // Directory for the representation-model disk cache ("" disables).
+  std::string cache_dir;
+};
+
+struct EvalResult {
+  std::string name;
+  double auc = 0.0;
+  double pr60 = 0.0;  // precision at recall 0.60
+  double pr80 = 0.0;  // precision at recall 0.80
+  double logloss = 0.0;
+  std::vector<eval::PrPoint> curve;
+};
+
+class TwoStagePipeline {
+ public:
+  explicit TwoStagePipeline(const PipelineConfig& config);
+
+  // Stage 0 + encoders + encodings. Must be called first.
+  void Prepare();
+
+  // Stage 1. Returns training stats; loads from the disk cache when a
+  // model with the same fingerprint exists. Requires Prepare().
+  model::TrainStats TrainRepresentation();
+
+  // Precomputes all user/event vectors through the serving cache.
+  // Requires TrainRepresentation().
+  void ComputeRepVectors();
+
+  // Stage 2 for one feature-set configuration: trains the combiner on the
+  // week-5 split and evaluates on the week-6 split. If `trained_combiner`
+  // is non-null the GBDT is copied out for inspection.
+  EvalResult EvaluateFeatureConfig(const baseline::FeatureConfig& features,
+                                   gbdt::GbdtModel* trained_combiner = nullptr);
+
+  // --- accessors for benches/examples ---
+  const PipelineConfig& config() const { return config_; }
+  const simnet::SimnetDataset& dataset() const { return data_; }
+  const EncoderSet& encoders() const { return encoders_; }
+  const model::JointModel& rep_model() const { return *model_; }
+  const model::RepDataset& rep_data() const { return rep_data_; }
+  const baseline::FeatureIndex& feature_index() const { return *index_; }
+  const std::vector<std::vector<float>>& user_reps() const {
+    return user_reps_;
+  }
+  const std::vector<std::vector<float>>& event_reps() const {
+    return event_reps_;
+  }
+  store::CacheStats cache_stats() const { return cache_.Stats(); }
+
+  // Deterministic fingerprint of everything stage 1 depends on.
+  uint64_t RepModelFingerprint() const;
+
+ private:
+  std::string CacheFilePath() const;
+  bool TryLoadCachedModel();
+  void SaveCachedModel() const;
+
+  PipelineConfig config_;
+  simnet::SimnetDataset data_;
+  EncoderSet encoders_;
+  model::RepDataset rep_data_;
+  std::unique_ptr<model::JointModel> model_;
+  std::unique_ptr<baseline::FeatureIndex> index_;
+  store::RepVectorCache cache_;
+  std::vector<std::vector<float>> user_reps_;
+  std::vector<std::vector<float>> event_reps_;
+  bool prepared_ = false;
+  bool trained_ = false;
+};
+
+}  // namespace pipeline
+}  // namespace evrec
+
+#endif  // EVREC_PIPELINE_PIPELINE_H_

@@ -1,0 +1,112 @@
+// Configuration of the synthetic social-network substrate.
+//
+// The generator manufactures the four structural properties the paper's
+// production data exhibits (DESIGN.md §2):
+//   1. event transiency — events live [creation, start] with 1-14 day
+//      lifespans, so the evaluation week is dominated by events unseen
+//      during representation training (the cold-start condition);
+//   2. sparse per-user history — participation is a low-rate event;
+//   3. heterogeneous user data — the participation signal is expressed
+//      through profile text, page subscriptions (categorical ids + titles),
+//      demographics, and geography, not through event feedback;
+//   4. user-text/event-text distribution mismatch — user and event
+//      documents draw from DISJOINT word inventories that share topic-
+//      specific morphology (syllables), so letter-trigram models can bridge
+//      the domains while word-level bag-of-words models cannot.
+
+#ifndef EVREC_SIMNET_CONFIG_H_
+#define EVREC_SIMNET_CONFIG_H_
+
+#include <cstdint>
+
+namespace evrec {
+namespace simnet {
+
+struct SimnetConfig {
+  uint64_t seed = 42;
+
+  // World size.
+  int num_topics = 16;
+  int num_cities = 12;
+  int num_users = 3000;
+  int num_pages = 400;
+  int num_events = 2400;
+
+  // Timeline (paper §5.1: 6 weeks = 4 rep-train + 1 combiner + 1 eval).
+  int num_days = 42;
+  int rep_train_days = 28;      // impressions with day < this
+  int combiner_train_days = 35; // day in [rep_train_days, this)
+
+  // Synthetic language morphology.
+  int syllables_per_topic = 7;
+  int common_syllables = 24;
+  int event_words_per_topic = 30;
+  int user_words_per_topic = 30;
+  int num_common_words = 48;
+
+  // Users.
+  double interest_alpha = 0.25;   // Dirichlet sparsity of topic interests
+  double mean_friends = 14.0;
+  int min_pages = 6, max_pages = 14;
+  int profile_words_min = 20, profile_words_max = 40;
+  double activity_std = 0.5;     // spread of per-user activity bias
+
+  // Pages.
+  int page_title_words_min = 2, page_title_words_max = 5;
+
+  // Events.
+  double lifespan_min_days = 1.0, lifespan_max_days = 14.0;
+  // Event topic mixture: dominant_topic_weight * onehot(topic drawn from
+  // the host's interests) + remainder * Dirichlet(event_topic_alpha).
+  double dominant_topic_weight = 0.7;
+  double event_topic_alpha = 0.15;
+  int title_words_min = 3, title_words_max = 7;
+  int body_words_min = 15, body_words_max = 60;
+  double common_word_fraction = 0.15;  // stop-word noise in documents
+
+  // Impression process.
+  double session_prob = 0.35;        // per user-day, scaled by activity
+  int impressions_per_session = 2;
+  double same_city_exposure_boost = 3.0;
+
+  // Ground-truth participation utility:
+  //   u = w_topic*cos(interests, event_topics) + w_friend*log1p(#friends
+  //       attending) + w_dist*(-min(city_distance, dist_cap)) +
+  //       w_pop*log1p(#attendees) + w_host*[host is friend] +
+  //       activity_bias + N(0, noise_std)
+  //   P(join) = sigmoid(utility_scale * u + bias)
+  double w_topic = 8.0;
+  double w_friend = 1.2;
+  double w_dist = 0.8;
+  double w_pop = 0.25;
+  double w_host = 0.8;
+  double dist_cap = 3.0;
+  double utility_scale = 1.0;
+  double bias = -5.2;
+  double noise_std = 0.6;
+
+  // Secondary feedback: P(interested | not joined) = this * P(join).
+  double interested_scale = 0.6;
+
+  // Negative downsampling (paper: ~1:4 positives to negatives).
+  double target_neg_per_pos = 4.0;
+};
+
+// A reduced world for unit tests (fast to generate).
+inline SimnetConfig TinySimnetConfig() {
+  SimnetConfig c;
+  c.num_topics = 6;
+  c.num_cities = 4;
+  c.num_users = 200;
+  c.num_pages = 40;
+  c.num_events = 160;
+  c.event_words_per_topic = 20;
+  c.user_words_per_topic = 20;
+  c.num_common_words = 16;
+  return c;
+}
+
+}  // namespace simnet
+}  // namespace evrec
+
+#endif  // EVREC_SIMNET_CONFIG_H_

@@ -1,0 +1,331 @@
+#include "evrec/simnet/dataset_io.h"
+
+#include <cstdio>
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+namespace simnet {
+
+namespace {
+
+std::string JoinInts(const std::vector<int>& v) {
+  std::string out;
+  for (int x : v) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(x);
+  }
+  return out;
+}
+
+std::string JoinDoubles(const std::vector<double>& v) {
+  std::string out;
+  for (double x : v) {
+    if (!out.empty()) out += ' ';
+    out += StrFormat("%.9g", x);
+  }
+  return out;
+}
+
+std::string JoinWords(const std::vector<std::string>& v) {
+  std::string out;
+  for (const auto& w : v) {
+    if (!out.empty()) out += ' ';
+    out += w;
+  }
+  return out;
+}
+
+std::vector<int> ParseInts(std::string_view field) {
+  std::vector<int> out;
+  for (auto piece : SplitAndTrim(field, " ")) {
+    out.push_back(std::atoi(std::string(piece).c_str()));
+  }
+  return out;
+}
+
+std::vector<double> ParseDoubles(std::string_view field) {
+  std::vector<double> out;
+  for (auto piece : SplitAndTrim(field, " ")) {
+    out.push_back(std::atof(std::string(piece).c_str()));
+  }
+  return out;
+}
+
+std::vector<std::string> ParseWords(std::string_view field) {
+  std::vector<std::string> out;
+  for (auto piece : SplitAndTrim(field, " ")) {
+    out.emplace_back(piece);
+  }
+  return out;
+}
+
+class TsvWriter {
+ public:
+  explicit TsvWriter(const std::string& path) : out_(path) {}
+  bool ok() const { return out_.good(); }
+
+  void Row(const std::vector<std::string>& fields) {
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out_ << '\t';
+      out_ << fields[i];
+    }
+    out_ << '\n';
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+// Reads a TSV file; returns rows of fields (empty fields preserved).
+StatusOr<std::vector<std::vector<std::string>>> ReadTsv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IoError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+      size_t tab = line.find('\t', start);
+      if (tab == std::string::npos) {
+        fields.push_back(line.substr(start));
+        break;
+      }
+      fields.push_back(line.substr(start, tab - start));
+      start = tab + 1;
+    }
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Status ExportDataset(const SimnetDataset& dataset, const std::string& dir) {
+  {
+    TsvWriter w(dir + "/users.tsv");
+    if (!w.ok()) return Status::IoError("cannot write users.tsv");
+    for (const User& u : dataset.world.users) {
+      w.Row({std::to_string(u.id), std::to_string(u.city),
+             std::to_string(u.age_bucket), std::to_string(u.gender),
+             StrFormat("%.9g", u.activity_bias), JoinDoubles(u.interests),
+             JoinInts(u.friends), JoinInts(u.pages),
+             JoinWords(u.profile_words)});
+    }
+  }
+  {
+    TsvWriter w(dir + "/pages.tsv");
+    if (!w.ok()) return Status::IoError("cannot write pages.tsv");
+    for (const Page& p : dataset.world.pages) {
+      w.Row({std::to_string(p.id), std::to_string(p.topic),
+             JoinWords(p.title_words)});
+    }
+  }
+  {
+    TsvWriter w(dir + "/events.tsv");
+    if (!w.ok()) return Status::IoError("cannot write events.tsv");
+    for (const Event& e : dataset.events) {
+      w.Row({std::to_string(e.id), std::to_string(e.host_user),
+             std::to_string(e.city), StrFormat("%.9g", e.x),
+             StrFormat("%.9g", e.y), std::to_string(e.category),
+             e.category_name, StrFormat("%.9g", e.create_day),
+             StrFormat("%.9g", e.start_day), JoinDoubles(e.topics),
+             JoinWords(e.title_words), JoinWords(e.body_words)});
+    }
+  }
+  {
+    TsvWriter w(dir + "/impressions.tsv");
+    if (!w.ok()) return Status::IoError("cannot write impressions.tsv");
+    auto dump = [&](const char* split, const std::vector<Impression>& v) {
+      for (const Impression& i : v) {
+        w.Row({split, std::to_string(i.user), std::to_string(i.event),
+               std::to_string(i.day), i.label > 0.5f ? "1" : "0"});
+      }
+    };
+    dump("rep_train", dataset.rep_train);
+    dump("combiner_train", dataset.combiner_train);
+    dump("eval", dataset.eval);
+  }
+  {
+    TsvWriter w(dir + "/feedback.tsv");
+    if (!w.ok()) return Status::IoError("cannot write feedback.tsv");
+    for (size_t u = 0; u < dataset.feedback.user_joins.size(); ++u) {
+      for (const FeedbackEdge& e : dataset.feedback.user_joins[u]) {
+        w.Row({"join", std::to_string(u), std::to_string(e.counterpart),
+               std::to_string(e.day)});
+      }
+    }
+    for (size_t u = 0; u < dataset.feedback.user_interested.size(); ++u) {
+      for (const FeedbackEdge& e : dataset.feedback.user_interested[u]) {
+        w.Row({"interested", std::to_string(u),
+               std::to_string(e.counterpart), std::to_string(e.day)});
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<SimnetDataset> ImportDataset(const std::string& dir) {
+  SimnetDataset dataset;
+
+  auto users = ReadTsv(dir + "/users.tsv");
+  if (!users.ok()) return users.status();
+  for (const auto& row : *users) {
+    if (row.size() != 9) return Status::Corruption("users.tsv field count");
+    User u;
+    u.id = std::atoi(row[0].c_str());
+    u.city = std::atoi(row[1].c_str());
+    u.age_bucket = std::atoi(row[2].c_str());
+    u.gender = std::atoi(row[3].c_str());
+    u.activity_bias = std::atof(row[4].c_str());
+    u.interests = ParseDoubles(row[5]);
+    u.friends = ParseInts(row[6]);
+    u.pages = ParseInts(row[7]);
+    u.profile_words = ParseWords(row[8]);
+    dataset.world.users.push_back(std::move(u));
+  }
+
+  auto pages = ReadTsv(dir + "/pages.tsv");
+  if (!pages.ok()) return pages.status();
+  for (const auto& row : *pages) {
+    if (row.size() != 3) return Status::Corruption("pages.tsv field count");
+    Page p;
+    p.id = std::atoi(row[0].c_str());
+    p.topic = std::atoi(row[1].c_str());
+    p.title_words = ParseWords(row[2]);
+    dataset.world.pages.push_back(std::move(p));
+  }
+
+  auto events = ReadTsv(dir + "/events.tsv");
+  if (!events.ok()) return events.status();
+  for (const auto& row : *events) {
+    if (row.size() != 12) {
+      return Status::Corruption("events.tsv field count");
+    }
+    Event e;
+    e.id = std::atoi(row[0].c_str());
+    e.host_user = std::atoi(row[1].c_str());
+    e.city = std::atoi(row[2].c_str());
+    e.x = std::atof(row[3].c_str());
+    e.y = std::atof(row[4].c_str());
+    e.category = std::atoi(row[5].c_str());
+    e.category_name = row[6];
+    e.create_day = std::atof(row[7].c_str());
+    e.start_day = std::atof(row[8].c_str());
+    e.topics = ParseDoubles(row[9]);
+    e.title_words = ParseWords(row[10]);
+    e.body_words = ParseWords(row[11]);
+    dataset.events.push_back(std::move(e));
+  }
+
+  auto impressions = ReadTsv(dir + "/impressions.tsv");
+  if (!impressions.ok()) return impressions.status();
+  for (const auto& row : *impressions) {
+    if (row.size() != 5) {
+      return Status::Corruption("impressions.tsv field count");
+    }
+    Impression imp;
+    imp.user = std::atoi(row[1].c_str());
+    imp.event = std::atoi(row[2].c_str());
+    imp.day = std::atoi(row[3].c_str());
+    imp.label = row[4] == "1" ? 1.0f : 0.0f;
+    if (row[0] == "rep_train") {
+      dataset.rep_train.push_back(imp);
+    } else if (row[0] == "combiner_train") {
+      dataset.combiner_train.push_back(imp);
+    } else if (row[0] == "eval") {
+      dataset.eval.push_back(imp);
+    } else {
+      return Status::Corruption("impressions.tsv unknown split " + row[0]);
+    }
+  }
+
+  dataset.feedback.user_joins.resize(dataset.world.users.size());
+  dataset.feedback.user_interested.resize(dataset.world.users.size());
+  dataset.feedback.event_attendees.resize(dataset.events.size());
+  dataset.feedback.event_interested.resize(dataset.events.size());
+  auto feedback = ReadTsv(dir + "/feedback.tsv");
+  if (!feedback.ok()) return feedback.status();
+  for (const auto& row : *feedback) {
+    if (row.size() != 4) {
+      return Status::Corruption("feedback.tsv field count");
+    }
+    int user = std::atoi(row[1].c_str());
+    int event = std::atoi(row[2].c_str());
+    int day = std::atoi(row[3].c_str());
+    if (user < 0 || user >= static_cast<int>(dataset.world.users.size()) ||
+        event < 0 || event >= static_cast<int>(dataset.events.size())) {
+      return Status::Corruption("feedback.tsv id out of range");
+    }
+    if (row[0] == "join") {
+      dataset.feedback.user_joins[static_cast<size_t>(user)].push_back(
+          {event, day});
+      dataset.feedback.event_attendees[static_cast<size_t>(event)].push_back(
+          {user, day});
+    } else if (row[0] == "interested") {
+      dataset.feedback.user_interested[static_cast<size_t>(user)].push_back(
+          {event, day});
+      dataset.feedback.event_interested[static_cast<size_t>(event)]
+          .push_back({user, day});
+    } else {
+      return Status::Corruption("feedback.tsv unknown kind " + row[0]);
+    }
+  }
+
+  // The export groups feedback by user; FeatureIndex requires each edge
+  // list day-ascending. Restore the invariant.
+  auto sort_edges = [](std::vector<std::vector<FeedbackEdge>>& lists) {
+    for (auto& edges : lists) {
+      std::stable_sort(edges.begin(), edges.end(),
+                       [](const FeedbackEdge& a, const FeedbackEdge& b) {
+                         return a.day < b.day;
+                       });
+    }
+  };
+  sort_edges(dataset.feedback.user_joins);
+  sort_edges(dataset.feedback.user_interested);
+  sort_edges(dataset.feedback.event_attendees);
+  sort_edges(dataset.feedback.event_interested);
+
+  // Recover derivable config fields.
+  if (!dataset.world.users.empty()) {
+    dataset.config.num_topics =
+        static_cast<int>(dataset.world.users[0].interests.size());
+  }
+  dataset.config.num_users = static_cast<int>(dataset.world.users.size());
+  dataset.config.num_events = static_cast<int>(dataset.events.size());
+  dataset.config.num_pages = static_cast<int>(dataset.world.pages.size());
+  int max_city = 0;
+  for (const auto& u : dataset.world.users) {
+    max_city = std::max(max_city, u.city);
+  }
+  dataset.config.num_cities = max_city + 1;
+  int rep_end = 0, comb_end = 0, eval_end = 0;
+  for (const auto& i : dataset.rep_train) rep_end = std::max(rep_end, i.day);
+  for (const auto& i : dataset.combiner_train) {
+    comb_end = std::max(comb_end, i.day);
+  }
+  for (const auto& i : dataset.eval) eval_end = std::max(eval_end, i.day);
+  dataset.config.rep_train_days = rep_end + 1;
+  dataset.config.combiner_train_days = comb_end + 1;
+  dataset.config.num_days = eval_end + 1;
+
+  // Topic names from event categories.
+  dataset.topic_names.assign(static_cast<size_t>(dataset.config.num_topics),
+                             "");
+  for (const auto& e : dataset.events) {
+    if (e.category >= 0 && e.category < dataset.config.num_topics) {
+      dataset.topic_names[static_cast<size_t>(e.category)] = e.category_name;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace simnet
+}  // namespace evrec

@@ -1,0 +1,40 @@
+// Dataset interchange: exports the synthetic world and impression log to
+// TSV files (one per entity type) and re-imports them. This is the seam a
+// downstream user replaces to run the pipeline on their OWN event data:
+// produce the same four files and load them with ImportDataset.
+//
+// Files written under <dir>/:
+//   users.tsv        id, city, age, gender, activity, interests,
+//                    friends, pages, profile_words
+//   pages.tsv        id, topic, title_words
+//   events.tsv       id, host, city, x, y, category, category_name,
+//                    create_day, start_day, topics, title_words, body_words
+//   impressions.tsv  split, user, event, day, label
+//   feedback.tsv     kind(join|interested), user, event, day
+//
+// List-valued fields are space-separated inside one tab-separated column
+// (words never contain whitespace after normalization).
+
+#ifndef EVREC_SIMNET_DATASET_IO_H_
+#define EVREC_SIMNET_DATASET_IO_H_
+
+#include <string>
+
+#include "evrec/simnet/generator.h"
+#include "evrec/util/status.h"
+
+namespace evrec {
+namespace simnet {
+
+// Writes all five files; `dir` must exist.
+Status ExportDataset(const SimnetDataset& dataset, const std::string& dir);
+
+// Reads them back. The returned dataset's `config` holds only the fields
+// recoverable from the files (num_topics from topic vectors, the split
+// days from the impression stream); generator-only knobs keep defaults.
+StatusOr<SimnetDataset> ImportDataset(const std::string& dir);
+
+}  // namespace simnet
+}  // namespace evrec
+
+#endif  // EVREC_SIMNET_DATASET_IO_H_

@@ -1,0 +1,51 @@
+#include "evrec/simnet/docs.h"
+
+#include "evrec/util/check.h"
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+namespace simnet {
+
+std::vector<std::string> EventTextWords(const Event& event) {
+  std::vector<std::string> words;
+  words.reserve(event.title_words.size() + event.body_words.size() + 1);
+  words.insert(words.end(), event.title_words.begin(),
+               event.title_words.end());
+  words.insert(words.end(), event.body_words.begin(), event.body_words.end());
+  if (!event.category_name.empty()) words.push_back(event.category_name);
+  return words;
+}
+
+std::vector<std::string> EventTitleWords(const Event& event) {
+  return event.title_words;
+}
+
+std::vector<std::string> EventBodyWords(const Event& event) {
+  return event.body_words;
+}
+
+std::vector<std::string> UserTextWords(const User& user,
+                                       const std::vector<Page>& pages) {
+  std::vector<std::string> words = user.profile_words;
+  for (int pid : user.pages) {
+    EVREC_CHECK_GE(pid, 0);
+    EVREC_CHECK_LT(pid, static_cast<int>(pages.size()));
+    const Page& page = pages[static_cast<size_t>(pid)];
+    words.insert(words.end(), page.title_words.begin(),
+                 page.title_words.end());
+  }
+  return words;
+}
+
+std::vector<std::string> UserCategoricalIds(const User& user) {
+  std::vector<std::string> ids;
+  ids.reserve(user.pages.size() + 3);
+  ids.push_back(StrFormat("city:%d", user.city));
+  ids.push_back(StrFormat("age:%d", user.age_bucket));
+  ids.push_back(StrFormat("gender:%d", user.gender));
+  for (int pid : user.pages) ids.push_back(StrFormat("page:%d", pid));
+  return ids;
+}
+
+}  // namespace simnet
+}  // namespace evrec

@@ -1,0 +1,35 @@
+// Document assembly (paper §3): "For both user and event, we combine text
+// features into a single text document. An event is then represented simply
+// by a text document ... A user is represented by a text document and an
+// unordered list of id features."
+
+#ifndef EVREC_SIMNET_DOCS_H_
+#define EVREC_SIMNET_DOCS_H_
+
+#include <string>
+#include <vector>
+
+#include "evrec/simnet/entities.h"
+
+namespace evrec {
+namespace simnet {
+
+// Event text document: title + body + category label.
+std::vector<std::string> EventTextWords(const Event& event);
+
+// Title-only and body-only halves, for Siamese pre-training.
+std::vector<std::string> EventTitleWords(const Event& event);
+std::vector<std::string> EventBodyWords(const Event& event);
+
+// User text document: profile keywords + titles of subscribed pages.
+std::vector<std::string> UserTextWords(const User& user,
+                                       const std::vector<Page>& pages);
+
+// User categorical id features: demographics, geography, and page
+// subscriptions as feature-value ids ("city:3", "page:17", ...).
+std::vector<std::string> UserCategoricalIds(const User& user);
+
+}  // namespace simnet
+}  // namespace evrec
+
+#endif  // EVREC_SIMNET_DOCS_H_

@@ -1,0 +1,64 @@
+// Entity records produced by the synthetic social-network generator.
+
+#ifndef EVREC_SIMNET_ENTITIES_H_
+#define EVREC_SIMNET_ENTITIES_H_
+
+#include <string>
+#include <vector>
+
+namespace evrec {
+namespace simnet {
+
+struct Page {
+  int id = 0;
+  int topic = 0;
+  std::vector<std::string> title_words;
+};
+
+struct User {
+  int id = 0;
+  int city = 0;
+  double x = 0.0, y = 0.0;            // location (city grid + jitter)
+  int age_bucket = 0;                 // 0..5
+  int gender = 0;                     // 0..2
+  std::vector<double> interests;      // topic mixture (sums to 1)
+  double activity_bias = 0.0;         // per-user participation propensity
+  std::vector<int> friends;           // user ids (symmetric)
+  std::vector<int> pages;             // subscribed page ids
+  std::vector<std::string> profile_words;  // self/auto keywords & topics
+};
+
+struct Event {
+  int id = 0;
+  int host_user = 0;
+  int city = 0;
+  double x = 0.0, y = 0.0;
+  std::vector<double> topics;         // topic mixture
+  int category = 0;                   // argmax topic
+  std::string category_name;         // topic label used as category text
+  double create_day = 0.0;            // fractional day since t0
+  double start_day = 0.0;             // event time; active while
+                                      // create_day <= d <= start_day
+  std::vector<std::string> title_words;
+  std::vector<std::string> body_words;
+};
+
+// One event shown to one user (paper §5.1: "Each data instance ... is an
+// impression of an event shown to a user").
+struct Impression {
+  int user = 0;
+  int event = 0;
+  int day = 0;
+  float label = 0.0f;  // 1 = participation achieved from the impression
+};
+
+// Timestamped feedback edge used by the CF features.
+struct FeedbackEdge {
+  int counterpart;  // event id (from a user) or user id (from an event)
+  int day;
+};
+
+}  // namespace simnet
+}  // namespace evrec
+
+#endif  // EVREC_SIMNET_ENTITIES_H_

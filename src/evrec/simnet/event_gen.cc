@@ -1,0 +1,85 @@
+#include "evrec/simnet/event_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace simnet {
+
+std::vector<Event> GenerateEvents(const SimnetConfig& config,
+                                  const TopicLanguage& language,
+                                  const SocialWorld& world, Rng& rng) {
+  EVREC_CHECK(!world.users.empty());
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(config.num_events));
+
+  for (int e = 0; e < config.num_events; ++e) {
+    Event ev;
+    ev.id = e;
+    ev.host_user = rng.UniformInt(
+        0, static_cast<int>(world.users.size()) - 1);
+    const User& host = world.users[static_cast<size_t>(ev.host_user)];
+    ev.city = host.city;
+    CityCenter(ev.city, config.num_cities, &ev.x, &ev.y);
+    ev.x += rng.Normal(0.0, 0.3);
+    ev.y += rng.Normal(0.0, 0.3);
+
+    // Topic mixture: one dominant topic drawn from the host's interests
+    // (hosts organize what they care about) plus a sparse Dirichlet tail.
+    int dominant = rng.Categorical(host.interests);
+    std::vector<double> tail =
+        rng.Dirichlet(config.event_topic_alpha, config.num_topics);
+    ev.topics.resize(static_cast<size_t>(config.num_topics));
+    for (int k = 0; k < config.num_topics; ++k) {
+      ev.topics[static_cast<size_t>(k)] =
+          (1.0 - config.dominant_topic_weight) *
+          tail[static_cast<size_t>(k)];
+    }
+    ev.topics[static_cast<size_t>(dominant)] +=
+        config.dominant_topic_weight;
+    ev.category = static_cast<int>(
+        std::max_element(ev.topics.begin(), ev.topics.end()) -
+        ev.topics.begin());
+    ev.category_name = language.TopicName(ev.category);
+
+    // Transient lifespan: creation uniform over the horizon, start a short
+    // lifespan later. Events may start past the horizon's end (still
+    // active/visible during the tail of the evaluation week).
+    ev.create_day = rng.Uniform(0.0, static_cast<double>(config.num_days));
+    ev.start_day = ev.create_day + rng.Uniform(config.lifespan_min_days,
+                                               config.lifespan_max_days);
+
+    int title_len =
+        rng.UniformInt(config.title_words_min, config.title_words_max);
+    int body_len =
+        rng.UniformInt(config.body_words_min, config.body_words_max);
+    // Titles carry less noise than bodies.
+    ev.title_words = language.SampleDocument(ev.topics, title_len,
+                                             /*event_side=*/true,
+                                             /*common=*/0.1, rng);
+    ev.body_words = language.SampleDocument(ev.topics, body_len,
+                                            /*event_side=*/true,
+                                            config.common_word_fraction, rng);
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::vector<std::vector<int>> ActiveEventsByDay(
+    const std::vector<Event>& events, int num_days) {
+  std::vector<std::vector<int>> active(static_cast<size_t>(num_days));
+  for (const Event& e : events) {
+    int first = std::max(0, static_cast<int>(std::ceil(e.create_day)));
+    int last = std::min(num_days - 1,
+                        static_cast<int>(std::floor(e.start_day)));
+    for (int d = first; d <= last; ++d) {
+      active[static_cast<size_t>(d)].push_back(e.id);
+    }
+  }
+  return active;
+}
+
+}  // namespace simnet
+}  // namespace evrec

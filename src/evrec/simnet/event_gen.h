@@ -1,0 +1,29 @@
+// Event generation: short-lifespan events hosted by users, with topic
+// mixtures biased toward the host's interests, located near the host's
+// city, and carrying topic-conditioned title/body text from the EVENT-side
+// word inventory.
+
+#ifndef EVREC_SIMNET_EVENT_GEN_H_
+#define EVREC_SIMNET_EVENT_GEN_H_
+
+#include <vector>
+
+#include "evrec/simnet/config.h"
+#include "evrec/simnet/social_graph.h"
+
+namespace evrec {
+namespace simnet {
+
+std::vector<Event> GenerateEvents(const SimnetConfig& config,
+                                  const TopicLanguage& language,
+                                  const SocialWorld& world, Rng& rng);
+
+// Event ids active (visible for recommendation) on `day`, i.e. with
+// create_day <= day <= start_day.
+std::vector<std::vector<int>> ActiveEventsByDay(
+    const std::vector<Event>& events, int num_days);
+
+}  // namespace simnet
+}  // namespace evrec
+
+#endif  // EVREC_SIMNET_EVENT_GEN_H_

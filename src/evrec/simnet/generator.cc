@@ -1,0 +1,76 @@
+#include "evrec/simnet/generator.h"
+
+#include <unordered_set>
+
+#include "evrec/simnet/docs.h"
+#include "evrec/util/logging.h"
+
+namespace evrec {
+namespace simnet {
+
+SimnetDataset GenerateDataset(const SimnetConfig& config) {
+  Rng master(config.seed, /*stream=*/3);
+  Rng lang_rng = master.Fork(1);
+  Rng world_rng = master.Fork(2);
+  Rng event_rng = master.Fork(3);
+  Rng impression_rng = master.Fork(4);
+  Rng sample_rng = master.Fork(5);
+
+  SimnetDataset dataset;
+  dataset.config = config;
+
+  TopicLanguage language(config, lang_rng);
+  dataset.topic_names.reserve(static_cast<size_t>(config.num_topics));
+  for (int k = 0; k < config.num_topics; ++k) {
+    dataset.topic_names.push_back(language.TopicName(k));
+  }
+
+  dataset.world = GenerateSocialWorld(config, language, world_rng);
+  dataset.events =
+      GenerateEvents(config, language, dataset.world, event_rng);
+
+  ImpressionLog log =
+      GenerateImpressions(config, dataset.world, dataset.events,
+                          impression_rng);
+  dataset.raw_impressions = static_cast<int>(log.impressions.size());
+  dataset.raw_positives = log.raw_positives;
+  dataset.feedback = std::move(log.feedback);
+
+  std::vector<Impression> sampled = DownsampleNegatives(
+      log.impressions, config.target_neg_per_pos, sample_rng);
+
+  for (const Impression& imp : sampled) {
+    if (imp.day < config.rep_train_days) {
+      dataset.rep_train.push_back(imp);
+    } else if (imp.day < config.combiner_train_days) {
+      dataset.combiner_train.push_back(imp);
+    } else {
+      dataset.eval.push_back(imp);
+    }
+  }
+
+  EVREC_LOG(INFO) << "simnet: " << dataset.raw_impressions
+                  << " raw impressions, " << dataset.raw_positives
+                  << " positives; splits rep=" << dataset.rep_train.size()
+                  << " combiner=" << dataset.combiner_train.size()
+                  << " eval=" << dataset.eval.size()
+                  << " cold_start_frac=" << ColdStartEventFraction(dataset);
+  return dataset;
+}
+
+double ColdStartEventFraction(const SimnetDataset& dataset) {
+  std::unordered_set<int> train_events;
+  for (const Impression& i : dataset.rep_train) train_events.insert(i.event);
+  std::unordered_set<int> eval_events;
+  for (const Impression& i : dataset.eval) eval_events.insert(i.event);
+  if (eval_events.empty()) return 0.0;
+  int cold = 0;
+  for (int e : eval_events) {
+    if (train_events.count(e) == 0) ++cold;
+  }
+  return static_cast<double>(cold) /
+         static_cast<double>(eval_events.size());
+}
+
+}  // namespace simnet
+}  // namespace evrec

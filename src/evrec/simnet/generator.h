@@ -1,0 +1,49 @@
+// Top-level dataset generation: builds the synthetic world, runs the
+// impression simulation, downsamples negatives, and produces the paper's
+// date-based three-way split (§5.1): 4 weeks of impressions for
+// representation model training, 1 week for combiner training, 1 week for
+// evaluation — "disjoint in time ... consistent with the actual production
+// system deployment behavior".
+
+#ifndef EVREC_SIMNET_GENERATOR_H_
+#define EVREC_SIMNET_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "evrec/simnet/config.h"
+#include "evrec/simnet/impression_gen.h"
+
+namespace evrec {
+namespace simnet {
+
+struct SimnetDataset {
+  SimnetConfig config;
+  SocialWorld world;
+  std::vector<Event> events;
+  std::vector<std::string> topic_names;
+  FeedbackLogs feedback;  // full (pre-downsampling) behavioral logs
+
+  // Downsampled, chronological, time-disjoint impression splits.
+  std::vector<Impression> rep_train;
+  std::vector<Impression> combiner_train;
+  std::vector<Impression> eval;
+
+  // Generation statistics.
+  int raw_impressions = 0;
+  int raw_positives = 0;
+
+  int num_users() const { return static_cast<int>(world.users.size()); }
+  int num_events() const { return static_cast<int>(events.size()); }
+};
+
+SimnetDataset GenerateDataset(const SimnetConfig& config);
+
+// Fraction of events appearing in `eval` that never appear in `rep_train`
+// (the transiency/cold-start measure motivating the paper).
+double ColdStartEventFraction(const SimnetDataset& dataset);
+
+}  // namespace simnet
+}  // namespace evrec
+
+#endif  // EVREC_SIMNET_GENERATOR_H_

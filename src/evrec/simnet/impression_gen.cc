@@ -1,0 +1,146 @@
+#include "evrec/simnet/impression_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "evrec/util/check.h"
+#include "evrec/util/math_util.h"
+
+namespace evrec {
+namespace simnet {
+
+double ParticipationProbability(const SimnetConfig& config, const User& user,
+                                const Event& event, int friends_attending,
+                                int attendees_so_far, bool host_is_friend,
+                                double noise) {
+  double topic = InterestSimilarity(user.interests, event.topics);
+  double dist = EuclideanDistance2D(user.x, user.y, event.x, event.y);
+  double u = config.w_topic * topic +
+             config.w_friend * std::log1p(friends_attending) -
+             config.w_dist * std::min(dist, config.dist_cap) +
+             config.w_pop * std::log1p(attendees_so_far) +
+             (host_is_friend ? config.w_host : 0.0) + user.activity_bias +
+             noise;
+  return Sigmoid(config.utility_scale * u + config.bias);
+}
+
+ImpressionLog GenerateImpressions(const SimnetConfig& config,
+                                  const SocialWorld& world,
+                                  const std::vector<Event>& events,
+                                  Rng& rng) {
+  ImpressionLog log;
+  log.feedback.event_attendees.resize(events.size());
+  log.feedback.event_interested.resize(events.size());
+  log.feedback.user_joins.resize(world.users.size());
+  log.feedback.user_interested.resize(world.users.size());
+
+  std::vector<std::vector<int>> active =
+      ActiveEventsByDay(events, config.num_days);
+
+  // Friendship lists are sorted, so membership is a binary search.
+  auto friends_with = [&](const User& u, int other) {
+    return std::binary_search(u.friends.begin(), u.friends.end(), other);
+  };
+
+  std::vector<double> weights;
+  for (int day = 0; day < config.num_days; ++day) {
+    const std::vector<int>& todays = active[static_cast<size_t>(day)];
+    if (todays.empty()) continue;
+
+    // Exposure weights per event are user-city dependent; precompute the
+    // city-independent part (popularity).
+    for (const User& user : world.users) {
+      double session_p =
+          config.session_prob * Sigmoid(user.activity_bias + 0.5) * 2.0;
+      if (!rng.Bernoulli(std::min(session_p, 0.95))) continue;
+
+      weights.clear();
+      weights.reserve(todays.size());
+      for (int eid : todays) {
+        const Event& e = events[static_cast<size_t>(eid)];
+        double w = 1.0;
+        if (e.city == user.city) w += config.same_city_exposure_boost;
+        w += 0.2 * std::log1p(static_cast<double>(
+                 log.feedback.event_attendees[static_cast<size_t>(eid)]
+                     .size()));
+        weights.push_back(w);
+      }
+
+      for (int k = 0; k < config.impressions_per_session; ++k) {
+        int pick = rng.Categorical(weights);
+        int eid = todays[static_cast<size_t>(pick)];
+        const Event& event = events[static_cast<size_t>(eid)];
+
+        // Skip if the user already joined this event.
+        bool already = false;
+        for (const FeedbackEdge& fe :
+             log.feedback.user_joins[static_cast<size_t>(user.id)]) {
+          if (fe.counterpart == eid) {
+            already = true;
+            break;
+          }
+        }
+        if (already) continue;
+
+        const auto& attendees =
+            log.feedback.event_attendees[static_cast<size_t>(eid)];
+        int friends_attending = 0;
+        for (const FeedbackEdge& fe : attendees) {
+          if (friends_with(user, fe.counterpart)) ++friends_attending;
+        }
+        bool host_is_friend = friends_with(user, event.host_user);
+
+        double p = ParticipationProbability(
+            config, user, event, friends_attending,
+            static_cast<int>(attendees.size()), host_is_friend,
+            rng.Normal(0.0, config.noise_std));
+        bool join = rng.Bernoulli(p);
+
+        Impression imp;
+        imp.user = user.id;
+        imp.event = eid;
+        imp.day = day;
+        imp.label = join ? 1.0f : 0.0f;
+        log.impressions.push_back(imp);
+
+        if (join) {
+          ++log.raw_positives;
+          log.feedback.event_attendees[static_cast<size_t>(eid)].push_back(
+              {user.id, day});
+          log.feedback.user_joins[static_cast<size_t>(user.id)].push_back(
+              {eid, day});
+        } else if (rng.Bernoulli(config.interested_scale * p)) {
+          log.feedback.event_interested[static_cast<size_t>(eid)].push_back(
+              {user.id, day});
+          log.feedback.user_interested[static_cast<size_t>(user.id)]
+              .push_back({eid, day});
+        }
+      }
+    }
+  }
+  return log;
+}
+
+std::vector<Impression> DownsampleNegatives(
+    const std::vector<Impression>& impressions, double target_neg_per_pos,
+    Rng& rng) {
+  size_t positives = 0;
+  for (const Impression& i : impressions) {
+    if (i.label > 0.5f) ++positives;
+  }
+  size_t negatives = impressions.size() - positives;
+  double keep = 1.0;
+  if (negatives > 0 && positives > 0) {
+    keep = std::min(1.0, target_neg_per_pos * static_cast<double>(positives) /
+                             static_cast<double>(negatives));
+  }
+  std::vector<Impression> out;
+  out.reserve(impressions.size());
+  for (const Impression& i : impressions) {
+    if (i.label > 0.5f || rng.Bernoulli(keep)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace simnet
+}  // namespace evrec

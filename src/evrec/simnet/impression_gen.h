@@ -1,0 +1,60 @@
+// Chronological impression simulation. For each day, active users hold
+// sessions in which candidate events (active that day, exposure biased
+// toward the user's city) are shown; the ground-truth utility model decides
+// participation. Friend-attendance and popularity terms are CAUSAL: they
+// read the attendee sets as of the impression day, which the simulation
+// itself populates as it advances.
+//
+// Besides joins, the simulation emits a weaker "interested" feedback type,
+// giving the collaborative-filtering features the multi-signal structure
+// the paper describes (§5.1).
+
+#ifndef EVREC_SIMNET_IMPRESSION_GEN_H_
+#define EVREC_SIMNET_IMPRESSION_GEN_H_
+
+#include <vector>
+
+#include "evrec/simnet/config.h"
+#include "evrec/simnet/event_gen.h"
+#include "evrec/simnet/social_graph.h"
+
+namespace evrec {
+namespace simnet {
+
+struct FeedbackLogs {
+  // Day-ascending edge lists (the generator runs chronologically).
+  std::vector<std::vector<FeedbackEdge>> event_attendees;   // by event id
+  std::vector<std::vector<FeedbackEdge>> user_joins;        // by user id
+  std::vector<std::vector<FeedbackEdge>> user_interested;   // by user id
+  std::vector<std::vector<FeedbackEdge>> event_interested;  // by event id
+};
+
+struct ImpressionLog {
+  std::vector<Impression> impressions;  // chronological, NOT downsampled
+  FeedbackLogs feedback;
+  int raw_positives = 0;
+};
+
+ImpressionLog GenerateImpressions(const SimnetConfig& config,
+                                  const SocialWorld& world,
+                                  const std::vector<Event>& events, Rng& rng);
+
+// Ground-truth participation probability for (user, event) given the
+// current feedback state; exposed so tests can validate the label model
+// and so oracle benches can compare against the learned models.
+double ParticipationProbability(const SimnetConfig& config, const User& user,
+                                const Event& event, int friends_attending,
+                                int attendees_so_far, bool host_is_friend,
+                                double noise);
+
+// Keeps all positives and a random subset of negatives so that
+// negatives ~= target_neg_per_pos * positives (paper §5.1: "approximately
+// 1:4 positive to negative ratio").
+std::vector<Impression> DownsampleNegatives(
+    const std::vector<Impression>& impressions, double target_neg_per_pos,
+    Rng& rng);
+
+}  // namespace simnet
+}  // namespace evrec
+
+#endif  // EVREC_SIMNET_IMPRESSION_GEN_H_

@@ -1,0 +1,134 @@
+#include "evrec/simnet/social_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "evrec/util/check.h"
+#include "evrec/util/math_util.h"
+
+namespace evrec {
+namespace simnet {
+
+void CityCenter(int city, int num_cities, double* x, double* y) {
+  int grid = static_cast<int>(std::ceil(std::sqrt(
+      static_cast<double>(num_cities))));
+  if (grid < 1) grid = 1;
+  *x = static_cast<double>(city % grid) * 2.0;
+  *y = static_cast<double>(city / grid) * 2.0;
+}
+
+double InterestSimilarity(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  EVREC_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na < 1e-18 || nb < 1e-18) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+SocialWorld GenerateSocialWorld(const SimnetConfig& config,
+                                const TopicLanguage& language, Rng& rng) {
+  SocialWorld world;
+
+  // Pages: each page promotes one topic; its title uses USER-side words
+  // (pages are long-lived profile products, not events).
+  world.pages.reserve(static_cast<size_t>(config.num_pages));
+  for (int p = 0; p < config.num_pages; ++p) {
+    Page page;
+    page.id = p;
+    page.topic = p % config.num_topics;
+    std::vector<double> mixture(static_cast<size_t>(config.num_topics), 0.0);
+    mixture[static_cast<size_t>(page.topic)] = 1.0;
+    int len = rng.UniformInt(config.page_title_words_min,
+                             config.page_title_words_max);
+    page.title_words = language.SampleDocument(mixture, len,
+                                               /*event_side=*/false,
+                                               /*common=*/0.1, rng);
+    world.pages.push_back(std::move(page));
+  }
+
+  // Group pages by topic for preference-driven subscription sampling.
+  std::vector<std::vector<int>> pages_by_topic(
+      static_cast<size_t>(config.num_topics));
+  for (const Page& p : world.pages) {
+    pages_by_topic[static_cast<size_t>(p.topic)].push_back(p.id);
+  }
+
+  // Users.
+  world.users.reserve(static_cast<size_t>(config.num_users));
+  for (int u = 0; u < config.num_users; ++u) {
+    User user;
+    user.id = u;
+    user.city = rng.UniformInt(0, config.num_cities - 1);
+    CityCenter(user.city, config.num_cities, &user.x, &user.y);
+    user.x += rng.Normal(0.0, 0.3);
+    user.y += rng.Normal(0.0, 0.3);
+    user.age_bucket = rng.UniformInt(0, 5);
+    user.gender = rng.UniformInt(0, 2);
+    user.interests = rng.Dirichlet(config.interest_alpha, config.num_topics);
+    user.activity_bias = rng.Normal(0.0, config.activity_std);
+
+    // Page subscriptions follow interests.
+    int num_pages = rng.UniformInt(config.min_pages, config.max_pages);
+    std::unordered_set<int> chosen;
+    for (int i = 0; i < num_pages; ++i) {
+      int topic = rng.Categorical(user.interests);
+      const auto& pool = pages_by_topic[static_cast<size_t>(topic)];
+      if (pool.empty()) continue;
+      int page = pool[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int>(pool.size()) - 1))];
+      if (chosen.insert(page).second) user.pages.push_back(page);
+    }
+
+    // Profile keywords from the user-side vocabulary.
+    int len =
+        rng.UniformInt(config.profile_words_min, config.profile_words_max);
+    user.profile_words = language.SampleDocument(
+        user.interests, len, /*event_side=*/false,
+        config.common_word_fraction, rng);
+
+    world.users.push_back(std::move(user));
+  }
+
+  // Friendship: homophily on city and interests. For each user draw
+  // candidate partners and accept with probability increasing in
+  // similarity; edges are symmetric and deduplicated.
+  const int n = config.num_users;
+  std::vector<std::unordered_set<int>> adjacency(static_cast<size_t>(n));
+  int target_edges =
+      static_cast<int>(config.mean_friends * n / 2.0);
+  int attempts = 0;
+  int max_attempts = target_edges * 30;
+  int edges = 0;
+  while (edges < target_edges && attempts < max_attempts) {
+    ++attempts;
+    int a = rng.UniformInt(0, n - 1);
+    int b = rng.UniformInt(0, n - 1);
+    if (a == b) continue;
+    if (adjacency[static_cast<size_t>(a)].count(b) != 0) continue;
+    const User& ua = world.users[static_cast<size_t>(a)];
+    const User& ub = world.users[static_cast<size_t>(b)];
+    double p = 0.05;
+    if (ua.city == ub.city) p += 0.45;
+    p += 0.5 * InterestSimilarity(ua.interests, ub.interests);
+    if (!rng.Bernoulli(std::min(p, 0.95))) continue;
+    adjacency[static_cast<size_t>(a)].insert(b);
+    adjacency[static_cast<size_t>(b)].insert(a);
+    ++edges;
+  }
+  for (int u = 0; u < n; ++u) {
+    auto& user = world.users[static_cast<size_t>(u)];
+    user.friends.assign(adjacency[static_cast<size_t>(u)].begin(),
+                        adjacency[static_cast<size_t>(u)].end());
+    std::sort(user.friends.begin(), user.friends.end());
+  }
+  return world;
+}
+
+}  // namespace simnet
+}  // namespace evrec

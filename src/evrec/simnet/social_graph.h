@@ -1,0 +1,38 @@
+// Generation of the static social world: pages, users (demographics,
+// geography, interests, profile text), page subscriptions, and the
+// friendship graph. Friendships are homophilous — probability increases
+// with shared city and interest similarity — which is what makes
+// friend-based collaborative signals informative.
+
+#ifndef EVREC_SIMNET_SOCIAL_GRAPH_H_
+#define EVREC_SIMNET_SOCIAL_GRAPH_H_
+
+#include <vector>
+
+#include "evrec/simnet/config.h"
+#include "evrec/simnet/entities.h"
+#include "evrec/simnet/word_factory.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace simnet {
+
+struct SocialWorld {
+  std::vector<Page> pages;
+  std::vector<User> users;
+};
+
+// City grid layout: city c sits at (c % grid, c / grid) with unit spacing.
+void CityCenter(int city, int num_cities, double* x, double* y);
+
+// Cosine similarity of two topic mixtures.
+double InterestSimilarity(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+SocialWorld GenerateSocialWorld(const SimnetConfig& config,
+                                const TopicLanguage& language, Rng& rng);
+
+}  // namespace simnet
+}  // namespace evrec
+
+#endif  // EVREC_SIMNET_SOCIAL_GRAPH_H_

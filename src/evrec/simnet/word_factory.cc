@@ -1,0 +1,134 @@
+#include "evrec/simnet/word_factory.h"
+
+#include <unordered_set>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace simnet {
+
+namespace {
+
+const char* const kConsonants[] = {"b", "d", "f", "g", "j",  "k", "l",
+                                   "m", "n", "p", "r", "s",  "t", "v",
+                                   "z", "ch", "sh", "th", "st", "br"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ai", "ou", "ea"};
+
+std::string RandomSyllable(Rng& rng) {
+  std::string s = kConsonants[rng.UniformInt(0, 19)];
+  s += kVowels[rng.UniformInt(0, 7)];
+  if (rng.Bernoulli(0.35)) s += kConsonants[rng.UniformInt(0, 19)];
+  return s;
+}
+
+}  // namespace
+
+TopicLanguage::TopicLanguage(const SimnetConfig& config, Rng& rng) {
+  const int t = config.num_topics;
+  EVREC_CHECK_GT(t, 0);
+
+  // Disjoint syllable pools: topic syllables are unique across topics and
+  // distinct from the common pool, so topic identity is carried by
+  // sub-word units.
+  std::unordered_set<std::string> used;
+  auto fresh_syllable = [&]() {
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      std::string s = RandomSyllable(rng);
+      if (used.insert(s).second) return s;
+    }
+    // Syllable space nearly exhausted; extend with a numbered suffix.
+    std::string s = RandomSyllable(rng) + "x";
+    while (!used.insert(s).second) s += "x";
+    return s;
+  };
+
+  topic_syllables_.resize(static_cast<size_t>(t));
+  for (int k = 0; k < t; ++k) {
+    for (int i = 0; i < config.syllables_per_topic; ++i) {
+      topic_syllables_[static_cast<size_t>(k)].push_back(fresh_syllable());
+    }
+  }
+  for (int i = 0; i < config.common_syllables; ++i) {
+    common_syllables_.push_back(fresh_syllable());
+  }
+
+  // Word inventories. A topical word is 2-3 syllables, mostly from the
+  // topic pool with occasional common syllables mixed in.
+  auto make_topic_word = [&](int topic) {
+    const auto& pool = topic_syllables_[static_cast<size_t>(topic)];
+    std::string w;
+    int syllables = rng.UniformInt(2, 3);
+    for (int i = 0; i < syllables; ++i) {
+      if (rng.Bernoulli(0.2) && !common_syllables_.empty()) {
+        w += common_syllables_[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int>(common_syllables_.size()) - 1))];
+      } else {
+        w += pool[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int>(pool.size()) - 1))];
+      }
+    }
+    return w;
+  };
+
+  std::unordered_set<std::string> used_words;
+  auto unique_word = [&](auto&& make) {
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      std::string w = make();
+      if (used_words.insert(w).second) return w;
+    }
+    std::string w = make() + "q";
+    while (!used_words.insert(w).second) w += "q";
+    return w;
+  };
+
+  event_words_.resize(static_cast<size_t>(t));
+  user_words_.resize(static_cast<size_t>(t));
+  topic_names_.reserve(static_cast<size_t>(t));
+  for (int k = 0; k < t; ++k) {
+    for (int i = 0; i < config.event_words_per_topic; ++i) {
+      event_words_[static_cast<size_t>(k)].push_back(
+          unique_word([&]() { return make_topic_word(k); }));
+    }
+    for (int i = 0; i < config.user_words_per_topic; ++i) {
+      user_words_[static_cast<size_t>(k)].push_back(
+          unique_word([&]() { return make_topic_word(k); }));
+    }
+    // Category label: the topic's first event word with a marker suffix.
+    topic_names_.push_back(event_words_[static_cast<size_t>(k)][0] + "fest");
+  }
+  for (int i = 0; i < config.num_common_words; ++i) {
+    common_words_.push_back(unique_word([&]() {
+      std::string w;
+      int syllables = rng.UniformInt(1, 2);
+      for (int s = 0; s < syllables; ++s) {
+        w += common_syllables_[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int>(common_syllables_.size()) - 1))];
+      }
+      return w;
+    }));
+  }
+}
+
+std::vector<std::string> TopicLanguage::SampleDocument(
+    const std::vector<double>& mixture, int length, bool event_side,
+    double common_word_fraction, Rng& rng) const {
+  EVREC_CHECK_EQ(static_cast<int>(mixture.size()), num_topics());
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    if (rng.Bernoulli(common_word_fraction) && !common_words_.empty()) {
+      out.push_back(common_words_[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int>(common_words_.size()) - 1))]);
+      continue;
+    }
+    int topic = rng.Categorical(mixture);
+    const auto& words = event_side ? event_words_[static_cast<size_t>(topic)]
+                                   : user_words_[static_cast<size_t>(topic)];
+    out.push_back(words[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(words.size()) - 1))]);
+  }
+  return out;
+}
+
+}  // namespace simnet
+}  // namespace evrec

@@ -1,0 +1,71 @@
+// Synthetic language with topic-specific morphology.
+//
+// Words are built from consonant-vowel syllables. Each topic owns a pool of
+// characteristic syllables; a shared common pool provides stop-word-like
+// noise. Event-side and user-side word inventories are drawn INDEPENDENTLY
+// from the same per-topic syllable pools: "jarestor" (event side) and
+// "torjari" (user side) share topic morphemes without sharing word ids.
+// This reproduces the paper's observation that user text "has very
+// different text distribution than that of events", which defeats
+// word-level topic models but is bridgeable by letter-trigram CNNs.
+
+#ifndef EVREC_SIMNET_WORD_FACTORY_H_
+#define EVREC_SIMNET_WORD_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "evrec/simnet/config.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace simnet {
+
+class TopicLanguage {
+ public:
+  // Builds the full word inventory deterministically from `rng`.
+  TopicLanguage(const SimnetConfig& config, Rng& rng);
+
+  int num_topics() const {
+    return static_cast<int>(event_words_.size());
+  }
+
+  const std::vector<std::string>& EventWords(int topic) const {
+    return event_words_[static_cast<size_t>(topic)];
+  }
+  const std::vector<std::string>& UserWords(int topic) const {
+    return user_words_[static_cast<size_t>(topic)];
+  }
+  const std::vector<std::string>& CommonWords() const {
+    return common_words_;
+  }
+
+  // Human-readable topic label (doubles as the event "category" string).
+  const std::string& TopicName(int topic) const {
+    return topic_names_[static_cast<size_t>(topic)];
+  }
+
+  // Samples a document of `length` words from a topic mixture. Each word:
+  // with probability common_word_fraction a common word, otherwise a word
+  // of a topic drawn from `mixture`, from the event or user inventory.
+  std::vector<std::string> SampleDocument(const std::vector<double>& mixture,
+                                          int length, bool event_side,
+                                          double common_word_fraction,
+                                          Rng& rng) const;
+
+ private:
+  std::string MakeWord(const std::vector<std::string>& syllable_pool,
+                       Rng& rng) const;
+
+  std::vector<std::vector<std::string>> topic_syllables_;
+  std::vector<std::string> common_syllables_;
+  std::vector<std::vector<std::string>> event_words_;  // [topic][i]
+  std::vector<std::vector<std::string>> user_words_;   // [topic][i]
+  std::vector<std::string> common_words_;
+  std::vector<std::string> topic_names_;
+};
+
+}  // namespace simnet
+}  // namespace evrec
+
+#endif  // EVREC_SIMNET_WORD_FACTORY_H_

@@ -1,0 +1,84 @@
+#include "evrec/store/kv_cache.h"
+
+#include <memory>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace store {
+
+ShardedKvCache::ShardedKvCache(int num_shards, size_t capacity_per_shard)
+    : capacity_per_shard_(capacity_per_shard) {
+  EVREC_CHECK_GT(num_shards, 0);
+  EVREC_CHECK_GT(capacity_per_shard, 0u);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ShardedKvCache::Get(uint64_t key, std::vector<float>* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Refresh recency.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (value != nullptr) *value = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardedKvCache::Put(uint64_t key, std::vector<float> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > capacity_per_shard_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool ShardedKvCache::Invalidate(uint64_t key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  return true;
+}
+
+void ShardedKvCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+CacheStats ShardedKvCache::Stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace store
+}  // namespace evrec

@@ -1,0 +1,84 @@
+// Sharded in-memory LRU key-value cache storing float vectors — a
+// laptop-scale stand-in for the distributed data store (TAO [29]) the
+// paper uses to cache user and event representation vectors: "User and
+// event vectors are only computed upon creation and important information
+// change. They can be cached in distributed data store ... for quick
+// access at recommendation time."
+//
+// Keys are 64-bit ids; sharding is by key hash, each shard holds an
+// independent LRU list guarded by its own mutex.
+
+#ifndef EVREC_STORE_KV_CACHE_H_
+#define EVREC_STORE_KV_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace evrec {
+namespace store {
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class ShardedKvCache {
+ public:
+  // `capacity_per_shard` entries are retained per shard; the least
+  // recently used entry is evicted on overflow.
+  ShardedKvCache(int num_shards, size_t capacity_per_shard);
+
+  // Copies the value out on hit and refreshes recency.
+  bool Get(uint64_t key, std::vector<float>* value);
+
+  // Inserts or overwrites.
+  void Put(uint64_t key, std::vector<float> value);
+
+  // Removes a key (e.g. "important information change" invalidation).
+  bool Invalidate(uint64_t key);
+
+  void Clear();
+
+  CacheStats Stats() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // MRU at front. unordered_map points into the list.
+    std::list<std::pair<uint64_t, std::vector<float>>> lru;
+    std::unordered_map<
+        uint64_t,
+        std::list<std::pair<uint64_t, std::vector<float>>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    // Fibonacci hashing spreads sequential ids across shards.
+    uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    return *shards_[h % shards_.size()];
+  }
+
+  size_t capacity_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace store
+}  // namespace evrec
+
+#endif  // EVREC_STORE_KV_CACHE_H_

@@ -1,0 +1,17 @@
+#include "evrec/store/rep_cache.h"
+
+namespace evrec {
+namespace store {
+
+std::vector<float> RepVectorCache::GetOrCompute(EntityKind kind, int id,
+                                                const ComputeFn& compute) {
+  uint64_t key = EntityKey(kind, id);
+  std::vector<float> value;
+  if (cache_.Get(key, &value)) return value;
+  value = compute();
+  cache_.Put(key, value);
+  return value;
+}
+
+}  // namespace store
+}  // namespace evrec

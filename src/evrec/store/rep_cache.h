@@ -1,0 +1,54 @@
+// RepVectorCache: compute-through cache for representation vectors. Keys
+// combine an entity kind tag with the entity id so user and event vectors
+// share one store, mirroring the paper's serving design (precompute on
+// creation / information change, look up at recommendation time).
+
+#ifndef EVREC_STORE_REP_CACHE_H_
+#define EVREC_STORE_REP_CACHE_H_
+
+#include <functional>
+
+#include "evrec/store/kv_cache.h"
+
+namespace evrec {
+namespace store {
+
+enum class EntityKind : uint64_t { kUser = 1, kEvent = 2 };
+
+// Stable composite key.
+inline uint64_t EntityKey(EntityKind kind, int id) {
+  return (static_cast<uint64_t>(kind) << 48) | static_cast<uint64_t>(
+             static_cast<uint32_t>(id));
+}
+
+class RepVectorCache {
+ public:
+  RepVectorCache(int num_shards, size_t capacity_per_shard)
+      : cache_(num_shards, capacity_per_shard) {}
+
+  using ComputeFn = std::function<std::vector<float>()>;
+
+  // Returns the cached vector, or computes, stores, and returns it.
+  std::vector<float> GetOrCompute(EntityKind kind, int id,
+                                  const ComputeFn& compute);
+
+  // Precomputes and stores ("computed upon creation").
+  void Precompute(EntityKind kind, int id, std::vector<float> vector) {
+    cache_.Put(EntityKey(kind, id), std::move(vector));
+  }
+
+  // Drops a vector ("important information change").
+  bool Invalidate(EntityKind kind, int id) {
+    return cache_.Invalidate(EntityKey(kind, id));
+  }
+
+  CacheStats Stats() const { return cache_.Stats(); }
+
+ private:
+  ShardedKvCache cache_;
+};
+
+}  // namespace store
+}  // namespace evrec
+
+#endif  // EVREC_STORE_REP_CACHE_H_

@@ -1,0 +1,54 @@
+#include "evrec/text/encoder.h"
+
+namespace evrec {
+namespace text {
+
+EncodedText TextEncoder::Encode(const std::vector<std::string>& words) const {
+  std::vector<Token> tokens;
+  tokenizer_->Tokenize(words, &tokens);
+  EncodedText out;
+  out.token_ids.reserve(tokens.size());
+  out.word_index.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    int id = vocabulary_.Lookup(t.value);
+    if (id == Vocabulary::kUnknownId) continue;
+    out.token_ids.push_back(id);
+    out.word_index.push_back(t.word_index);
+  }
+  return out;
+}
+
+void TextEncoder::Serialize(BinaryWriter& w) const {
+  w.WriteMagic("TENC");
+  w.WriteString(tokenizer_->Name());
+  vocabulary_.Serialize(w);
+}
+
+std::unique_ptr<TextEncoder> TextEncoder::Deserialize(BinaryReader& r) {
+  r.ExpectMagic("TENC");
+  std::string name = r.ReadString();
+  auto tokenizer = MakeTokenizer(name);
+  if (tokenizer == nullptr) return nullptr;
+  Vocabulary vocab = Vocabulary::Deserialize(r);
+  if (!r.ok()) return nullptr;
+  return std::make_unique<TextEncoder>(std::move(tokenizer),
+                                       std::move(vocab));
+}
+
+Vocabulary BuildVocabulary(
+    const Tokenizer& tokenizer,
+    const std::vector<std::vector<std::string>>& documents, int min_df,
+    size_t max_size, double max_df_fraction) {
+  Vocabulary vocab;
+  std::vector<Token> tokens;
+  for (const auto& words : documents) {
+    tokens.clear();
+    tokenizer.Tokenize(words, &tokens);
+    vocab.AddDocument(tokens);
+  }
+  vocab.Finalize(min_df, max_size, max_df_fraction);
+  return vocab;
+}
+
+}  // namespace text
+}  // namespace evrec

@@ -1,0 +1,61 @@
+// TextEncoder: tokenizer + vocabulary glue producing the integer token
+// sequence a convolutional extraction module consumes. Unknown (DF-filtered)
+// tokens are dropped; each surviving token keeps the index of its source
+// word for attribution analysis.
+
+#ifndef EVREC_TEXT_ENCODER_H_
+#define EVREC_TEXT_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "evrec/text/tokenizer.h"
+#include "evrec/text/vocabulary.h"
+
+namespace evrec {
+namespace text {
+
+// A document after tokenization + vocabulary lookup.
+struct EncodedText {
+  std::vector<int> token_ids;    // ids into the module's lookup table
+  std::vector<int> word_index;   // parallel: source word of each token
+
+  int size() const { return static_cast<int>(token_ids.size()); }
+  bool empty() const { return token_ids.empty(); }
+};
+
+class TextEncoder {
+ public:
+  TextEncoder(std::unique_ptr<Tokenizer> tokenizer, Vocabulary vocabulary)
+      : tokenizer_(std::move(tokenizer)),
+        vocabulary_(std::move(vocabulary)) {
+    EVREC_CHECK(tokenizer_ != nullptr);
+    EVREC_CHECK(vocabulary_.finalized());
+  }
+
+  // Encodes a word sequence (already normalized).
+  EncodedText Encode(const std::vector<std::string>& words) const;
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+  const Tokenizer& tokenizer() const { return *tokenizer_; }
+
+  void Serialize(BinaryWriter& w) const;
+  static std::unique_ptr<TextEncoder> Deserialize(BinaryReader& r);
+
+ private:
+  std::unique_ptr<Tokenizer> tokenizer_;
+  Vocabulary vocabulary_;
+};
+
+// Builds a DF-filtered vocabulary by running `tokenizer` over every word
+// sequence in `documents`.
+Vocabulary BuildVocabulary(const Tokenizer& tokenizer,
+                           const std::vector<std::vector<std::string>>& documents,
+                           int min_df, size_t max_size,
+                           double max_df_fraction = 1.0);
+
+}  // namespace text
+}  // namespace evrec
+
+#endif  // EVREC_TEXT_ENCODER_H_

@@ -1,0 +1,43 @@
+#include "evrec/text/normalizer.h"
+
+#include <cctype>
+
+namespace evrec {
+namespace text {
+
+std::string Normalize(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  bool last_space = true;  // suppress leading spaces
+  for (char c : raw) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      out.push_back(static_cast<char>(std::tolower(uc)));
+      last_space = false;
+    } else if (!last_space) {
+      out.push_back(' ');
+      last_space = true;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> NormalizeToWords(std::string_view raw) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : raw) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+}  // namespace text
+}  // namespace evrec

@@ -1,0 +1,28 @@
+// Text normalization applied before tokenization (paper §3.1: "general
+// ordered text (with punctuations replaced or removed)").
+//
+// Normalize lowercases ASCII, maps punctuation to spaces, and collapses
+// whitespace; NormalizeToWords additionally splits into the word sequence
+// the convolutional modules consume.
+
+#ifndef EVREC_TEXT_NORMALIZER_H_
+#define EVREC_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evrec {
+namespace text {
+
+// Returns lowercase text with every non-alphanumeric byte replaced by a
+// single space (runs collapse).
+std::string Normalize(std::string_view raw);
+
+// Normalizes and splits into words; empty input yields an empty vector.
+std::vector<std::string> NormalizeToWords(std::string_view raw);
+
+}  // namespace text
+}  // namespace evrec
+
+#endif  // EVREC_TEXT_NORMALIZER_H_

@@ -1,0 +1,42 @@
+#include "evrec/text/tokenizer.h"
+
+namespace evrec {
+namespace text {
+
+void LetterTrigramTokenizer::Tokenize(const std::vector<std::string>& words,
+                                      std::vector<Token>* out) const {
+  for (size_t w = 0; w < words.size(); ++w) {
+    const std::string& word = words[w];
+    if (word.empty()) continue;
+    std::string padded;
+    padded.reserve(word.size() + 2);
+    padded.push_back('#');
+    padded.append(word);
+    padded.push_back('#');
+    if (padded.size() < 3) continue;  // unreachable: "#x#" is 3 bytes
+    for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+      out->push_back(Token{padded.substr(i, 3), static_cast<int>(w)});
+    }
+  }
+}
+
+void WordUnigramTokenizer::Tokenize(const std::vector<std::string>& words,
+                                    std::vector<Token>* out) const {
+  for (size_t w = 0; w < words.size(); ++w) {
+    if (words[w].empty()) continue;
+    out->push_back(Token{words[w], static_cast<int>(w)});
+  }
+}
+
+std::unique_ptr<Tokenizer> MakeTokenizer(const std::string& name) {
+  if (name == "letter_trigram") {
+    return std::make_unique<LetterTrigramTokenizer>();
+  }
+  if (name == "word_unigram") {
+    return std::make_unique<WordUnigramTokenizer>();
+  }
+  return nullptr;
+}
+
+}  // namespace text
+}  // namespace evrec

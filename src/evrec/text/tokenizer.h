@@ -1,0 +1,68 @@
+// Tokenizers (paper §3.1): a tokenizer turns a word sequence into a token
+// sequence that the convolutional extraction module embeds and convolves.
+//
+// Two concrete tokenizers are used:
+//  - LetterTrigramTokenizer for natural-language text: each word is wrapped
+//    in '#' boundary markers and emitted as its letter 3-grams
+//    ("cream" -> #cr, cre, rea, eam, am#). This is the DSSM trick [20] that
+//    bounds the vocabulary and generalizes across rare/misspelled words.
+//  - WordUnigramTokenizer for unordered categorical id features: each id is
+//    one token, preserving feature values in their original form.
+//
+// Every emitted token remembers the index of the word it came from; the
+// Figure 7 attribution analysis traces pooling-layer max windows back to
+// words through this link.
+
+#ifndef EVREC_TEXT_TOKENIZER_H_
+#define EVREC_TEXT_TOKENIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace evrec {
+namespace text {
+
+struct Token {
+  std::string value;
+  int word_index;  // index into the input word sequence
+};
+
+class Tokenizer {
+ public:
+  virtual ~Tokenizer() = default;
+
+  // Appends tokens for `words` to `out` (does not clear it).
+  virtual void Tokenize(const std::vector<std::string>& words,
+                        std::vector<Token>* out) const = 0;
+
+  // Stable name used in model serialization.
+  virtual std::string Name() const = 0;
+};
+
+// Emits each word's letter trigrams, with '#' boundary padding. Words
+// shorter than the n-gram width still produce one boundary-padded token
+// ("ab" -> #ab, ab#; "a" -> #a#).
+class LetterTrigramTokenizer : public Tokenizer {
+ public:
+  void Tokenize(const std::vector<std::string>& words,
+                std::vector<Token>* out) const override;
+  std::string Name() const override { return "letter_trigram"; }
+};
+
+// Emits each word as exactly one token. Used with convolution window 1 for
+// categorical id features.
+class WordUnigramTokenizer : public Tokenizer {
+ public:
+  void Tokenize(const std::vector<std::string>& words,
+                std::vector<Token>* out) const override;
+  std::string Name() const override { return "word_unigram"; }
+};
+
+// Factory by name; returns nullptr for unknown names.
+std::unique_ptr<Tokenizer> MakeTokenizer(const std::string& name);
+
+}  // namespace text
+}  // namespace evrec
+
+#endif  // EVREC_TEXT_TOKENIZER_H_

@@ -1,0 +1,89 @@
+#include "evrec/text/vocabulary.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace evrec {
+namespace text {
+
+void Vocabulary::AddDocument(const std::vector<Token>& tokens) {
+  EVREC_CHECK(!finalized_) << "AddDocument after Finalize";
+  ++num_documents_;
+  std::unordered_set<std::string_view> seen;
+  seen.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (seen.insert(t.value).second) {
+      ++df_counts_[t.value];
+    }
+  }
+}
+
+void Vocabulary::Finalize(int min_df, size_t max_size,
+                          double max_df_fraction) {
+  EVREC_CHECK(!finalized_) << "Finalize called twice";
+  EVREC_CHECK_GE(min_df, 1);
+  EVREC_CHECK_GT(max_df_fraction, 0.0);
+  const int max_df = static_cast<int>(max_df_fraction * num_documents_);
+  std::vector<std::pair<std::string, int>> kept;
+  kept.reserve(df_counts_.size());
+  for (auto& [token, df] : df_counts_) {
+    if (df >= min_df && (max_df_fraction >= 1.0 || df <= max_df)) {
+      kept.emplace_back(token, df);
+    }
+  }
+  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (kept.size() > max_size) kept.resize(max_size);
+
+  id_to_token_.reserve(kept.size());
+  df_of_id_.reserve(kept.size());
+  token_to_id_.reserve(kept.size());
+  for (auto& [token, df] : kept) {
+    token_to_id_.emplace(token, static_cast<int>(id_to_token_.size()));
+    id_to_token_.push_back(token);
+    df_of_id_.push_back(df);
+  }
+  df_counts_.clear();
+  finalized_ = true;
+}
+
+int Vocabulary::Lookup(const std::string& token) const {
+  EVREC_CHECK(finalized_) << "Lookup before Finalize";
+  auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? kUnknownId : it->second;
+}
+
+void Vocabulary::Serialize(BinaryWriter& w) const {
+  EVREC_CHECK(finalized_);
+  w.WriteMagic("VOCB");
+  w.WriteI32(num_documents_);
+  w.WriteU32(static_cast<uint32_t>(id_to_token_.size()));
+  for (size_t i = 0; i < id_to_token_.size(); ++i) {
+    w.WriteString(id_to_token_[i]);
+    w.WriteI32(df_of_id_[i]);
+  }
+}
+
+Vocabulary Vocabulary::Deserialize(BinaryReader& r) {
+  Vocabulary v;
+  r.ExpectMagic("VOCB");
+  v.num_documents_ = r.ReadI32();
+  uint32_t n = r.ReadU32();
+  if (!r.ok()) return v;
+  v.id_to_token_.reserve(n);
+  v.df_of_id_.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    std::string tok = r.ReadString();
+    int df = r.ReadI32();
+    v.token_to_id_.emplace(tok, static_cast<int>(v.id_to_token_.size()));
+    v.id_to_token_.push_back(std::move(tok));
+    v.df_of_id_.push_back(df);
+  }
+  v.finalized_ = true;
+  return v;
+}
+
+}  // namespace text
+}  // namespace evrec

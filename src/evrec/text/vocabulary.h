@@ -1,0 +1,82 @@
+// Document-frequency-filtered token vocabulary (paper §3.1: "we apply
+// document frequency based filtering to remove rare tokens" to bound the
+// lookup-table size; §3.2.1 keeps the total under 500k entries).
+//
+// Build protocol: AddDocument once per training document with that
+// document's token multiset, then Finalize(min_df, max_size). Finalize
+// keeps tokens with df >= min_df, truncating to the `max_size` most
+// frequent (ties broken lexicographically for determinism), and freezes
+// the token -> id mapping.
+
+#ifndef EVREC_TEXT_VOCABULARY_H_
+#define EVREC_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evrec/text/tokenizer.h"
+#include "evrec/util/binary_io.h"
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace text {
+
+class Vocabulary {
+ public:
+  static constexpr int kUnknownId = -1;
+
+  Vocabulary() = default;
+
+  // Counts each distinct token in `tokens` once toward document frequency.
+  void AddDocument(const std::vector<Token>& tokens);
+
+  // Freezes the vocabulary. May be called exactly once. Tokens with
+  // df < min_df are dropped (the paper's rare-token filter), as are tokens
+  // appearing in more than max_df_fraction of documents (stop-token
+  // removal: such tokens carry no discriminative content and make long
+  // documents look alike).
+  void Finalize(int min_df, size_t max_size, double max_df_fraction = 1.0);
+
+  bool finalized() const { return finalized_; }
+
+  // Token id, or kUnknownId if filtered/unseen. Only valid after Finalize.
+  int Lookup(const std::string& token) const;
+
+  // Number of retained tokens.
+  int size() const {
+    return static_cast<int>(id_to_token_.size());
+  }
+
+  // Document frequency of a retained token id.
+  int DocumentFrequency(int id) const {
+    EVREC_CHECK_GE(id, 0);
+    EVREC_CHECK_LT(id, size());
+    return df_of_id_[static_cast<size_t>(id)];
+  }
+
+  const std::string& TokenOf(int id) const {
+    EVREC_CHECK_GE(id, 0);
+    EVREC_CHECK_LT(id, size());
+    return id_to_token_[static_cast<size_t>(id)];
+  }
+
+  // Number of documents seen during the build phase.
+  int num_documents() const { return num_documents_; }
+
+  void Serialize(BinaryWriter& w) const;
+  static Vocabulary Deserialize(BinaryReader& r);
+
+ private:
+  bool finalized_ = false;
+  int num_documents_ = 0;
+  std::unordered_map<std::string, int> df_counts_;  // build phase
+  std::unordered_map<std::string, int> token_to_id_;
+  std::vector<std::string> id_to_token_;
+  std::vector<int> df_of_id_;
+};
+
+}  // namespace text
+}  // namespace evrec
+
+#endif  // EVREC_TEXT_VOCABULARY_H_

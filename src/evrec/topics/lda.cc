@@ -1,0 +1,160 @@
+#include "evrec/topics/lda.h"
+
+#include <cmath>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace topics {
+
+void LdaModel::Train(const std::vector<std::vector<int>>& docs,
+                     int vocab_size, const LdaConfig& config) {
+  EVREC_CHECK_GT(vocab_size, 0);
+  EVREC_CHECK_GT(config.num_topics, 0);
+  config_ = config;
+  vocab_size_ = vocab_size;
+  const int k = config.num_topics;
+  const int d = static_cast<int>(docs.size());
+
+  doc_topic_.assign(static_cast<size_t>(d), std::vector<int>(k, 0));
+  doc_len_.assign(static_cast<size_t>(d), 0);
+  topic_word_.assign(static_cast<size_t>(k),
+                     std::vector<int>(static_cast<size_t>(vocab_size), 0));
+  topic_total_.assign(static_cast<size_t>(k), 0);
+
+  Rng rng(config.seed, /*stream=*/11);
+
+  // Topic assignment per token position.
+  std::vector<std::vector<int>> assignments(static_cast<size_t>(d));
+  for (int di = 0; di < d; ++di) {
+    const auto& doc = docs[static_cast<size_t>(di)];
+    assignments[static_cast<size_t>(di)].resize(doc.size());
+    for (size_t t = 0; t < doc.size(); ++t) {
+      int w = doc[t];
+      if (w < 0 || w >= vocab_size) {
+        assignments[static_cast<size_t>(di)][t] = -1;
+        continue;
+      }
+      int z = rng.UniformInt(0, k - 1);
+      assignments[static_cast<size_t>(di)][t] = z;
+      ++doc_topic_[static_cast<size_t>(di)][static_cast<size_t>(z)];
+      ++doc_len_[static_cast<size_t>(di)];
+      ++topic_word_[static_cast<size_t>(z)][static_cast<size_t>(w)];
+      ++topic_total_[static_cast<size_t>(z)];
+    }
+  }
+
+  std::vector<double> probs(static_cast<size_t>(k));
+  const double vbeta = vocab_size * config.beta;
+  for (int iter = 0; iter < config.train_iterations; ++iter) {
+    for (int di = 0; di < d; ++di) {
+      const auto& doc = docs[static_cast<size_t>(di)];
+      auto& assign = assignments[static_cast<size_t>(di)];
+      auto& ndk = doc_topic_[static_cast<size_t>(di)];
+      for (size_t t = 0; t < doc.size(); ++t) {
+        int z = assign[t];
+        if (z < 0) continue;
+        int w = doc[t];
+        // Remove the token, resample, add back.
+        --ndk[static_cast<size_t>(z)];
+        --topic_word_[static_cast<size_t>(z)][static_cast<size_t>(w)];
+        --topic_total_[static_cast<size_t>(z)];
+        for (int kk = 0; kk < k; ++kk) {
+          probs[static_cast<size_t>(kk)] =
+              (ndk[static_cast<size_t>(kk)] + config.alpha) *
+              (topic_word_[static_cast<size_t>(kk)][static_cast<size_t>(w)] +
+               config.beta) /
+              (topic_total_[static_cast<size_t>(kk)] + vbeta);
+        }
+        z = rng.Categorical(probs);
+        assign[t] = z;
+        ++ndk[static_cast<size_t>(z)];
+        ++topic_word_[static_cast<size_t>(z)][static_cast<size_t>(w)];
+        ++topic_total_[static_cast<size_t>(z)];
+      }
+    }
+  }
+}
+
+std::vector<double> LdaModel::DocTopics(int d) const {
+  const auto& ndk = doc_topic_[static_cast<size_t>(d)];
+  const int k = config_.num_topics;
+  std::vector<double> out(static_cast<size_t>(k));
+  double denom = doc_len_[static_cast<size_t>(d)] + k * config_.alpha;
+  for (int kk = 0; kk < k; ++kk) {
+    out[static_cast<size_t>(kk)] =
+        (ndk[static_cast<size_t>(kk)] + config_.alpha) / denom;
+  }
+  return out;
+}
+
+std::vector<double> LdaModel::InferTopics(const std::vector<int>& doc,
+                                          Rng& rng) const {
+  EVREC_CHECK(trained());
+  const int k = config_.num_topics;
+  std::vector<double> uniform(static_cast<size_t>(k), 1.0 / k);
+
+  std::vector<int> valid;
+  for (int w : doc) {
+    if (w >= 0 && w < vocab_size_) valid.push_back(w);
+  }
+  if (valid.empty()) return uniform;
+
+  std::vector<int> ndk(static_cast<size_t>(k), 0);
+  std::vector<int> assign(valid.size());
+  for (size_t t = 0; t < valid.size(); ++t) {
+    int z = rng.UniformInt(0, k - 1);
+    assign[t] = z;
+    ++ndk[static_cast<size_t>(z)];
+  }
+  std::vector<double> probs(static_cast<size_t>(k));
+  const double vbeta = vocab_size_ * config_.beta;
+  for (int iter = 0; iter < config_.infer_iterations; ++iter) {
+    for (size_t t = 0; t < valid.size(); ++t) {
+      int z = assign[t];
+      int w = valid[t];
+      --ndk[static_cast<size_t>(z)];
+      for (int kk = 0; kk < k; ++kk) {
+        probs[static_cast<size_t>(kk)] =
+            (ndk[static_cast<size_t>(kk)] + config_.alpha) *
+            (topic_word_[static_cast<size_t>(kk)][static_cast<size_t>(w)] +
+             config_.beta) /
+            (topic_total_[static_cast<size_t>(kk)] + vbeta);
+      }
+      z = rng.Categorical(probs);
+      assign[t] = z;
+      ++ndk[static_cast<size_t>(z)];
+    }
+  }
+  std::vector<double> out(static_cast<size_t>(k));
+  double denom = static_cast<double>(valid.size()) + k * config_.alpha;
+  for (int kk = 0; kk < k; ++kk) {
+    out[static_cast<size_t>(kk)] =
+        (ndk[static_cast<size_t>(kk)] + config_.alpha) / denom;
+  }
+  return out;
+}
+
+double LdaModel::TopicWordProb(int topic, int word) const {
+  EVREC_CHECK(trained());
+  return (topic_word_[static_cast<size_t>(topic)][static_cast<size_t>(word)] +
+          config_.beta) /
+         (topic_total_[static_cast<size_t>(topic)] +
+          vocab_size_ * config_.beta);
+}
+
+double LdaModel::MixtureSimilarity(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  EVREC_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na < 1e-18 || nb < 1e-18) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace topics
+}  // namespace evrec

@@ -1,0 +1,68 @@
+// Latent Dirichlet Allocation trained by collapsed Gibbs sampling.
+//
+// This is the bag-of-words semantic model the paper argues against (§1-2):
+// prior event recommenders project users and events into LDA topic space
+// and match by topic-distribution similarity. The ablation bench uses this
+// implementation to reproduce that comparison: because the synthetic user
+// and event vocabularies are word-disjoint (DESIGN.md §2), LDA trained on
+// event text cannot represent users except through their (sparse) attended
+// events — exactly the homogeneity bottleneck the paper describes.
+
+#ifndef EVREC_TOPICS_LDA_H_
+#define EVREC_TOPICS_LDA_H_
+
+#include <vector>
+
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace topics {
+
+struct LdaConfig {
+  int num_topics = 16;
+  double alpha = 0.1;   // doc-topic prior
+  double beta = 0.01;   // topic-word prior
+  int train_iterations = 150;
+  int infer_iterations = 30;
+  uint64_t seed = 7;
+};
+
+class LdaModel {
+ public:
+  // `docs` are token-id sequences over a vocabulary of `vocab_size`.
+  void Train(const std::vector<std::vector<int>>& docs, int vocab_size,
+             const LdaConfig& config);
+
+  int num_topics() const { return config_.num_topics; }
+  int vocab_size() const { return vocab_size_; }
+  bool trained() const { return !topic_word_.empty(); }
+
+  // Topic mixture of training document `d`.
+  std::vector<double> DocTopics(int d) const;
+
+  // Folds in an unseen document by Gibbs sampling with topic-word counts
+  // frozen. Unknown / out-of-range token ids are skipped; an empty
+  // (or fully unknown) document returns the uniform mixture.
+  std::vector<double> InferTopics(const std::vector<int>& doc,
+                                  Rng& rng) const;
+
+  // p(w | z = k), smoothed.
+  double TopicWordProb(int topic, int word) const;
+
+  // Cosine similarity between two topic mixtures.
+  static double MixtureSimilarity(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+ private:
+  LdaConfig config_;
+  int vocab_size_ = 0;
+  std::vector<std::vector<int>> doc_topic_;   // n_dk
+  std::vector<int> doc_len_;
+  std::vector<std::vector<int>> topic_word_;  // n_kw
+  std::vector<int> topic_total_;              // n_k
+};
+
+}  // namespace topics
+}  // namespace evrec
+
+#endif  // EVREC_TOPICS_LDA_H_

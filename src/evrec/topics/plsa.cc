@@ -1,0 +1,144 @@
+#include "evrec/topics/plsa.h"
+
+#include <unordered_map>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace topics {
+
+namespace {
+
+// Per-document word counts (PLSA works on the count matrix).
+std::unordered_map<int, int> CountWords(const std::vector<int>& doc,
+                                        int vocab_size) {
+  std::unordered_map<int, int> counts;
+  for (int w : doc) {
+    if (w >= 0 && w < vocab_size) ++counts[w];
+  }
+  return counts;
+}
+
+}  // namespace
+
+void PlsaModel::Train(const std::vector<std::vector<int>>& docs,
+                      int vocab_size, const PlsaConfig& config) {
+  EVREC_CHECK_GT(vocab_size, 0);
+  config_ = config;
+  vocab_size_ = vocab_size;
+  const int k = config.num_topics;
+  const int d = static_cast<int>(docs.size());
+  Rng rng(config.seed, /*stream=*/23);
+
+  std::vector<std::unordered_map<int, int>> counts(static_cast<size_t>(d));
+  for (int di = 0; di < d; ++di) {
+    counts[static_cast<size_t>(di)] =
+        CountWords(docs[static_cast<size_t>(di)], vocab_size);
+  }
+
+  // Random init, normalized.
+  word_given_topic_.assign(
+      static_cast<size_t>(k),
+      std::vector<double>(static_cast<size_t>(vocab_size), 0.0));
+  for (auto& row : word_given_topic_) {
+    double sum = 0.0;
+    for (auto& v : row) {
+      v = rng.Uniform(0.5, 1.5);
+      sum += v;
+    }
+    for (auto& v : row) v /= sum;
+  }
+  topic_given_doc_.assign(static_cast<size_t>(d),
+                          std::vector<double>(static_cast<size_t>(k), 0.0));
+  for (auto& row : topic_given_doc_) {
+    double sum = 0.0;
+    for (auto& v : row) {
+      v = rng.Uniform(0.5, 1.5);
+      sum += v;
+    }
+    for (auto& v : row) v /= sum;
+  }
+
+  std::vector<double> posterior(static_cast<size_t>(k));
+  std::vector<std::vector<double>> new_wz(
+      static_cast<size_t>(k),
+      std::vector<double>(static_cast<size_t>(vocab_size), 0.0));
+
+  for (int iter = 0; iter < config.train_iterations; ++iter) {
+    for (auto& row : new_wz) {
+      std::fill(row.begin(), row.end(), config.smoothing);
+    }
+    for (int di = 0; di < d; ++di) {
+      auto& pzd = topic_given_doc_[static_cast<size_t>(di)];
+      std::vector<double> new_zd(static_cast<size_t>(k), 1e-12);
+      for (const auto& [w, c] : counts[static_cast<size_t>(di)]) {
+        // E-step: p(z | d, w) ~ p(w|z) p(z|d).
+        double norm = 0.0;
+        for (int kk = 0; kk < k; ++kk) {
+          posterior[static_cast<size_t>(kk)] =
+              word_given_topic_[static_cast<size_t>(kk)]
+                               [static_cast<size_t>(w)] *
+              pzd[static_cast<size_t>(kk)];
+          norm += posterior[static_cast<size_t>(kk)];
+        }
+        if (norm <= 0.0) continue;
+        for (int kk = 0; kk < k; ++kk) {
+          double r = c * posterior[static_cast<size_t>(kk)] / norm;
+          new_wz[static_cast<size_t>(kk)][static_cast<size_t>(w)] += r;
+          new_zd[static_cast<size_t>(kk)] += r;
+        }
+      }
+      // M-step for p(z|d).
+      double zsum = 0.0;
+      for (double v : new_zd) zsum += v;
+      for (int kk = 0; kk < k; ++kk) {
+        pzd[static_cast<size_t>(kk)] = new_zd[static_cast<size_t>(kk)] / zsum;
+      }
+    }
+    // M-step for p(w|z).
+    for (int kk = 0; kk < k; ++kk) {
+      double sum = 0.0;
+      for (double v : new_wz[static_cast<size_t>(kk)]) sum += v;
+      for (int w = 0; w < vocab_size; ++w) {
+        word_given_topic_[static_cast<size_t>(kk)][static_cast<size_t>(w)] =
+            new_wz[static_cast<size_t>(kk)][static_cast<size_t>(w)] / sum;
+      }
+    }
+  }
+}
+
+std::vector<double> PlsaModel::InferTopics(const std::vector<int>& doc) const {
+  EVREC_CHECK(trained());
+  const int k = config_.num_topics;
+  std::vector<double> pzd(static_cast<size_t>(k), 1.0 / k);
+  auto counts = CountWords(doc, vocab_size_);
+  if (counts.empty()) return pzd;
+
+  std::vector<double> posterior(static_cast<size_t>(k));
+  for (int iter = 0; iter < config_.fold_in_iterations; ++iter) {
+    std::vector<double> new_zd(static_cast<size_t>(k), 1e-12);
+    for (const auto& [w, c] : counts) {
+      double norm = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        posterior[static_cast<size_t>(kk)] =
+            word_given_topic_[static_cast<size_t>(kk)][static_cast<size_t>(w)] *
+            pzd[static_cast<size_t>(kk)];
+        norm += posterior[static_cast<size_t>(kk)];
+      }
+      if (norm <= 0.0) continue;
+      for (int kk = 0; kk < k; ++kk) {
+        new_zd[static_cast<size_t>(kk)] +=
+            c * posterior[static_cast<size_t>(kk)] / norm;
+      }
+    }
+    double zsum = 0.0;
+    for (double v : new_zd) zsum += v;
+    for (int kk = 0; kk < k; ++kk) {
+      pzd[static_cast<size_t>(kk)] = new_zd[static_cast<size_t>(kk)] / zsum;
+    }
+  }
+  return pzd;
+}
+
+}  // namespace topics
+}  // namespace evrec

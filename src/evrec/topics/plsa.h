@@ -1,0 +1,54 @@
+// Probabilistic Latent Semantic Analysis trained with EM — the second
+// bag-of-words prior-art model the paper cites ([1], used by [3] for event
+// matching). Kept alongside LDA for the semantic-baseline ablation.
+
+#ifndef EVREC_TOPICS_PLSA_H_
+#define EVREC_TOPICS_PLSA_H_
+
+#include <vector>
+
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace topics {
+
+struct PlsaConfig {
+  int num_topics = 16;
+  int train_iterations = 60;
+  int fold_in_iterations = 30;
+  double smoothing = 1e-3;  // additive smoothing on p(w|z) updates
+  uint64_t seed = 9;
+};
+
+class PlsaModel {
+ public:
+  void Train(const std::vector<std::vector<int>>& docs, int vocab_size,
+             const PlsaConfig& config);
+
+  int num_topics() const { return config_.num_topics; }
+  bool trained() const { return !word_given_topic_.empty(); }
+
+  // p(z | d) for training document d.
+  std::vector<double> DocTopics(int d) const {
+    return topic_given_doc_[static_cast<size_t>(d)];
+  }
+
+  // Folds in a new document: EM on p(z|d_new) with p(w|z) frozen.
+  std::vector<double> InferTopics(const std::vector<int>& doc) const;
+
+  double WordGivenTopic(int topic, int word) const {
+    return word_given_topic_[static_cast<size_t>(topic)]
+                            [static_cast<size_t>(word)];
+  }
+
+ private:
+  PlsaConfig config_;
+  int vocab_size_ = 0;
+  std::vector<std::vector<double>> word_given_topic_;  // [k][w]
+  std::vector<std::vector<double>> topic_given_doc_;   // [d][k]
+};
+
+}  // namespace topics
+}  // namespace evrec
+
+#endif  // EVREC_TOPICS_PLSA_H_

@@ -1,0 +1,183 @@
+#include "evrec/util/binary_io.h"
+
+#include <sys/stat.h>
+
+#include <cstring>
+
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+
+namespace {
+// Refuses absurd element counts so a corrupt length prefix cannot trigger a
+// multi-gigabyte allocation.
+constexpr uint32_t kMaxVectorElements = 1u << 28;
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "wb")) {
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for write: " + path);
+  }
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t n) {
+  if (!status_.ok() || file_ == nullptr) return;
+  if (std::fwrite(data, 1, n, file_) != n) {
+    status_ = Status::IoError("short write");
+  }
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  WriteRaw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  WriteRaw(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryWriter::WriteI32Vector(const std::vector<int32_t>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  WriteRaw(v.data(), v.size() * sizeof(int32_t));
+}
+
+void BinaryWriter::WriteMagic(const char tag[4]) { WriteRaw(tag, 4); }
+
+Status BinaryWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("close failed");
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : file_(std::fopen(path.c_str(), "rb")) {
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for read: " + path);
+  }
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryReader::ReadRaw(void* data, size_t n) {
+  if (!status_.ok() || file_ == nullptr) {
+    std::memset(data, 0, n);
+    return;
+  }
+  if (std::fread(data, 1, n, file_) != n) {
+    status_ = Status::Corruption("short read");
+    std::memset(data, 0, n);
+  }
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+int32_t BinaryReader::ReadI32() {
+  int32_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+float BinaryReader::ReadF32() {
+  float v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadF64() {
+  double v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  uint32_t n = ReadU32();
+  if (n > kMaxVectorElements) {
+    status_ = Status::Corruption("string length implausible");
+    return {};
+  }
+  std::string s(n, '\0');
+  ReadRaw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadFloatVector() {
+  uint32_t n = ReadU32();
+  if (n > kMaxVectorElements) {
+    status_ = Status::Corruption("vector length implausible");
+    return {};
+  }
+  std::vector<float> v(n);
+  ReadRaw(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<double> BinaryReader::ReadDoubleVector() {
+  uint32_t n = ReadU32();
+  if (n > kMaxVectorElements) {
+    status_ = Status::Corruption("vector length implausible");
+    return {};
+  }
+  std::vector<double> v(n);
+  ReadRaw(v.data(), n * sizeof(double));
+  return v;
+}
+
+std::vector<int32_t> BinaryReader::ReadI32Vector() {
+  uint32_t n = ReadU32();
+  if (n > kMaxVectorElements) {
+    status_ = Status::Corruption("vector length implausible");
+    return {};
+  }
+  std::vector<int32_t> v(n);
+  ReadRaw(v.data(), n * sizeof(int32_t));
+  return v;
+}
+
+void BinaryReader::ExpectMagic(const char tag[4]) {
+  char buf[4] = {0, 0, 0, 0};
+  ReadRaw(buf, 4);
+  if (status_.ok() && std::memcmp(buf, tag, 4) != 0) {
+    status_ = Status::Corruption(
+        StrFormat("magic mismatch: want %.4s got %.4s", tag, buf));
+  }
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace evrec

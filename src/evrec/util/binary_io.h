@@ -1,0 +1,89 @@
+// Binary serialization primitives for model checkpoints and cached
+// experiment artifacts. Format: little-endian POD fields, length-prefixed
+// strings/vectors, with a caller-supplied magic tag checked on read so a
+// truncated or mismatched file surfaces as Status::Corruption instead of
+// garbage weights.
+
+#ifndef EVREC_UTIL_BINARY_IO_H_
+#define EVREC_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "evrec/util/status.h"
+
+namespace evrec {
+
+// Streaming writer. Not thread-safe. Fails fast: the first IO error sticks
+// and every later call is a no-op, so callers check status() once at Close.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteFloatVector(const std::vector<float>& v);
+  void WriteDoubleVector(const std::vector<double>& v);
+  void WriteI32Vector(const std::vector<int32_t>& v);
+
+  // Writes a 4-byte section tag (e.g. "EVRC"); the reader verifies it.
+  void WriteMagic(const char tag[4]);
+
+  Status Close();
+  const Status& status() const { return status_; }
+
+ private:
+  void WriteRaw(const void* data, size_t n);
+
+  std::FILE* file_;
+  Status status_;
+};
+
+// Streaming reader mirroring BinaryWriter.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int32_t ReadI32();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  std::vector<float> ReadFloatVector();
+  std::vector<double> ReadDoubleVector();
+  std::vector<int32_t> ReadI32Vector();
+
+  // Reads 4 bytes and fails with Corruption if they differ from `tag`.
+  void ExpectMagic(const char tag[4]);
+
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+ private:
+  void ReadRaw(void* data, size_t n);
+
+  std::FILE* file_;
+  Status status_;
+};
+
+// True if a regular file exists at `path`.
+bool FileExists(const std::string& path);
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_BINARY_IO_H_

@@ -1,0 +1,68 @@
+// Assertion macros for programmer errors.
+//
+// EVREC_CHECK(cond) aborts the process with a diagnostic when `cond` is
+// false. These are enabled in all build modes: the library is used for
+// research reproduction, where a loud failure beats silent corruption.
+// Use Status/StatusOr (status.h) for errors caused by external input.
+
+#ifndef EVREC_UTIL_CHECK_H_
+#define EVREC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace evrec {
+namespace internal {
+
+// Formats and prints a fatal check failure, then aborts. Kept out-of-line
+// in spirit (small static) so the macro body stays cheap on the happy path.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[EVREC FATAL] %s:%d: check failed: %s %s\n", file,
+               line, expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream collector so call sites can write EVREC_CHECK(x) << "detail".
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace evrec
+
+#define EVREC_CHECK(cond)                                              \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::evrec::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define EVREC_CHECK_EQ(a, b) EVREC_CHECK((a) == (b))
+#define EVREC_CHECK_NE(a, b) EVREC_CHECK((a) != (b))
+#define EVREC_CHECK_LT(a, b) EVREC_CHECK((a) < (b))
+#define EVREC_CHECK_LE(a, b) EVREC_CHECK((a) <= (b))
+#define EVREC_CHECK_GT(a, b) EVREC_CHECK((a) > (b))
+#define EVREC_CHECK_GE(a, b) EVREC_CHECK((a) >= (b))
+
+#endif  // EVREC_UTIL_CHECK_H_

@@ -1,0 +1,68 @@
+#include "evrec/util/csv_writer.h"
+
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : file_(std::fopen(path.c_str(), "w")), num_columns_(header.size()) {
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for write: " + path);
+    return;
+  }
+  WriteLine(header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::WriteLine(const std::vector<std::string>& fields) {
+  if (!status_.ok() || file_ == nullptr) return;
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    // Quote fields containing separators; our numeric output never needs
+    // escaping, but headers with free text might.
+    if (fields[i].find_first_of(",\"\n") != std::string::npos) {
+      line += '"';
+      for (char c : fields[i]) {
+        if (c == '"') line += '"';
+        line += c;
+      }
+      line += '"';
+    } else {
+      line += fields[i];
+    }
+  }
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    status_ = Status::IoError("short write");
+  }
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  EVREC_CHECK_EQ(fields.size(), num_columns_);
+  WriteLine(fields);
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& fields) {
+  EVREC_CHECK_EQ(fields.size(), num_columns_);
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (double v : fields) text.push_back(StrFormat("%.9g", v));
+  WriteLine(text);
+}
+
+Status CsvWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("close failed");
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+}  // namespace evrec

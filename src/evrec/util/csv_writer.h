@@ -1,0 +1,42 @@
+// Tiny CSV emitter used by the bench harnesses to dump figure series
+// (P/R curves) so they can be plotted outside the repo. Values are written
+// with enough precision to round-trip floats.
+
+#ifndef EVREC_UTIL_CSV_WRITER_H_
+#define EVREC_UTIL_CSV_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "evrec/util/status.h"
+
+namespace evrec {
+
+class CsvWriter {
+ public:
+  // Opens `path` and writes the header row. Check status() before use.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  // Writes one data row; the field count must match the header.
+  void WriteRow(const std::vector<std::string>& fields);
+  void WriteRow(const std::vector<double>& fields);
+
+  Status Close();
+  const Status& status() const { return status_; }
+
+ private:
+  void WriteLine(const std::vector<std::string>& fields);
+
+  std::FILE* file_;
+  size_t num_columns_;
+  Status status_;
+};
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_CSV_WRITER_H_

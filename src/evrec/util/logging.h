@@ -1,0 +1,53 @@
+// Minimal leveled logger writing to stderr.
+//
+// Usage:  EVREC_LOG(INFO) << "trained epoch " << epoch;
+// Levels: DEBUG < INFO < WARN < ERROR. The global threshold defaults to INFO
+// and can be changed with SetLogLevel (e.g. tests silence INFO chatter).
+
+#ifndef EVREC_UTIL_LOGGING_H_
+#define EVREC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace evrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace evrec
+
+#define EVREC_LOG_DEBUG ::evrec::LogLevel::kDebug
+#define EVREC_LOG_INFO ::evrec::LogLevel::kInfo
+#define EVREC_LOG_WARN ::evrec::LogLevel::kWarn
+#define EVREC_LOG_ERROR ::evrec::LogLevel::kError
+
+#define EVREC_LOG(severity) \
+  ::evrec::internal::LogMessage(EVREC_LOG_##severity, __FILE__, __LINE__)
+
+#endif  // EVREC_UTIL_LOGGING_H_

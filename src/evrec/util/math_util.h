@@ -1,0 +1,101 @@
+// Numerically careful scalar helpers used across the NN, GBDT, and topic
+// model code. All reductions that mix exponentials use the max-shift trick.
+
+#ifndef EVREC_UTIL_MATH_UTIL_H_
+#define EVREC_UTIL_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+
+// Numerically stable log(sum_i exp(x_i)). Empty input is a caller bug.
+inline double LogSumExp(const std::vector<double>& xs) {
+  EVREC_CHECK(!xs.empty());
+  double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+inline float LogSumExp(const float* xs, int n) {
+  EVREC_CHECK_GT(n, 0);
+  float m = xs[0];
+  for (int i = 1; i < n; ++i) m = std::max(m, xs[i]);
+  float sum = 0.0f;
+  for (int i = 0; i < n; ++i) sum += std::exp(xs[i] - m);
+  return m + std::log(sum);
+}
+
+// Logistic sigmoid with clamping so exp never overflows.
+inline double Sigmoid(double x) {
+  if (x >= 0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+// log(sigmoid(x)) computed without catastrophic cancellation.
+inline double LogSigmoid(double x) {
+  if (x >= 0) return -std::log1p(std::exp(-x));
+  return x - std::log1p(std::exp(x));
+}
+
+// Clamps `p` into (eps, 1-eps) before taking logs in cross-entropy code.
+inline double ClampProb(double p, double eps = 1e-12) {
+  return std::min(1.0 - eps, std::max(eps, p));
+}
+
+// Binary cross-entropy for a single observation.
+inline double CrossEntropy(double label, double p) {
+  p = ClampProb(p);
+  return -(label * std::log(p) + (1.0 - label) * std::log(1.0 - p));
+}
+
+// Squared L2 norm / dot product over float spans.
+inline double SquaredNorm(const float* x, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
+  return s;
+}
+
+inline double Dot(const float* a, const float* b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+// Cosine similarity with a zero-vector guard: returns 0 when either side
+// has near-zero norm (a degenerate but reachable case for empty documents).
+inline double CosineSimilarity(const float* a, const float* b, int n) {
+  double na = SquaredNorm(a, n);
+  double nb = SquaredNorm(b, n);
+  if (na < 1e-24 || nb < 1e-24) return 0.0;
+  return Dot(a, b, n) / std::sqrt(na * nb);
+}
+
+// Mean of a double vector (0 for empty input).
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+// Euclidean distance between 2-d points; used for geo features.
+inline double EuclideanDistance2D(double x1, double y1, double x2,
+                                  double y2) {
+  double dx = x1 - x2;
+  double dy = y1 - y2;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_MATH_UTIL_H_

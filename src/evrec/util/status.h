@@ -1,0 +1,121 @@
+// Status / StatusOr: lightweight error propagation for fallible operations
+// (file IO, model deserialization, user-supplied configuration). Modeled on
+// the Abseil / RocksDB pattern; the library does not throw exceptions.
+
+#ifndef EVREC_UTIL_STATUS_H_
+#define EVREC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+// Value-type error carrier. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// StatusOr<T>: either a value or a non-OK Status. Access to the value of a
+// failed StatusOr is a fatal error (EVREC_CHECK).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : payload_(std::move(status)) {  // NOLINT
+    EVREC_CHECK(!std::get<Status>(payload_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    EVREC_CHECK(ok()) << "value() on failed StatusOr: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    EVREC_CHECK(ok()) << "value() on failed StatusOr: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    EVREC_CHECK(ok()) << "value() on failed StatusOr: " << status().ToString();
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+// Propagates a non-OK status to the caller.
+#define EVREC_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::evrec::Status _evrec_status = (expr);    \
+    if (!_evrec_status.ok()) return _evrec_status; \
+  } while (0)
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_STATUS_H_

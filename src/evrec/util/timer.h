@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for coarse phase timing in the pipeline and benches.
+
+#ifndef EVREC_UTIL_TIMER_H_
+#define EVREC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace evrec {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_TIMER_H_

@@ -1,0 +1,231 @@
+// Tests for evrec/baseline: the feature index (with brute-force
+// cross-checks and causality), base/CF extractors, and the assembler.
+
+#include <gtest/gtest.h>
+
+#include "evrec/baseline/assembler.h"
+#include "evrec/simnet/generator.h"
+#include "evrec/util/logging.h"
+
+namespace evrec {
+namespace baseline {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SetLogLevel(LogLevel::kWarn);
+    dataset_ = new simnet::SimnetDataset(
+        simnet::GenerateDataset(simnet::TinySimnetConfig()));
+    index_ = new FeatureIndex(*dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete dataset_;
+    SetLogLevel(LogLevel::kInfo);
+  }
+  static simnet::SimnetDataset* dataset_;
+  static FeatureIndex* index_;
+};
+
+simnet::SimnetDataset* BaselineTest::dataset_ = nullptr;
+FeatureIndex* BaselineTest::index_ = nullptr;
+
+TEST_F(BaselineTest, AttendeesBeforeMatchesBruteForce) {
+  for (int e = 0; e < 20; ++e) {
+    for (int day : {0, 10, 25, 40}) {
+      int brute = 0;
+      for (const auto& edge :
+           dataset_->feedback.event_attendees[static_cast<size_t>(e)]) {
+        if (edge.day < day) ++brute;
+      }
+      EXPECT_EQ(index_->AttendeesBefore(e, day), brute);
+    }
+  }
+}
+
+TEST_F(BaselineTest, CausalityCutoffIsStrict) {
+  // Find an attendance edge and verify it is excluded at its own day.
+  for (size_t e = 0; e < dataset_->feedback.event_attendees.size(); ++e) {
+    const auto& edges = dataset_->feedback.event_attendees[e];
+    if (edges.empty()) continue;
+    int day = edges[0].day;
+    int before = index_->AttendeesBefore(static_cast<int>(e), day);
+    int after = index_->AttendeesBefore(static_cast<int>(e), day + 1);
+    EXPECT_LT(before, after);
+    return;
+  }
+  FAIL() << "no attendance edges in tiny dataset";
+}
+
+TEST_F(BaselineTest, FriendsAttendingMatchesBruteForce) {
+  const auto& users = dataset_->world.users;
+  int checked = 0;
+  for (int u = 0; u < 30 && checked < 10; ++u) {
+    for (int e = 0; e < 30; ++e) {
+      int day = 35;
+      int brute = 0;
+      for (const auto& edge :
+           dataset_->feedback.event_attendees[static_cast<size_t>(e)]) {
+        if (edge.day >= day) continue;
+        const auto& f = users[static_cast<size_t>(u)].friends;
+        if (std::binary_search(f.begin(), f.end(), edge.counterpart)) {
+          ++brute;
+        }
+      }
+      EXPECT_EQ(index_->FriendsAttendingBefore(u, e, day), brute);
+      if (brute > 0) ++checked;
+    }
+  }
+}
+
+TEST_F(BaselineTest, AreFriendsMatchesAdjacency) {
+  const auto& users = dataset_->world.users;
+  const auto& u = users[3];
+  for (int v = 0; v < static_cast<int>(users.size()); v += 7) {
+    bool expected =
+        std::find(u.friends.begin(), u.friends.end(), v) != u.friends.end();
+    EXPECT_EQ(index_->AreFriends(3, v), expected);
+  }
+}
+
+TEST_F(BaselineTest, CategoryAffinityInUnitRange) {
+  for (int u = 0; u < 40; ++u) {
+    for (int c = 0; c < dataset_->config.num_topics; ++c) {
+      double a = index_->CategoryAffinityBefore(u, c, 40);
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST_F(BaselineTest, NoHistoryMeansZeroAffinity) {
+  // Day 0: nobody has joined anything yet.
+  EXPECT_EQ(index_->CategoryAffinityBefore(0, 0, 0), 0.0);
+  EXPECT_EQ(index_->UserJoinCountBefore(0, 0), 0);
+  EXPECT_EQ(index_->AttendeesBefore(0, 0), 0);
+}
+
+// ---------- extractors ----------
+
+TEST_F(BaselineTest, BaseFeatureCountMatchesNames) {
+  BaseFeatureExtractor base(*index_);
+  std::vector<float> out;
+  base.Extract(0, 0, 20, &out);
+  EXPECT_EQ(out.size(), BaseFeatureExtractor::FeatureNames().size());
+  EXPECT_EQ(static_cast<int>(out.size()), BaseFeatureExtractor::NumFeatures());
+  for (float v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_F(BaselineTest, CfFeatureCountMatchesNames) {
+  CfFeatureExtractor cf(*index_);
+  std::vector<float> out;
+  cf.Extract(0, 0, 20, &out);
+  EXPECT_EQ(out.size(), CfFeatureExtractor::FeatureNames().size());
+  for (float v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_F(BaselineTest, CfFeaturesVanishForColdEvents) {
+  // An event with zero prior attendees yields all-zero CF features
+  // (the transiency failure mode of collaborative filtering).
+  int cold_event = -1;
+  for (int e = 0; e < dataset_->num_events(); ++e) {
+    if (dataset_->feedback.event_attendees[static_cast<size_t>(e)].empty()) {
+      cold_event = e;
+      break;
+    }
+  }
+  ASSERT_NE(cold_event, -1);
+  CfFeatureExtractor cf(*index_);
+  std::vector<float> out;
+  cf.Extract(0, cold_event, 41, &out);
+  for (float v : out) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSorted({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSorted({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSorted({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSorted({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSorted({}, {}), 0.0);
+}
+
+// ---------- assembler ----------
+
+TEST_F(BaselineTest, FeatureConfigNames) {
+  EXPECT_EQ((FeatureConfig{true, true, false, false}).Name(), "base+cf");
+  EXPECT_EQ((FeatureConfig{false, false, true, false}).Name(), "rep");
+  EXPECT_EQ((FeatureConfig{true, true, true, true}).Name(),
+            "base+cf+rep+score");
+  EXPECT_EQ((FeatureConfig{false, false, false, false}).Name(), "none");
+}
+
+TEST_F(BaselineTest, AssemblerShapesAndLabels) {
+  std::vector<std::vector<float>> ureps(
+      static_cast<size_t>(dataset_->num_users()),
+      std::vector<float>{1.0f, 0.0f});
+  std::vector<std::vector<float>> ereps(
+      static_cast<size_t>(dataset_->num_events()),
+      std::vector<float>{0.0f, 1.0f});
+  FeatureAssembler assembler(*index_, &ureps, &ereps);
+
+  FeatureConfig cfg;
+  cfg.base = true;
+  cfg.cf = true;
+  cfg.rep_vectors = true;
+  cfg.rep_score = true;
+
+  auto names = assembler.FeatureNames(cfg);
+  gbdt::DataMatrix x;
+  std::vector<float> y;
+  assembler.Assemble(dataset_->combiner_train, cfg, &x, &y);
+  EXPECT_EQ(x.num_rows(), static_cast<int>(dataset_->combiner_train.size()));
+  EXPECT_EQ(x.num_cols(), static_cast<int>(names.size()));
+  EXPECT_EQ(y.size(), dataset_->combiner_train.size());
+  // rep_score column exists and is the fixed cosine of the dummy vectors.
+  int score_col = -1;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "rep_similarity") score_col = static_cast<int>(i);
+  }
+  ASSERT_NE(score_col, -1);
+  EXPECT_NEAR(x.At(0, score_col), 0.0f, 1e-6);  // orthogonal dummies
+}
+
+TEST_F(BaselineTest, AssemblerRepOnlyConfig) {
+  std::vector<std::vector<float>> ureps(
+      static_cast<size_t>(dataset_->num_users()),
+      std::vector<float>{0.5f, 0.5f});
+  std::vector<std::vector<float>> ereps(
+      static_cast<size_t>(dataset_->num_events()),
+      std::vector<float>{0.5f, 0.5f});
+  FeatureAssembler assembler(*index_, &ureps, &ereps);
+  FeatureConfig cfg;
+  cfg.base = false;
+  cfg.cf = false;
+  cfg.rep_vectors = true;
+  gbdt::DataMatrix x;
+  std::vector<float> y;
+  assembler.Assemble(dataset_->eval, cfg, &x, &y);
+  EXPECT_EQ(x.num_cols(), 6);  // vu(2) + ve(2) + products(2)
+}
+
+TEST_F(BaselineTest, ExtraFeatureBlockAppended) {
+  FeatureAssembler assembler(*index_, nullptr, nullptr);
+  assembler.SetExtraFeatures(
+      {"lda_sim"}, [](int user, int event, int day, std::vector<float>* out) {
+        out->push_back(static_cast<float>(user + event + day));
+      });
+  FeatureConfig cfg;
+  cfg.base = true;
+  cfg.cf = false;
+  auto names = assembler.FeatureNames(cfg);
+  EXPECT_EQ(names.back(), "lda_sim");
+  std::vector<float> row;
+  assembler.ExtractRow(2, 3, 4, cfg, &row);
+  EXPECT_EQ(row.size(), names.size());
+  EXPECT_FLOAT_EQ(row.back(), 9.0f);
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace evrec

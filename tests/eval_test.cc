@@ -1,0 +1,235 @@
+// Tests for evrec/eval: ROC AUC, P/R curves, precision@recall, sampling,
+// log loss, accuracy, and the table printer.
+
+#include <gtest/gtest.h>
+
+#include "evrec/eval/metrics.h"
+#include "evrec/eval/table_printer.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace eval {
+namespace {
+
+TEST(RocAucTest, PerfectRanking) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<float> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 1.0);
+}
+
+TEST(RocAucTest, InvertedRanking) {
+  std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  std::vector<float> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.0);
+}
+
+TEST(RocAucTest, AllTiedIsHalf) {
+  std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  std::vector<float> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(RocAucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(RocAucTest, KnownMixedCase) {
+  // 1 positive ranked above 1 of 2 negatives: AUC = 0.5.
+  std::vector<double> scores = {0.6, 0.7, 0.5};
+  std::vector<float> labels = {1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(RocAucTest, AgreesWithBruteForce) {
+  Rng rng(17);
+  std::vector<double> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(rng.Uniform(0, 1));
+    // induce correlation and ties
+    double s = scores.back();
+    scores.back() = std::round(s * 20) / 20.0;
+    labels.push_back(rng.Bernoulli(s) ? 1.0f : 0.0f);
+  }
+  // Brute force: P(score_pos > score_neg) + 0.5 P(equal).
+  double wins = 0.0;
+  long pairs = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] < 0.5f) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] > 0.5f) continue;
+      ++pairs;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), wins / pairs, 1e-12);
+}
+
+TEST(PrCurveTest, KnownSmallCase) {
+  // Scores descending: labels 1, 0, 1, 0.
+  std::vector<double> scores = {0.9, 0.8, 0.7, 0.6};
+  std::vector<float> labels = {1, 0, 1, 0};
+  auto curve = PrecisionRecallCurve(scores, labels);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve[2].recall, 1.0);
+  EXPECT_NEAR(curve[2].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[3].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve[3].precision, 0.5);
+}
+
+TEST(PrCurveTest, RecallIsNonDecreasing) {
+  Rng rng(18);
+  std::vector<double> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 300; ++i) {
+    scores.push_back(rng.Uniform(0, 1));
+    labels.push_back(rng.Bernoulli(0.3) ? 1.0f : 0.0f);
+  }
+  auto curve = PrecisionRecallCurve(scores, labels);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+    EXPECT_LE(curve[i - 1].threshold, 1.0);
+  }
+  EXPECT_NEAR(curve.back().recall, 1.0, 1e-12);
+}
+
+TEST(PrCurveTest, TieGroupsConsumedAtomically) {
+  std::vector<double> scores = {0.5, 0.5, 0.5, 0.1};
+  std::vector<float> labels = {1, 0, 1, 0};
+  auto curve = PrecisionRecallCurve(scores, labels);
+  // Only two distinct thresholds.
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+  EXPECT_NEAR(curve[0].precision, 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrCurveTest, NoPositivesYieldsEmptyCurve) {
+  EXPECT_TRUE(PrecisionRecallCurve({0.5, 0.4}, {0, 0}).empty());
+}
+
+TEST(PrecisionAtRecallTest, FirstCrossing) {
+  std::vector<PrPoint> curve = {
+      {0.9, 1.0, 0.2}, {0.8, 0.8, 0.5}, {0.7, 0.6, 0.8}, {0.6, 0.4, 1.0}};
+  EXPECT_DOUBLE_EQ(PrecisionAtRecall(curve, 0.6), 0.6);
+  EXPECT_DOUBLE_EQ(PrecisionAtRecall(curve, 0.8), 0.6);
+  EXPECT_DOUBLE_EQ(PrecisionAtRecall(curve, 0.9), 0.4);
+  EXPECT_DOUBLE_EQ(PrecisionAtRecall(curve, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtRecall({}, 0.5), 0.0);
+}
+
+TEST(SampleCurveTest, EvenRecallGrid) {
+  std::vector<PrPoint> curve = {{0.9, 1.0, 0.5}, {0.1, 0.5, 1.0}};
+  auto grid = SampleCurve(curve, 4);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_DOUBLE_EQ(grid[0].recall, 0.25);
+  EXPECT_DOUBLE_EQ(grid[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(grid[3].recall, 1.0);
+  EXPECT_DOUBLE_EQ(grid[3].precision, 0.5);
+}
+
+TEST(LogLossTest, PerfectAndWorst) {
+  EXPECT_NEAR(MeanLogLoss({1.0, 0.0}, {1, 0}), 0.0, 1e-9);
+  EXPECT_GT(MeanLogLoss({0.0, 1.0}, {1, 0}), 10.0);
+  EXPECT_NEAR(MeanLogLoss({0.5}, {1}), std::log(2.0), 1e-12);
+}
+
+TEST(AccuracyTest, ThresholdBehaviour) {
+  std::vector<double> scores = {0.9, 0.4, 0.6, 0.1};
+  std::vector<float> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(scores, labels, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy(scores, labels, 0.95), 0.5);
+}
+
+TEST(RocAucProperty, InvariantUnderMonotoneTransform) {
+  // AUC is a rank statistic: any strictly increasing transform of the
+  // scores leaves it unchanged.
+  Rng rng(31);
+  std::vector<double> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 250; ++i) {
+    scores.push_back(rng.Uniform(-3, 3));
+    labels.push_back(rng.Bernoulli(0.25) ? 1.0f : 0.0f);
+  }
+  double base = RocAuc(scores, labels);
+  std::vector<double> transformed;
+  for (double s : scores) transformed.push_back(std::exp(0.5 * s) + 7.0);
+  EXPECT_DOUBLE_EQ(RocAuc(transformed, labels), base);
+}
+
+TEST(RocAucProperty, FlippingScoresFlipsAuc) {
+  Rng rng(32);
+  std::vector<double> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(rng.Uniform(0, 1));
+    labels.push_back(rng.Bernoulli(0.4) ? 1.0f : 0.0f);
+  }
+  double base = RocAuc(scores, labels);
+  std::vector<double> flipped;
+  for (double s : scores) flipped.push_back(-s);
+  EXPECT_NEAR(RocAuc(flipped, labels), 1.0 - base, 1e-12);
+}
+
+TEST(PrCurveProperty, PrecisionBoundedByPositiveRate) {
+  // The curve's final point (threshold -> -inf) has precision equal to
+  // the base positive rate, and every precision lies in [0, 1] (0 occurs
+  // while only negatives have been admitted).
+  Rng rng(33);
+  std::vector<double> scores;
+  std::vector<float> labels;
+  int pos = 0;
+  for (int i = 0; i < 300; ++i) {
+    scores.push_back(rng.Uniform(0, 1));
+    bool y = rng.Bernoulli(0.3);
+    pos += y ? 1 : 0;
+    labels.push_back(y ? 1.0f : 0.0f);
+  }
+  auto curve = PrecisionRecallCurve(scores, labels);
+  ASSERT_FALSE(curve.empty());
+  for (const auto& p : curve) {
+    EXPECT_GE(p.precision, 0.0);
+    EXPECT_LE(p.precision, 1.0);
+  }
+  EXPECT_NEAR(curve.back().precision,
+              static_cast<double>(pos) / 300.0, 1e-12);
+}
+
+TEST(PrCurveProperty, PerfectScorerHasUnitPrecisionEverywhere) {
+  std::vector<double> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 50; ++i) {
+    bool y = i < 20;
+    scores.push_back(y ? 1.0 + i : -1.0 - i);
+    labels.push_back(y ? 1.0f : 0.0f);
+  }
+  auto curve = PrecisionRecallCurve(scores, labels);
+  EXPECT_DOUBLE_EQ(PrecisionAtRecall(curve, 1.0), 1.0);
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"name", "AUC"});
+  t.AddRow({"baseline", "0.810"});
+  t.AddRow({"x", "0.861"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| name     | AUC   |"), std::string::npos);
+  EXPECT_NE(out.find("| baseline | 0.810 |"), std::string::npos);
+  EXPECT_NE(out.find("|----------|-------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Metric3Formats) {
+  EXPECT_EQ(Metric3(0.8114), "0.811");
+  EXPECT_EQ(Metric3(1.0), "1.000");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace evrec

@@ -1,0 +1,321 @@
+// Tests for evrec/simnet: the synthetic world must actually exhibit the
+// structural properties the reproduction depends on (DESIGN.md §2):
+// transiency, sparsity, heterogeneous user signal, causal feedback, and
+// the word-disjoint user/event vocabularies.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "evrec/simnet/docs.h"
+#include "evrec/simnet/generator.h"
+#include "evrec/simnet/word_factory.h"
+#include "evrec/util/logging.h"
+
+namespace evrec {
+namespace simnet {
+namespace {
+
+class SimnetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SetLogLevel(LogLevel::kWarn);
+    dataset_ = new SimnetDataset(GenerateDataset(TinySimnetConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+    SetLogLevel(LogLevel::kInfo);
+  }
+  static SimnetDataset* dataset_;
+};
+
+SimnetDataset* SimnetTest::dataset_ = nullptr;
+
+// ---------- language ----------
+
+TEST(TopicLanguageTest, EventAndUserVocabulariesAreWordDisjoint) {
+  SimnetConfig cfg = TinySimnetConfig();
+  Rng rng(cfg.seed, 3);
+  TopicLanguage lang(cfg, rng);
+  std::unordered_set<std::string> event_words;
+  for (int k = 0; k < cfg.num_topics; ++k) {
+    for (const auto& w : lang.EventWords(k)) event_words.insert(w);
+  }
+  for (int k = 0; k < cfg.num_topics; ++k) {
+    for (const auto& w : lang.UserWords(k)) {
+      EXPECT_EQ(event_words.count(w), 0u) << "shared word: " << w;
+    }
+  }
+}
+
+TEST(TopicLanguageTest, SampleDocumentRespectsMixture) {
+  SimnetConfig cfg = TinySimnetConfig();
+  Rng rng(cfg.seed, 3);
+  TopicLanguage lang(cfg, rng);
+  std::vector<double> pure(static_cast<size_t>(cfg.num_topics), 0.0);
+  pure[0] = 1.0;
+  Rng doc_rng(5);
+  auto doc = lang.SampleDocument(pure, 200, /*event_side=*/true,
+                                 /*common=*/0.0, doc_rng);
+  ASSERT_EQ(doc.size(), 200u);
+  std::unordered_set<std::string> topic0(lang.EventWords(0).begin(),
+                                         lang.EventWords(0).end());
+  for (const auto& w : doc) {
+    EXPECT_EQ(topic0.count(w), 1u) << w;
+  }
+}
+
+TEST(TopicLanguageTest, TopicNamesAreDistinct) {
+  SimnetConfig cfg = TinySimnetConfig();
+  Rng rng(cfg.seed, 3);
+  TopicLanguage lang(cfg, rng);
+  std::set<std::string> names;
+  for (int k = 0; k < cfg.num_topics; ++k) names.insert(lang.TopicName(k));
+  EXPECT_EQ(names.size(), static_cast<size_t>(cfg.num_topics));
+}
+
+// ---------- world structure ----------
+
+TEST_F(SimnetTest, EntityCountsMatchConfig) {
+  const auto& cfg = dataset_->config;
+  EXPECT_EQ(dataset_->num_users(), cfg.num_users);
+  EXPECT_EQ(dataset_->num_events(), cfg.num_events);
+  EXPECT_EQ(static_cast<int>(dataset_->world.pages.size()), cfg.num_pages);
+}
+
+TEST_F(SimnetTest, FriendshipIsSymmetricAndSorted) {
+  const auto& users = dataset_->world.users;
+  for (const auto& u : users) {
+    EXPECT_TRUE(std::is_sorted(u.friends.begin(), u.friends.end()));
+    for (int f : u.friends) {
+      ASSERT_GE(f, 0);
+      ASSERT_LT(f, static_cast<int>(users.size()));
+      EXPECT_NE(f, u.id);
+      const auto& fv = users[static_cast<size_t>(f)].friends;
+      EXPECT_TRUE(std::binary_search(fv.begin(), fv.end(), u.id))
+          << "asymmetric edge " << u.id << "<->" << f;
+    }
+  }
+}
+
+TEST_F(SimnetTest, InterestsAreDistributions) {
+  for (const auto& u : dataset_->world.users) {
+    ASSERT_EQ(static_cast<int>(u.interests.size()),
+              dataset_->config.num_topics);
+    double sum = 0.0;
+    for (double v : u.interests) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST_F(SimnetTest, EventsHaveShortLifespans) {
+  const auto& cfg = dataset_->config;
+  for (const auto& e : dataset_->events) {
+    double lifespan = e.start_day - e.create_day;
+    EXPECT_GE(lifespan, cfg.lifespan_min_days - 1e-9);
+    EXPECT_LE(lifespan, cfg.lifespan_max_days + 1e-9);
+    EXPECT_EQ(e.category_name, dataset_->topic_names[static_cast<size_t>(
+                                   e.category)]);
+  }
+}
+
+TEST_F(SimnetTest, EventCategoryIsArgmaxTopic) {
+  for (const auto& e : dataset_->events) {
+    for (double t : e.topics) {
+      EXPECT_LE(t, e.topics[static_cast<size_t>(e.category)] + 1e-12);
+    }
+  }
+}
+
+// ---------- impression log ----------
+
+TEST_F(SimnetTest, SplitsAreTimeDisjointAndOrdered) {
+  const auto& cfg = dataset_->config;
+  for (const auto& i : dataset_->rep_train) {
+    EXPECT_LT(i.day, cfg.rep_train_days);
+  }
+  for (const auto& i : dataset_->combiner_train) {
+    EXPECT_GE(i.day, cfg.rep_train_days);
+    EXPECT_LT(i.day, cfg.combiner_train_days);
+  }
+  for (const auto& i : dataset_->eval) {
+    EXPECT_GE(i.day, cfg.combiner_train_days);
+    EXPECT_LT(i.day, cfg.num_days);
+  }
+  EXPECT_FALSE(dataset_->rep_train.empty());
+  EXPECT_FALSE(dataset_->combiner_train.empty());
+  EXPECT_FALSE(dataset_->eval.empty());
+}
+
+TEST_F(SimnetTest, ImpressionsReferenceActiveEvents) {
+  for (const auto& i : dataset_->eval) {
+    const Event& e = dataset_->events[static_cast<size_t>(i.event)];
+    EXPECT_GE(static_cast<double>(i.day) + 1.0, e.create_day);
+    EXPECT_LE(static_cast<double>(i.day), e.start_day + 1e-9);
+  }
+}
+
+TEST_F(SimnetTest, DownsamplingAchievesTargetRatio) {
+  int pos = 0, neg = 0;
+  auto count = [&](const std::vector<Impression>& v) {
+    for (const auto& i : v) {
+      (i.label > 0.5f ? pos : neg) += 1;
+    }
+  };
+  count(dataset_->rep_train);
+  count(dataset_->combiner_train);
+  count(dataset_->eval);
+  ASSERT_GT(pos, 0);
+  double ratio = static_cast<double>(neg) / pos;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 7.0);  // target 4, with sampling noise
+}
+
+TEST_F(SimnetTest, FeedbackLogsAreCausalAndChronological) {
+  for (const auto& edges : dataset_->feedback.event_attendees) {
+    for (size_t i = 1; i < edges.size(); ++i) {
+      EXPECT_GE(edges[i].day, edges[i - 1].day);
+    }
+  }
+  // Every attendee edge corresponds to a user; user_joins mirrors it.
+  int total_joins = 0, total_attendees = 0;
+  for (const auto& edges : dataset_->feedback.user_joins) {
+    total_joins += static_cast<int>(edges.size());
+  }
+  for (const auto& edges : dataset_->feedback.event_attendees) {
+    total_attendees += static_cast<int>(edges.size());
+  }
+  EXPECT_EQ(total_joins, total_attendees);
+  EXPECT_GT(total_joins, 0);
+}
+
+TEST_F(SimnetTest, PerUserHistoryIsSparse) {
+  // Median user has few joins - the sparsity property (paper §1).
+  std::vector<int> counts;
+  for (const auto& edges : dataset_->feedback.user_joins) {
+    counts.push_back(static_cast<int>(edges.size()));
+  }
+  std::sort(counts.begin(), counts.end());
+  int median = counts[counts.size() / 2];
+  EXPECT_LT(median, 15);
+}
+
+TEST_F(SimnetTest, EvalWeekIsMostlyColdStartEvents) {
+  // The transiency property: most eval-week events never appeared in the
+  // representation-training period.
+  EXPECT_GT(ColdStartEventFraction(*dataset_), 0.5);
+}
+
+TEST_F(SimnetTest, GroundTruthUtilityOrdersProbabilities) {
+  const auto& cfg = dataset_->config;
+  const User& u = dataset_->world.users[0];
+  const Event& e = dataset_->events[0];
+  double base = ParticipationProbability(cfg, u, e, 0, 0, false, 0.0);
+  double with_friends = ParticipationProbability(cfg, u, e, 5, 5, false, 0.0);
+  double with_host = ParticipationProbability(cfg, u, e, 0, 0, true, 0.0);
+  EXPECT_GT(with_friends, base);
+  EXPECT_GT(with_host, base);
+  EXPECT_GT(base, 0.0);
+  EXPECT_LT(with_friends, 1.0);
+}
+
+TEST_F(SimnetTest, GenerationIsDeterministic) {
+  SimnetDataset again = GenerateDataset(TinySimnetConfig());
+  ASSERT_EQ(again.rep_train.size(), dataset_->rep_train.size());
+  ASSERT_EQ(again.eval.size(), dataset_->eval.size());
+  for (size_t i = 0; i < again.eval.size(); ++i) {
+    EXPECT_EQ(again.eval[i].user, dataset_->eval[i].user);
+    EXPECT_EQ(again.eval[i].event, dataset_->eval[i].event);
+    EXPECT_EQ(again.eval[i].label, dataset_->eval[i].label);
+  }
+  EXPECT_EQ(again.world.users[7].profile_words,
+            dataset_->world.users[7].profile_words);
+  EXPECT_EQ(again.events[3].title_words, dataset_->events[3].title_words);
+}
+
+TEST_F(SimnetTest, DifferentSeedsDiffer) {
+  SimnetConfig cfg = TinySimnetConfig();
+  cfg.seed = 777;
+  SimnetDataset other = GenerateDataset(cfg);
+  EXPECT_NE(other.events[0].title_words, dataset_->events[0].title_words);
+}
+
+// ---------- documents ----------
+
+TEST_F(SimnetTest, EventTextIncludesTitleBodyCategory) {
+  const Event& e = dataset_->events[0];
+  auto words = EventTextWords(e);
+  EXPECT_EQ(words.size(),
+            e.title_words.size() + e.body_words.size() + 1);
+  EXPECT_EQ(words.back(), e.category_name);
+}
+
+TEST_F(SimnetTest, UserTextCombinesProfileAndPageTitles) {
+  const User* user_with_pages = nullptr;
+  for (const auto& u : dataset_->world.users) {
+    if (!u.pages.empty()) {
+      user_with_pages = &u;
+      break;
+    }
+  }
+  ASSERT_NE(user_with_pages, nullptr);
+  auto words = UserTextWords(*user_with_pages, dataset_->world.pages);
+  EXPECT_GT(words.size(), user_with_pages->profile_words.size());
+}
+
+TEST_F(SimnetTest, CategoricalIdsWellFormed) {
+  const User& u = dataset_->world.users[1];
+  auto ids = UserCategoricalIds(u);
+  ASSERT_GE(ids.size(), 3u);
+  EXPECT_EQ(ids[0].rfind("city:", 0), 0u);
+  EXPECT_EQ(ids[1].rfind("age:", 0), 0u);
+  EXPECT_EQ(ids[2].rfind("gender:", 0), 0u);
+  EXPECT_EQ(ids.size(), 3 + u.pages.size());
+}
+
+TEST(DownsampleTest, KeepsAllPositives) {
+  std::vector<Impression> imps;
+  for (int i = 0; i < 100; ++i) {
+    imps.push_back({0, 0, 0, i < 10 ? 1.0f : 0.0f});
+  }
+  Rng rng(5);
+  auto out = DownsampleNegatives(imps, 2.0, rng);
+  int pos = 0, neg = 0;
+  for (const auto& i : out) {
+    (i.label > 0.5f ? pos : neg) += 1;
+  }
+  EXPECT_EQ(pos, 10);
+  EXPECT_LT(neg, 40);
+  EXPECT_GT(neg, 5);
+}
+
+TEST(DownsampleTest, NoOpWhenAlreadyBelowTarget) {
+  std::vector<Impression> imps;
+  for (int i = 0; i < 10; ++i) {
+    imps.push_back({0, 0, 0, i < 5 ? 1.0f : 0.0f});
+  }
+  Rng rng(6);
+  auto out = DownsampleNegatives(imps, 4.0, rng);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(ActiveEventsTest, WindowsMatchLifespans) {
+  std::vector<Event> events(1);
+  events[0].id = 0;
+  events[0].create_day = 2.5;
+  events[0].start_day = 5.5;
+  auto active = ActiveEventsByDay(events, 10);
+  EXPECT_TRUE(active[2].empty());
+  EXPECT_EQ(active[3].size(), 1u);
+  EXPECT_EQ(active[5].size(), 1u);
+  EXPECT_TRUE(active[6].empty());
+}
+
+}  // namespace
+}  // namespace simnet
+}  // namespace evrec

@@ -1,0 +1,133 @@
+// Tests for evrec/store: sharded LRU KV cache and the representation
+// vector cache (compute-through semantics, invalidation, stats).
+
+#include <gtest/gtest.h>
+
+#include "evrec/store/kv_cache.h"
+#include "evrec/store/rep_cache.h"
+
+namespace evrec {
+namespace store {
+namespace {
+
+TEST(KvCacheTest, PutGetRoundTrip) {
+  ShardedKvCache cache(4, 8);
+  cache.Put(1, {1.0f, 2.0f});
+  std::vector<float> out;
+  ASSERT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out, (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_FALSE(cache.Get(2, &out));
+}
+
+TEST(KvCacheTest, OverwriteReplacesValue) {
+  ShardedKvCache cache(1, 4);
+  cache.Put(5, {1.0f});
+  cache.Put(5, {2.0f});
+  std::vector<float> out;
+  ASSERT_TRUE(cache.Get(5, &out));
+  EXPECT_EQ(out, std::vector<float>{2.0f});
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(KvCacheTest, LruEvictsLeastRecentlyUsed) {
+  ShardedKvCache cache(1, 2);  // single shard, capacity 2
+  cache.Put(1, {1.0f});
+  cache.Put(2, {2.0f});
+  // Touch 1 so 2 becomes LRU.
+  std::vector<float> out;
+  ASSERT_TRUE(cache.Get(1, &out));
+  cache.Put(3, {3.0f});  // evicts 2
+  EXPECT_TRUE(cache.Get(1, &out));
+  EXPECT_FALSE(cache.Get(2, &out));
+  EXPECT_TRUE(cache.Get(3, &out));
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(KvCacheTest, InvalidateRemovesEntry) {
+  ShardedKvCache cache(2, 4);
+  cache.Put(7, {7.0f});
+  EXPECT_TRUE(cache.Invalidate(7));
+  EXPECT_FALSE(cache.Invalidate(7));
+  std::vector<float> out;
+  EXPECT_FALSE(cache.Get(7, &out));
+}
+
+TEST(KvCacheTest, ClearDropsEverything) {
+  ShardedKvCache cache(4, 4);
+  for (uint64_t k = 0; k < 10; ++k) cache.Put(k, {1.0f});
+  cache.Clear();
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(KvCacheTest, StatsTrackHitsAndMisses) {
+  ShardedKvCache cache(2, 4);
+  cache.Put(1, {1.0f});
+  std::vector<float> out;
+  cache.Get(1, &out);
+  cache.Get(1, &out);
+  cache.Get(99, &out);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_NEAR(stats.HitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KvCacheTest, ManyKeysAcrossShards) {
+  ShardedKvCache cache(8, 100);
+  for (uint64_t k = 0; k < 500; ++k) cache.Put(k, {static_cast<float>(k)});
+  // Capacity 8*100 = 800 >= 500: everything retained.
+  std::vector<float> out;
+  int found = 0;
+  for (uint64_t k = 0; k < 500; ++k) {
+    if (cache.Get(k, &out)) ++found;
+  }
+  EXPECT_EQ(found, 500);
+}
+
+TEST(RepCacheTest, EntityKeysAreDistinct) {
+  EXPECT_NE(EntityKey(EntityKind::kUser, 5),
+            EntityKey(EntityKind::kEvent, 5));
+  EXPECT_NE(EntityKey(EntityKind::kUser, 5),
+            EntityKey(EntityKind::kUser, 6));
+}
+
+TEST(RepCacheTest, GetOrComputeComputesOnce) {
+  RepVectorCache cache(2, 16);
+  int computations = 0;
+  auto compute = [&]() {
+    ++computations;
+    return std::vector<float>{1.0f, 2.0f};
+  };
+  auto v1 = cache.GetOrCompute(EntityKind::kUser, 1, compute);
+  auto v2 = cache.GetOrCompute(EntityKind::kUser, 1, compute);
+  EXPECT_EQ(computations, 1);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(RepCacheTest, InvalidateForcesRecompute) {
+  RepVectorCache cache(2, 16);
+  int computations = 0;
+  auto compute = [&]() {
+    ++computations;
+    return std::vector<float>{static_cast<float>(computations)};
+  };
+  cache.GetOrCompute(EntityKind::kEvent, 3, compute);
+  EXPECT_TRUE(cache.Invalidate(EntityKind::kEvent, 3));
+  auto v = cache.GetOrCompute(EntityKind::kEvent, 3, compute);
+  EXPECT_EQ(computations, 2);
+  EXPECT_FLOAT_EQ(v[0], 2.0f);
+}
+
+TEST(RepCacheTest, PrecomputeSkipsComputation) {
+  RepVectorCache cache(2, 16);
+  cache.Precompute(EntityKind::kUser, 9, {4.0f});
+  auto v = cache.GetOrCompute(EntityKind::kUser, 9, []() {
+    ADD_FAILURE() << "compute should not run";
+    return std::vector<float>{};
+  });
+  EXPECT_FLOAT_EQ(v[0], 4.0f);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace evrec

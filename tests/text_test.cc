@@ -1,0 +1,293 @@
+// Tests for evrec/text: normalization, tokenizers (including word
+// provenance), DF-filtered vocabulary, and the encoder.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "evrec/text/encoder.h"
+#include "evrec/text/normalizer.h"
+#include "evrec/text/tokenizer.h"
+#include "evrec/text/vocabulary.h"
+
+namespace evrec {
+namespace text {
+namespace {
+
+// ---------- normalizer ----------
+
+TEST(NormalizerTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(Normalize("Hello, World!"), "hello world");
+  EXPECT_EQ(Normalize("  a  b "), "a b");
+  EXPECT_EQ(Normalize(""), "");
+  EXPECT_EQ(Normalize("..."), "");
+}
+
+TEST(NormalizerTest, KeepsDigits) {
+  EXPECT_EQ(Normalize("Room 42!"), "room 42");
+}
+
+TEST(NormalizerTest, NormalizeToWords) {
+  auto words = NormalizeToWords("Ice-Cream Festival, 2016");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "ice");
+  EXPECT_EQ(words[1], "cream");
+  EXPECT_EQ(words[2], "festival");
+  EXPECT_EQ(words[3], "2016");
+}
+
+// ---------- tokenizers ----------
+
+TEST(TrigramTokenizerTest, EmitsBoundaryPaddedTrigrams) {
+  LetterTrigramTokenizer tok;
+  std::vector<Token> out;
+  tok.Tokenize({"cream"}, &out);
+  // #cream# -> #cr cre rea eam am#
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].value, "#cr");
+  EXPECT_EQ(out[1].value, "cre");
+  EXPECT_EQ(out[2].value, "rea");
+  EXPECT_EQ(out[3].value, "eam");
+  EXPECT_EQ(out[4].value, "am#");
+  for (const auto& t : out) EXPECT_EQ(t.word_index, 0);
+}
+
+TEST(TrigramTokenizerTest, ShortWords) {
+  LetterTrigramTokenizer tok;
+  std::vector<Token> out;
+  tok.Tokenize({"a"}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, "#a#");
+  out.clear();
+  tok.Tokenize({"ab"}, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].value, "#ab");
+  EXPECT_EQ(out[1].value, "ab#");
+}
+
+TEST(TrigramTokenizerTest, WordProvenanceTracked) {
+  LetterTrigramTokenizer tok;
+  std::vector<Token> out;
+  tok.Tokenize({"ab", "cd"}, &out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].word_index, 0);
+  EXPECT_EQ(out[1].word_index, 0);
+  EXPECT_EQ(out[2].word_index, 1);
+  EXPECT_EQ(out[3].word_index, 1);
+}
+
+TEST(TrigramTokenizerTest, SkipsEmptyWords) {
+  LetterTrigramTokenizer tok;
+  std::vector<Token> out;
+  tok.Tokenize({"", "ab", ""}, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].word_index, 1);
+}
+
+TEST(TrigramTokenizerTest, SharedMorphemesShareTrigrams) {
+  // Words sharing a root share trigram tokens — the generalization
+  // mechanism the paper borrows from DSSM.
+  LetterTrigramTokenizer tok;
+  std::vector<Token> a, b;
+  tok.Tokenize({"jarest"}, &a);
+  tok.Tokenize({"jarold"}, &b);
+  int shared = 0;
+  for (const auto& ta : a) {
+    for (const auto& tb : b) {
+      if (ta.value == tb.value) ++shared;
+    }
+  }
+  EXPECT_GE(shared, 2);  // #ja, jar at least
+}
+
+TEST(UnigramTokenizerTest, OneTokenPerWord) {
+  WordUnigramTokenizer tok;
+  std::vector<Token> out;
+  tok.Tokenize({"city:3", "page:17"}, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].value, "city:3");
+  EXPECT_EQ(out[0].word_index, 0);
+  EXPECT_EQ(out[1].value, "page:17");
+  EXPECT_EQ(out[1].word_index, 1);
+}
+
+TEST(TokenizerFactoryTest, ByName) {
+  EXPECT_NE(MakeTokenizer("letter_trigram"), nullptr);
+  EXPECT_NE(MakeTokenizer("word_unigram"), nullptr);
+  EXPECT_EQ(MakeTokenizer("bogus"), nullptr);
+}
+
+// ---------- vocabulary ----------
+
+std::vector<Token> Toks(std::vector<std::string> words) {
+  std::vector<Token> out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    out.push_back(Token{words[i], static_cast<int>(i)});
+  }
+  return out;
+}
+
+TEST(VocabularyTest, DocumentFrequencyFilter) {
+  Vocabulary v;
+  v.AddDocument(Toks({"a", "b", "c"}));
+  v.AddDocument(Toks({"a", "b"}));
+  v.AddDocument(Toks({"a"}));
+  v.Finalize(/*min_df=*/2, /*max_size=*/100);
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_NE(v.Lookup("a"), Vocabulary::kUnknownId);
+  EXPECT_NE(v.Lookup("b"), Vocabulary::kUnknownId);
+  EXPECT_EQ(v.Lookup("c"), Vocabulary::kUnknownId);
+  EXPECT_EQ(v.num_documents(), 3);
+}
+
+TEST(VocabularyTest, DuplicateTokensCountOncePerDocument) {
+  Vocabulary v;
+  v.AddDocument(Toks({"x", "x", "x"}));
+  v.Finalize(2, 100);
+  EXPECT_EQ(v.Lookup("x"), Vocabulary::kUnknownId);  // df == 1
+}
+
+TEST(VocabularyTest, MaxSizeKeepsMostFrequent) {
+  Vocabulary v;
+  for (int d = 0; d < 3; ++d) v.AddDocument(Toks({"hot"}));
+  for (int d = 0; d < 2; ++d) v.AddDocument(Toks({"warm"}));
+  v.AddDocument(Toks({"cold"}));
+  v.Finalize(1, 2);
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_NE(v.Lookup("hot"), Vocabulary::kUnknownId);
+  EXPECT_NE(v.Lookup("warm"), Vocabulary::kUnknownId);
+  EXPECT_EQ(v.Lookup("cold"), Vocabulary::kUnknownId);
+}
+
+TEST(VocabularyTest, IdsAreDenseAndDfAccessible) {
+  Vocabulary v;
+  v.AddDocument(Toks({"a", "b"}));
+  v.AddDocument(Toks({"a"}));
+  v.Finalize(1, 100);
+  ASSERT_EQ(v.size(), 2);
+  int ida = v.Lookup("a");
+  int idb = v.Lookup("b");
+  EXPECT_EQ(ida, 0);  // higher df first
+  EXPECT_EQ(idb, 1);
+  EXPECT_EQ(v.DocumentFrequency(ida), 2);
+  EXPECT_EQ(v.DocumentFrequency(idb), 1);
+  EXPECT_EQ(v.TokenOf(ida), "a");
+}
+
+TEST(VocabularyTest, DeterministicOrderOnTies) {
+  Vocabulary v1, v2;
+  for (auto* v : {&v1, &v2}) {
+    v->AddDocument(Toks({"zeta", "alpha", "mid"}));
+    v->Finalize(1, 100);
+  }
+  for (int i = 0; i < v1.size(); ++i) {
+    EXPECT_EQ(v1.TokenOf(i), v2.TokenOf(i));
+  }
+  EXPECT_EQ(v1.TokenOf(0), "alpha");  // lexicographic tiebreak
+}
+
+TEST(VocabularyTest, MaxDfFilterDropsStopTokens) {
+  Vocabulary v;
+  // "the" appears in every document; "rare" in 40%.
+  for (int d = 0; d < 10; ++d) {
+    std::vector<std::string> words = {"the"};
+    if (d < 4) words.push_back("rare");
+    v.AddDocument(Toks(words));
+  }
+  v.Finalize(/*min_df=*/1, /*max_size=*/100, /*max_df_fraction=*/0.5);
+  EXPECT_EQ(v.Lookup("the"), Vocabulary::kUnknownId);
+  EXPECT_NE(v.Lookup("rare"), Vocabulary::kUnknownId);
+}
+
+TEST(VocabularyTest, MaxDfOfOneKeepsEverything) {
+  Vocabulary v;
+  for (int d = 0; d < 5; ++d) v.AddDocument(Toks({"always"}));
+  v.Finalize(1, 100, 1.0);
+  EXPECT_NE(v.Lookup("always"), Vocabulary::kUnknownId);
+}
+
+TEST(VocabularyTest, SerializeRoundTrip) {
+  std::string path = testing::TempDir() + "/evrec_vocab_test.bin";
+  Vocabulary v;
+  v.AddDocument(Toks({"a", "b"}));
+  v.AddDocument(Toks({"a"}));
+  v.Finalize(1, 100);
+  {
+    BinaryWriter w(path);
+    v.Serialize(w);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  Vocabulary loaded = Vocabulary::Deserialize(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(loaded.size(), v.size());
+  EXPECT_EQ(loaded.Lookup("a"), v.Lookup("a"));
+  EXPECT_EQ(loaded.Lookup("b"), v.Lookup("b"));
+  EXPECT_EQ(loaded.num_documents(), 2);
+  std::remove(path.c_str());
+}
+
+// ---------- encoder ----------
+
+TEST(EncoderTest, EncodeDropsUnknownTokens) {
+  LetterTrigramTokenizer trigram;
+  Vocabulary v = BuildVocabulary(trigram, {{"cream"}, {"cream"}}, 1, 1000);
+  TextEncoder enc(std::make_unique<LetterTrigramTokenizer>(), std::move(v));
+  EncodedText seen = enc.Encode({"cream"});
+  EXPECT_EQ(seen.size(), 5);
+  EncodedText unseen = enc.Encode({"zzzzq"});
+  // No shared trigrams with "cream".
+  EXPECT_TRUE(unseen.empty());
+}
+
+TEST(EncoderTest, PartialOverlapSurvives) {
+  LetterTrigramTokenizer trigram;
+  Vocabulary v = BuildVocabulary(trigram, {{"cream"}}, 1, 1000);
+  TextEncoder enc(std::make_unique<LetterTrigramTokenizer>(), std::move(v));
+  // "creak" shares #cr, cre, rea with "cream".
+  EncodedText e = enc.Encode({"creak"});
+  EXPECT_EQ(e.size(), 3);
+}
+
+TEST(EncoderTest, WordIndexAlignedWithTokens) {
+  LetterTrigramTokenizer trigram;
+  Vocabulary v = BuildVocabulary(trigram, {{"ab", "cd"}}, 1, 1000);
+  TextEncoder enc(std::make_unique<LetterTrigramTokenizer>(), std::move(v));
+  EncodedText e = enc.Encode({"ab", "cd"});
+  ASSERT_EQ(e.token_ids.size(), e.word_index.size());
+  ASSERT_EQ(e.size(), 4);
+  EXPECT_EQ(e.word_index[0], 0);
+  EXPECT_EQ(e.word_index[3], 1);
+}
+
+TEST(EncoderTest, SerializeRoundTrip) {
+  std::string path = testing::TempDir() + "/evrec_encoder_test.bin";
+  LetterTrigramTokenizer trigram;
+  Vocabulary v = BuildVocabulary(trigram, {{"cream", "cone"}}, 1, 1000);
+  TextEncoder enc(std::make_unique<LetterTrigramTokenizer>(), std::move(v));
+  {
+    BinaryWriter w(path);
+    enc.Serialize(w);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  auto loaded = TextEncoder::Deserialize(r);
+  ASSERT_NE(loaded, nullptr);
+  EncodedText a = enc.Encode({"cream"});
+  EncodedText b = loaded->Encode({"cream"});
+  EXPECT_EQ(a.token_ids, b.token_ids);
+  std::remove(path.c_str());
+}
+
+TEST(BuildVocabularyTest, RespectsMinDfAcrossDocuments) {
+  LetterTrigramTokenizer trigram;
+  // "xq" appears in one doc only; with min_df=2 its trigrams are dropped.
+  Vocabulary v =
+      BuildVocabulary(trigram, {{"cream"}, {"cream", "xq"}}, 2, 1000);
+  EXPECT_EQ(v.Lookup("#xq"), Vocabulary::kUnknownId);
+  EXPECT_NE(v.Lookup("#cr"), Vocabulary::kUnknownId);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace evrec

@@ -1,0 +1,411 @@
+// Tests for evrec/util: Status/StatusOr, Rng distributions and
+// determinism, string helpers, numeric helpers, and binary/CSV IO.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "evrec/util/binary_io.h"
+#include "evrec/util/csv_writer.h"
+#include "evrec/util/math_util.h"
+#include "evrec/util/rng.h"
+#include "evrec/util/status.h"
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+namespace {
+
+// ---------- Status ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("payload"));
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123, 7), b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(123, 7), b(123, 8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformU32RespectsBound) {
+  Rng rng(1);
+  for (uint32_t bound : {1u, 2u, 7u, 100u, 1000003u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU32(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(2);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(4);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(5);
+  for (double shape : {0.3, 1.0, 4.5}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.Gamma(shape);
+    EXPECT_NEAR(sum / n, shape, shape * 0.08) << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto v = rng.Dirichlet(0.3, 8);
+    ASSERT_EQ(v.size(), 8u);
+    double sum = 0.0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(7);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  auto copy = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(10);
+  Rng child = parent.Fork(1);
+  Rng child2 = parent.Fork(1);
+  // Sequential forks from an advancing parent differ.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.NextU32() == child2.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+// ---------- string_util ----------
+
+TEST(StringUtilTest, SplitAndTrimDropsEmpties) {
+  auto parts = SplitAndTrim("a,,b, c", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitEmptyInput) {
+  EXPECT_TRUE(SplitAndTrim("", ",").empty());
+  EXPECT_TRUE(SplitAndTrim(",,,", ",").empty());
+}
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("AbC-12"), "abc-12");
+}
+
+TEST(StringUtilTest, IsAsciiAlnum) {
+  EXPECT_TRUE(IsAsciiAlnum("abc123"));
+  EXPECT_FALSE(IsAsciiAlnum("ab c"));
+  EXPECT_FALSE(IsAsciiAlnum("a-b"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(EndsWith("file.bin", ".bin"));
+  EXPECT_FALSE(EndsWith("bin", ".bin"));
+}
+
+// ---------- math_util ----------
+
+TEST(MathUtilTest, LogSumExpMatchesDirect) {
+  std::vector<double> xs = {0.1, -2.0, 3.0, 1.5};
+  double direct = 0.0;
+  for (double x : xs) direct += std::exp(x);
+  EXPECT_NEAR(LogSumExp(xs), std::log(direct), 1e-12);
+}
+
+TEST(MathUtilTest, LogSumExpStableForLargeValues) {
+  std::vector<double> xs = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(xs), 1000.0 + std::log(2.0), 1e-9);
+  std::vector<double> neg = {-1000.0, -1001.0};
+  EXPECT_TRUE(std::isfinite(LogSumExp(neg)));
+}
+
+TEST(MathUtilTest, LogSumExpAtLeastMax) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 5; ++i) xs.push_back(rng.Uniform(-10, 10));
+    double mx = *std::max_element(xs.begin(), xs.end());
+    EXPECT_GE(LogSumExp(xs), mx);
+    EXPECT_LE(LogSumExp(xs), mx + std::log(5.0) + 1e-12);
+  }
+}
+
+TEST(MathUtilTest, SigmoidSymmetryAndRange) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(3.0) + Sigmoid(-3.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(MathUtilTest, LogSigmoidMatchesLogOfSigmoid) {
+  for (double x : {-5.0, -0.5, 0.0, 0.5, 5.0}) {
+    EXPECT_NEAR(LogSigmoid(x), std::log(Sigmoid(x)), 1e-10);
+  }
+  EXPECT_TRUE(std::isfinite(LogSigmoid(-1000.0)));
+}
+
+TEST(MathUtilTest, CrossEntropyClampsProbabilities) {
+  EXPECT_TRUE(std::isfinite(CrossEntropy(1.0, 0.0)));
+  EXPECT_TRUE(std::isfinite(CrossEntropy(0.0, 1.0)));
+  EXPECT_NEAR(CrossEntropy(1.0, 1.0), 0.0, 1e-9);
+}
+
+TEST(MathUtilTest, CosineSimilarityBasics) {
+  float a[3] = {1.0f, 0.0f, 0.0f};
+  float b[3] = {0.0f, 1.0f, 0.0f};
+  float c[3] = {2.0f, 0.0f, 0.0f};
+  float z[3] = {0.0f, 0.0f, 0.0f};
+  EXPECT_NEAR(CosineSimilarity(a, b, 3), 0.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity(a, c, 3), 1.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity(a, z, 3), 0.0, 1e-9);  // zero-vector guard
+}
+
+TEST(MathUtilTest, EuclideanDistance2D) {
+  EXPECT_NEAR(EuclideanDistance2D(0, 0, 3, 4), 5.0, 1e-12);
+}
+
+// ---------- binary IO ----------
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = testing::TempDir() + "/evrec_bio_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(BinaryIoTest, RoundTripAllTypes) {
+  {
+    BinaryWriter w(path_);
+    w.WriteMagic("TSTM");
+    w.WriteU32(42u);
+    w.WriteU64(1ULL << 40);
+    w.WriteI32(-7);
+    w.WriteF32(1.5f);
+    w.WriteF64(2.25);
+    w.WriteString("hello");
+    w.WriteFloatVector({1.0f, 2.0f});
+    w.WriteDoubleVector({3.0, 4.0, 5.0});
+    w.WriteI32Vector({-1, 0, 1});
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path_);
+  r.ExpectMagic("TSTM");
+  EXPECT_EQ(r.ReadU32(), 42u);
+  EXPECT_EQ(r.ReadU64(), 1ULL << 40);
+  EXPECT_EQ(r.ReadI32(), -7);
+  EXPECT_EQ(r.ReadF32(), 1.5f);
+  EXPECT_EQ(r.ReadF64(), 2.25);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadFloatVector(), (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(r.ReadDoubleVector(), (std::vector<double>{3.0, 4.0, 5.0}));
+  EXPECT_EQ(r.ReadI32Vector(), (std::vector<int32_t>{-1, 0, 1}));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(BinaryIoTest, MagicMismatchIsCorruption) {
+  {
+    BinaryWriter w(path_);
+    w.WriteMagic("AAAA");
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path_);
+  r.ExpectMagic("BBBB");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(BinaryIoTest, ShortReadIsCorruption) {
+  {
+    BinaryWriter w(path_);
+    w.WriteU32(7u);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path_);
+  EXPECT_EQ(r.ReadU32(), 7u);
+  r.ReadU64();  // past EOF
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinaryIoTest, ImplausibleVectorLengthRejected) {
+  {
+    BinaryWriter w(path_);
+    w.WriteU32(0xFFFFFFFFu);  // absurd element count
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path_);
+  auto v = r.ReadFloatVector();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinaryIoTest, MissingFileIsIoError) {
+  BinaryReader r("/nonexistent/dir/file.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(BinaryIoTest, FileExists) {
+  EXPECT_FALSE(FileExists(path_));
+  {
+    BinaryWriter w(path_);
+    w.WriteU32(1);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_TRUE(FileExists(path_));
+}
+
+// ---------- CSV ----------
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::string path = testing::TempDir() + "/evrec_csv_test.csv";
+  {
+    CsvWriter csv(path, {"recall", "precision"});
+    csv.WriteRow(std::vector<double>{0.5, 0.25});
+    csv.WriteRow(std::vector<std::string>{"1.0", "has,comma"});
+    ASSERT_TRUE(csv.Close().ok());
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "recall,precision");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.5,0.25");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.0,\"has,comma\"");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace evrec

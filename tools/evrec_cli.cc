@@ -1,0 +1,328 @@
+// evrec_cli — command-line driver for the EvRec library.
+//
+// Subcommands:
+//   generate --out DIR [--users N] [--events N] [--seed S]
+//       Generate a synthetic social-network dataset and export it as TSV
+//       (simnet/dataset_io.h describes the format; replace these files to
+//       run on your own data).
+//   train --data DIR --model FILE [--epochs N] [--siamese]
+//       Load a TSV dataset, train the joint representation model, and
+//       serialize it.
+//   eval --data DIR --model FILE [--features base+cf+rep]
+//       Train the GBDT combiner on the week-5 split with the given feature
+//       set and report AUC / PR60 / PR80 on the week-6 split.
+//   search --data DIR --model FILE --event ID [--k K]
+//       Related-event search: rank events by representation cosine to a
+//       seed event (IVF index, 4 probes).
+//
+// Exit status 0 on success, 1 on bad usage or failure.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "evrec/ann/ivf_index.h"
+#include "evrec/pipeline/pipeline.h"
+#include "evrec/simnet/dataset_io.h"
+#include "evrec/util/logging.h"
+
+namespace {
+
+using namespace evrec;
+
+// Minimal flag parsing: --name value pairs after the subcommand.
+struct Args {
+  std::string data, out, model, features = "base+cf+rep";
+  int users = 1200, events = 1500, epochs = 8, event_id = 0, k = 5;
+  uint64_t seed = 2017;
+  bool siamese = false;
+
+  static bool Parse(int argc, char** argv, Args* out_args) {
+    for (int i = 2; i < argc; ++i) {
+      std::string flag = argv[i];
+      auto next = [&]() -> const char* {
+        return (i + 1 < argc) ? argv[++i] : nullptr;
+      };
+      if (flag == "--siamese") {
+        out_args->siamese = true;
+        continue;
+      }
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        return false;
+      }
+      if (flag == "--data") {
+        out_args->data = v;
+      } else if (flag == "--out") {
+        out_args->out = v;
+      } else if (flag == "--model") {
+        out_args->model = v;
+      } else if (flag == "--features") {
+        out_args->features = v;
+      } else if (flag == "--users") {
+        out_args->users = std::atoi(v);
+      } else if (flag == "--events") {
+        out_args->events = std::atoi(v);
+      } else if (flag == "--epochs") {
+        out_args->epochs = std::atoi(v);
+      } else if (flag == "--event") {
+        out_args->event_id = std::atoi(v);
+      } else if (flag == "--k") {
+        out_args->k = std::atoi(v);
+      } else if (flag == "--seed") {
+        out_args->seed = static_cast<uint64_t>(std::atoll(v));
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// A pipeline whose dataset comes from TSV files instead of the generator.
+// We reuse TwoStagePipeline for the generated path; for the imported path
+// the relevant stages are re-implemented here on top of the library API.
+struct LoadedSystem {
+  simnet::SimnetDataset dataset;
+  pipeline::EncoderSet encoders;
+  model::RepDataset rep_data;
+  std::unique_ptr<model::JointModel> model;
+
+  static StatusOr<LoadedSystem> Load(const std::string& dir,
+                                     const model::JointModelConfig& cfg) {
+    auto imported = simnet::ImportDataset(dir);
+    if (!imported.ok()) return imported.status();
+    LoadedSystem sys;
+    sys.dataset = std::move(*imported);
+    sys.encoders = pipeline::BuildEncoders(
+        sys.dataset, sys.dataset.config.rep_train_days,
+        cfg.min_document_frequency, cfg.max_vocabulary_size,
+        cfg.max_df_fraction);
+    for (const auto& user : sys.dataset.world.users) {
+      sys.rep_data.user_inputs.push_back(
+          sys.encoders.EncodeUser(user, sys.dataset.world.pages, 96));
+    }
+    for (const auto& event : sys.dataset.events) {
+      sys.rep_data.event_inputs.push_back(
+          sys.encoders.EncodeEvent(event, 128));
+    }
+    for (const auto& imp : sys.dataset.rep_train) {
+      sys.rep_data.pairs.push_back({imp.user, imp.event, imp.label, 1.0f});
+    }
+    return sys;
+  }
+
+  void ComputeReps(std::vector<std::vector<float>>* users,
+                   std::vector<std::vector<float>>* events) const {
+    users->clear();
+    events->clear();
+    for (const auto& u : rep_data.user_inputs) {
+      users->push_back(model->UserVector(u));
+    }
+    for (const auto& e : rep_data.event_inputs) {
+      events->push_back(model->EventVector(e));
+    }
+  }
+};
+
+model::JointModelConfig CliModelConfig(int epochs) {
+  model::JointModelConfig cfg;
+  cfg.embedding_dim = 32;
+  cfg.module_out_dim = 32;
+  cfg.hidden_dim = 128;
+  cfg.rep_dim = 64;
+  cfg.max_epochs = epochs;
+  cfg.early_stop_patience = 3;
+  return cfg;
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.out.empty()) {
+    std::fprintf(stderr, "generate: --out DIR required\n");
+    return 1;
+  }
+  simnet::SimnetConfig cfg;
+  cfg.seed = args.seed;
+  cfg.num_users = args.users;
+  cfg.num_events = args.events;
+  simnet::SimnetDataset dataset = simnet::GenerateDataset(cfg);
+  Status status = simnet::ExportDataset(dataset, args.out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %d users / %d events / %zu+%zu+%zu impressions to %s\n",
+              dataset.num_users(), dataset.num_events(),
+              dataset.rep_train.size(), dataset.combiner_train.size(),
+              dataset.eval.size(), args.out.c_str());
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  if (args.data.empty() || args.model.empty()) {
+    std::fprintf(stderr, "train: --data DIR and --model FILE required\n");
+    return 1;
+  }
+  model::JointModelConfig cfg = CliModelConfig(args.epochs);
+  auto sys = LoadedSystem::Load(args.data, cfg);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 sys.status().ToString().c_str());
+    return 1;
+  }
+  sys->model = std::make_unique<model::JointModel>(
+      cfg, sys->encoders.UserTextVocab(),
+      sys->encoders.UserCategoricalVocab(), sys->encoders.EventTextVocab());
+  Rng rng(cfg.seed, 5);
+  sys->model->RandomInit(rng);
+  sys->model->CalibrateNormalizers(sys->rep_data);
+
+  if (args.siamese) {
+    std::vector<text::EncodedText> titles, bodies;
+    for (const auto& event : sys->dataset.events) {
+      if (event.create_day >= sys->dataset.config.rep_train_days) continue;
+      titles.push_back(sys->encoders.EncodeEventTitle(event, 128));
+      bodies.push_back(sys->encoders.EncodeEventBody(event, 128));
+    }
+    model::SiameseConfig scfg;
+    Rng srng = rng.Fork(17);
+    model::SiamesePretrain(&sys->model->mutable_event_tower(), titles,
+                           bodies, scfg, srng);
+  }
+
+  model::RepTrainer trainer(sys->model.get());
+  Rng train_rng = rng.Fork(29);
+  model::TrainStats stats = trainer.Train(sys->rep_data, train_rng);
+  std::printf("trained %d epochs, final train loss %.4f\n", stats.epochs_run,
+              stats.train_loss.empty() ? 0.0 : stats.train_loss.back());
+
+  BinaryWriter writer(args.model);
+  sys->model->Serialize(writer);
+  Status status = writer.Close();
+  if (!status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("model written to %s\n", args.model.c_str());
+  return 0;
+}
+
+StatusOr<LoadedSystem> LoadWithModel(const Args& args) {
+  model::JointModelConfig cfg = CliModelConfig(args.epochs);
+  auto sys = LoadedSystem::Load(args.data, cfg);
+  if (!sys.ok()) return sys.status();
+  BinaryReader reader(args.model);
+  model::JointModel loaded = model::JointModel::Deserialize(reader);
+  if (!reader.ok()) return reader.status();
+  sys->model = std::make_unique<model::JointModel>(std::move(loaded));
+  return sys;
+}
+
+int CmdEval(const Args& args) {
+  if (args.data.empty() || args.model.empty()) {
+    std::fprintf(stderr, "eval: --data DIR and --model FILE required\n");
+    return 1;
+  }
+  auto sys = LoadWithModel(args);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 sys.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<float>> ureps, ereps;
+  sys->ComputeReps(&ureps, &ereps);
+
+  baseline::FeatureConfig features;
+  features.base = args.features.find("base") != std::string::npos;
+  features.cf = args.features.find("cf") != std::string::npos;
+  features.rep_vectors = args.features.find("rep") != std::string::npos;
+  features.rep_score = args.features.find("score") != std::string::npos;
+
+  baseline::FeatureIndex index(sys->dataset);
+  baseline::FeatureAssembler assembler(index, &ureps, &ereps);
+  gbdt::DataMatrix train_x, eval_x;
+  std::vector<float> train_y, eval_y;
+  assembler.Assemble(sys->dataset.combiner_train, features, &train_x,
+                     &train_y);
+  assembler.Assemble(sys->dataset.eval, features, &eval_x, &eval_y);
+  gbdt::GbdtModel combiner;
+  gbdt::GbdtConfig gcfg;
+  combiner.Train(train_x, train_y, gcfg);
+  std::vector<double> probs = combiner.PredictProbabilities(eval_x);
+  auto curve = eval::PrecisionRecallCurve(probs, eval_y);
+  std::printf("[%s] AUC=%.3f PR60=%.3f PR80=%.3f (%d eval impressions)\n",
+              features.Name().c_str(), eval::RocAuc(probs, eval_y),
+              eval::PrecisionAtRecall(curve, 0.6),
+              eval::PrecisionAtRecall(curve, 0.8), eval_x.num_rows());
+  return 0;
+}
+
+int CmdSearch(const Args& args) {
+  if (args.data.empty() || args.model.empty()) {
+    std::fprintf(stderr, "search: --data DIR and --model FILE required\n");
+    return 1;
+  }
+  auto sys = LoadWithModel(args);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 sys.status().ToString().c_str());
+    return 1;
+  }
+  if (args.event_id < 0 || args.event_id >= sys->dataset.num_events()) {
+    std::fprintf(stderr, "event id out of range\n");
+    return 1;
+  }
+  std::vector<std::vector<float>> ureps, ereps;
+  sys->ComputeReps(&ureps, &ereps);
+  ann::IvfIndex index;
+  ann::IvfConfig ivf;
+  ivf.num_lists = 16;
+  index.Build(ereps, ivf);
+  auto results = index.Search(ereps[static_cast<size_t>(args.event_id)],
+                              args.k, /*nprobe=*/4, args.event_id);
+  const auto& seed = sys->dataset.events[static_cast<size_t>(args.event_id)];
+  std::printf("seed [%s]:", seed.category_name.c_str());
+  for (const auto& w : seed.title_words) std::printf(" %s", w.c_str());
+  std::printf("\n");
+  for (const auto& r : results) {
+    const auto& e = sys->dataset.events[static_cast<size_t>(r.id)];
+    std::printf("  %.3f [%s]", r.score, e.category_name.c_str());
+    for (const auto& w : e.title_words) std::printf(" %s", w.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: evrec_cli <generate|train|eval|search> [flags]\n"
+      "  generate --out DIR [--users N] [--events N] [--seed S]\n"
+      "  train    --data DIR --model FILE [--epochs N] [--siamese]\n"
+      "  eval     --data DIR --model FILE [--features base+cf+rep+score]\n"
+      "  search   --data DIR --model FILE --event ID [--k K]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  SetLogLevel(LogLevel::kWarn);
+  Args args;
+  if (!Args::Parse(argc, argv, &args)) {
+    Usage();
+    return 1;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "train") return CmdTrain(args);
+  if (cmd == "eval") return CmdEval(args);
+  if (cmd == "search") return CmdSearch(args);
+  Usage();
+  return 1;
+}
