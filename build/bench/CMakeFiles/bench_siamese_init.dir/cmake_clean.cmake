@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_siamese_init.dir/bench_siamese_init.cc.o"
+  "CMakeFiles/bench_siamese_init.dir/bench_siamese_init.cc.o.d"
+  "bench_siamese_init"
+  "bench_siamese_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_siamese_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_bench_common.dir/common/bench_profile.cc.o"
+  "CMakeFiles/evrec_bench_common.dir/common/bench_profile.cc.o.d"
+  "libevrec_bench_common.a"
+  "libevrec_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

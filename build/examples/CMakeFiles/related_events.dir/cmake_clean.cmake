@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_events.dir/related_events.cpp.o"
+  "CMakeFiles/related_events.dir/related_events.cpp.o.d"
+  "related_events"
+  "related_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

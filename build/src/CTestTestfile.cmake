@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("evrec/util")
+subdirs("evrec/la")
+subdirs("evrec/text")
+subdirs("evrec/nn")
+subdirs("evrec/model")
+subdirs("evrec/gbdt")
+subdirs("evrec/eval")
+subdirs("evrec/simnet")
+subdirs("evrec/baseline")
+subdirs("evrec/topics")
+subdirs("evrec/store")
+subdirs("evrec/ann")
+subdirs("evrec/pipeline")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_ann.dir/ivf_index.cc.o"
+  "CMakeFiles/evrec_ann.dir/ivf_index.cc.o.d"
+  "libevrec_ann.a"
+  "libevrec_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

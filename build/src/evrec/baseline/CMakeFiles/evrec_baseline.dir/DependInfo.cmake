@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evrec/baseline/assembler.cc" "src/evrec/baseline/CMakeFiles/evrec_baseline.dir/assembler.cc.o" "gcc" "src/evrec/baseline/CMakeFiles/evrec_baseline.dir/assembler.cc.o.d"
+  "/root/repo/src/evrec/baseline/base_features.cc" "src/evrec/baseline/CMakeFiles/evrec_baseline.dir/base_features.cc.o" "gcc" "src/evrec/baseline/CMakeFiles/evrec_baseline.dir/base_features.cc.o.d"
+  "/root/repo/src/evrec/baseline/cf_features.cc" "src/evrec/baseline/CMakeFiles/evrec_baseline.dir/cf_features.cc.o" "gcc" "src/evrec/baseline/CMakeFiles/evrec_baseline.dir/cf_features.cc.o.d"
+  "/root/repo/src/evrec/baseline/feature_index.cc" "src/evrec/baseline/CMakeFiles/evrec_baseline.dir/feature_index.cc.o" "gcc" "src/evrec/baseline/CMakeFiles/evrec_baseline.dir/feature_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evrec/simnet/CMakeFiles/evrec_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/util/CMakeFiles/evrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_baseline.dir/assembler.cc.o"
+  "CMakeFiles/evrec_baseline.dir/assembler.cc.o.d"
+  "CMakeFiles/evrec_baseline.dir/base_features.cc.o"
+  "CMakeFiles/evrec_baseline.dir/base_features.cc.o.d"
+  "CMakeFiles/evrec_baseline.dir/cf_features.cc.o"
+  "CMakeFiles/evrec_baseline.dir/cf_features.cc.o.d"
+  "CMakeFiles/evrec_baseline.dir/feature_index.cc.o"
+  "CMakeFiles/evrec_baseline.dir/feature_index.cc.o.d"
+  "libevrec_baseline.a"
+  "libevrec_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevrec_baseline.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_eval.dir/metrics.cc.o"
+  "CMakeFiles/evrec_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/evrec_eval.dir/table_printer.cc.o"
+  "CMakeFiles/evrec_eval.dir/table_printer.cc.o.d"
+  "libevrec_eval.a"
+  "libevrec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evrec/gbdt/binner.cc" "src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/binner.cc.o" "gcc" "src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/binner.cc.o.d"
+  "/root/repo/src/evrec/gbdt/gbdt.cc" "src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/gbdt.cc.o" "gcc" "src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/gbdt.cc.o.d"
+  "/root/repo/src/evrec/gbdt/logistic_regression.cc" "src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/logistic_regression.cc.o" "gcc" "src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/evrec/gbdt/tree.cc" "src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/tree.cc.o" "gcc" "src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/tree.cc.o.d"
+  "/root/repo/src/evrec/gbdt/tree_builder.cc" "src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/tree_builder.cc.o" "gcc" "src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/tree_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evrec/util/CMakeFiles/evrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_gbdt.dir/binner.cc.o"
+  "CMakeFiles/evrec_gbdt.dir/binner.cc.o.d"
+  "CMakeFiles/evrec_gbdt.dir/gbdt.cc.o"
+  "CMakeFiles/evrec_gbdt.dir/gbdt.cc.o.d"
+  "CMakeFiles/evrec_gbdt.dir/logistic_regression.cc.o"
+  "CMakeFiles/evrec_gbdt.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/evrec_gbdt.dir/tree.cc.o"
+  "CMakeFiles/evrec_gbdt.dir/tree.cc.o.d"
+  "CMakeFiles/evrec_gbdt.dir/tree_builder.cc.o"
+  "CMakeFiles/evrec_gbdt.dir/tree_builder.cc.o.d"
+  "libevrec_gbdt.a"
+  "libevrec_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_la.dir/matrix.cc.o"
+  "CMakeFiles/evrec_la.dir/matrix.cc.o.d"
+  "CMakeFiles/evrec_la.dir/vec_ops.cc.o"
+  "CMakeFiles/evrec_la.dir/vec_ops.cc.o.d"
+  "libevrec_la.a"
+  "libevrec_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evrec/model/attribution.cc" "src/evrec/model/CMakeFiles/evrec_model.dir/attribution.cc.o" "gcc" "src/evrec/model/CMakeFiles/evrec_model.dir/attribution.cc.o.d"
+  "/root/repo/src/evrec/model/extraction_bank.cc" "src/evrec/model/CMakeFiles/evrec_model.dir/extraction_bank.cc.o" "gcc" "src/evrec/model/CMakeFiles/evrec_model.dir/extraction_bank.cc.o.d"
+  "/root/repo/src/evrec/model/joint_model.cc" "src/evrec/model/CMakeFiles/evrec_model.dir/joint_model.cc.o" "gcc" "src/evrec/model/CMakeFiles/evrec_model.dir/joint_model.cc.o.d"
+  "/root/repo/src/evrec/model/ranking_trainer.cc" "src/evrec/model/CMakeFiles/evrec_model.dir/ranking_trainer.cc.o" "gcc" "src/evrec/model/CMakeFiles/evrec_model.dir/ranking_trainer.cc.o.d"
+  "/root/repo/src/evrec/model/siamese.cc" "src/evrec/model/CMakeFiles/evrec_model.dir/siamese.cc.o" "gcc" "src/evrec/model/CMakeFiles/evrec_model.dir/siamese.cc.o.d"
+  "/root/repo/src/evrec/model/tower.cc" "src/evrec/model/CMakeFiles/evrec_model.dir/tower.cc.o" "gcc" "src/evrec/model/CMakeFiles/evrec_model.dir/tower.cc.o.d"
+  "/root/repo/src/evrec/model/tower_head.cc" "src/evrec/model/CMakeFiles/evrec_model.dir/tower_head.cc.o" "gcc" "src/evrec/model/CMakeFiles/evrec_model.dir/tower_head.cc.o.d"
+  "/root/repo/src/evrec/model/trainer.cc" "src/evrec/model/CMakeFiles/evrec_model.dir/trainer.cc.o" "gcc" "src/evrec/model/CMakeFiles/evrec_model.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evrec/nn/CMakeFiles/evrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/text/CMakeFiles/evrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/la/CMakeFiles/evrec_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/util/CMakeFiles/evrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_model.dir/attribution.cc.o"
+  "CMakeFiles/evrec_model.dir/attribution.cc.o.d"
+  "CMakeFiles/evrec_model.dir/extraction_bank.cc.o"
+  "CMakeFiles/evrec_model.dir/extraction_bank.cc.o.d"
+  "CMakeFiles/evrec_model.dir/joint_model.cc.o"
+  "CMakeFiles/evrec_model.dir/joint_model.cc.o.d"
+  "CMakeFiles/evrec_model.dir/ranking_trainer.cc.o"
+  "CMakeFiles/evrec_model.dir/ranking_trainer.cc.o.d"
+  "CMakeFiles/evrec_model.dir/siamese.cc.o"
+  "CMakeFiles/evrec_model.dir/siamese.cc.o.d"
+  "CMakeFiles/evrec_model.dir/tower.cc.o"
+  "CMakeFiles/evrec_model.dir/tower.cc.o.d"
+  "CMakeFiles/evrec_model.dir/tower_head.cc.o"
+  "CMakeFiles/evrec_model.dir/tower_head.cc.o.d"
+  "CMakeFiles/evrec_model.dir/trainer.cc.o"
+  "CMakeFiles/evrec_model.dir/trainer.cc.o.d"
+  "libevrec_model.a"
+  "libevrec_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

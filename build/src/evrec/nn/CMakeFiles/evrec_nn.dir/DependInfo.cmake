@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evrec/nn/conv_text_module.cc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/conv_text_module.cc.o" "gcc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/conv_text_module.cc.o.d"
+  "/root/repo/src/evrec/nn/embedding_table.cc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/embedding_table.cc.o" "gcc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/embedding_table.cc.o.d"
+  "/root/repo/src/evrec/nn/feature_norm.cc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/feature_norm.cc.o" "gcc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/feature_norm.cc.o.d"
+  "/root/repo/src/evrec/nn/grad_check.cc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/grad_check.cc.o" "gcc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/grad_check.cc.o.d"
+  "/root/repo/src/evrec/nn/linear_layer.cc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/linear_layer.cc.o" "gcc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/linear_layer.cc.o.d"
+  "/root/repo/src/evrec/nn/sgns.cc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/sgns.cc.o" "gcc" "src/evrec/nn/CMakeFiles/evrec_nn.dir/sgns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evrec/la/CMakeFiles/evrec_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/text/CMakeFiles/evrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/util/CMakeFiles/evrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_nn.dir/conv_text_module.cc.o"
+  "CMakeFiles/evrec_nn.dir/conv_text_module.cc.o.d"
+  "CMakeFiles/evrec_nn.dir/embedding_table.cc.o"
+  "CMakeFiles/evrec_nn.dir/embedding_table.cc.o.d"
+  "CMakeFiles/evrec_nn.dir/feature_norm.cc.o"
+  "CMakeFiles/evrec_nn.dir/feature_norm.cc.o.d"
+  "CMakeFiles/evrec_nn.dir/grad_check.cc.o"
+  "CMakeFiles/evrec_nn.dir/grad_check.cc.o.d"
+  "CMakeFiles/evrec_nn.dir/linear_layer.cc.o"
+  "CMakeFiles/evrec_nn.dir/linear_layer.cc.o.d"
+  "CMakeFiles/evrec_nn.dir/sgns.cc.o"
+  "CMakeFiles/evrec_nn.dir/sgns.cc.o.d"
+  "libevrec_nn.a"
+  "libevrec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_pipeline.dir/encoders.cc.o"
+  "CMakeFiles/evrec_pipeline.dir/encoders.cc.o.d"
+  "CMakeFiles/evrec_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/evrec_pipeline.dir/pipeline.cc.o.d"
+  "libevrec_pipeline.a"
+  "libevrec_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evrec/simnet/dataset_io.cc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/dataset_io.cc.o" "gcc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/dataset_io.cc.o.d"
+  "/root/repo/src/evrec/simnet/docs.cc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/docs.cc.o" "gcc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/docs.cc.o.d"
+  "/root/repo/src/evrec/simnet/event_gen.cc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/event_gen.cc.o" "gcc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/event_gen.cc.o.d"
+  "/root/repo/src/evrec/simnet/generator.cc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/generator.cc.o" "gcc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/generator.cc.o.d"
+  "/root/repo/src/evrec/simnet/impression_gen.cc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/impression_gen.cc.o" "gcc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/impression_gen.cc.o.d"
+  "/root/repo/src/evrec/simnet/social_graph.cc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/social_graph.cc.o" "gcc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/social_graph.cc.o.d"
+  "/root/repo/src/evrec/simnet/word_factory.cc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/word_factory.cc.o" "gcc" "src/evrec/simnet/CMakeFiles/evrec_simnet.dir/word_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evrec/util/CMakeFiles/evrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

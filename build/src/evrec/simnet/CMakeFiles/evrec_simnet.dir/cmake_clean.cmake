@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_simnet.dir/dataset_io.cc.o"
+  "CMakeFiles/evrec_simnet.dir/dataset_io.cc.o.d"
+  "CMakeFiles/evrec_simnet.dir/docs.cc.o"
+  "CMakeFiles/evrec_simnet.dir/docs.cc.o.d"
+  "CMakeFiles/evrec_simnet.dir/event_gen.cc.o"
+  "CMakeFiles/evrec_simnet.dir/event_gen.cc.o.d"
+  "CMakeFiles/evrec_simnet.dir/generator.cc.o"
+  "CMakeFiles/evrec_simnet.dir/generator.cc.o.d"
+  "CMakeFiles/evrec_simnet.dir/impression_gen.cc.o"
+  "CMakeFiles/evrec_simnet.dir/impression_gen.cc.o.d"
+  "CMakeFiles/evrec_simnet.dir/social_graph.cc.o"
+  "CMakeFiles/evrec_simnet.dir/social_graph.cc.o.d"
+  "CMakeFiles/evrec_simnet.dir/word_factory.cc.o"
+  "CMakeFiles/evrec_simnet.dir/word_factory.cc.o.d"
+  "libevrec_simnet.a"
+  "libevrec_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evrec/store/kv_cache.cc" "src/evrec/store/CMakeFiles/evrec_store.dir/kv_cache.cc.o" "gcc" "src/evrec/store/CMakeFiles/evrec_store.dir/kv_cache.cc.o.d"
+  "/root/repo/src/evrec/store/rep_cache.cc" "src/evrec/store/CMakeFiles/evrec_store.dir/rep_cache.cc.o" "gcc" "src/evrec/store/CMakeFiles/evrec_store.dir/rep_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evrec/util/CMakeFiles/evrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

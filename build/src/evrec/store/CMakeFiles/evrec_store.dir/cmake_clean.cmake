@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_store.dir/kv_cache.cc.o"
+  "CMakeFiles/evrec_store.dir/kv_cache.cc.o.d"
+  "CMakeFiles/evrec_store.dir/rep_cache.cc.o"
+  "CMakeFiles/evrec_store.dir/rep_cache.cc.o.d"
+  "libevrec_store.a"
+  "libevrec_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evrec/text/encoder.cc" "src/evrec/text/CMakeFiles/evrec_text.dir/encoder.cc.o" "gcc" "src/evrec/text/CMakeFiles/evrec_text.dir/encoder.cc.o.d"
+  "/root/repo/src/evrec/text/normalizer.cc" "src/evrec/text/CMakeFiles/evrec_text.dir/normalizer.cc.o" "gcc" "src/evrec/text/CMakeFiles/evrec_text.dir/normalizer.cc.o.d"
+  "/root/repo/src/evrec/text/tokenizer.cc" "src/evrec/text/CMakeFiles/evrec_text.dir/tokenizer.cc.o" "gcc" "src/evrec/text/CMakeFiles/evrec_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/evrec/text/vocabulary.cc" "src/evrec/text/CMakeFiles/evrec_text.dir/vocabulary.cc.o" "gcc" "src/evrec/text/CMakeFiles/evrec_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evrec/util/CMakeFiles/evrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

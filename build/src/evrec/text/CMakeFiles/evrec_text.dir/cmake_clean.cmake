@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_text.dir/encoder.cc.o"
+  "CMakeFiles/evrec_text.dir/encoder.cc.o.d"
+  "CMakeFiles/evrec_text.dir/normalizer.cc.o"
+  "CMakeFiles/evrec_text.dir/normalizer.cc.o.d"
+  "CMakeFiles/evrec_text.dir/tokenizer.cc.o"
+  "CMakeFiles/evrec_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/evrec_text.dir/vocabulary.cc.o"
+  "CMakeFiles/evrec_text.dir/vocabulary.cc.o.d"
+  "libevrec_text.a"
+  "libevrec_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_topics.dir/lda.cc.o"
+  "CMakeFiles/evrec_topics.dir/lda.cc.o.d"
+  "CMakeFiles/evrec_topics.dir/plsa.cc.o"
+  "CMakeFiles/evrec_topics.dir/plsa.cc.o.d"
+  "libevrec_topics.a"
+  "libevrec_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

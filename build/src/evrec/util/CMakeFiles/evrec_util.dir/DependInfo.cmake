@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evrec/util/binary_io.cc" "src/evrec/util/CMakeFiles/evrec_util.dir/binary_io.cc.o" "gcc" "src/evrec/util/CMakeFiles/evrec_util.dir/binary_io.cc.o.d"
+  "/root/repo/src/evrec/util/csv_writer.cc" "src/evrec/util/CMakeFiles/evrec_util.dir/csv_writer.cc.o" "gcc" "src/evrec/util/CMakeFiles/evrec_util.dir/csv_writer.cc.o.d"
+  "/root/repo/src/evrec/util/logging.cc" "src/evrec/util/CMakeFiles/evrec_util.dir/logging.cc.o" "gcc" "src/evrec/util/CMakeFiles/evrec_util.dir/logging.cc.o.d"
+  "/root/repo/src/evrec/util/status.cc" "src/evrec/util/CMakeFiles/evrec_util.dir/status.cc.o" "gcc" "src/evrec/util/CMakeFiles/evrec_util.dir/status.cc.o.d"
+  "/root/repo/src/evrec/util/string_util.cc" "src/evrec/util/CMakeFiles/evrec_util.dir/string_util.cc.o" "gcc" "src/evrec/util/CMakeFiles/evrec_util.dir/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_util.dir/binary_io.cc.o"
+  "CMakeFiles/evrec_util.dir/binary_io.cc.o.d"
+  "CMakeFiles/evrec_util.dir/csv_writer.cc.o"
+  "CMakeFiles/evrec_util.dir/csv_writer.cc.o.d"
+  "CMakeFiles/evrec_util.dir/logging.cc.o"
+  "CMakeFiles/evrec_util.dir/logging.cc.o.d"
+  "CMakeFiles/evrec_util.dir/status.cc.o"
+  "CMakeFiles/evrec_util.dir/status.cc.o.d"
+  "CMakeFiles/evrec_util.dir/string_util.cc.o"
+  "CMakeFiles/evrec_util.dir/string_util.cc.o.d"
+  "libevrec_util.a"
+  "libevrec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/eval_test.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evrec/pipeline/CMakeFiles/evrec_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/model/CMakeFiles/evrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/baseline/CMakeFiles/evrec_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/topics/CMakeFiles/evrec_topics.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/simnet/CMakeFiles/evrec_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/ann/CMakeFiles/evrec_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/gbdt/CMakeFiles/evrec_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/eval/CMakeFiles/evrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/store/CMakeFiles/evrec_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/nn/CMakeFiles/evrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/text/CMakeFiles/evrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/la/CMakeFiles/evrec_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/evrec/util/CMakeFiles/evrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

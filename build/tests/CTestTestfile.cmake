@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(la_test "/root/repo/build/tests/la_test")
+set_tests_properties(la_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(text_test "/root/repo/build/tests/text_test")
+set_tests_properties(text_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_test "/root/repo/build/tests/nn_test")
+set_tests_properties(nn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(model_test "/root/repo/build/tests/model_test")
+set_tests_properties(model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gbdt_test "/root/repo/build/tests/gbdt_test")
+set_tests_properties(gbdt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eval_test "/root/repo/build/tests/eval_test")
+set_tests_properties(eval_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(topics_test "/root/repo/build/tests/topics_test")
+set_tests_properties(topics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(simnet_test "/root/repo/build/tests/simnet_test")
+set_tests_properties(simnet_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baseline_test "/root/repo/build/tests/baseline_test")
+set_tests_properties(baseline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(store_test "/root/repo/build/tests/store_test")
+set_tests_properties(store_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pipeline_test "/root/repo/build/tests/pipeline_test")
+set_tests_properties(pipeline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extensions_test "/root/repo/build/tests/extensions_test")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;evrec_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dataset_io_test "/root/repo/build/tests/dataset_io_test")
+set_tests_properties(dataset_io_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;evrec_test;/root/repo/tests/CMakeLists.txt;0;")

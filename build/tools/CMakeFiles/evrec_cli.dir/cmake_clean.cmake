@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrec_cli.dir/evrec_cli.cc.o"
+  "CMakeFiles/evrec_cli.dir/evrec_cli.cc.o.d"
+  "evrec_cli"
+  "evrec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
