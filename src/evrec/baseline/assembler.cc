@@ -68,12 +68,27 @@ int FeatureAssembler::NumFeatures(const FeatureConfig& config) const {
 void FeatureAssembler::ExtractRow(int user, int event, int day,
                                   const FeatureConfig& config,
                                   std::vector<float>* out) const {
+  const std::vector<float>* vu = nullptr;
+  const std::vector<float>* ve = nullptr;
+  if (config.rep_score || config.rep_vectors) {
+    EVREC_CHECK(user_reps_ != nullptr && event_reps_ != nullptr);
+    vu = &(*user_reps_)[static_cast<size_t>(user)];
+    ve = &(*event_reps_)[static_cast<size_t>(event)];
+  }
+  ExtractRowWithReps(user, event, day, config, vu, ve, out);
+}
+
+void FeatureAssembler::ExtractRowWithReps(int user, int event, int day,
+                                          const FeatureConfig& config,
+                                          const std::vector<float>* user_rep,
+                                          const std::vector<float>* event_rep,
+                                          std::vector<float>* out) const {
   if (config.base) base_.Extract(user, event, day, out);
   if (config.cf) cf_.Extract(user, event, day, out);
   if (config.rep_score || config.rep_vectors) {
-    EVREC_CHECK(user_reps_ != nullptr && event_reps_ != nullptr);
-    const auto& vu = (*user_reps_)[static_cast<size_t>(user)];
-    const auto& ve = (*event_reps_)[static_cast<size_t>(event)];
+    EVREC_CHECK(user_rep != nullptr && event_rep != nullptr);
+    const auto& vu = *user_rep;
+    const auto& ve = *event_rep;
     if (config.rep_score) {
       out->push_back(static_cast<float>(CosineSimilarity(
           vu.data(), ve.data(), static_cast<int>(vu.size()))));

@@ -51,6 +51,16 @@ class FeatureAssembler {
   void ExtractRow(int user, int event, int day, const FeatureConfig& config,
                   std::vector<float>* out) const;
 
+  // Same row layout, but representation features come from the supplied
+  // vectors instead of the indexed arrays — the serving path passes the
+  // vectors it fetched (or recomputed) so offline and online rows are
+  // bit-identical. Required non-null when config requests rep features.
+  void ExtractRowWithReps(int user, int event, int day,
+                          const FeatureConfig& config,
+                          const std::vector<float>* user_rep,
+                          const std::vector<float>* event_rep,
+                          std::vector<float>* out) const;
+
   // Builds the design matrix and label vector for an impression list.
   void Assemble(const std::vector<simnet::Impression>& impressions,
                 const FeatureConfig& config, gbdt::DataMatrix* features,

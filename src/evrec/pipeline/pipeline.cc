@@ -132,14 +132,26 @@ bool TwoStagePipeline::TryLoadCachedModel() {
 void TwoStagePipeline::SaveCachedModel() const {
   if (config_.cache_dir.empty()) return;
   std::string path = CacheFilePath();
-  BinaryWriter writer(path);
+  // Crash-safe write: serialize to a sidecar file, then rename into place,
+  // so a crash mid-write leaves no half-written cache at the real path
+  // (a torn cache would otherwise surface as Corruption on every later
+  // run until deleted by hand).
+  std::string tmp_path = path + ".tmp";
+  BinaryWriter writer(tmp_path);
   model_->Serialize(writer);
   Status status = writer.Close();
   if (!status.ok()) {
     EVREC_LOG(WARN) << "failed to cache rep model: " << status.ToString();
-  } else {
-    EVREC_LOG(INFO) << "cached rep model to " << path;
+    std::remove(tmp_path.c_str());
+    return;
   }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    EVREC_LOG(WARN) << "failed to publish rep-model cache: rename to "
+                    << path << " failed";
+    std::remove(tmp_path.c_str());
+    return;
+  }
+  EVREC_LOG(INFO) << "cached rep model to " << path;
 }
 
 model::TrainStats TwoStagePipeline::TrainRepresentation() {

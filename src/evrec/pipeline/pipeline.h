@@ -95,6 +95,8 @@ class TwoStagePipeline {
     return event_reps_;
   }
   store::CacheStats cache_stats() const { return cache_.Stats(); }
+  // Serving-layer access to the vector cache (see pipeline/serving.h).
+  store::RepVectorCache& mutable_rep_cache() { return cache_; }
 
   // Deterministic fingerprint of everything stage 1 depends on.
   uint64_t RepModelFingerprint() const;

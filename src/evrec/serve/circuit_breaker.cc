@@ -1,0 +1,70 @@
+#include "evrec/serve/circuit_breaker.h"
+
+namespace evrec {
+namespace serve {
+
+void CircuitBreaker::TransitionTo(State next) {
+  if (state_ == next) return;
+  state_ = next;
+  ++transitions_;
+  if (next == State::kOpen) {
+    opened_at_micros_ = clock_->NowMicros();
+  } else if (next == State::kHalfOpen) {
+    half_open_successes_ = 0;
+  } else {
+    consecutive_failures_ = 0;
+  }
+}
+
+bool CircuitBreaker::AllowRequest() {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (clock_->NowMicros() - opened_at_micros_ >=
+          config_.open_duration_micros) {
+        TransitionTo(State::kHalfOpen);
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (state_ == State::kHalfOpen) {
+    if (++half_open_successes_ >= config_.half_open_successes) {
+      TransitionTo(State::kClosed);
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == State::kHalfOpen) {
+    TransitionTo(State::kOpen);
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    TransitionTo(State::kOpen);
+  }
+}
+
+const char* CircuitStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace serve
+}  // namespace evrec

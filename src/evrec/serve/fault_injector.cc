@@ -1,0 +1,36 @@
+#include "evrec/serve/fault_injector.h"
+
+namespace evrec {
+namespace serve {
+
+FaultInjector::Fault FaultInjector::Next() {
+  ++decisions_;
+  Fault fault;
+  fault.latency_micros = config_.base_latency_micros;
+  // Fixed draw order keeps the stream aligned across outcomes.
+  bool spike = rng_.Bernoulli(config_.latency_spike_rate);
+  bool transient = rng_.Bernoulli(config_.transient_error_rate);
+  bool corrupt = rng_.Bernoulli(config_.corruption_rate);
+  if (spike) fault.latency_micros += config_.latency_spike_micros;
+  if (transient) {
+    fault.status = Status::Unavailable("injected transient store error");
+  } else if (corrupt) {
+    fault.status = Status::Corruption("injected vector corruption");
+  }
+  return fault;
+}
+
+VectorComputeFn MakeFaultyCompute(VectorComputeFn inner,
+                                  FaultInjector* injector, Clock* clock) {
+  return [inner = std::move(inner), injector, clock](
+             store::EntityKind kind,
+             int id) -> StatusOr<std::vector<float>> {
+    FaultInjector::Fault fault = injector->Next();
+    if (fault.latency_micros > 0) clock->SleepMicros(fault.latency_micros);
+    if (!fault.status.ok()) return fault.status;
+    return inner(kind, id);
+  };
+}
+
+}  // namespace serve
+}  // namespace evrec

@@ -1,0 +1,25 @@
+#include "evrec/serve/retry.h"
+
+#include <algorithm>
+
+namespace evrec {
+namespace serve {
+
+int64_t BackoffMicros(const RetryPolicy& policy, int retry, Rng& rng) {
+  double backoff = static_cast<double>(policy.initial_backoff_micros);
+  for (int i = 0; i < retry; ++i) backoff *= policy.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff_micros));
+  if (policy.jitter_fraction > 0.0) {
+    double lo = 1.0 - policy.jitter_fraction;
+    double hi = 1.0 + policy.jitter_fraction;
+    backoff *= rng.Uniform(lo, hi);
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(backoff));
+}
+
+bool IsRetriableError(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace serve
+}  // namespace evrec

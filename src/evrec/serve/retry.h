@@ -1,0 +1,38 @@
+// Retry policy for transient store failures: bounded attempts with
+// exponential backoff and deterministic jitter (seeded Rng, no wall-clock
+// randomness), so a replayed request makes the same retry decisions every
+// run.
+
+#ifndef EVREC_SERVE_RETRY_H_
+#define EVREC_SERVE_RETRY_H_
+
+#include <cstdint>
+
+#include "evrec/util/rng.h"
+#include "evrec/util/status.h"
+
+namespace evrec {
+namespace serve {
+
+struct RetryPolicy {
+  int max_attempts = 3;                 // total attempts, not retries
+  int64_t initial_backoff_micros = 1000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 8000;
+  double jitter_fraction = 0.25;        // backoff scaled by [1-f, 1+f)
+};
+
+// Backoff before retry number `retry` (0 = first retry). Exponential in
+// `retry`, clamped to max_backoff_micros, then jittered with a draw from
+// `rng`: deterministic for a fixed seed and call sequence.
+int64_t BackoffMicros(const RetryPolicy& policy, int retry, Rng& rng);
+
+// True for failures worth retrying against the same backend: transient
+// unavailability. NotFound (cache miss) and Corruption (bad stored bytes)
+// are deterministic — retrying cannot help, degrade instead.
+bool IsRetriableError(const Status& status);
+
+}  // namespace serve
+}  // namespace evrec
+
+#endif  // EVREC_SERVE_RETRY_H_

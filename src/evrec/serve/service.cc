@@ -1,0 +1,161 @@
+#include "evrec/serve/service.h"
+
+#include <algorithm>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace serve {
+
+RecommendationService::RecommendationService(const Backends& backends,
+                                             const ServiceConfig& config)
+    : backends_(backends), config_(config),
+      breaker_(config.breaker, backends.clock),
+      jitter_rng_(config.jitter_seed, /*stream=*/83) {
+  EVREC_CHECK(backends_.store != nullptr);
+  EVREC_CHECK(backends_.assembler != nullptr);
+  EVREC_CHECK(backends_.primary != nullptr);
+  EVREC_CHECK(backends_.fallback != nullptr);
+  EVREC_CHECK(backends_.clock != nullptr);
+}
+
+StatusOr<std::vector<float>> RecommendationService::FetchVector(
+    store::EntityKind kind, int id, const DeadlineBudget& budget,
+    ServeStats* stats) {
+  Status last = Status::Unavailable("vector fetch never attempted");
+  for (int attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      int64_t remaining = budget.RemainingMicros();
+      if (remaining <= 0) break;
+      int64_t backoff = BackoffMicros(config_.retry, attempt - 1,
+                                      jitter_rng_);
+      // Cap the wait at the remaining budget: we may still overshoot by
+      // the duration of the attempt itself, but never by a full backoff.
+      backends_.clock->SleepMicros(std::min(backoff, remaining));
+      ++stats->store_retries;
+    }
+    if (budget.Exhausted()) break;
+    ++stats->store_attempts;
+    StatusOr<std::vector<float>> result = backends_.store->Get(kind, id);
+    if (result.ok()) return result;
+    last = std::move(result).status();
+    if (last.code() == StatusCode::kNotFound) {
+      ++stats->store_misses;
+      return last;  // deterministic: retrying a miss cannot help
+    }
+    if (last.code() == StatusCode::kCorruption) {
+      ++stats->store_corruptions;
+      return last;  // stored bytes are bad; recompute instead
+    }
+    ++stats->store_transient_errors;
+    if (!IsRetriableError(last)) return last;
+  }
+  if (budget.Exhausted()) {
+    return Status::DeadlineExceeded("vector fetch budget exhausted");
+  }
+  return last;
+}
+
+RecommendationService::ResolvedVector RecommendationService::ResolveVector(
+    store::EntityKind kind, int id, const DeadlineBudget& budget,
+    ServeStats* stats) {
+  StatusOr<std::vector<float>> fetched =
+      FetchVector(kind, id, budget, stats);
+  if (fetched.ok()) return ResolvedVector(std::move(fetched), false);
+  if (!backends_.recompute || budget.Exhausted()) {
+    return ResolvedVector(std::move(fetched), false);
+  }
+  if (!breaker_.AllowRequest()) {
+    ++stats->breaker_rejections;
+    return ResolvedVector(std::move(fetched), false);
+  }
+  ++stats->recompute_attempts;
+  StatusOr<std::vector<float>> computed = backends_.recompute(kind, id);
+  if (computed.ok()) {
+    breaker_.RecordSuccess();
+    backends_.store->Put(kind, id, *computed);
+    return ResolvedVector(std::move(computed), true);
+  }
+  breaker_.RecordFailure();
+  ++stats->recompute_failures;
+  return ResolvedVector(std::move(computed), false);
+}
+
+double RecommendationService::ScoreFull(
+    int user, int event, int day, const std::vector<float>& user_vec,
+    const std::vector<float>& event_vec) const {
+  std::vector<float> row;
+  backends_.assembler->ExtractRowWithReps(user, event, day,
+                                          backends_.primary_features,
+                                          &user_vec, &event_vec, &row);
+  return backends_.primary->PredictProbability(row.data());
+}
+
+double RecommendationService::ScoreFallback(int user, int event,
+                                            int day) const {
+  std::vector<float> row;
+  backends_.assembler->ExtractRow(user, event, day,
+                                  backends_.fallback_features, &row);
+  return backends_.fallback->PredictProbability(row.data());
+}
+
+RankResponse RecommendationService::Rank(int user,
+                                         const std::vector<int>& candidates,
+                                         int day, int64_t budget_micros) {
+  RankResponse response;
+  ServeStats& st = response.stats;
+  st.requests = 1;
+  st.candidates = candidates.size();
+  uint64_t breaker_transitions_before = breaker_.transitions();
+  int64_t start = backends_.clock->NowMicros();
+  DeadlineBudget budget(backends_.clock, budget_micros);
+
+  // The user vector is shared by every candidate: resolve it once.
+  ResolvedVector user_vec = ResolveVector(store::EntityKind::kUser, user,
+                                          budget, &st);
+
+  response.ranking.reserve(candidates.size());
+  for (int event : candidates) {
+    RankedCandidate rc;
+    rc.event = event;
+    if (!budget.Exhausted() && user_vec.vec.ok()) {
+      ResolvedVector event_vec = ResolveVector(store::EntityKind::kEvent,
+                                               event, budget, &st);
+      if (event_vec.vec.ok()) {
+        rc.score = ScoreFull(user, event, day, *user_vec.vec,
+                             *event_vec.vec);
+        rc.tier = (user_vec.recomputed || event_vec.recomputed) ? 2 : 1;
+      }
+    }
+    if (rc.tier == 0) {
+      // Vectors unavailable (or budget gone): baseline-only score needs no
+      // store, only local feature extraction — but it still costs compute,
+      // so it too is gated on the budget.
+      if (!budget.Exhausted()) {
+        rc.score = ScoreFallback(user, event, day);
+        rc.tier = 3;
+      } else {
+        ++st.deadline_degradations;
+        rc.score = backends_.prior ? backends_.prior(user, event, day) : 0.0;
+        rc.tier = 4;
+      }
+    }
+    ++st.tier_served[rc.tier - 1];
+    response.ranking.push_back(rc);
+  }
+
+  std::sort(response.ranking.begin(), response.ranking.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.event < b.event;
+            });
+
+  st.breaker_transitions = breaker_.transitions() -
+                           breaker_transitions_before;
+  response.elapsed_micros = backends_.clock->NowMicros() - start;
+  lifetime_.Merge(st);
+  return response;
+}
+
+}  // namespace serve
+}  // namespace evrec

@@ -1,0 +1,92 @@
+// ServeStats: per-request (and aggregated) counters for the fault-tolerant
+// serving path. The tier counters account for every candidate exactly once
+// (tier1 + tier2 + tier3 + tier4 == candidates), which is the invariant
+// serve_test pins down.
+
+#ifndef EVREC_SERVE_STATS_H_
+#define EVREC_SERVE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+namespace serve {
+
+struct ServeStats {
+  uint64_t requests = 0;
+  uint64_t candidates = 0;
+
+  // Store lookup path.
+  uint64_t store_attempts = 0;
+  uint64_t store_retries = 0;
+  uint64_t store_transient_errors = 0;
+  uint64_t store_corruptions = 0;
+  uint64_t store_misses = 0;
+
+  // Recompute path.
+  uint64_t recompute_attempts = 0;
+  uint64_t recompute_failures = 0;
+  uint64_t breaker_rejections = 0;
+  uint64_t breaker_transitions = 0;
+
+  // Candidates degraded because the deadline budget ran out.
+  uint64_t deadline_degradations = 0;
+
+  // Which degradation tier served each candidate:
+  //   [0] tier 1: cached rep + full combiner
+  //   [1] tier 2: recomputed rep + full combiner
+  //   [2] tier 3: baseline-features-only combiner
+  //   [3] tier 4: popularity / CF prior
+  uint64_t tier_served[4] = {0, 0, 0, 0};
+
+  uint64_t TotalServed() const {
+    return tier_served[0] + tier_served[1] + tier_served[2] + tier_served[3];
+  }
+
+  void Merge(const ServeStats& other) {
+    requests += other.requests;
+    candidates += other.candidates;
+    store_attempts += other.store_attempts;
+    store_retries += other.store_retries;
+    store_transient_errors += other.store_transient_errors;
+    store_corruptions += other.store_corruptions;
+    store_misses += other.store_misses;
+    recompute_attempts += other.recompute_attempts;
+    recompute_failures += other.recompute_failures;
+    breaker_rejections += other.breaker_rejections;
+    breaker_transitions += other.breaker_transitions;
+    deadline_degradations += other.deadline_degradations;
+    for (int i = 0; i < 4; ++i) tier_served[i] += other.tier_served[i];
+  }
+
+  std::string ToString() const {
+    return StrFormat(
+        "requests=%llu candidates=%llu tiers=[%llu,%llu,%llu,%llu] "
+        "store{attempts=%llu retries=%llu transient=%llu corrupt=%llu "
+        "miss=%llu} recompute{attempts=%llu failures=%llu rejected=%llu} "
+        "breaker_transitions=%llu deadline_degradations=%llu",
+        static_cast<unsigned long long>(requests),
+        static_cast<unsigned long long>(candidates),
+        static_cast<unsigned long long>(tier_served[0]),
+        static_cast<unsigned long long>(tier_served[1]),
+        static_cast<unsigned long long>(tier_served[2]),
+        static_cast<unsigned long long>(tier_served[3]),
+        static_cast<unsigned long long>(store_attempts),
+        static_cast<unsigned long long>(store_retries),
+        static_cast<unsigned long long>(store_transient_errors),
+        static_cast<unsigned long long>(store_corruptions),
+        static_cast<unsigned long long>(store_misses),
+        static_cast<unsigned long long>(recompute_attempts),
+        static_cast<unsigned long long>(recompute_failures),
+        static_cast<unsigned long long>(breaker_rejections),
+        static_cast<unsigned long long>(breaker_transitions),
+        static_cast<unsigned long long>(deadline_degradations));
+  }
+};
+
+}  // namespace serve
+}  // namespace evrec
+
+#endif  // EVREC_SERVE_STATS_H_

@@ -1,0 +1,23 @@
+#include "evrec/serve/vector_store.h"
+
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+namespace serve {
+
+StatusOr<std::vector<float>> RepCacheVectorStore::Get(store::EntityKind kind,
+                                                      int id) {
+  std::vector<float> out;
+  if (cache_->TryGet(kind, id, &out)) return out;
+  return Status::NotFound(StrFormat(
+      "no cached vector for %s %d",
+      kind == store::EntityKind::kUser ? "user" : "event", id));
+}
+
+void RepCacheVectorStore::Put(store::EntityKind kind, int id,
+                              std::vector<float> vector) {
+  cache_->Precompute(kind, id, std::move(vector));
+}
+
+}  // namespace serve
+}  // namespace evrec

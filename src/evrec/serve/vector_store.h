@@ -1,0 +1,45 @@
+// VectorStore: the serving layer's fault-prone view of the distributed
+// representation store (TAO in the paper, store::RepVectorCache here).
+// Unlike the raw cache API, Get returns a Status so lookups can fail the
+// way a remote store fails: miss (NotFound), bad stored bytes
+// (Corruption), or transient outage (Unavailable, injected by decorators).
+
+#ifndef EVREC_SERVE_VECTOR_STORE_H_
+#define EVREC_SERVE_VECTOR_STORE_H_
+
+#include <vector>
+
+#include "evrec/store/rep_cache.h"
+#include "evrec/util/status.h"
+
+namespace evrec {
+namespace serve {
+
+class VectorStore {
+ public:
+  virtual ~VectorStore() = default;
+
+  virtual StatusOr<std::vector<float>> Get(store::EntityKind kind,
+                                           int id) = 0;
+  virtual void Put(store::EntityKind kind, int id,
+                   std::vector<float> vector) = 0;
+};
+
+// Adapter over the in-process RepVectorCache; a miss surfaces as NotFound.
+class RepCacheVectorStore : public VectorStore {
+ public:
+  explicit RepCacheVectorStore(store::RepVectorCache* cache)
+      : cache_(cache) {}
+
+  StatusOr<std::vector<float>> Get(store::EntityKind kind, int id) override;
+  void Put(store::EntityKind kind, int id,
+           std::vector<float> vector) override;
+
+ private:
+  store::RepVectorCache* cache_;
+};
+
+}  // namespace serve
+}  // namespace evrec
+
+#endif  // EVREC_SERVE_VECTOR_STORE_H_

@@ -8,8 +8,42 @@ std::vector<float> RepVectorCache::GetOrCompute(EntityKind kind, int id,
   uint64_t key = EntityKey(kind, id);
   std::vector<float> value;
   if (cache_.Get(key, &value)) return value;
-  value = compute();
-  cache_.Put(key, value);
+
+  std::shared_ptr<InFlight> latch;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      latch = std::make_shared<InFlight>();
+      inflight_.emplace(key, latch);
+      owner = true;
+    } else {
+      latch = it->second;
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(latch->mu);
+    latch->cv.wait(lock, [&] { return latch->done; });
+    return latch->value;
+  }
+
+  // A previous owner may have finished between our miss and the claim.
+  if (!cache_.Get(key, &value)) {
+    value = compute();
+    cache_.Put(key, value);
+  }
+  {
+    std::lock_guard<std::mutex> lock(latch->mu);
+    latch->value = value;
+    latch->done = true;
+  }
+  latch->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(key);
+  }
   return value;
 }
 

@@ -6,7 +6,10 @@
 #ifndef EVREC_STORE_REP_CACHE_H_
 #define EVREC_STORE_REP_CACHE_H_
 
+#include <condition_variable>
 #include <functional>
+#include <memory>
+#include <mutex>
 
 #include "evrec/store/kv_cache.h"
 
@@ -29,8 +32,16 @@ class RepVectorCache {
   using ComputeFn = std::function<std::vector<float>()>;
 
   // Returns the cached vector, or computes, stores, and returns it.
+  // Concurrent misses on the same key are coalesced: one caller runs
+  // `compute`, the others block on a per-key latch and share its result
+  // (cache-stampede guard for the serving path).
   std::vector<float> GetOrCompute(EntityKind kind, int id,
                                   const ComputeFn& compute);
+
+  // Lookup without compute-through; returns false on miss.
+  bool TryGet(EntityKind kind, int id, std::vector<float>* out) {
+    return cache_.Get(EntityKey(kind, id), out);
+  }
 
   // Precomputes and stores ("computed upon creation").
   void Precompute(EntityKind kind, int id, std::vector<float> vector) {
@@ -45,7 +56,17 @@ class RepVectorCache {
   CacheStats Stats() const { return cache_.Stats(); }
 
  private:
+  // One latch per in-flight computation; owner computes, joiners wait.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<float> value;
+  };
+
   ShardedKvCache cache_;
+  std::mutex inflight_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
 };
 
 }  // namespace store

@@ -21,6 +21,8 @@ enum class StatusCode {
   kCorruption,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -52,6 +54,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,9 +90,13 @@ class StatusOr {
 
   bool ok() const { return std::holds_alternative<T>(payload_); }
 
-  Status status() const {
+  Status status() const& {
     if (ok()) return Status::Ok();
     return std::get<Status>(payload_);
+  }
+  Status status() && {
+    if (ok()) return Status::Ok();
+    return std::move(std::get<Status>(payload_));
   }
 
   const T& value() const& {
@@ -98,6 +110,15 @@ class StatusOr {
   T&& value() && {
     EVREC_CHECK(ok()) << "value() on failed StatusOr: " << status().ToString();
     return std::move(std::get<T>(payload_));
+  }
+
+  // Returns the held value, or `default_value` when this holds an error.
+  T value_or(T default_value) const& {
+    return ok() ? std::get<T>(payload_) : std::move(default_value);
+  }
+  T value_or(T default_value) && {
+    return ok() ? std::move(std::get<T>(payload_))
+                : std::move(default_value);
   }
 
   const T& operator*() const& { return value(); }

@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
 
 #include "evrec/pipeline/pipeline.h"
+#include "evrec/util/binary_io.h"
 #include "evrec/util/logging.h"
 
 namespace evrec {
@@ -182,6 +186,55 @@ TEST(PipelineDiskCacheTest, SecondRunLoadsCachedModel) {
                }(first.RepModelFingerprint()) +
                ".bin")
                   .c_str());
+  SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(PipelineDiskCacheTest, CorruptCacheFileTriggersRetrain) {
+  SetLogLevel(LogLevel::kWarn);
+  PipelineConfig cfg = TinyPipelineConfig();
+  cfg.cache_dir = testing::TempDir();
+  cfg.rep.max_epochs = 1;
+  cfg.simnet.seed = 901;  // distinct fingerprint from other tests
+
+  std::string path;
+  {
+    TwoStagePipeline first(cfg);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      first.RepModelFingerprint()));
+    path = testing::TempDir() + "/evrec_repmodel_" + buf + ".bin";
+    first.Prepare();
+    model::TrainStats stats = first.TrainRepresentation();
+    EXPECT_EQ(stats.epochs_run, 1);  // fresh train, no cache yet
+    // The atomic publish left the final file and no sidecar behind.
+    ASSERT_TRUE(FileExists(path));
+    EXPECT_FALSE(FileExists(path + ".tmp"));
+  }
+
+  // Truncate the cache mid-payload: a torn write from a crashed run.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+
+  // The corrupt cache must read as a miss, not a crash: the pipeline
+  // retrains (epochs_run != 0) and still produces usable vectors.
+  TwoStagePipeline second(cfg);
+  second.Prepare();
+  model::TrainStats stats = second.TrainRepresentation();
+  EXPECT_EQ(stats.epochs_run, 1);
+  second.ComputeRepVectors();
+  EXPECT_FALSE(second.user_reps().empty());
+
+  std::remove(path.c_str());
   SetLogLevel(LogLevel::kInfo);
 }
 

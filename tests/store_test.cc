@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "evrec/store/kv_cache.h"
 #include "evrec/store/rep_cache.h"
 
@@ -116,6 +121,63 @@ TEST(RepCacheTest, InvalidateForcesRecompute) {
   auto v = cache.GetOrCompute(EntityKind::kEvent, 3, compute);
   EXPECT_EQ(computations, 2);
   EXPECT_FLOAT_EQ(v[0], 2.0f);
+}
+
+TEST(RepCacheTest, TryGetDoesNotCompute) {
+  RepVectorCache cache(2, 16);
+  std::vector<float> out;
+  EXPECT_FALSE(cache.TryGet(EntityKind::kUser, 4, &out));
+  cache.Precompute(EntityKind::kUser, 4, {1.0f, 2.0f});
+  ASSERT_TRUE(cache.TryGet(EntityKind::kUser, 4, &out));
+  EXPECT_EQ(out, (std::vector<float>{1.0f, 2.0f}));
+}
+
+TEST(RepCacheTest, StampedeGuardComputesOnceUnderContention) {
+  RepVectorCache cache(4, 64);
+  std::atomic<int> computations{0};
+  auto slow_compute = [&]() {
+    computations.fetch_add(1);
+    // Hold the in-flight window open long enough that every thread
+    // arrives while the first compute is still running.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return std::vector<float>{1.0f, 2.0f, 3.0f};
+  };
+  const int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<float>> results(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      results[static_cast<size_t>(t)] =
+          cache.GetOrCompute(EntityKind::kEvent, 42, slow_compute);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Exactly one thread ran the expensive compute; everyone else joined
+  // the in-flight latch and got the same vector.
+  EXPECT_EQ(computations.load(), 1);
+  for (const auto& r : results) {
+    EXPECT_EQ(r, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  }
+}
+
+TEST(RepCacheTest, StampedeGuardDistinctKeysComputeIndependently) {
+  RepVectorCache cache(4, 64);
+  std::atomic<int> computations{0};
+  const int kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      cache.GetOrCompute(EntityKind::kUser, t, [&]() {
+        computations.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return std::vector<float>{static_cast<float>(t)};
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(computations.load(), kThreads);
 }
 
 TEST(RepCacheTest, PrecomputeSkipsComputation) {

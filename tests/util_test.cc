@@ -6,7 +6,9 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <set>
+#include <vector>
 
 #include "evrec/util/binary_io.h"
 #include "evrec/util/csv_writer.h"
@@ -42,6 +44,19 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
                "FailedPrecondition");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, ServingCodeFactories) {
+  Status d = Status::DeadlineExceeded("budget spent");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: budget spent");
+  Status u = Status::Unavailable("shard down");
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "Unavailable: shard down");
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -61,6 +76,33 @@ TEST(StatusOrTest, MoveOutValue) {
   StatusOr<std::string> v(std::string("payload"));
   std::string s = std::move(v).value();
   EXPECT_EQ(s, "payload");
+}
+
+TEST(StatusOrTest, ValueOrReturnsValueWhenOk) {
+  StatusOr<int> v(42);
+  EXPECT_EQ(v.value_or(-1), 42);
+  StatusOr<std::string> s(std::string("have"));
+  EXPECT_EQ(s.value_or("fallback"), "have");
+}
+
+TEST(StatusOrTest, ValueOrReturnsDefaultOnError) {
+  StatusOr<int> v(Status::Unavailable("down"));
+  EXPECT_EQ(v.value_or(-1), -1);
+  StatusOr<std::vector<float>> vec(Status::NotFound("miss"));
+  EXPECT_EQ(std::move(vec).value_or({9.0f}), std::vector<float>{9.0f});
+}
+
+TEST(StatusOrTest, ValueOrMovesOutOfRvalue) {
+  StatusOr<std::string> v(std::string("payload"));
+  std::string s = std::move(v).value_or("unused");
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(StatusOrTest, StatusMovesOutOfRvalue) {
+  StatusOr<int> v(Status::DeadlineExceeded("late"));
+  Status s = std::move(v).status();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "late");
 }
 
 // ---------- Rng ----------
@@ -368,6 +410,80 @@ TEST_F(BinaryIoTest, ImplausibleVectorLengthRejected) {
   auto v = r.ReadFloatVector();
   EXPECT_TRUE(v.empty());
   EXPECT_FALSE(r.ok());
+}
+
+// Writes a checkpoint-shaped file (magic, scalar header fields, payload
+// vectors) and returns its byte size.
+size_t WriteCheckpointLikeFile(const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteMagic("CKPT");
+  w.WriteU32(3u);  // "version"
+  w.WriteU32(2u);  // "dim"
+  w.WriteString("tower.user");
+  w.WriteFloatVector({0.5f, -1.5f, 2.0f, 0.25f});
+  w.WriteDoubleVector({1.0, 2.0});
+  EXPECT_TRUE(w.Close().ok());
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return static_cast<size_t>(in.tellg());
+}
+
+// Replays the exact read sequence of WriteCheckpointLikeFile and returns
+// the reader's final status.
+Status ReadCheckpointLikeFile(const std::string& path) {
+  BinaryReader r(path);
+  r.ExpectMagic("CKPT");
+  r.ReadU32();
+  r.ReadU32();
+  r.ReadString();
+  r.ReadFloatVector();
+  r.ReadDoubleVector();
+  return r.status();
+}
+
+TEST_F(BinaryIoTest, TruncationAtAnyOffsetIsCorruptionNotGarbage) {
+  size_t full = WriteCheckpointLikeFile(path_);
+  ASSERT_GT(full, 8u);
+  // Full file reads back clean.
+  EXPECT_TRUE(ReadCheckpointLikeFile(path_).ok());
+  // Truncate mid-magic, mid-header, mid-string, mid-vector, and one byte
+  // short of complete: every prefix must surface Corruption, never OK.
+  for (size_t keep : {size_t{2}, size_t{6}, size_t{13}, full / 2,
+                      full - 1}) {
+    std::string bytes;
+    {
+      std::ifstream in(path_, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    ASSERT_EQ(bytes.size(), full);
+    std::string trunc_path = path_ + ".trunc";
+    {
+      std::ofstream out(trunc_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    Status s = ReadCheckpointLikeFile(trunc_path);
+    EXPECT_FALSE(s.ok()) << "keep=" << keep;
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "keep=" << keep;
+    std::remove(trunc_path.c_str());
+  }
+}
+
+TEST_F(BinaryIoTest, FlippedMagicByteIsCorruption) {
+  WriteCheckpointLikeFile(path_);
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[1] ^= 0x5A;  // corrupt the magic in place
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  Status s = ReadCheckpointLikeFile(path_);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
 }
 
 TEST_F(BinaryIoTest, MissingFileIsIoError) {

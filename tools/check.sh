@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build and run the full test suite, optionally under a sanitizer.
+#
+#   tools/check.sh                          # plain build + ctest
+#   EVREC_SANITIZE=address tools/check.sh   # ASan build + ctest
+#   EVREC_SANITIZE=undefined tools/check.sh # UBSan build + ctest
+#
+# Each sanitizer uses its own build directory (build-address/,
+# build-undefined/) so instrumented and plain objects never mix.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+san="${EVREC_SANITIZE:-}"
+build_dir="build"
+if [ -n "$san" ]; then
+  case "$san" in
+    address|undefined) build_dir="build-$san" ;;
+    *) echo "EVREC_SANITIZE must be 'address' or 'undefined'" >&2; exit 2 ;;
+  esac
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$build_dir" -S . -DEVREC_SANITIZE="$san"
+cmake --build "$build_dir" -j"$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"

@@ -14,15 +14,27 @@
 //   search --data DIR --model FILE --event ID [--k K]
 //       Related-event search: rank events by representation cosine to a
 //       seed event (IVF index, 4 probes).
+//   serve-demo [--users N] [--events N] [--seed S] [--error-rate P]
+//              [--spike-rate P] [--spike-us U] [--corrupt-rate P]
+//              [--budget-us U]
+//       Train a small end-to-end system, then replay the week-6
+//       impression log through the fault-tolerant RecommendationService
+//       with the given fault-injection profile, on a simulated clock.
+//       Prints the degradation-tier breakdown and retry/breaker counters.
 //
 // Exit status 0 on success, 1 on bad usage or failure.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "evrec/ann/ivf_index.h"
 #include "evrec/pipeline/pipeline.h"
+#include "evrec/pipeline/serving.h"
+#include "evrec/serve/fault_injector.h"
 #include "evrec/simnet/dataset_io.h"
 #include "evrec/util/logging.h"
 
@@ -36,6 +48,9 @@ struct Args {
   int users = 1200, events = 1500, epochs = 8, event_id = 0, k = 5;
   uint64_t seed = 2017;
   bool siamese = false;
+  // serve-demo fault profile.
+  double error_rate = 0.3, spike_rate = 0.1, corrupt_rate = 0.02;
+  int64_t spike_us = 2000, budget_us = 20000;
 
   static bool Parse(int argc, char** argv, Args* out_args) {
     for (int i = 2; i < argc; ++i) {
@@ -72,6 +87,16 @@ struct Args {
         out_args->k = std::atoi(v);
       } else if (flag == "--seed") {
         out_args->seed = static_cast<uint64_t>(std::atoll(v));
+      } else if (flag == "--error-rate") {
+        out_args->error_rate = std::atof(v);
+      } else if (flag == "--spike-rate") {
+        out_args->spike_rate = std::atof(v);
+      } else if (flag == "--corrupt-rate") {
+        out_args->corrupt_rate = std::atof(v);
+      } else if (flag == "--spike-us") {
+        out_args->spike_us = std::atoll(v);
+      } else if (flag == "--budget-us") {
+        out_args->budget_us = std::atoll(v);
       } else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
         return false;
@@ -295,14 +320,109 @@ int CmdSearch(const Args& args) {
   return 0;
 }
 
+// Replays the week-6 (eval-split) impressions as ranking requests through
+// the fault-tolerant serving layer, with deterministic fault injection on
+// a simulated clock. Demonstrates the degradation ladder end to end.
+int CmdServeDemo(const Args& args) {
+  pipeline::PipelineConfig cfg;
+  cfg.simnet = simnet::TinySimnetConfig();
+  cfg.simnet.seed = args.seed;
+  cfg.rep.embedding_dim = 16;
+  cfg.rep.module_out_dim = 16;
+  cfg.rep.hidden_dim = 32;
+  cfg.rep.rep_dim = 16;
+  cfg.rep.text_windows = {1, 3};
+  cfg.rep.max_epochs = std::min(args.epochs, 4);
+  cfg.rep.min_document_frequency = 2;
+  cfg.gbdt.num_trees = 50;
+  cfg.gbdt.max_leaves = 8;
+  cfg.gbdt.min_samples_leaf = 10;
+  cfg.max_user_tokens = 64;
+  cfg.max_event_tokens = 64;
+
+  std::printf("training a small end-to-end system (seed=%llu)...\n",
+              static_cast<unsigned long long>(args.seed));
+  pipeline::TwoStagePipeline pipeline(cfg);
+  pipeline.Prepare();
+  pipeline.TrainRepresentation();
+  pipeline.ComputeRepVectors();
+
+  baseline::FeatureConfig features;
+  features.base = true;
+  features.cf = true;
+  features.rep_score = true;
+  pipeline::ServingBundle bundle =
+      pipeline::BuildServingBundle(pipeline, features);
+
+  serve::FakeClock clock;
+  serve::FaultConfig fault_cfg;
+  fault_cfg.transient_error_rate = args.error_rate;
+  fault_cfg.latency_spike_rate = args.spike_rate;
+  fault_cfg.latency_spike_micros = args.spike_us;
+  fault_cfg.corruption_rate = args.corrupt_rate;
+  fault_cfg.base_latency_micros = 100;
+  fault_cfg.seed = args.seed;
+  serve::FaultInjector injector(fault_cfg);
+  serve::FaultyVectorStore faulty_store(bundle.store.get(), &injector,
+                                        &clock);
+
+  serve::ServiceConfig service_cfg;
+  service_cfg.default_budget_micros = args.budget_us;
+  serve::RecommendationService service(
+      bundle.MakeBackends(&clock, &faulty_store), service_cfg);
+
+  // Group week-6 impressions into one request per (user, day).
+  std::map<std::pair<int, int>, std::vector<int>> requests;
+  for (const auto& imp : pipeline.dataset().eval) {
+    requests[{imp.user, imp.day}].push_back(imp.event);
+  }
+
+  std::printf("replaying %zu requests (error-rate=%.2f spike-rate=%.2f "
+              "spike=%lldus corrupt-rate=%.2f budget=%lldus)...\n",
+              requests.size(), args.error_rate, args.spike_rate,
+              static_cast<long long>(args.spike_us), args.corrupt_rate,
+              static_cast<long long>(args.budget_us));
+  int incomplete = 0;
+  int64_t worst_overshoot = 0;
+  for (const auto& [key, candidates] : requests) {
+    serve::RankResponse resp =
+        service.Rank(key.first, candidates, key.second, args.budget_us);
+    if (resp.ranking.size() != candidates.size()) ++incomplete;
+    worst_overshoot = std::max(worst_overshoot,
+                               resp.elapsed_micros - args.budget_us);
+  }
+
+  const serve::ServeStats& stats = service.lifetime_stats();
+  std::printf("\n%s\n", stats.ToString().c_str());
+  std::printf("degradation tiers: cached=%llu recomputed=%llu "
+              "baseline-only=%llu prior=%llu (of %llu candidates)\n",
+              static_cast<unsigned long long>(stats.tier_served[0]),
+              static_cast<unsigned long long>(stats.tier_served[1]),
+              static_cast<unsigned long long>(stats.tier_served[2]),
+              static_cast<unsigned long long>(stats.tier_served[3]),
+              static_cast<unsigned long long>(stats.candidates));
+  std::printf("breaker state: %s, incomplete rankings: %d, "
+              "worst deadline overshoot: %lldus\n",
+              serve::CircuitStateName(service.breaker().state()), incomplete,
+              static_cast<long long>(worst_overshoot));
+  if (incomplete != 0 || stats.TotalServed() != stats.candidates) {
+    std::fprintf(stderr, "serve-demo: degradation chain failed to cover "
+                         "every candidate\n");
+    return 1;
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: evrec_cli <generate|train|eval|search> [flags]\n"
-      "  generate --out DIR [--users N] [--events N] [--seed S]\n"
-      "  train    --data DIR --model FILE [--epochs N] [--siamese]\n"
-      "  eval     --data DIR --model FILE [--features base+cf+rep+score]\n"
-      "  search   --data DIR --model FILE --event ID [--k K]\n");
+      "usage: evrec_cli <generate|train|eval|search|serve-demo> [flags]\n"
+      "  generate   --out DIR [--users N] [--events N] [--seed S]\n"
+      "  train      --data DIR --model FILE [--epochs N] [--siamese]\n"
+      "  eval       --data DIR --model FILE [--features base+cf+rep+score]\n"
+      "  search     --data DIR --model FILE --event ID [--k K]\n"
+      "  serve-demo [--seed S] [--error-rate P] [--spike-rate P]\n"
+      "             [--spike-us U] [--corrupt-rate P] [--budget-us U]\n");
 }
 
 }  // namespace
@@ -323,6 +443,7 @@ int main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(args);
   if (cmd == "eval") return CmdEval(args);
   if (cmd == "search") return CmdSearch(args);
+  if (cmd == "serve-demo") return CmdServeDemo(args);
   Usage();
   return 1;
 }
