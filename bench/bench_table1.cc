@@ -72,5 +72,14 @@ int main() {
               score_adds_little ? "OK" : "MISMATCH");
   std::printf("AUC lift from rep features: %+.1f%% (paper: +6%%)\n",
               100.0 * (results[2].auc - results[1].auc) / results[1].auc);
+
+  bench::WriteBenchJson(
+      "table1",
+      {{"auc_rep_only", results[0].auc},
+       {"auc_baseline", results[1].auc},
+       {"auc_baseline_plus_rep", results[2].auc},
+       {"auc_all", results[3].auc},
+       {"pr60_all", results[3].pr60},
+       {"pr80_all", results[3].pr80}});
   return 0;
 }

@@ -71,5 +71,14 @@ int main() {
   std::printf("shape: CF mostly redundant once rep present : %s (%+.3f)\n",
               cf_gain_given_rep < cf_gain + 0.01 ? "OK" : "MISMATCH",
               cf_gain_given_rep);
+
+  bench::WriteBenchJson(
+      "table2",
+      {{"auc_base_no_cf", results[0].auc},
+       {"auc_base_cf", results[1].auc},
+       {"auc_base_rep", results[2].auc},
+       {"auc_all", results[3].auc},
+       {"cf_gain", cf_gain},
+       {"rep_gain", rep_gain}});
   return 0;
 }

@@ -4,6 +4,9 @@
 
 #include <cstdio>
 
+#include <fstream>
+
+#include "evrec/obs/metrics.h"
 #include "evrec/util/csv_writer.h"
 #include "evrec/util/string_util.h"
 #include "evrec/util/timer.h"
@@ -87,6 +90,38 @@ void WriteCurveCsv(const std::string& path, const std::string& series,
   } else {
     std::printf("[bench] wrote %s\n", path.c_str());
   }
+}
+
+void WriteBenchJson(const std::string& name,
+                    const std::map<std::string, double>& metrics) {
+  std::string path = StrFormat("BENCH_%s.json", name.c_str());
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"name\": \"" << name << "\",\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    out << (first ? "" : ",") << "\n    \"" << key << "\": "
+        << StrFormat("%.6g", value);
+    first = false;
+  }
+  out << "\n  },\n  \"phase_seconds\": {";
+  // std::map iteration keeps phase names sorted, so the file is stable
+  // across runs of the same bench.
+  first = true;
+  for (const auto& [hist_name, snap] :
+       obs::MetricRegistry::Global()->HistogramValues()) {
+    if (hist_name.rfind("span.", 0) != 0) continue;
+    out << (first ? "" : ",") << "\n    \""
+        << hist_name.substr(5) << "\": "
+        << StrFormat("%.6g", snap.sum / 1e6);
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  out.close();
+  std::printf("[bench] wrote %s\n", path.c_str());
 }
 
 }  // namespace bench

@@ -16,7 +16,9 @@
 #ifndef EVREC_BENCH_COMMON_BENCH_PROFILE_H_
 #define EVREC_BENCH_COMMON_BENCH_PROFILE_H_
 
+#include <map>
 #include <memory>
+#include <string>
 
 #include "evrec/pipeline/pipeline.h"
 
@@ -37,6 +39,12 @@ void PrintHeader(const char* title);
 // Writes a P/R curve as CSV next to the binary (for external plotting).
 void WriteCurveCsv(const std::string& path, const std::string& series,
                    const std::vector<eval::PrPoint>& curve);
+
+// Writes BENCH_<name>.json in the working directory: the caller's headline
+// metrics plus the wall time of every "span.*" phase recorded in the
+// global metric registry so far (pipeline phases, trainer epochs, ...).
+void WriteBenchJson(const std::string& name,
+                    const std::map<std::string, double>& metrics);
 
 }  // namespace bench
 }  // namespace evrec

@@ -5,6 +5,8 @@
 
 #include "evrec/gbdt/binner.h"
 #include "evrec/gbdt/tree_builder.h"
+#include "evrec/obs/metrics.h"
+#include "evrec/obs/trace.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/math_util.h"
 
@@ -14,6 +16,7 @@ namespace gbdt {
 GbdtTrainStats GbdtModel::Train(const DataMatrix& features,
                                 const std::vector<float>& labels,
                                 const GbdtConfig& config) {
+  EVREC_SPAN("gbdt.train");
   const int n = features.num_rows();
   EVREC_CHECK_GT(n, 0);
   EVREC_CHECK_EQ(labels.size(), static_cast<size_t>(n));
@@ -45,6 +48,10 @@ GbdtTrainStats GbdtModel::Train(const DataMatrix& features,
   Rng rng(config.seed, /*stream=*/77);
   GbdtTrainStats stats;
   stats.train_logloss.reserve(static_cast<size_t>(config.num_trees));
+  // Per-iteration loss curve; successive Train() calls append fresh
+  // 0-based runs, so a fit's curve is the suffix starting at its last x=0.
+  obs::Series* loss_series =
+      obs::MetricRegistry::Global()->GetSeries("gbdt.train_logloss");
 
   std::vector<int> sampled;
   for (int t = 0; t < config.num_trees; ++t) {
@@ -77,6 +84,7 @@ GbdtTrainStats GbdtModel::Train(const DataMatrix& features,
       logloss += CrossEntropy(labels[static_cast<size_t>(i)], p);
     }
     stats.train_logloss.push_back(logloss / n);
+    loss_series->Append(static_cast<double>(t), logloss / n);
     trees_.push_back(std::move(tree));
   }
   EVREC_LOG(INFO) << "gbdt trained " << trees_.size() << " trees, final "

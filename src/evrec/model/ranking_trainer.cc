@@ -1,7 +1,10 @@
 #include "evrec/model/ranking_trainer.h"
 
+#include <cmath>
 #include <unordered_map>
 
+#include "evrec/obs/metrics.h"
+#include "evrec/obs/trace.h"
 #include "evrec/util/logging.h"
 
 namespace evrec {
@@ -75,18 +78,27 @@ double RankingTrainer::EvaluateLoss(const RepDataset& data,
 RankingStats RankingTrainer::Train(const RepDataset& data,
                                    const RankingConfig& config,
                                    Rng& rng) const {
+  EVREC_SPAN("ranking.train");
   RankingStats stats;
   auto pools = BuildPools(data);
   float lr = config.learning_rate;
   JointModel::PairContext pos_ctx, neg_ctx;
 
+  obs::MetricRegistry* registry = obs::MetricRegistry::Global();
+  obs::Series* loss_series = registry->GetSeries("ranking.train_loss");
+  obs::Series* lr_series = registry->GetSeries("ranking.lr");
+  obs::Series* grad_series = registry->GetSeries("ranking.grad_norm");
+  obs::Series* time_series = registry->GetSeries("ranking.epoch_micros");
+
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    int64_t epoch_start = obs::CurrentClock()->NowMicros();
     auto contrasts =
         SampleContrasts(pools, config.contrasts_per_positive, rng);
     if (contrasts.empty()) break;
     rng.Shuffle(contrasts);
 
     double epoch_loss = 0.0;
+    double grad_sq = 0.0;
     size_t batch_count = 0;
     for (size_t i = 0; i < contrasts.size(); ++i) {
       const Contrast& c = contrasts[i];
@@ -108,6 +120,8 @@ RankingStats RankingTrainer::Train(const RepDataset& data,
           std::vector<float> de(pos_ctx.event.head.rep.size(), 0.0f);
           CosineBackward(pos_ctx.user.head.rep, pos_ctx.event.head.rep, sp,
                          -1.0, &du, &de);
+          for (float g : du) grad_sq += static_cast<double>(g) * g;
+          for (float g : de) grad_sq += static_cast<double>(g) * g;
           model_->mutable_user_tower().Backward(du.data(), pos_ctx.user);
           model_->mutable_event_tower().Backward(de.data(), pos_ctx.event);
         }
@@ -116,6 +130,8 @@ RankingStats RankingTrainer::Train(const RepDataset& data,
           std::vector<float> de(neg_ctx.event.head.rep.size(), 0.0f);
           CosineBackward(neg_ctx.user.head.rep, neg_ctx.event.head.rep, sn,
                          1.0, &du, &de);
+          for (float g : du) grad_sq += static_cast<double>(g) * g;
+          for (float g : de) grad_sq += static_cast<double>(g) * g;
           model_->mutable_user_tower().Backward(du.data(), neg_ctx.user);
           model_->mutable_event_tower().Backward(de.data(), neg_ctx.event);
         }
@@ -130,6 +146,13 @@ RankingStats RankingTrainer::Train(const RepDataset& data,
     epoch_loss /= static_cast<double>(contrasts.size());
     stats.train_loss.push_back(epoch_loss);
     stats.epochs_run = epoch + 1;
+    double x = static_cast<double>(epoch);
+    loss_series->Append(x, epoch_loss);
+    lr_series->Append(x, static_cast<double>(lr));
+    grad_series->Append(x, std::sqrt(grad_sq));
+    time_series->Append(
+        x, static_cast<double>(obs::CurrentClock()->NowMicros() -
+                               epoch_start));
     EVREC_LOG(INFO) << "ranking epoch " << epoch << " loss=" << epoch_loss
                     << " contrasts=" << contrasts.size();
     lr *= config.lr_decay_per_epoch;

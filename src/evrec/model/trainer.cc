@@ -1,7 +1,10 @@
 #include "evrec/model/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "evrec/obs/metrics.h"
+#include "evrec/obs/trace.h"
 #include "evrec/util/logging.h"
 
 namespace evrec {
@@ -21,6 +24,7 @@ double RepTrainer::EvaluateLoss(const RepDataset& data,
 }
 
 TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
+  EVREC_SPAN("trainer.train");
   const JointModelConfig& cfg = model_->config();
   TrainStats stats;
 
@@ -40,14 +44,41 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
   int epochs_since_improvement = 0;
   JointModel::PairContext ctx;
 
+  // Per-epoch telemetry lands in the global registry as time series keyed
+  // by epoch index, so loss/lr curves survive the training run.
+  obs::MetricRegistry* registry = obs::MetricRegistry::Global();
+  obs::Series* loss_series = registry->GetSeries("trainer.train_loss");
+  obs::Series* val_series = registry->GetSeries("trainer.val_loss");
+  obs::Series* lr_series = registry->GetSeries("trainer.lr");
+  obs::Series* grad_series = registry->GetSeries("trainer.grad_norm");
+  obs::Series* time_series = registry->GetSeries("trainer.epoch_micros");
+  obs::Histogram* epoch_hist =
+      registry->GetHistogram("trainer.epoch.micros");
+
+  // Rep-layer gradient scratch, reused across pairs.
+  std::vector<float> du, de;
+
   for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
+    int64_t epoch_start = obs::CurrentClock()->NowMicros();
     rng.Shuffle(pairs);
     double epoch_loss = 0.0;
+    double grad_sq = 0.0;
     size_t batch_count = 0;
     for (size_t i = 0; i < pairs.size(); ++i) {
       const RepPair& p = pairs[i];
-      model_->Similarity(data.user_inputs[p.user],
-                         data.event_inputs[p.event], &ctx);
+      double sim = model_->Similarity(data.user_inputs[p.user],
+                                      data.event_inputs[p.event], &ctx);
+      // Representation-layer gradient norm: redo only the O(rep_dim)
+      // cosine backward here (the tower backward inside
+      // AccumulatePairGradient dominates the cost by orders of magnitude).
+      LossGrad lg = Eq1Loss(sim, p.label, cfg.theta_r);
+      du.assign(ctx.user.head.rep.size(), 0.0f);
+      de.assign(ctx.event.head.rep.size(), 0.0f);
+      CosineBackward(ctx.user.head.rep, ctx.event.head.rep, sim,
+                     lg.dloss_dsim * p.weight, &du, &de);
+      for (float g : du) grad_sq += static_cast<double>(g) * g;
+      for (float g : de) grad_sq += static_cast<double>(g) * g;
+
       epoch_loss += model_->AccumulatePairGradient(ctx, p.label, p.weight);
       ++batch_count;
       if (batch_count == static_cast<size_t>(cfg.batch_size) ||
@@ -62,8 +93,21 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
 
     double val_loss = val.empty() ? epoch_loss : EvaluateLoss(data, val);
     stats.validation_loss.push_back(val_loss);
+    double grad_norm = std::sqrt(grad_sq);
+    stats.grad_norms.push_back(grad_norm);
+    int64_t epoch_elapsed = obs::CurrentClock()->NowMicros() - epoch_start;
+    stats.epoch_micros.push_back(static_cast<double>(epoch_elapsed));
+
+    double x = static_cast<double>(epoch);
+    loss_series->Append(x, epoch_loss);
+    val_series->Append(x, val_loss);
+    lr_series->Append(x, static_cast<double>(lr));
+    grad_series->Append(x, grad_norm);
+    time_series->Append(x, static_cast<double>(epoch_elapsed));
+    epoch_hist->Record(static_cast<double>(epoch_elapsed));
     EVREC_LOG(INFO) << "rep epoch " << epoch << " train_loss=" << epoch_loss
-                    << " val_loss=" << val_loss << " lr=" << lr;
+                    << " val_loss=" << val_loss << " lr=" << lr
+                    << " grad_norm=" << grad_norm;
 
     if (val_loss < best_val - cfg.early_stop_tolerance) {
       best_val = val_loss;

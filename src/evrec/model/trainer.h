@@ -42,6 +42,11 @@ struct RepDataset {
 struct TrainStats {
   std::vector<double> train_loss;       // mean Eq. 1 loss per epoch
   std::vector<double> validation_loss;  // per epoch
+  // L2 norm of the representation-layer gradient accumulated over the
+  // epoch (the pair-level d loss / d v_u, d loss / d v_e flows) — the
+  // cheapest faithful convergence/explosion signal.
+  std::vector<double> grad_norms;
+  std::vector<double> epoch_micros;  // wall time per epoch (obs clock)
   int epochs_run = 0;
   bool early_stopped = false;
   double final_learning_rate = 0.0;

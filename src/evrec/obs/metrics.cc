@@ -1,0 +1,436 @@
+#include "evrec/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <tuple>
+
+#include "evrec/util/check.h"
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+namespace obs {
+
+namespace {
+
+// Shortest-round-trip-ish formatting shared by the JSON and text dumps so
+// snapshots of identical values are byte-identical.
+std::string FormatDouble(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.9g", v);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AtomicMin(std::atomic<double>* slot, double v) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* slot, double v) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---------- Histogram ----------
+
+Histogram::Histogram(const HistogramOptions& options) {
+  EVREC_CHECK_GT(options.num_buckets, 0);
+  EVREC_CHECK_GT(options.first_upper, 0.0);
+  EVREC_CHECK_GT(options.growth, 1.0);
+  bounds_.reserve(static_cast<size_t>(options.num_buckets));
+  double upper = options.first_upper;
+  for (int i = 0; i < options.num_buckets; ++i) {
+    bounds_.push_back(upper);
+    upper *= options.growth;
+  }
+  buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  // First sample publishes min/max directly; later samples CAS-fold in.
+  // The count_ increment is last so concurrent readers never see count > 0
+  // with uninitialized extrema... readers may still race a fresh min/max,
+  // which is acceptable for telemetry.
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::bucket_upper(int i) const {
+  if (i < static_cast<int>(bounds_.size())) {
+    return bounds_[static_cast<size_t>(i)];
+  }
+  return max();  // overflow bucket: report the observed ceiling
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target the ceil(q*n)-th sample (1-based) so q=1 is the last sample.
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= target) {
+      double lower = b == 0 ? 0.0 : bounds_[b - 1];
+      double upper =
+          b < bounds_.size() ? bounds_[b] : max_.load(std::memory_order_relaxed);
+      double frac = static_cast<double>(target - seen) /
+                    static_cast<double>(in_bucket);
+      double est = lower + (upper - lower) * frac;
+      // Clamping to the observed range keeps single-sample histograms
+      // exact and never lets interpolation escape the data.
+      return std::clamp(est, min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::Merge(const Histogram& other) {
+  EVREC_CHECK_EQ(bounds_.size(), other.bounds_.size())
+      << "histogram bucket layouts differ";
+  uint64_t other_count = other.count();
+  if (other_count == 0) return;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    uint64_t c = other.buckets_[b].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[b].fetch_add(c, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, other.min(),
+                                 std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, other.min());
+  AtomicMax(&max_, other.max());
+  count_.fetch_add(other_count, std::memory_order_relaxed);
+}
+
+// ---------- Series ----------
+
+void Series::Append(double x, double y) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.emplace_back(x, y);
+}
+
+std::vector<std::pair<double, double>> Series::Points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_;
+}
+
+size_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_.size();
+}
+
+// ---------- MetricRegistry ----------
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    EVREC_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0 &&
+                series_.count(name) == 0)
+        << "metric '" << name << "' already exists with a different kind";
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    EVREC_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0 &&
+                series_.count(name) == 0)
+        << "metric '" << name << "' already exists with a different kind";
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    EVREC_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0 &&
+                series_.count(name) == 0)
+        << "metric '" << name << "' already exists with a different kind";
+    it = histograms_.emplace(name, std::make_unique<Histogram>(options)).first;
+    histogram_options_[name] = options;
+  }
+  return it->second.get();
+}
+
+Series* MetricRegistry::GetSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    EVREC_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0 &&
+                histograms_.count(name) == 0)
+        << "metric '" << name << "' already exists with a different kind";
+    it = series_.emplace(name, std::make_unique<Series>()).first;
+  }
+  return it->second.get();
+}
+
+void MetricRegistry::Merge(const MetricRegistry& other) {
+  // Snapshot the shard's directory under its lock, then fold metric by
+  // metric without holding either registry lock (metric pointers are
+  // stable, and the per-metric operations are themselves thread-safe).
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::tuple<std::string, const Histogram*, HistogramOptions>>
+      histograms;
+  std::vector<std::pair<std::string, const Series*>> series;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, c] : other.counters_) {
+      counters.emplace_back(name, c.get());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      gauges.emplace_back(name, g.get());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      histograms.emplace_back(name, h.get(),
+                              other.histogram_options_.at(name));
+    }
+    for (const auto& [name, s] : other.series_) {
+      series.emplace_back(name, s.get());
+    }
+  }
+  for (const auto& [name, src] : counters) {
+    GetCounter(name)->Increment(src->value());
+  }
+  for (const auto& [name, src] : gauges) GetGauge(name)->Set(src->value());
+  for (const auto& [name, src, options] : histograms) {
+    GetHistogram(name, options)->Merge(*src);
+  }
+  for (const auto& [name, src] : series) {
+    Series* dst = GetSeries(name);
+    for (const auto& [x, y] : src->Points()) dst->Append(x, y);
+  }
+}
+
+std::map<std::string, uint64_t> MetricRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, double> MetricRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> MetricRegistry::HistogramValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.count = h->count();
+    snap.sum = h->sum();
+    snap.min = h->min();
+    snap.max = h->max();
+    snap.p50 = h->Quantile(0.50);
+    snap.p95 = h->Quantile(0.95);
+    snap.p99 = h->Quantile(0.99);
+    out[name] = snap;
+  }
+  return out;
+}
+
+void MetricRegistry::DumpText(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!counters_.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      os << "  " << name << " = " << c->value() << "\n";
+    }
+  }
+  if (!gauges_.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, g] : gauges_) {
+      os << "  " << name << " = " << FormatDouble(g->value()) << "\n";
+    }
+  }
+  if (!histograms_.empty()) {
+    os << "histograms:\n";
+    for (const auto& [name, h] : histograms_) {
+      os << "  " << name << ": count=" << h->count()
+         << " sum=" << FormatDouble(h->sum())
+         << " min=" << FormatDouble(h->min())
+         << " p50=" << FormatDouble(h->Quantile(0.50))
+         << " p95=" << FormatDouble(h->Quantile(0.95))
+         << " p99=" << FormatDouble(h->Quantile(0.99))
+         << " max=" << FormatDouble(h->max()) << "\n";
+    }
+  }
+  if (!series_.empty()) {
+    os << "series:\n";
+    for (const auto& [name, s] : series_) {
+      auto points = s->Points();
+      os << "  " << name << " (" << points.size() << " points):";
+      // Long series elide the middle; the JSON dump keeps everything.
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (points.size() > 8 && i == 4) {
+          os << " ...";
+          i = points.size() - 4;
+        }
+        os << " (" << FormatDouble(points[i].first) << ", "
+           << FormatDouble(points[i].second) << ")";
+      }
+      os << "\n";
+    }
+  }
+}
+
+std::string MetricRegistry::ToJsonString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("%s\n    \"%s\": %llu", first ? "" : ",",
+                     JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(c->value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("%s\n    \"%s\": %s", first ? "" : ",",
+                     JsonEscape(name).c_str(),
+                     FormatDouble(g->value()).c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    std::string buckets;
+    for (int b = 0; b < h->num_buckets() + 1; ++b) {
+      uint64_t c = h->bucket_count(b);
+      if (c == 0) continue;
+      buckets += StrFormat("%s[%s, %llu]", buckets.empty() ? "" : ", ",
+                           FormatDouble(h->bucket_upper(b)).c_str(),
+                           static_cast<unsigned long long>(c));
+    }
+    out += StrFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, \"min\": %s, "
+        "\"p50\": %s, \"p95\": %s, \"p99\": %s, \"max\": %s, "
+        "\"buckets\": [%s]}",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(h->count()),
+        FormatDouble(h->sum()).c_str(), FormatDouble(h->min()).c_str(),
+        FormatDouble(h->Quantile(0.50)).c_str(),
+        FormatDouble(h->Quantile(0.95)).c_str(),
+        FormatDouble(h->Quantile(0.99)).c_str(),
+        FormatDouble(h->max()).c_str(), buckets.c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"series\": {";
+  first = true;
+  for (const auto& [name, s] : series_) {
+    std::string points;
+    for (const auto& [x, y] : s->Points()) {
+      points += StrFormat("%s[%s, %s]", points.empty() ? "" : ", ",
+                          FormatDouble(x).c_str(), FormatDouble(y).c_str());
+    }
+    out += StrFormat("%s\n    \"%s\": [%s]", first ? "" : ",",
+                     JsonEscape(name).c_str(), points.c_str());
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+Status MetricRegistry::DumpJson(const std::string& path) const {
+  std::string json = ToJsonString();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  histogram_options_.clear();
+  series_.clear();
+}
+
+MetricRegistry* MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return registry;
+}
+
+}  // namespace obs
+}  // namespace evrec

@@ -1,0 +1,179 @@
+// MetricRegistry: the library's unified observability surface. A registry
+// holds named metrics of four kinds:
+//
+//   Counter    monotone uint64 (requests served, errors seen)
+//   Gauge      latest double (final loss, breaker state)
+//   Histogram  fixed exponential buckets with p50/p95/p99 estimation
+//              (latencies, per-candidate serve times)
+//   Series     append-only (x, y) pairs (per-epoch loss / lr / grad-norm)
+//
+// All mutation paths are thread-safe: counters and histogram buckets are
+// atomics, gauge stores are atomic, series appends lock. Lookup/creation
+// locks a registry mutex and returns stable pointers (metrics are never
+// deleted), so hot paths resolve a metric once and then update lock-free.
+//
+// Per-thread sharding: workers can record into private registries and
+// Merge() them into a shared one; counters and histograms add, gauges take
+// the incoming value, series concatenate.
+//
+// Exporters: DumpText (aligned human table) and DumpJson / ToJsonString
+// (deterministic — names sorted, no wall timestamps — so a replay on a
+// FakeClock produces byte-identical snapshots).
+
+#ifndef EVREC_OBS_METRICS_H_
+#define EVREC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "evrec/util/status.h"
+
+namespace evrec {
+namespace obs {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramOptions {
+  // Bucket i (0-based) covers (upper(i-1), first_upper * growth^i]; one
+  // extra overflow bucket catches everything beyond the last bound. The
+  // defaults cover 1us .. ~134s in 28 power-of-two latency buckets.
+  double first_upper = 1.0;
+  double growth = 2.0;
+  int num_buckets = 28;
+};
+
+// Fixed-bucket exponential histogram. Record() is lock-free; quantiles are
+// estimated by linear interpolation inside the covering bucket and clamped
+// to the observed [min, max], which keeps them exact for single-sample
+// histograms and monotone in q always.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& options = HistogramOptions());
+
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const;
+
+  // q in [0, 1]; returns 0 when empty.
+  double Quantile(double q) const;
+
+  // Adds another histogram's samples into this one. Bucket layouts must
+  // match (same options) — EVREC_CHECKed.
+  void Merge(const Histogram& other);
+
+  int num_buckets() const { return static_cast<int>(bounds_.size()); }
+  // Upper bound of bucket i; the final bucket is unbounded and reports the
+  // observed max instead.
+  double bucket_upper(int i) const;
+  uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;  // inclusive upper bounds, strictly rising
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1 slots
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Append-only (x, y) time series, e.g. (epoch, loss).
+class Series {
+ public:
+  void Append(double x, double y);
+  std::vector<std::pair<double, double>> Points() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<double, double>> points_;
+};
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0, min = 0.0, max = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Find-or-create; returned pointers stay valid for the registry's
+  // lifetime. Requesting an existing name with a different metric kind is
+  // a programmer error (EVREC_CHECKed). Histogram options apply only on
+  // first creation.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const HistogramOptions& options = HistogramOptions());
+  Series* GetSeries(const std::string& name);
+
+  // Folds a per-thread shard into this registry (see file comment).
+  void Merge(const MetricRegistry& other);
+
+  // Snapshots for programmatic consumers (benches, tests).
+  std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, double> GaugeValues() const;
+  std::map<std::string, HistogramSnapshot> HistogramValues() const;
+
+  // Human-readable aligned table of every metric.
+  void DumpText(std::ostream& os) const;
+
+  // Deterministic JSON snapshot (sorted names, fixed float formatting).
+  std::string ToJsonString() const;
+  Status DumpJson(const std::string& path) const;
+
+  // Drops every metric. Outstanding pointers become dangling — only for
+  // test isolation and process-level resets between runs.
+  void Reset();
+
+  // Process-wide default registry used when no explicit registry is
+  // injected.
+  static MetricRegistry* Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, HistogramOptions> histogram_options_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+}  // namespace obs
+}  // namespace evrec
+
+#endif  // EVREC_OBS_METRICS_H_

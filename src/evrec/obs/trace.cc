@@ -1,0 +1,114 @@
+#include "evrec/obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+namespace obs {
+
+namespace {
+
+std::atomic<Clock*> g_clock{nullptr};
+
+// Per-thread span nesting depth.
+thread_local int t_span_depth = 0;
+
+}  // namespace
+
+void SetClock(Clock* clock) {
+  g_clock.store(clock, std::memory_order_release);
+}
+
+Clock* CurrentClock() {
+  Clock* clock = g_clock.load(std::memory_order_acquire);
+  return clock != nullptr ? clock : SystemClock::Instance();
+}
+
+void TraceLog::Record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> TraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void TraceLog::DumpJsonLines(std::ostream& os) const {
+  for (const SpanEvent& e : Snapshot()) {
+    os << StrFormat(
+        "{\"name\": \"%s\", \"depth\": %d, \"start_us\": %lld, "
+        "\"dur_us\": %lld}\n",
+        e.name.c_str(), e.depth, static_cast<long long>(e.start_micros),
+        static_cast<long long>(e.duration_micros));
+  }
+}
+
+Status TraceLog::DumpJsonLines(const std::string& path) const {
+  std::string out;
+  for (const SpanEvent& e : Snapshot()) {
+    out += StrFormat(
+        "{\"name\": \"%s\", \"depth\": %d, \"start_us\": %lld, "
+        "\"dur_us\": %lld}\n",
+        e.name.c_str(), e.depth, static_cast<long long>(e.start_micros),
+        static_cast<long long>(e.duration_micros));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != out.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+void TraceLog::DumpText(std::ostream& os) const {
+  for (const SpanEvent& e : Snapshot()) {
+    os << StrFormat("%*s%s: %.3f ms\n", e.depth * 2, "", e.name.c_str(),
+                    static_cast<double>(e.duration_micros) / 1000.0);
+  }
+}
+
+TraceLog* TraceLog::Global() {
+  static TraceLog* log = new TraceLog();
+  return log;
+}
+
+ScopedSpan::ScopedSpan(const char* name, MetricRegistry* registry,
+                       TraceLog* log)
+    : name_(name),
+      registry_(registry != nullptr ? registry : MetricRegistry::Global()),
+      log_(log != nullptr ? log : TraceLog::Global()),
+      start_micros_(CurrentClock()->NowMicros()),
+      depth_(t_span_depth++) {}
+
+ScopedSpan::~ScopedSpan() {
+  --t_span_depth;
+  int64_t duration = CurrentClock()->NowMicros() - start_micros_;
+  SpanEvent event;
+  event.name = name_;
+  event.depth = depth_;
+  event.start_micros = start_micros_;
+  event.duration_micros = duration;
+  log_->Record(std::move(event));
+  registry_->GetHistogram(std::string("span.") + name_)
+      ->Record(static_cast<double>(duration));
+}
+
+}  // namespace obs
+}  // namespace evrec

@@ -1,0 +1,100 @@
+// Scoped trace spans over the injectable clock.
+//
+//   void TrainRepresentation() {
+//     EVREC_SPAN("pipeline.rep_train");
+//     ...
+//   }
+//
+// A span measures the wall time between construction and destruction on
+// the process-wide observability clock (SetClock; defaults to the real
+// SystemClock — inject a FakeClock to make replays produce exact,
+// reproducible latencies). Spans nest: each thread keeps a depth counter,
+// so a span opened inside another span records depth parent+1.
+//
+// On close a span does two things:
+//   1. appends a SpanEvent to a TraceLog (close-ordered: children appear
+//      before their parent), which can flush to a JSON-lines event log or
+//      a human text table;
+//   2. records its duration into the histogram "span.<name>" of the
+//      MetricRegistry, so every traced phase gets p50/p95/p99 for free.
+
+#ifndef EVREC_OBS_TRACE_H_
+#define EVREC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "evrec/obs/metrics.h"
+#include "evrec/util/clock.h"
+
+namespace evrec {
+namespace obs {
+
+// The clock all spans (and any other obs timing) read. Never null;
+// defaults to SystemClock::Instance(). Passing nullptr restores the
+// default. Set once at startup (or per replay) before spawning threads.
+void SetClock(Clock* clock);
+Clock* CurrentClock();
+
+struct SpanEvent {
+  std::string name;
+  int depth = 0;               // 0 = top-level span on its thread
+  int64_t start_micros = 0;    // CurrentClock() time at open
+  int64_t duration_micros = 0;
+};
+
+// Append-only, thread-safe log of closed spans.
+class TraceLog {
+ public:
+  void Record(SpanEvent event);
+  std::vector<SpanEvent> Snapshot() const;
+  size_t size() const;
+  void Clear();
+
+  // One JSON object per line: {"name": ..., "depth": N, "start_us": N,
+  // "dur_us": N}. Deterministic given deterministic clock readings.
+  void DumpJsonLines(std::ostream& os) const;
+  Status DumpJsonLines(const std::string& path) const;
+
+  // Human table: close-ordered rows, indented two spaces per depth.
+  void DumpText(std::ostream& os) const;
+
+  static TraceLog* Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+};
+
+// RAII span. `name` must outlive the span (string literals in practice).
+// Registry/log default to the process-wide globals; tests inject their
+// own.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, MetricRegistry* registry = nullptr,
+                      TraceLog* log = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  MetricRegistry* registry_;
+  TraceLog* log_;
+  int64_t start_micros_;
+  int depth_;
+};
+
+}  // namespace obs
+}  // namespace evrec
+
+#define EVREC_SPAN_CONCAT_INNER(a, b) a##b
+#define EVREC_SPAN_CONCAT(a, b) EVREC_SPAN_CONCAT_INNER(a, b)
+#define EVREC_SPAN(name) \
+  ::evrec::obs::ScopedSpan EVREC_SPAN_CONCAT(evrec_span_, __LINE__)(name)
+
+#endif  // EVREC_OBS_TRACE_H_

@@ -1,5 +1,6 @@
 #include "evrec/pipeline/pipeline.h"
 
+#include "evrec/obs/trace.h"
 #include "evrec/util/binary_io.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/string_util.h"
@@ -26,30 +27,40 @@ TwoStagePipeline::TwoStagePipeline(const PipelineConfig& config)
                               /*capacity_per_shard=*/1u << 16) {}
 
 void TwoStagePipeline::Prepare() {
+  EVREC_SPAN("pipeline.prepare");
   Timer timer;
-  data_ = simnet::GenerateDataset(config_.simnet);
-  encoders_ = BuildEncoders(data_, config_.simnet.rep_train_days,
-                            config_.rep.min_document_frequency,
-                            config_.rep.max_vocabulary_size,
-                            config_.rep.max_df_fraction);
+  {
+    EVREC_SPAN("pipeline.generate");
+    data_ = simnet::GenerateDataset(config_.simnet);
+  }
+  {
+    EVREC_SPAN("pipeline.vocab_build");
+    encoders_ = BuildEncoders(data_, config_.simnet.rep_train_days,
+                              config_.rep.min_document_frequency,
+                              config_.rep.max_vocabulary_size,
+                              config_.rep.max_df_fraction);
+  }
   EVREC_LOG(INFO) << "vocabularies: user_text=" << encoders_.UserTextVocab()
                   << " user_cat=" << encoders_.UserCategoricalVocab()
                   << " event_text=" << encoders_.EventTextVocab();
 
   // Encode every user and event once; training pairs reference by id.
-  rep_data_.user_inputs.reserve(data_.world.users.size());
-  for (const auto& user : data_.world.users) {
-    rep_data_.user_inputs.push_back(encoders_.EncodeUser(
-        user, data_.world.pages, config_.max_user_tokens));
-  }
-  rep_data_.event_inputs.reserve(data_.events.size());
-  for (const auto& event : data_.events) {
-    rep_data_.event_inputs.push_back(
-        encoders_.EncodeEvent(event, config_.max_event_tokens));
-  }
-  rep_data_.pairs.reserve(data_.rep_train.size());
-  for (const auto& imp : data_.rep_train) {
-    rep_data_.pairs.push_back({imp.user, imp.event, imp.label, 1.0f});
+  {
+    EVREC_SPAN("pipeline.tokenize");
+    rep_data_.user_inputs.reserve(data_.world.users.size());
+    for (const auto& user : data_.world.users) {
+      rep_data_.user_inputs.push_back(encoders_.EncodeUser(
+          user, data_.world.pages, config_.max_user_tokens));
+    }
+    rep_data_.event_inputs.reserve(data_.events.size());
+    for (const auto& event : data_.events) {
+      rep_data_.event_inputs.push_back(
+          encoders_.EncodeEvent(event, config_.max_event_tokens));
+    }
+    rep_data_.pairs.reserve(data_.rep_train.size());
+    for (const auto& imp : data_.rep_train) {
+      rep_data_.pairs.push_back({imp.user, imp.event, imp.label, 1.0f});
+    }
   }
   if (config_.interested_pair_weight > 0.0f) {
     int added = 0;
@@ -162,6 +173,7 @@ model::TrainStats TwoStagePipeline::TrainRepresentation() {
     return stats;
   }
 
+  EVREC_SPAN("pipeline.rep_train");
   Timer timer;
   model_ = std::make_unique<model::JointModel>(
       config_.rep, encoders_.UserTextVocab(),
@@ -171,6 +183,7 @@ model::TrainStats TwoStagePipeline::TrainRepresentation() {
   model_->CalibrateNormalizers(rep_data_);
 
   if (config_.use_siamese_init) {
+    EVREC_SPAN("pipeline.siamese_init");
     // Paper §3.2.1: initialize the event tower with title/body pairs from
     // training-period events — no user feedback involved.
     std::vector<text::EncodedText> titles, bodies;
@@ -208,6 +221,7 @@ model::TrainStats TwoStagePipeline::TrainRepresentation() {
 
 void TwoStagePipeline::ComputeRepVectors() {
   EVREC_CHECK(trained_) << "call TrainRepresentation() first";
+  EVREC_SPAN("pipeline.rep_precompute");
   Timer timer;
   user_reps_.resize(data_.world.users.size());
   for (size_t u = 0; u < data_.world.users.size(); ++u) {
@@ -245,7 +259,10 @@ EvalResult TwoStagePipeline::EvaluateFeatureConfig(
   assembler.Assemble(data_.combiner_train, features, &train_x, &train_y);
 
   gbdt::GbdtModel combiner;
-  combiner.Train(train_x, train_y, config_.gbdt);
+  {
+    EVREC_SPAN("pipeline.gbdt_fit");
+    combiner.Train(train_x, train_y, config_.gbdt);
+  }
 
   gbdt::DataMatrix eval_x;
   std::vector<float> eval_y;

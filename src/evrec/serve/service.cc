@@ -1,8 +1,11 @@
 #include "evrec/serve/service.h"
 
 #include <algorithm>
+#include <string>
 
 #include "evrec/util/check.h"
+#include "evrec/util/logging.h"
+#include "evrec/util/string_util.h"
 
 namespace evrec {
 namespace serve {
@@ -17,6 +20,32 @@ RecommendationService::RecommendationService(const Backends& backends,
   EVREC_CHECK(backends_.primary != nullptr);
   EVREC_CHECK(backends_.fallback != nullptr);
   EVREC_CHECK(backends_.clock != nullptr);
+
+  obs::MetricRegistry* reg = backends_.metrics != nullptr
+                                 ? backends_.metrics
+                                 : obs::MetricRegistry::Global();
+  backends_.metrics = reg;
+  metrics_.requests = reg->GetCounter("serve.requests");
+  metrics_.candidates = reg->GetCounter("serve.candidates");
+  metrics_.store_attempts = reg->GetCounter("serve.store.attempts");
+  metrics_.store_retries = reg->GetCounter("serve.store.retries");
+  metrics_.store_transient_errors =
+      reg->GetCounter("serve.store.transient_errors");
+  metrics_.store_corruptions = reg->GetCounter("serve.store.corruptions");
+  metrics_.store_misses = reg->GetCounter("serve.store.misses");
+  metrics_.recompute_attempts = reg->GetCounter("serve.recompute.attempts");
+  metrics_.recompute_failures = reg->GetCounter("serve.recompute.failures");
+  metrics_.breaker_rejections = reg->GetCounter("serve.breaker.rejections");
+  metrics_.breaker_transitions = reg->GetCounter("serve.breaker.transitions");
+  metrics_.deadline_degradations =
+      reg->GetCounter("serve.deadline_degradations");
+  metrics_.request_micros = reg->GetHistogram("serve.request.micros");
+  for (int t = 0; t < 4; ++t) {
+    metrics_.tier_served[t] =
+        reg->GetCounter(StrFormat("serve.tier_served.%d", t + 1));
+    metrics_.tier_micros[t] =
+        reg->GetHistogram(StrFormat("serve.tier.%d.micros", t + 1));
+  }
 }
 
 StatusOr<std::vector<float>> RecommendationService::FetchVector(
@@ -116,6 +145,7 @@ RankResponse RecommendationService::Rank(int user,
 
   response.ranking.reserve(candidates.size());
   for (int event : candidates) {
+    int64_t candidate_start = backends_.clock->NowMicros();
     RankedCandidate rc;
     rc.event = event;
     if (!budget.Exhausted() && user_vec.vec.ok()) {
@@ -140,7 +170,14 @@ RankResponse RecommendationService::Rank(int user,
         rc.tier = 4;
       }
     }
+    if (rc.tier >= 3) {
+      EVREC_LOG_EVERY_N(WARN, 100)
+          << "degraded candidate: user=" << user << " event=" << event
+          << " served at tier " << rc.tier;
+    }
     ++st.tier_served[rc.tier - 1];
+    metrics_.tier_micros[rc.tier - 1]->Record(static_cast<double>(
+        backends_.clock->NowMicros() - candidate_start));
     response.ranking.push_back(rc);
   }
 
@@ -154,6 +191,26 @@ RankResponse RecommendationService::Rank(int user,
                            breaker_transitions_before;
   response.elapsed_micros = backends_.clock->NowMicros() - start;
   lifetime_.Merge(st);
+
+  // Mirror this request's deltas into the registry so the exported totals
+  // track lifetime_stats() exactly (serve_test pins them bit-for-bit).
+  metrics_.requests->Increment(st.requests);
+  metrics_.candidates->Increment(st.candidates);
+  metrics_.store_attempts->Increment(st.store_attempts);
+  metrics_.store_retries->Increment(st.store_retries);
+  metrics_.store_transient_errors->Increment(st.store_transient_errors);
+  metrics_.store_corruptions->Increment(st.store_corruptions);
+  metrics_.store_misses->Increment(st.store_misses);
+  metrics_.recompute_attempts->Increment(st.recompute_attempts);
+  metrics_.recompute_failures->Increment(st.recompute_failures);
+  metrics_.breaker_rejections->Increment(st.breaker_rejections);
+  metrics_.breaker_transitions->Increment(st.breaker_transitions);
+  metrics_.deadline_degradations->Increment(st.deadline_degradations);
+  for (int t = 0; t < 4; ++t) {
+    metrics_.tier_served[t]->Increment(st.tier_served[t]);
+  }
+  metrics_.request_micros->Record(
+      static_cast<double>(response.elapsed_micros));
   return response;
 }
 

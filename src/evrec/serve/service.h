@@ -18,6 +18,7 @@
 
 #include "evrec/baseline/assembler.h"
 #include "evrec/gbdt/gbdt.h"
+#include "evrec/obs/metrics.h"
 #include "evrec/serve/circuit_breaker.h"
 #include "evrec/serve/clock.h"
 #include "evrec/serve/fault_injector.h"
@@ -63,6 +64,9 @@ class RecommendationService {
     // Tier 4: cheap local prior, (user, event, day) -> score.
     std::function<double(int, int, int)> prior;
     Clock* clock = nullptr;
+    // Destination for serve.* counters and latency histograms; nullptr
+    // means the process-wide obs::MetricRegistry::Global().
+    obs::MetricRegistry* metrics = nullptr;
   };
 
   RecommendationService(const Backends& backends,
@@ -103,11 +107,34 @@ class RecommendationService {
                    const std::vector<float>& event_vec) const;
   double ScoreFallback(int user, int event, int day) const;
 
+  // Registry metrics mirroring ServeStats, resolved once at construction
+  // so the hot path touches only atomics. The ServeStats struct remains
+  // the per-request return channel; these carry the same totals for
+  // export (the serve_test pins them equal bit-for-bit).
+  struct RegistryMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* candidates = nullptr;
+    obs::Counter* store_attempts = nullptr;
+    obs::Counter* store_retries = nullptr;
+    obs::Counter* store_transient_errors = nullptr;
+    obs::Counter* store_corruptions = nullptr;
+    obs::Counter* store_misses = nullptr;
+    obs::Counter* recompute_attempts = nullptr;
+    obs::Counter* recompute_failures = nullptr;
+    obs::Counter* breaker_rejections = nullptr;
+    obs::Counter* breaker_transitions = nullptr;
+    obs::Counter* deadline_degradations = nullptr;
+    obs::Counter* tier_served[4] = {nullptr, nullptr, nullptr, nullptr};
+    obs::Histogram* request_micros = nullptr;
+    obs::Histogram* tier_micros[4] = {nullptr, nullptr, nullptr, nullptr};
+  };
+
   Backends backends_;
   ServiceConfig config_;
   CircuitBreaker breaker_;
   Rng jitter_rng_;
   ServeStats lifetime_;
+  RegistryMetrics metrics_;
 };
 
 }  // namespace serve

@@ -1,13 +1,22 @@
 #include "evrec/util/logging.h"
 
-#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace evrec {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<std::FILE*> g_log_stream{nullptr};  // nullptr -> stderr
+
+// Serializes the final fwrite so records from concurrent threads never
+// interleave. stdio's own stream lock would also do, but one record can
+// legitimately exceed stdio's internal buffering; an explicit mutex keeps
+// the guarantee independent of libc behaviour.
+std::mutex g_write_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -27,6 +36,34 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
+
+// Compact monotone thread ids: the first thread to log is t1, the next t2…
+// (std::thread::id prints as an opaque 15-digit handle; a small ordinal is
+// what a human diffing two interleaved request logs actually wants.)
+int ThreadOrdinal() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+// ISO-8601 UTC with millisecond precision: 2026-08-06T12:34:56.789Z
+void FormatTimestamp(char* buf, size_t buf_size) {
+  using namespace std::chrono;
+  auto now = system_clock::now();
+  std::time_t secs = system_clock::to_time_t(now);
+  int millis = static_cast<int>(
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000);
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  size_t n = std::strftime(buf, buf_size, "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  std::snprintf(buf + n, buf_size - n, ".%03dZ", millis);
+}
+
+bool LevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_log_level.load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -37,19 +74,41 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void SetLogStream(std::FILE* stream) {
+  g_log_stream.store(stream, std::memory_order_relaxed);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >=
-               g_log_level.load(std::memory_order_relaxed)),
-      level_(level),
-      file_(file),
-      line_(line) {}
+    : enabled_(LevelEnabled(level)), level_(level), file_(file), line_(line) {}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line,
+                       std::atomic<uint64_t>& occurrences, uint64_t every_n)
+    : LogMessage(level, file, line) {
+  // Count every hit (even suppressed-by-level ones) so the sampling period
+  // is stable regardless of the level threshold flipping mid-run.
+  uint64_t seen = occurrences.fetch_add(1, std::memory_order_relaxed);
+  if (every_n > 1 && seen % every_n != 0) enabled_ = false;
+}
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level_), Basename(file_),
-               line_, stream_.str().c_str());
+  char timestamp[40];
+  FormatTimestamp(timestamp, sizeof(timestamp));
+  // Assemble the entire record first; emit with one locked write.
+  std::ostringstream record;
+  record << '[' << LevelTag(level_) << ' ' << timestamp << " t"
+         << ThreadOrdinal() << ' ' << Basename(file_) << ':' << line_
+         << "] " << stream_.str() << '\n';
+  std::string line = record.str();
+  std::FILE* out = g_log_stream.load(std::memory_order_relaxed);
+  if (out == nullptr) out = stderr;
+  {
+    std::lock_guard<std::mutex> lock(g_write_mutex);
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fflush(out);
+  }
 }
 
 }  // namespace internal

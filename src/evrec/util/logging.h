@@ -3,10 +3,24 @@
 // Usage:  EVREC_LOG(INFO) << "trained epoch " << epoch;
 // Levels: DEBUG < INFO < WARN < ERROR. The global threshold defaults to INFO
 // and can be changed with SetLogLevel (e.g. tests silence INFO chatter).
+//
+// Multithread-safe: each record is assembled in full in the LogMessage
+// destructor and emitted with a single locked fwrite, so concurrent
+// threads never interleave within a line. Every line carries an ISO-8601
+// UTC timestamp and a compact per-thread id:
+//
+//   [I 2026-08-06T12:34:56.789Z t1 trainer.cc:65] rep epoch 0 ...
+//
+// EVREC_LOG_EVERY_N(severity, n) emits only every n-th hit of that call
+// site (thread-safe occurrence counting) — use it for per-candidate /
+// per-row warnings that would otherwise flood stderr under a fault storm.
 
 #ifndef EVREC_UTIL_LOGGING_H_
 #define EVREC_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -18,11 +32,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Redirects log output to `stream` (tests capture and inspect records
+// this way); nullptr restores the default, stderr.
+void SetLogStream(std::FILE* stream);
+
 namespace internal {
 
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
+  // Rate-limited variant: enabled only when the call site's occurrence
+  // count (pre-increment value) is a multiple of `every_n`.
+  LogMessage(LogLevel level, const char* file, int line,
+             std::atomic<uint64_t>& occurrences, uint64_t every_n);
   ~LogMessage();
 
   template <typename T>
@@ -49,5 +71,17 @@ class LogMessage {
 
 #define EVREC_LOG(severity) \
   ::evrec::internal::LogMessage(EVREC_LOG_##severity, __FILE__, __LINE__)
+
+// The immediately-invoked lambda gives each expansion site its own static
+// occurrence counter while keeping the whole macro a single expression, so
+// it composes with un-braced if/else exactly like EVREC_LOG.
+#define EVREC_LOG_EVERY_N(severity, n)                               \
+  ::evrec::internal::LogMessage(                                     \
+      EVREC_LOG_##severity, __FILE__, __LINE__,                      \
+      []() -> ::std::atomic<::std::uint64_t>& {                      \
+        static ::std::atomic<::std::uint64_t> occurrences{0};        \
+        return occurrences;                                          \
+      }(),                                                           \
+      static_cast<::std::uint64_t>(n))
 
 #endif  // EVREC_UTIL_LOGGING_H_

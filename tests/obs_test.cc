@@ -1,0 +1,373 @@
+// Tests for evrec/obs: metric registry (counters, gauges, histograms,
+// series), scoped trace spans on an injectable clock, and the
+// thread-safety contracts the observability layer documents — concurrent
+// counter increments sum exactly, and per-thread registry shards fold
+// losslessly via Merge. Run these under EVREC_SANITIZE=thread to verify
+// the lock-free paths (tools/check.sh does).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "evrec/obs/metrics.h"
+#include "evrec/obs/trace.h"
+#include "evrec/util/clock.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace obs {
+namespace {
+
+// ---------- counters & gauges ----------
+
+TEST(CounterTest, IncrementsAndReads) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(CounterTest, SameNameReturnsSamePointer) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.GetCounter("x"), registry.GetCounter("x"));
+  EXPECT_NE(registry.GetCounter("x"), registry.GetCounter("y"));
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  MetricRegistry registry;
+  Gauge* g = registry.GetGauge("g");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_EQ(g->value(), -2.25);
+}
+
+// ---------- histograms ----------
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->sum(), 0.0);
+  EXPECT_EQ(h->min(), 0.0);
+  EXPECT_EQ(h->max(), 0.0);
+  EXPECT_EQ(h->Quantile(0.5), 0.0);
+  EXPECT_EQ(h->Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsExactAtEveryQuantile) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  h->Record(1234.5);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->min(), 1234.5);
+  EXPECT_EQ(h->max(), 1234.5);
+  // Interpolation clamps to the observed range, so a single sample is
+  // reported exactly — not as some point inside its covering bucket.
+  EXPECT_EQ(h->Quantile(0.0), 1234.5);
+  EXPECT_EQ(h->Quantile(0.5), 1234.5);
+  EXPECT_EQ(h->Quantile(1.0), 1234.5);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesHugeValues) {
+  HistogramOptions opts;
+  opts.first_upper = 1.0;
+  opts.growth = 2.0;
+  opts.num_buckets = 4;  // bounds 1, 2, 4, 8 + overflow
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("h", opts);
+  h->Record(1e12);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->max(), 1e12);
+  // The overflow bucket sits one past the finite buckets.
+  EXPECT_EQ(h->bucket_count(h->num_buckets()), 1u);
+  for (int b = 0; b < h->num_buckets(); ++b) {
+    EXPECT_EQ(h->bucket_count(b), 0u) << "bucket " << b;
+  }
+  // Quantiles stay within observed bounds even from the unbounded bucket.
+  EXPECT_EQ(h->Quantile(0.99), 1e12);
+}
+
+TEST(HistogramTest, NegativeClampsToZeroAndNanIgnored) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  h->Record(-5.0);                // clamped into the first bucket
+  h->Record(std::nan(""));        // dropped
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->min(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneInQ) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  Rng rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    h->Record(rng.UniformDouble() * 1e6);
+  }
+  double prev = 0.0;
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    double v = h->Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_GE(v, h->min());
+    EXPECT_LE(v, h->max());
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, QuantileApproximatesUniformDistribution) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  // 100k uniform samples on [0, 1e6): p50 must land in the right bucket
+  // neighbourhood (exponential buckets are coarse at the top end, so the
+  // tolerance is one bucket's relative width, x2).
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    h->Record(rng.UniformDouble() * 1e6);
+  }
+  EXPECT_NEAR(h->Quantile(0.5), 5e5, 2.6e5);
+  EXPECT_GT(h->Quantile(0.95), 8e5);
+}
+
+TEST(HistogramTest, MergeAddsCountsAndKeepsExtremes) {
+  MetricRegistry a, b;
+  Histogram* ha = a.GetHistogram("h");
+  Histogram* hb = b.GetHistogram("h");
+  ha->Record(10.0);
+  ha->Record(20.0);
+  hb->Record(5.0);
+  hb->Record(40000.0);
+  ha->Merge(*hb);
+  EXPECT_EQ(ha->count(), 4u);
+  EXPECT_EQ(ha->sum(), 40035.0);
+  EXPECT_EQ(ha->min(), 5.0);
+  EXPECT_EQ(ha->max(), 40000.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Record(static_cast<double>(t * 1000 + i % 977));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------- series ----------
+
+TEST(SeriesTest, PreservesAppendOrder) {
+  MetricRegistry registry;
+  Series* s = registry.GetSeries("loss");
+  s->Append(0, 0.9);
+  s->Append(1, 0.5);
+  s->Append(2, 0.3);
+  auto points = s->Points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0], std::make_pair(0.0, 0.9));
+  EXPECT_EQ(points[2], std::make_pair(2.0, 0.3));
+}
+
+// ---------- registry ----------
+
+TEST(MetricRegistryTest, SnapshotsExposeAllKinds) {
+  MetricRegistry registry;
+  registry.GetCounter("c")->Increment(3);
+  registry.GetGauge("g")->Set(1.25);
+  registry.GetHistogram("h")->Record(100.0);
+  EXPECT_EQ(registry.CounterValues().at("c"), 3u);
+  EXPECT_EQ(registry.GaugeValues().at("g"), 1.25);
+  EXPECT_EQ(registry.HistogramValues().at("h").count, 1u);
+}
+
+TEST(MetricRegistryTest, ResetClearsEverything) {
+  MetricRegistry registry;
+  registry.GetCounter("c")->Increment();
+  registry.GetHistogram("h")->Record(1.0);
+  registry.Reset();
+  EXPECT_TRUE(registry.CounterValues().empty());
+  EXPECT_TRUE(registry.HistogramValues().empty());
+}
+
+TEST(MetricRegistryTest, JsonIsDeterministicAcrossIdenticalRuns) {
+  auto build = [] {
+    MetricRegistry registry;
+    // Deliberately create in non-sorted order: export must still sort.
+    registry.GetCounter("z.count")->Increment(7);
+    registry.GetCounter("a.count")->Increment(1);
+    registry.GetGauge("lr")->Set(0.05);
+    Histogram* h = registry.GetHistogram("lat");
+    for (int i = 1; i <= 100; ++i) h->Record(i * 3.5);
+    Series* s = registry.GetSeries("loss");
+    for (int i = 0; i < 5; ++i) s->Append(i, 1.0 / (i + 1));
+    return registry.ToJsonString();
+  };
+  std::string first = build();
+  std::string second = build();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);  // byte-identical
+  // Sorted name order in the output.
+  EXPECT_LT(first.find("\"a.count\""), first.find("\"z.count\""));
+}
+
+TEST(MetricRegistryTest, DumpJsonRoundTripsThroughFile) {
+  MetricRegistry registry;
+  registry.GetCounter("c")->Increment(9);
+  std::string path = ::testing::TempDir() + "/obs_registry.json";
+  ASSERT_TRUE(registry.DumpJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(1 << 12, '\0');
+  size_t n = std::fread(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  contents.resize(n);
+  EXPECT_EQ(contents, registry.ToJsonString());
+  std::remove(path.c_str());
+}
+
+TEST(MetricRegistryTest, MergeFoldsPerThreadShards) {
+  // The sharded-aggregation pattern from the file comment: each worker
+  // owns a private registry, the owner folds them in afterwards.
+  MetricRegistry total;
+  constexpr int kShards = 4;
+  constexpr int kPerShard = 5000;
+  std::vector<MetricRegistry> shards(kShards);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kShards; ++t) {
+    threads.emplace_back([&shards, t] {
+      Counter* c = shards[t].GetCounter("work.items");
+      Histogram* h = shards[t].GetHistogram("work.micros");
+      for (int i = 0; i < kPerShard; ++i) {
+        c->Increment();
+        h->Record(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& shard : shards) total.Merge(shard);
+  EXPECT_EQ(total.CounterValues().at("work.items"),
+            static_cast<uint64_t>(kShards) * kPerShard);
+  EXPECT_EQ(total.HistogramValues().at("work.micros").count,
+            static_cast<uint64_t>(kShards) * kPerShard);
+}
+
+// ---------- trace spans ----------
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetClock(nullptr); }
+};
+
+TEST_F(SpanTest, RecordsDurationFromInjectedClock) {
+  FakeClock clock(1000);
+  SetClock(&clock);
+  MetricRegistry registry;
+  TraceLog log;
+  {
+    ScopedSpan span("unit.work", &registry, &log);
+    clock.Advance(250);
+  }
+  std::vector<SpanEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.work");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[0].start_micros, 1000);
+  EXPECT_EQ(events[0].duration_micros, 250);
+  // The span also lands in the registry as a latency histogram.
+  EXPECT_EQ(registry.HistogramValues().at("span.unit.work").count, 1u);
+  EXPECT_EQ(registry.HistogramValues().at("span.unit.work").sum, 250.0);
+}
+
+TEST_F(SpanTest, NestedSpansTrackDepthAndCloseChildFirst) {
+  FakeClock clock;
+  SetClock(&clock);
+  MetricRegistry registry;
+  TraceLog log;
+  {
+    ScopedSpan outer("outer", &registry, &log);
+    clock.Advance(10);
+    {
+      ScopedSpan inner("inner", &registry, &log);
+      clock.Advance(5);
+    }
+    clock.Advance(10);
+  }
+  std::vector<SpanEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Close-ordered: the child is recorded before the parent.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[0].duration_micros, 5);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_EQ(events[1].duration_micros, 25);
+}
+
+TEST_F(SpanTest, MacroExpandsToBlockScopedSpan) {
+  FakeClock clock;
+  SetClock(&clock);
+  TraceLog::Global()->Clear();
+  {
+    EVREC_SPAN("macro.test");
+    clock.Advance(7);
+  }
+  std::vector<SpanEvent> events = TraceLog::Global()->Snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().name, "macro.test");
+  EXPECT_EQ(events.back().duration_micros, 7);
+  TraceLog::Global()->Clear();
+}
+
+TEST_F(SpanTest, JsonLinesHaveOneObjectPerSpan) {
+  FakeClock clock;
+  SetClock(&clock);
+  MetricRegistry registry;
+  TraceLog log;
+  {
+    ScopedSpan a("a", &registry, &log);
+    clock.Advance(1);
+  }
+  {
+    ScopedSpan b("b", &registry, &log);
+    clock.Advance(2);
+  }
+  std::ostringstream os;
+  log.DumpJsonLines(os);
+  std::string text = os.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("{\"name\": \"a\""), std::string::npos);
+  EXPECT_NE(text.find("\"dur_us\": 2}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace evrec

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "evrec/obs/metrics.h"
 #include "evrec/pipeline/pipeline.h"
 #include "evrec/pipeline/serving.h"
 #include "evrec/serve/circuit_breaker.h"
@@ -26,6 +27,7 @@
 #include "evrec/serve/service.h"
 #include "evrec/serve/vector_store.h"
 #include "evrec/util/logging.h"
+#include "evrec/util/string_util.h"
 
 namespace evrec {
 namespace serve {
@@ -417,6 +419,84 @@ TEST_F(ServeEndToEndTest, FaultStormStillServesEveryCandidate) {
   EXPECT_GT(stats.store_transient_errors, 0u);
   EXPECT_GT(stats.tier_served[0], 0u);
   EXPECT_GT(stats.tier_served[2] + stats.tier_served[3], 0u);
+}
+
+TEST_F(ServeEndToEndTest, RegistryCountersMatchServeStatsExactly) {
+  // Same storm profile as FaultStormStillServesEveryCandidate, but routed
+  // into a dedicated registry: every exported serve.* counter must equal
+  // the corresponding lifetime ServeStats field bit-for-bit, and the
+  // registry's tier counters must preserve the accounting invariant
+  // (tier1 + tier2 + tier3 + tier4 == candidates).
+  FakeClock clock;
+  FaultConfig fault_cfg;
+  fault_cfg.transient_error_rate = 0.30;
+  fault_cfg.latency_spike_rate = 0.10;
+  fault_cfg.latency_spike_micros = 2000;
+  fault_cfg.corruption_rate = 0.05;
+  fault_cfg.base_latency_micros = 100;
+  fault_cfg.seed = 99;
+  FaultInjector store_injector(fault_cfg);
+  FaultyVectorStore faulty_store(bundle_->store.get(), &store_injector,
+                                 &clock);
+
+  ServiceConfig service_cfg;
+  service_cfg.retry.max_attempts = 3;
+  service_cfg.retry.initial_backoff_micros = 500;
+  service_cfg.retry.max_backoff_micros = 4000;
+
+  obs::MetricRegistry registry;
+  RecommendationService::Backends backends =
+      bundle_->MakeBackends(&clock, &faulty_store);
+  backends.metrics = &registry;
+  RecommendationService service(backends, service_cfg);
+
+  for (const auto& [key, candidates] : GroupEvalRequests(
+           pipeline_->dataset())) {
+    service.Rank(key.first, candidates, key.second,
+                 /*budget_micros=*/15000);
+  }
+
+  const ServeStats& stats = service.lifetime_stats();
+  std::map<std::string, uint64_t> counters = registry.CounterValues();
+  EXPECT_EQ(counters.at("serve.requests"), stats.requests);
+  EXPECT_EQ(counters.at("serve.candidates"), stats.candidates);
+  EXPECT_EQ(counters.at("serve.store.attempts"), stats.store_attempts);
+  EXPECT_EQ(counters.at("serve.store.retries"), stats.store_retries);
+  EXPECT_EQ(counters.at("serve.store.transient_errors"),
+            stats.store_transient_errors);
+  EXPECT_EQ(counters.at("serve.store.corruptions"), stats.store_corruptions);
+  EXPECT_EQ(counters.at("serve.store.misses"), stats.store_misses);
+  EXPECT_EQ(counters.at("serve.recompute.attempts"),
+            stats.recompute_attempts);
+  EXPECT_EQ(counters.at("serve.recompute.failures"),
+            stats.recompute_failures);
+  EXPECT_EQ(counters.at("serve.breaker.rejections"),
+            stats.breaker_rejections);
+  EXPECT_EQ(counters.at("serve.breaker.transitions"),
+            stats.breaker_transitions);
+  EXPECT_EQ(counters.at("serve.deadline_degradations"),
+            stats.deadline_degradations);
+  uint64_t tier_total = 0;
+  for (int t = 0; t < 4; ++t) {
+    uint64_t tier = counters.at(StrFormat("serve.tier_served.%d", t + 1));
+    EXPECT_EQ(tier, stats.tier_served[t]) << "tier " << (t + 1);
+    tier_total += tier;
+  }
+  EXPECT_EQ(tier_total, counters.at("serve.candidates"));
+
+  // Per-tier latency histogram counts mirror the tier counters, and every
+  // candidate's latency landed in exactly one tier histogram.
+  std::map<std::string, obs::HistogramSnapshot> hists =
+      registry.HistogramValues();
+  uint64_t hist_total = 0;
+  for (int t = 0; t < 4; ++t) {
+    const obs::HistogramSnapshot& snap =
+        hists.at(StrFormat("serve.tier.%d.micros", t + 1));
+    EXPECT_EQ(snap.count, stats.tier_served[t]) << "tier " << (t + 1);
+    hist_total += snap.count;
+  }
+  EXPECT_EQ(hist_total, stats.candidates);
+  EXPECT_EQ(hists.at("serve.request.micros").count, stats.requests);
 }
 
 TEST_F(ServeEndToEndTest, RetryRecoversFromScriptedTransientFailures) {

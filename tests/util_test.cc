@@ -1,5 +1,7 @@
 // Tests for evrec/util: Status/StatusOr, Rng distributions and
-// determinism, string helpers, numeric helpers, and binary/CSV IO.
+// determinism, string helpers, numeric helpers, binary/CSV IO, and the
+// thread-safe logger (record atomicity under a stampede, rate limiting,
+// timestamp format).
 
 #include <gtest/gtest.h>
 
@@ -7,11 +9,15 @@
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <regex>
 #include <set>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "evrec/util/binary_io.h"
 #include "evrec/util/csv_writer.h"
+#include "evrec/util/logging.h"
 #include "evrec/util/math_util.h"
 #include "evrec/util/rng.h"
 #include "evrec/util/status.h"
@@ -521,6 +527,130 @@ TEST(CsvWriterTest, WritesHeaderAndRows) {
   std::getline(in, line);
   EXPECT_EQ(line, "1.0,\"has,comma\"");
   std::remove(path.c_str());
+}
+
+// ---------- logging ----------
+
+// Captures everything the logger writes while alive (via SetLogStream),
+// then hands the records back as lines.
+class LogCapture {
+ public:
+  LogCapture() : file_(std::tmpfile()) {
+    EXPECT_NE(file_, nullptr);
+    SetLogStream(file_);
+  }
+  ~LogCapture() {
+    SetLogStream(nullptr);
+    std::fclose(file_);
+  }
+
+  std::vector<std::string> Lines() {
+    std::fflush(file_);
+    std::rewind(file_);
+    std::vector<std::string> lines;
+    std::string current;
+    int c;
+    while ((c = std::fgetc(file_)) != EOF) {
+      if (c == '\n') {
+        lines.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(static_cast<char>(c));
+      }
+    }
+    EXPECT_TRUE(current.empty()) << "unterminated record: " << current;
+    return lines;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+// Every record: [<level> <ISO-8601 UTC ms> t<ordinal> <file>:<line>] <msg>
+const char kRecordPattern[] =
+    R"(\[[DIWE] \d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z t\d+ )"
+    R"([^ :]+:\d+\] .*)";
+
+TEST(LoggingTest, RecordCarriesTimestampThreadIdAndLocation) {
+  LogCapture capture;
+  EVREC_LOG(WARN) << "hello " << 42;
+  std::vector<std::string> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(std::regex_match(lines[0], std::regex(kRecordPattern)))
+      << lines[0];
+  EXPECT_NE(lines[0].find("util_test.cc"), std::string::npos);
+  EXPECT_NE(lines[0].find("] hello 42"), std::string::npos);
+}
+
+TEST(LoggingTest, LevelThresholdSuppressesRecords) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kError);
+  EVREC_LOG(WARN) << "dropped";
+  EVREC_LOG(ERROR) << "kept";
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("kept"), std::string::npos);
+}
+
+TEST(LoggingTest, StampedeNeverInterleavesRecords) {
+  LogCapture capture;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        EVREC_LOG(WARN) << "thread " << t << " message " << i
+                        << " padding-padding-padding-padding";
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<std::string> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads) * kPerThread);
+  std::regex record(kRecordPattern);
+  for (const auto& line : lines) {
+    // A mangled (interleaved or torn) record fails the shape check.
+    ASSERT_TRUE(std::regex_match(line, record)) << line;
+    ASSERT_NE(line.find("padding-padding-padding-padding"),
+              std::string::npos)
+        << line;
+  }
+}
+
+TEST(LoggingTest, LogEveryNEmitsFirstAndEveryNth) {
+  LogCapture capture;
+  for (int i = 0; i < 10; ++i) {
+    EVREC_LOG_EVERY_N(WARN, 4) << "tick " << i;
+  }
+  std::vector<std::string> lines = capture.Lines();
+  // Occurrences 0, 4, 8 -> three records.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("tick 0"), std::string::npos);
+  EXPECT_NE(lines[1].find("tick 4"), std::string::npos);
+  EXPECT_NE(lines[2].find("tick 8"), std::string::npos);
+}
+
+TEST(LoggingTest, LogEveryNCountsPerCallSite) {
+  LogCapture capture;
+  for (int i = 0; i < 3; ++i) {
+    EVREC_LOG_EVERY_N(WARN, 100) << "site-a " << i;
+    EVREC_LOG_EVERY_N(WARN, 100) << "site-b " << i;
+  }
+  std::vector<std::string> lines = capture.Lines();
+  // Independent counters: each site emits its own first occurrence.
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("site-a 0"), std::string::npos);
+  EXPECT_NE(lines[1].find("site-b 0"), std::string::npos);
+}
+
+TEST(LoggingTest, LogEveryNWithOneEmitsEverything) {
+  LogCapture capture;
+  for (int i = 0; i < 5; ++i) {
+    EVREC_LOG_EVERY_N(WARN, 1) << "all " << i;
+  }
+  EXPECT_EQ(capture.Lines().size(), 5u);
 }
 
 }  // namespace

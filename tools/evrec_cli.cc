@@ -21,17 +21,27 @@
 //       impression log through the fault-tolerant RecommendationService
 //       with the given fault-injection profile, on a simulated clock.
 //       Prints the degradation-tier breakdown and retry/breaker counters.
+//   metrics [same flags as serve-demo] [--json FILE]
+//       Same fault-storm replay, but with the process-wide observability
+//       clock pinned to the simulated clock; dumps the full metric
+//       registry (training series, phase spans, per-tier latency
+//       histograms with p50/p95/p99) and the trace-span tree. With
+//       --json the registry snapshot is also written as deterministic
+//       JSON: two runs with the same flags produce byte-identical files.
 //
 // Exit status 0 on success, 1 on bad usage or failure.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <string>
 #include <utility>
 
 #include "evrec/ann/ivf_index.h"
+#include "evrec/obs/metrics.h"
+#include "evrec/obs/trace.h"
 #include "evrec/pipeline/pipeline.h"
 #include "evrec/pipeline/serving.h"
 #include "evrec/serve/fault_injector.h"
@@ -44,7 +54,7 @@ using namespace evrec;
 
 // Minimal flag parsing: --name value pairs after the subcommand.
 struct Args {
-  std::string data, out, model, features = "base+cf+rep";
+  std::string data, out, model, json, features = "base+cf+rep";
   int users = 1200, events = 1500, epochs = 8, event_id = 0, k = 5;
   uint64_t seed = 2017;
   bool siamese = false;
@@ -73,6 +83,8 @@ struct Args {
         out_args->out = v;
       } else if (flag == "--model") {
         out_args->model = v;
+      } else if (flag == "--json") {
+        out_args->json = v;
       } else if (flag == "--features") {
         out_args->features = v;
       } else if (flag == "--users") {
@@ -320,10 +332,21 @@ int CmdSearch(const Args& args) {
   return 0;
 }
 
-// Replays the week-6 (eval-split) impressions as ranking requests through
-// the fault-tolerant serving layer, with deterministic fault injection on
-// a simulated clock. Demonstrates the degradation ladder end to end.
-int CmdServeDemo(const Args& args) {
+// Outcome of a fault-storm replay (shared by serve-demo and metrics).
+struct FaultStormResult {
+  serve::ServeStats stats;
+  const char* breaker_state = "";
+  int incomplete = 0;
+  int64_t worst_overshoot = 0;
+  bool complete() const {
+    return incomplete == 0 && stats.TotalServed() == stats.candidates;
+  }
+};
+
+// Trains a tiny end-to-end system, then replays the week-6 (eval-split)
+// impressions as ranking requests through the fault-tolerant serving
+// layer, with deterministic fault injection on `clock`.
+FaultStormResult RunFaultStorm(const Args& args, serve::FakeClock* clock) {
   pipeline::PipelineConfig cfg;
   cfg.simnet = simnet::TinySimnetConfig();
   cfg.simnet.seed = args.seed;
@@ -354,7 +377,6 @@ int CmdServeDemo(const Args& args) {
   pipeline::ServingBundle bundle =
       pipeline::BuildServingBundle(pipeline, features);
 
-  serve::FakeClock clock;
   serve::FaultConfig fault_cfg;
   fault_cfg.transient_error_rate = args.error_rate;
   fault_cfg.latency_spike_rate = args.spike_rate;
@@ -364,12 +386,12 @@ int CmdServeDemo(const Args& args) {
   fault_cfg.seed = args.seed;
   serve::FaultInjector injector(fault_cfg);
   serve::FaultyVectorStore faulty_store(bundle.store.get(), &injector,
-                                        &clock);
+                                        clock);
 
   serve::ServiceConfig service_cfg;
   service_cfg.default_budget_micros = args.budget_us;
   serve::RecommendationService service(
-      bundle.MakeBackends(&clock, &faulty_store), service_cfg);
+      bundle.MakeBackends(clock, &faulty_store), service_cfg);
 
   // Group week-6 impressions into one request per (user, day).
   std::map<std::pair<int, int>, std::vector<int>> requests;
@@ -382,17 +404,24 @@ int CmdServeDemo(const Args& args) {
               requests.size(), args.error_rate, args.spike_rate,
               static_cast<long long>(args.spike_us), args.corrupt_rate,
               static_cast<long long>(args.budget_us));
-  int incomplete = 0;
-  int64_t worst_overshoot = 0;
+  FaultStormResult result;
   for (const auto& [key, candidates] : requests) {
     serve::RankResponse resp =
         service.Rank(key.first, candidates, key.second, args.budget_us);
-    if (resp.ranking.size() != candidates.size()) ++incomplete;
-    worst_overshoot = std::max(worst_overshoot,
-                               resp.elapsed_micros - args.budget_us);
+    if (resp.ranking.size() != candidates.size()) ++result.incomplete;
+    result.worst_overshoot = std::max(result.worst_overshoot,
+                                      resp.elapsed_micros - args.budget_us);
   }
+  result.stats = service.lifetime_stats();
+  result.breaker_state = serve::CircuitStateName(service.breaker().state());
+  return result;
+}
 
-  const serve::ServeStats& stats = service.lifetime_stats();
+int CmdServeDemo(const Args& args) {
+  serve::FakeClock clock;
+  FaultStormResult result = RunFaultStorm(args, &clock);
+
+  const serve::ServeStats& stats = result.stats;
   std::printf("\n%s\n", stats.ToString().c_str());
   std::printf("degradation tiers: cached=%llu recomputed=%llu "
               "baseline-only=%llu prior=%llu (of %llu candidates)\n",
@@ -403,10 +432,40 @@ int CmdServeDemo(const Args& args) {
               static_cast<unsigned long long>(stats.candidates));
   std::printf("breaker state: %s, incomplete rankings: %d, "
               "worst deadline overshoot: %lldus\n",
-              serve::CircuitStateName(service.breaker().state()), incomplete,
-              static_cast<long long>(worst_overshoot));
-  if (incomplete != 0 || stats.TotalServed() != stats.candidates) {
+              result.breaker_state, result.incomplete,
+              static_cast<long long>(result.worst_overshoot));
+  if (!result.complete()) {
     std::fprintf(stderr, "serve-demo: degradation chain failed to cover "
+                         "every candidate\n");
+    return 1;
+  }
+  return 0;
+}
+
+// Fault-storm replay with the process-wide observability clock pinned to
+// the replay's simulated clock, so every span duration, training series
+// and latency histogram in the dump is a pure function of the flags —
+// two invocations produce byte-identical --json output.
+int CmdMetrics(const Args& args) {
+  serve::FakeClock clock;
+  obs::SetClock(&clock);
+  FaultStormResult result = RunFaultStorm(args, &clock);
+
+  std::printf("\n");
+  obs::MetricRegistry::Global()->DumpText(std::cout);
+  std::printf("\n-- trace spans --\n");
+  obs::TraceLog::Global()->DumpText(std::cout);
+
+  if (!args.json.empty()) {
+    Status status = obs::MetricRegistry::Global()->DumpJson(args.json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote registry snapshot to %s\n", args.json.c_str());
+  }
+  if (!result.complete()) {
+    std::fprintf(stderr, "metrics: degradation chain failed to cover "
                          "every candidate\n");
     return 1;
   }
@@ -416,13 +475,15 @@ int CmdServeDemo(const Args& args) {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: evrec_cli <generate|train|eval|search|serve-demo> [flags]\n"
+      "usage: evrec_cli "
+      "<generate|train|eval|search|serve-demo|metrics> [flags]\n"
       "  generate   --out DIR [--users N] [--events N] [--seed S]\n"
       "  train      --data DIR --model FILE [--epochs N] [--siamese]\n"
       "  eval       --data DIR --model FILE [--features base+cf+rep+score]\n"
       "  search     --data DIR --model FILE --event ID [--k K]\n"
       "  serve-demo [--seed S] [--error-rate P] [--spike-rate P]\n"
-      "             [--spike-us U] [--corrupt-rate P] [--budget-us U]\n");
+      "             [--spike-us U] [--corrupt-rate P] [--budget-us U]\n"
+      "  metrics    [serve-demo flags] [--json FILE]\n");
 }
 
 }  // namespace
@@ -444,6 +505,7 @@ int main(int argc, char** argv) {
   if (cmd == "eval") return CmdEval(args);
   if (cmd == "search") return CmdSearch(args);
   if (cmd == "serve-demo") return CmdServeDemo(args);
+  if (cmd == "metrics") return CmdMetrics(args);
   Usage();
   return 1;
 }
