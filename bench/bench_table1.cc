@@ -73,13 +73,18 @@ int main() {
   std::printf("AUC lift from rep features: %+.1f%% (paper: +6%%)\n",
               100.0 * (results[2].auc - results[1].auc) / results[1].auc);
 
-  bench::WriteBenchJson(
-      "table1",
-      {{"auc_rep_only", results[0].auc},
-       {"auc_baseline", results[1].auc},
-       {"auc_baseline_plus_rep", results[2].auc},
-       {"auc_all", results[3].auc},
-       {"pr60_all", results[3].pr60},
-       {"pr80_all", results[3].pr80}});
+  std::map<std::string, double> metrics = {
+      {"auc_rep_only", results[0].auc},
+      {"auc_baseline", results[1].auc},
+      {"auc_baseline_plus_rep", results[2].auc},
+      {"auc_all", results[3].auc},
+      {"pr60_all", results[3].pr60},
+      {"pr80_all", results[3].pr80}};
+  // Data-parallel trainer sweep (1/2/4/8 threads) on the same prepared
+  // dataset: records measured speedup_vs_1thread and the determinism check.
+  for (const auto& [key, value] : bench::RunTrainerThreadSweep(*pipeline)) {
+    metrics[key] = value;
+  }
+  bench::WriteBenchJson("table1", metrics);
   return 0;
 }

@@ -79,6 +79,8 @@ int main() {
        {"auc_base_rep", results[2].auc},
        {"auc_all", results[3].auc},
        {"cf_gain", cf_gain},
-       {"rep_gain", rep_gain}});
+       {"rep_gain", rep_gain},
+       {"trainer_threads",
+        static_cast<double>(pipeline->config().threads)}});
   return 0;
 }

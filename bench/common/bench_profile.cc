@@ -3,16 +3,26 @@
 #include <sys/stat.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include <fstream>
 
 #include "evrec/obs/metrics.h"
 #include "evrec/util/csv_writer.h"
+#include "evrec/util/rng.h"
 #include "evrec/util/string_util.h"
+#include "evrec/util/thread_pool.h"
 #include "evrec/util/timer.h"
 
 namespace evrec {
 namespace bench {
+
+int BenchThreads() {
+  const char* env = std::getenv("EVREC_THREADS");
+  if (env == nullptr) return 1;
+  int n = std::atoi(env);
+  return n < 1 ? 1 : n;
+}
 
 pipeline::PipelineConfig BenchProfile() {
   pipeline::PipelineConfig cfg;
@@ -49,7 +59,60 @@ pipeline::PipelineConfig BenchProfile() {
   cfg.max_event_tokens = 128;
 
   cfg.cache_dir = "evrec_bench_cache";
+  cfg.threads = BenchThreads();
   return cfg;
+}
+
+std::map<std::string, double> RunTrainerThreadSweep(
+    const pipeline::TwoStagePipeline& pipeline) {
+  std::map<std::string, double> metrics;
+  metrics["hardware_threads"] =
+      static_cast<double>(ThreadPool::HardwareThreads());
+
+  model::JointModelConfig cfg = pipeline.config().rep;
+  cfg.max_epochs = 2;          // enough signal; the sweep runs 4 trainings
+  cfg.early_stop_patience = 99;  // never cut a sweep leg short
+
+  const pipeline::EncoderSet& enc = pipeline.encoders();
+  const int thread_counts[] = {1, 2, 4, 8};
+  std::vector<std::vector<double>> losses;
+  double t1_seconds = 0.0, t8_seconds = 0.0;
+  for (int threads : thread_counts) {
+    model::JointModel model(cfg, enc.UserTextVocab(),
+                            enc.UserCategoricalVocab(),
+                            enc.EventTextVocab());
+    Rng rng(cfg.seed, /*stream=*/5);
+    model.RandomInit(rng);
+    model.CalibrateNormalizers(pipeline.rep_data());
+    model::TrainerConfig tcfg;
+    tcfg.threads = threads;
+    model::RepTrainer trainer(&model, tcfg);
+    Rng train_rng = rng.Fork(29);
+    Timer timer;
+    model::TrainStats stats = trainer.Train(pipeline.rep_data(), train_rng);
+    double seconds = timer.ElapsedSeconds();
+    std::printf("[bench] trainer sweep: %d thread%s -> %.2fs (loss %.6f)\n",
+                threads, threads == 1 ? " " : "s", seconds,
+                stats.train_loss.empty() ? 0.0 : stats.train_loss.back());
+    metrics[StrFormat("train_seconds_t%d", threads)] = seconds;
+    metrics[StrFormat("final_loss_t%d", threads)] =
+        stats.train_loss.empty() ? 0.0 : stats.train_loss.back();
+    losses.push_back(stats.train_loss);
+    if (threads == 1) t1_seconds = seconds;
+    if (threads == 8) t8_seconds = seconds;
+  }
+  metrics["speedup_vs_1thread"] =
+      t8_seconds > 0.0 ? t1_seconds / t8_seconds : 0.0;
+  bool deterministic = true;
+  for (const auto& l : losses) {
+    if (l != losses.front()) deterministic = false;
+  }
+  metrics["sweep_deterministic"] = deterministic ? 1.0 : 0.0;
+  std::printf("[bench] trainer sweep: speedup(8v1)=%.2fx deterministic=%s "
+              "(hardware threads: %d)\n",
+              metrics["speedup_vs_1thread"], deterministic ? "yes" : "NO",
+              ThreadPool::HardwareThreads());
+  return metrics;
 }
 
 std::unique_ptr<pipeline::TwoStagePipeline> MakeTrainedPipeline(

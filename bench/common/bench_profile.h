@@ -25,8 +25,28 @@
 namespace evrec {
 namespace bench {
 
-// The canonical bench-scale pipeline configuration.
+// Worker threads for the bench pipelines: the EVREC_THREADS environment
+// variable, clamped to >= 1 (default 1). Training results are identical
+// for any value; only wall-clock changes.
+int BenchThreads();
+
+// The canonical bench-scale pipeline configuration (threads comes from
+// BenchThreads()).
 pipeline::PipelineConfig BenchProfile();
+
+// Data-parallel trainer sweep: trains a short (2-epoch) copy of the bench
+// representation model at 1/2/4/8 worker threads on the pipeline's
+// prepared dataset and returns metrics for WriteBenchJson:
+//   train_seconds_t<N>    wall seconds at N threads
+//   final_loss_t<N>       last epoch's training loss at N threads
+//   speedup_vs_1thread    t1 seconds / t8 seconds (measured, not assumed)
+//   sweep_deterministic   1 when every thread count produced bit-identical
+//                         epoch losses (the engine's contract), else 0
+//   hardware_threads      what the machine actually offers — read the
+//                         speedup against this (a 1-core box cannot show
+//                         parallel speedup no matter the engine)
+std::map<std::string, double> RunTrainerThreadSweep(
+    const pipeline::TwoStagePipeline& pipeline);
 
 // Builds the pipeline, trains (or loads) the representation model, and
 // precomputes all representation vectors. Prints coarse phase timing.

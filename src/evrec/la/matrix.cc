@@ -19,38 +19,62 @@ void Matrix::UniformInit(Rng& rng, float scale) {
   for (auto& v : data_) v = static_cast<float>(rng.Uniform(-scale, scale));
 }
 
-void Matrix::Gemv(const float* x, float* out) const {
+void Matrix::Resize(int rows, int cols) {
+  EVREC_CHECK_GE(rows, 0);
+  EVREC_CHECK_GE(cols, 0);
+  rows_ = rows;
+  cols_ = cols;
+  size_t n = static_cast<size_t>(rows) * cols;
+  // assign() reuses capacity when possible and zero-fills.
+  data_.assign(n, 0.0f);
+}
+
+void Matrix::Gemv(const float* __restrict x, float* __restrict out) const {
+  const int cols = cols_;
   for (int r = 0; r < rows_; ++r) {
-    const float* row = data_.data() + static_cast<size_t>(r) * cols_;
-    float s = 0.0f;
-    for (int c = 0; c < cols_; ++c) s += row[c] * x[c];
-    out[r] = s;
+    const float* __restrict row = data_.data() + static_cast<size_t>(r) * cols;
+    // Lane-blocked reduction; see vec_ops.h for why the lanes are explicit.
+    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+    int c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      s0 += row[c] * x[c];
+      s1 += row[c + 1] * x[c + 1];
+      s2 += row[c + 2] * x[c + 2];
+      s3 += row[c + 3] * x[c + 3];
+    }
+    for (; c < cols; ++c) s0 += row[c] * x[c];
+    out[r] = (s0 + s1) + (s2 + s3);
   }
 }
 
-void Matrix::GemvTransposedAccum(const float* y, float* out) const {
+void Matrix::GemvTransposedAccum(const float* __restrict y,
+                                 float* __restrict out) const {
+  const int cols = cols_;
   for (int r = 0; r < rows_; ++r) {
-    const float* row = data_.data() + static_cast<size_t>(r) * cols_;
+    const float* __restrict row = data_.data() + static_cast<size_t>(r) * cols;
     float yr = y[r];
     if (yr == 0.0f) continue;
-    for (int c = 0; c < cols_; ++c) out[c] += yr * row[c];
+    for (int c = 0; c < cols; ++c) out[c] += yr * row[c];
   }
 }
 
-void Matrix::AddOuter(float alpha, const float* y, const float* x) {
+void Matrix::AddOuter(float alpha, const float* __restrict y,
+                      const float* __restrict x) {
+  const int cols = cols_;
   for (int r = 0; r < rows_; ++r) {
-    float* row = data_.data() + static_cast<size_t>(r) * cols_;
+    float* __restrict row = data_.data() + static_cast<size_t>(r) * cols;
     float ay = alpha * y[r];
     if (ay == 0.0f) continue;
-    for (int c = 0; c < cols_; ++c) row[c] += ay * x[c];
+    for (int c = 0; c < cols; ++c) row[c] += ay * x[c];
   }
 }
 
 void Matrix::AddScaled(float alpha, const Matrix& other) {
   EVREC_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  float* __restrict dst = data_.data();
+  const float* __restrict src = other.data_.data();
+  const size_t n = data_.size();
+  for (size_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
 }
 
 double Matrix::FrobeniusNorm() const {

@@ -53,6 +53,13 @@ class Matrix {
 
   void SetZero();
 
+  // Reshapes to rows x cols, reusing the existing allocation when it is
+  // large enough (contents are zeroed either way). Per-example scratch
+  // matrices (conv windows, pre-pool activations) call this every Forward,
+  // so growing documents pay one allocation and the steady state pays
+  // none.
+  void Resize(int rows, int cols);
+
   // Xavier/Glorot uniform init: U(-s, s) with s = sqrt(6 / (fan_in+fan_out)).
   void XavierInit(Rng& rng);
 

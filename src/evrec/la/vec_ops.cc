@@ -6,38 +6,69 @@
 namespace evrec {
 namespace la {
 
-void Axpy(float alpha, const float* x, float* y, int n) {
+void Axpy(float alpha, const float* __restrict x, float* __restrict y,
+          int n) {
   for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
-float DotF(const float* x, const float* y, int n) {
-  float s = 0.0f;
-  for (int i = 0; i < n; ++i) s += x[i] * y[i];
-  return s;
+float DotF(const float* __restrict x, const float* __restrict y, int n) {
+  // Four independent accumulators: strict FP forbids the compiler from
+  // reassociating a single running sum, so the lanes are explicit.
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
 }
 
-void Scale(float alpha, float* x, int n) {
+void Scale(float alpha, float* __restrict x, int n) {
   for (int i = 0; i < n; ++i) x[i] *= alpha;
 }
 
-void Add(const float* a, const float* b, float* out, int n) {
+void Add(const float* __restrict a, const float* __restrict b,
+         float* __restrict out, int n) {
   for (int i = 0; i < n; ++i) out[i] = a[i] + b[i];
 }
 
-void TanhForward(const float* x, float* out, int n) {
+void TanhForward(const float* __restrict x, float* __restrict out, int n) {
   for (int i = 0; i < n; ++i) out[i] = std::tanh(x[i]);
 }
 
-void TanhBackward(const float* y, const float* dy, float* dx, int n) {
+void TanhBackward(const float* __restrict y, const float* __restrict dy,
+                  float* __restrict dx, int n) {
   for (int i = 0; i < n; ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+}
+
+void TanhBackwardAccum(const float* __restrict y, const float* __restrict dy,
+                       float* __restrict dx, int n) {
+  for (int i = 0; i < n; ++i) dx[i] += dy[i] * (1.0f - y[i] * y[i]);
+}
+
+void FusedGradInput(float dyi, const float* __restrict x,
+                    const float* __restrict w, float* __restrict gw,
+                    float* __restrict dx, int n) {
+  for (int i = 0; i < n; ++i) {
+    gw[i] += dyi * x[i];
+    dx[i] += dyi * w[i];
+  }
 }
 
 void Zero(float* x, int n) { std::memset(x, 0, sizeof(float) * n); }
 
-float Norm(const float* x, int n) {
-  double s = 0.0;
-  for (int i = 0; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
-  return static_cast<float>(std::sqrt(s));
+float Norm(const float* __restrict x, int n) {
+  double s0 = 0.0, s1 = 0.0;
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    s0 += static_cast<double>(x[i]) * x[i];
+    s1 += static_cast<double>(x[i + 1]) * x[i + 1];
+  }
+  for (; i < n; ++i) s0 += static_cast<double>(x[i]) * x[i];
+  return static_cast<float>(std::sqrt(s0 + s1));
 }
 
 }  // namespace la

@@ -1,6 +1,14 @@
 // Flat float-span kernels used by the NN layers. All loops are written so
-// the compiler auto-vectorizes them; sizes in this project are small
-// (64-512), so a hand-rolled BLAS is not warranted.
+// the compiler auto-vectorizes them without -ffast-math: element-wise
+// kernels carry __restrict spans (no aliasing analysis needed), and
+// reductions accumulate into four independent lanes so the strict-FP
+// compiler is free to keep one partial sum per SIMD lane. Sizes in this
+// project are small (16-512), so a hand-rolled BLAS is not warranted.
+//
+// Note the lane-blocked reductions fix a DIFFERENT summation order than a
+// sequential loop; every caller that needs reproducibility gets it from
+// "same kernel, same input => same bits", not from matching the scalar
+// order.
 
 #ifndef EVREC_LA_VEC_OPS_H_
 #define EVREC_LA_VEC_OPS_H_
@@ -28,6 +36,19 @@ void TanhForward(const float* x, float* out, int n);
 // dx[i] = dy[i] * (1 - y[i]^2), where y = tanh(x) (uses the activation,
 // not the pre-activation, so callers keep only the forward output).
 void TanhBackward(const float* y, const float* dy, float* dx, int n);
+
+// Fused tanh backward + accumulate: dx[i] += dy[i] * (1 - y[i]^2). Saves
+// the separate Axpy pass when the destination already accumulates.
+void TanhBackwardAccum(const float* y, const float* dy, float* dx, int n);
+
+// The linear-layer backward row kernel, fused: for one output coordinate
+// with upstream gradient dyi,
+//   gw[i] += dyi * x[i]      (weight-row gradient)
+//   dx[i] += dyi * w[i]      (input gradient through the same row)
+// One pass reads x and w once instead of two separate Axpy-style sweeps.
+// All four spans must be disjoint.
+void FusedGradInput(float dyi, const float* x, const float* w, float* gw,
+                    float* dx, int n);
 
 // Fills with zeros.
 void Zero(float* x, int n);

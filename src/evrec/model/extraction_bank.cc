@@ -42,6 +42,31 @@ void ExtractionBank::Backward(const float* dout, const Context& ctx) {
   }
 }
 
+void ExtractionBank::Backward(const float* dout, const Context& ctx,
+                              GradBuffer* grads) const {
+  EVREC_CHECK_EQ(ctx.modules.size(), modules_.size());
+  EVREC_CHECK_EQ(grads->convs.size(), modules_.size());
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    modules_[i].Backward(dout + static_cast<long>(i) * module_out_dim_,
+                         ctx.modules[i], &grads->convs[i], &grads->table);
+  }
+}
+
+ExtractionBank::GradBuffer ExtractionBank::MakeGradBuffer() const {
+  GradBuffer g;
+  g.convs.reserve(modules_.size());
+  for (const auto& m : modules_) g.convs.push_back(m.MakeConvGradients());
+  g.table = table_->MakeGradients();
+  return g;
+}
+
+void ExtractionBank::AccumulateGradients(GradBuffer* grads) {
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    modules_[i].AccumulateConvGradients(&grads->convs[i]);
+  }
+  table_->AccumulateGradients(&grads->table);
+}
+
 void ExtractionBank::EnableAdagrad() {
   table_->EnableAdagrad();
   for (auto& m : modules_) m.EnableAdagrad();

@@ -28,6 +28,13 @@ class ExtractionBank {
     std::vector<float> output;  // concatenated module outputs
   };
 
+  // Detached gradients: one buffer per convolution plus one sparse buffer
+  // for the shared table (see nn/linear_layer.h for the shard contract).
+  struct GradBuffer {
+    std::vector<nn::LinearLayer::Gradients> convs;
+    nn::EmbeddingTable::Gradients table;
+  };
+
   int output_dim() const {
     return static_cast<int>(modules_.size()) * module_out_dim_;
   }
@@ -43,6 +50,17 @@ class ExtractionBank {
 
   // `dout` has output_dim() entries (the concatenation layout of Forward).
   void Backward(const float* dout, const Context& ctx);
+
+  // Same math into an external buffer; const, concurrency-safe on
+  // disjoint buffers.
+  void Backward(const float* dout, const Context& ctx,
+                GradBuffer* grads) const;
+
+  GradBuffer MakeGradBuffer() const;
+
+  // Folds `grads` into the internal accumulators (modules first, then the
+  // shared table — mirroring Step's order) and clears it.
+  void AccumulateGradients(GradBuffer* grads);
 
   void EnableAdagrad();
 

@@ -94,6 +94,33 @@ double JointModel::AccumulatePairGradient(const PairContext& ctx,
   return weight * lg.loss;
 }
 
+double JointModel::AccumulatePairGradient(const PairContext& ctx, float label,
+                                          float weight,
+                                          GradBuffer* grads) const {
+  LossGrad lg = Eq1Loss(ctx.similarity, label, config_.theta_r);
+  if (lg.dloss_dsim != 0.0 && weight != 0.0f) {
+    grads->du.assign(ctx.user.head.rep.size(), 0.0f);
+    grads->de.assign(ctx.event.head.rep.size(), 0.0f);
+    CosineBackward(ctx.user.head.rep, ctx.event.head.rep, ctx.similarity,
+                   lg.dloss_dsim * weight, &grads->du, &grads->de);
+    user_tower_.Backward(grads->du.data(), ctx.user, &grads->user);
+    event_tower_.Backward(grads->de.data(), ctx.event, &grads->event);
+  }
+  return weight * lg.loss;
+}
+
+JointModel::GradBuffer JointModel::MakeGradBuffer() const {
+  GradBuffer g;
+  g.user = user_tower_.MakeGradBuffer();
+  g.event = event_tower_.MakeGradBuffer();
+  return g;
+}
+
+void JointModel::AccumulateGradients(GradBuffer* grads) {
+  user_tower_.AccumulateGradients(&grads->user);
+  event_tower_.AccumulateGradients(&grads->event);
+}
+
 void JointModel::Step(float lr) {
   user_tower_.Step(lr);
   event_tower_.Step(lr);

@@ -45,6 +45,17 @@ class JointModel {
     double similarity = 0.0;
   };
 
+  // Detached whole-model gradient state plus the per-pair cosine scratch.
+  // The data-parallel trainer owns one buffer per logical shard; pairs of
+  // a shard backprop into its buffer concurrently with other shards while
+  // the model parameters stay read-only, then the buffers are folded in
+  // fixed shard order (AccumulateGradients) for a deterministic reduction.
+  struct GradBuffer {
+    Tower::GradBuffer user;
+    Tower::GradBuffer event;
+    std::vector<float> du, de;  // d(loss)/d(rep) scratch, rep_dim each
+  };
+
   const JointModelConfig& config() const { return config_; }
   const Tower& user_tower() const { return user_tower_; }
   const Tower& event_tower() const { return event_tower_; }
@@ -87,6 +98,16 @@ class JointModel {
   // weak signals such as clicks/"interested").
   double AccumulatePairGradient(const PairContext& ctx, float label,
                                 float weight = 1.0f);
+
+  // Same pair gradient into an external buffer; const, so any number of
+  // shards may run it concurrently on disjoint buffers.
+  double AccumulatePairGradient(const PairContext& ctx, float label,
+                                float weight, GradBuffer* grads) const;
+
+  GradBuffer MakeGradBuffer() const;
+
+  // Folds one shard buffer into the internal accumulators and clears it.
+  void AccumulateGradients(GradBuffer* grads);
 
   // SGD update on every parameter; `lr` already includes batch scaling.
   void Step(float lr);

@@ -1,5 +1,8 @@
 #include "evrec/model/siamese.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "evrec/model/joint_model.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/math_util.h"
@@ -13,6 +16,17 @@ struct SiamesePair {
   int title_event;
   int body_event;
   float label;
+};
+
+// Shard-private state for the data-parallel loop (see model/trainer.cc for
+// the scheme; here a single tower is shared by both halves of each pair).
+struct SiameseShard {
+  Tower::Context title_ctx, body_ctx;
+  Tower::GradBuffer grads;
+  std::vector<text::EncodedText> one_input =
+      std::vector<text::EncodedText>(1);
+  std::vector<float> da, db;
+  double loss = 0.0;
 };
 
 }  // namespace
@@ -42,41 +56,61 @@ SiameseStats SiamesePretrain(Tower* tower,
 
   SiameseStats stats;
   float lr = config.learning_rate;
-  Tower::Context title_ctx, body_ctx;
-  std::vector<text::EncodedText> one_input(1);
+
+  ThreadPool* tp = config.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (tp == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(config.threads);
+    tp = owned_pool.get();
+  }
+  const int num_shards = std::max(1, config.grad_shards);
+  std::vector<SiameseShard> shards(static_cast<size_t>(num_shards));
+  for (auto& s : shards) s.grads = tower->MakeGradBuffer();
+
+  const size_t batch_size =
+      static_cast<size_t>(std::max(1, config.batch_size));
 
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
     rng.Shuffle(pairs);
     double epoch_loss = 0.0;
-    size_t batch_count = 0;
-    for (size_t idx = 0; idx < pairs.size(); ++idx) {
-      const SiamesePair& p = pairs[idx];
-      one_input[0] = titles[static_cast<size_t>(p.title_event)];
-      tower->Forward(one_input, &title_ctx);
-      one_input[0] = bodies[static_cast<size_t>(p.body_event)];
-      tower->Forward(one_input, &body_ctx);
+    for (size_t start = 0; start < pairs.size(); start += batch_size) {
+      const size_t end = std::min(start + batch_size, pairs.size());
+      tp->ParallelFor(num_shards, [&](int s) {
+        SiameseShard& st = shards[static_cast<size_t>(s)];
+        for (size_t idx = start + static_cast<size_t>(s); idx < end;
+             idx += static_cast<size_t>(num_shards)) {
+          const SiamesePair& p = pairs[idx];
+          st.one_input[0] = titles[static_cast<size_t>(p.title_event)];
+          tower->Forward(st.one_input, &st.title_ctx);
+          st.one_input[0] = bodies[static_cast<size_t>(p.body_event)];
+          tower->Forward(st.one_input, &st.body_ctx);
 
-      double sim = CosineSimilarity(
-          title_ctx.head.rep.data(), body_ctx.head.rep.data(),
-          static_cast<int>(title_ctx.head.rep.size()));
-      LossGrad lg = Eq1Loss(sim, p.label, config.theta_r);
-      epoch_loss += lg.loss;
-      if (lg.dloss_dsim != 0.0) {
-        std::vector<float> da(title_ctx.head.rep.size(), 0.0f);
-        std::vector<float> db(body_ctx.head.rep.size(), 0.0f);
-        CosineBackward(title_ctx.head.rep, body_ctx.head.rep, sim,
-                       lg.dloss_dsim, &da, &db);
-        // Both halves share the tower's parameters: two backward passes
-        // accumulate into the same gradient buffers.
-        tower->Backward(da.data(), title_ctx);
-        tower->Backward(db.data(), body_ctx);
+          double sim = CosineSimilarity(
+              st.title_ctx.head.rep.data(), st.body_ctx.head.rep.data(),
+              static_cast<int>(st.title_ctx.head.rep.size()));
+          LossGrad lg = Eq1Loss(sim, p.label, config.theta_r);
+          st.loss += lg.loss;
+          if (lg.dloss_dsim != 0.0) {
+            st.da.assign(st.title_ctx.head.rep.size(), 0.0f);
+            st.db.assign(st.body_ctx.head.rep.size(), 0.0f);
+            CosineBackward(st.title_ctx.head.rep, st.body_ctx.head.rep,
+                           sim, lg.dloss_dsim, &st.da, &st.db);
+            // Both halves share the tower's parameters: two backward
+            // passes accumulate into the same shard buffer.
+            tower->Backward(st.da.data(), st.title_ctx, &st.grads);
+            tower->Backward(st.db.data(), st.body_ctx, &st.grads);
+          }
+        }
+      });
+      // Deterministic fixed-order reduction, then one step at the batch's
+      // true size (the trailing partial batch uses its leftover count).
+      for (int s = 0; s < num_shards; ++s) {
+        SiameseShard& st = shards[static_cast<size_t>(s)];
+        tower->AccumulateGradients(&st.grads);
+        epoch_loss += st.loss;
+        st.loss = 0.0;
       }
-      ++batch_count;
-      if (batch_count == static_cast<size_t>(config.batch_size) ||
-          idx + 1 == pairs.size()) {
-        tower->Step(lr / static_cast<float>(batch_count));
-        batch_count = 0;
-      }
+      tower->Step(lr / static_cast<float>(end - start));
     }
     epoch_loss /= static_cast<double>(pairs.size());
     stats.train_loss.push_back(epoch_loss);

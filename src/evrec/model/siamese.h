@@ -15,6 +15,7 @@
 
 #include "evrec/model/tower.h"
 #include "evrec/util/rng.h"
+#include "evrec/util/thread_pool.h"
 
 namespace evrec {
 namespace model {
@@ -30,6 +31,12 @@ struct SiameseConfig {
   int batch_size = 8;
   int negatives_per_positive = 2;
   float theta_r = 0.0f;
+  // Data-parallel execution: same sharded-minibatch scheme as RepTrainer
+  // (see model/trainer.h) — `grad_shards` fixes the arithmetic, `threads`
+  // only the wall-clock. `pool` optionally shares a pool (not owned).
+  int threads = 1;
+  int grad_shards = 8;
+  ThreadPool* pool = nullptr;
 };
 
 struct SiameseStats {

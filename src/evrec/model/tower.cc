@@ -82,14 +82,43 @@ std::vector<float> Tower::Represent(
 }
 
 void Tower::Backward(const float* drep, const Context& ctx) {
-  std::vector<float> dconcat(static_cast<size_t>(concat_dim()), 0.0f);
-  head_.Backward(drep, ctx.head, dconcat.data());
-  norm_.Backward(dconcat.data(), dconcat.data());
+  ctx.dconcat.assign(static_cast<size_t>(concat_dim()), 0.0f);
+  head_.Backward(drep, ctx.head, ctx.dconcat.data());
+  norm_.Backward(ctx.dconcat.data(), ctx.dconcat.data());
   int offset = 0;
   for (size_t i = 0; i < banks_.size(); ++i) {
-    banks_[i].Backward(dconcat.data() + offset, ctx.banks[i]);
+    banks_[i].Backward(ctx.dconcat.data() + offset, ctx.banks[i]);
     offset += banks_[i].output_dim();
   }
+}
+
+void Tower::Backward(const float* drep, const Context& ctx,
+                     GradBuffer* grads) const {
+  EVREC_CHECK_EQ(grads->banks.size(), banks_.size());
+  ctx.dconcat.assign(static_cast<size_t>(concat_dim()), 0.0f);
+  head_.Backward(drep, ctx.head, ctx.dconcat.data(), &grads->head);
+  norm_.Backward(ctx.dconcat.data(), ctx.dconcat.data());
+  int offset = 0;
+  for (size_t i = 0; i < banks_.size(); ++i) {
+    banks_[i].Backward(ctx.dconcat.data() + offset, ctx.banks[i],
+                       &grads->banks[i]);
+    offset += banks_[i].output_dim();
+  }
+}
+
+Tower::GradBuffer Tower::MakeGradBuffer() const {
+  GradBuffer g;
+  g.banks.reserve(banks_.size());
+  for (const auto& b : banks_) g.banks.push_back(b.MakeGradBuffer());
+  g.head = head_.MakeGradBuffer();
+  return g;
+}
+
+void Tower::AccumulateGradients(GradBuffer* grads) {
+  for (size_t i = 0; i < banks_.size(); ++i) {
+    banks_[i].AccumulateGradients(&grads->banks[i]);
+  }
+  head_.AccumulateGradients(&grads->head);
 }
 
 void Tower::EnableAdagrad() {

@@ -30,6 +30,16 @@ class Tower {
     std::vector<ExtractionBank::Context> banks;
     std::vector<float> concat;   // standardized concatenated bank outputs
     TowerHead::Context head;
+
+    // Backward workspace (see ConvContext for the mutable-scratch idiom).
+    mutable std::vector<float> dconcat;
+  };
+
+  // Detached gradients for the whole tower: one buffer per bank plus the
+  // head's three layers (the frozen FeatureNorm has no parameters).
+  struct GradBuffer {
+    std::vector<ExtractionBank::GradBuffer> banks;
+    TowerHead::GradBuffer head;
   };
 
   int num_banks() const { return static_cast<int>(banks_.size()); }
@@ -60,6 +70,18 @@ class Tower {
       const std::vector<text::EncodedText>& inputs) const;
 
   void Backward(const float* drep, const Context& ctx);
+
+  // Same math into an external buffer; const, concurrency-safe on
+  // disjoint buffers (the parameters stay read-only).
+  void Backward(const float* drep, const Context& ctx,
+                GradBuffer* grads) const;
+
+  GradBuffer MakeGradBuffer() const;
+
+  // Folds `grads` into the internal accumulators and clears it. Must be
+  // called from one thread, in fixed shard order, so the reduction is
+  // deterministic (see model/trainer.h).
+  void AccumulateGradients(GradBuffer* grads);
 
   void EnableAdagrad();
   void Step(float lr);

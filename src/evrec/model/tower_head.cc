@@ -26,39 +26,82 @@ void TowerHead::Forward(const float* x, Context* ctx) const {
   ctx->h.resize(static_cast<size_t>(hid));
   ctx->rep.resize(static_cast<size_t>(rep));
 
-  std::vector<float> pre_h(static_cast<size_t>(hid));
-  hidden_layer_.Forward(x, pre_h.data());
-  la::TanhForward(pre_h.data(), ctx->h.data(), hid);
+  ctx->pre_h.resize(static_cast<size_t>(hid));
+  hidden_layer_.Forward(x, ctx->pre_h.data());
+  la::TanhForward(ctx->pre_h.data(), ctx->h.data(), hid);
 
-  std::vector<float> pre_r(static_cast<size_t>(rep));
-  projection_.Forward(ctx->h.data(), pre_r.data());
+  ctx->pre_r.resize(static_cast<size_t>(rep));
+  projection_.Forward(ctx->h.data(), ctx->pre_r.data());
   if (residual_bypass_) {
-    std::vector<float> bypass_out(static_cast<size_t>(rep));
-    bypass_.Forward(x, bypass_out.data());
-    la::Axpy(1.0f, bypass_out.data(), pre_r.data(), rep);
+    ctx->bypass_out.resize(static_cast<size_t>(rep));
+    bypass_.Forward(x, ctx->bypass_out.data());
+    la::Axpy(1.0f, ctx->bypass_out.data(), ctx->pre_r.data(), rep);
   }
-  la::TanhForward(pre_r.data(), ctx->rep.data(), rep);
+  la::TanhForward(ctx->pre_r.data(), ctx->rep.data(), rep);
 }
+
+namespace {
+
+// Backward temporaries live in the context so repeated calls stop
+// allocating; this prepares them for one pass.
+void PrepareBackwardScratch(const TowerHead::Context& ctx, int hid, int rep) {
+  ctx.dpre_r.resize(static_cast<size_t>(rep));
+  ctx.dh.assign(static_cast<size_t>(hid), 0.0f);
+  ctx.dpre_h.resize(static_cast<size_t>(hid));
+}
+
+}  // namespace
 
 void TowerHead::Backward(const float* drep, const Context& ctx, float* dx) {
   const int hid = hidden_dim();
   const int rep = rep_dim();
+  PrepareBackwardScratch(ctx, hid, rep);
 
   // Through the representation tanh.
-  std::vector<float> dpre_r(static_cast<size_t>(rep));
-  la::TanhBackward(ctx.rep.data(), drep, dpre_r.data(), rep);
+  la::TanhBackward(ctx.rep.data(), drep, ctx.dpre_r.data(), rep);
 
   // Through the projection (and bypass) into dh / dx.
-  std::vector<float> dh(static_cast<size_t>(hid), 0.0f);
-  projection_.Backward(ctx.h.data(), dpre_r.data(), dh.data());
+  projection_.Backward(ctx.h.data(), ctx.dpre_r.data(), ctx.dh.data());
   if (residual_bypass_) {
-    bypass_.Backward(ctx.x.data(), dpre_r.data(), dx);
+    bypass_.Backward(ctx.x.data(), ctx.dpre_r.data(), dx);
   }
 
   // Through the hidden tanh and the affine layer.
-  std::vector<float> dpre_h(static_cast<size_t>(hid));
-  la::TanhBackward(ctx.h.data(), dh.data(), dpre_h.data(), hid);
-  hidden_layer_.Backward(ctx.x.data(), dpre_h.data(), dx);
+  la::TanhBackward(ctx.h.data(), ctx.dh.data(), ctx.dpre_h.data(), hid);
+  hidden_layer_.Backward(ctx.x.data(), ctx.dpre_h.data(), dx);
+}
+
+void TowerHead::Backward(const float* drep, const Context& ctx, float* dx,
+                         GradBuffer* grads) const {
+  const int hid = hidden_dim();
+  const int rep = rep_dim();
+  PrepareBackwardScratch(ctx, hid, rep);
+
+  la::TanhBackward(ctx.rep.data(), drep, ctx.dpre_r.data(), rep);
+
+  projection_.Backward(ctx.h.data(), ctx.dpre_r.data(), ctx.dh.data(),
+                       &grads->projection);
+  if (residual_bypass_) {
+    bypass_.Backward(ctx.x.data(), ctx.dpre_r.data(), dx, &grads->bypass);
+  }
+
+  la::TanhBackward(ctx.h.data(), ctx.dh.data(), ctx.dpre_h.data(), hid);
+  hidden_layer_.Backward(ctx.x.data(), ctx.dpre_h.data(), dx,
+                         &grads->hidden);
+}
+
+TowerHead::GradBuffer TowerHead::MakeGradBuffer() const {
+  GradBuffer g;
+  g.hidden = hidden_layer_.MakeGradients();
+  g.projection = projection_.MakeGradients();
+  if (residual_bypass_) g.bypass = bypass_.MakeGradients();
+  return g;
+}
+
+void TowerHead::AccumulateGradients(GradBuffer* grads) {
+  hidden_layer_.AccumulateGradients(&grads->hidden);
+  projection_.AccumulateGradients(&grads->projection);
+  if (residual_bypass_) bypass_.AccumulateGradients(&grads->bypass);
 }
 
 void TowerHead::EnableAdagrad() {

@@ -29,6 +29,20 @@ class TowerHead {
     std::vector<float> x;       // input copy (needed by Backward)
     std::vector<float> h;       // hidden activation
     std::vector<float> rep;     // representation activation
+
+    // Reusable workspace (pre-activations, backward temporaries). Mutable
+    // for the same reason as ConvContext's scratch: Backward reads the
+    // logical state through a const reference but must not allocate.
+    mutable std::vector<float> pre_h, pre_r, bypass_out;
+    mutable std::vector<float> dpre_r, dh, dpre_h;
+  };
+
+  // Detached gradient buffers for the three layers; one per shard in the
+  // data-parallel trainer (see nn/linear_layer.h for the contract).
+  struct GradBuffer {
+    nn::LinearLayer::Gradients hidden;
+    nn::LinearLayer::Gradients projection;
+    nn::LinearLayer::Gradients bypass;
   };
 
   int in_dim() const { return hidden_layer_.in_dim(); }
@@ -44,6 +58,17 @@ class TowerHead {
   // gradient w.r.t. the input (dx must hold in_dim() zeroed-or-accumulating
   // floats).
   void Backward(const float* drep, const Context& ctx, float* dx);
+
+  // Same math into an external buffer; const, safe to run concurrently on
+  // disjoint buffers.
+  void Backward(const float* drep, const Context& ctx, float* dx,
+                GradBuffer* grads) const;
+
+  GradBuffer MakeGradBuffer() const;
+
+  // Folds `grads` into the internal accumulators and clears it (call from
+  // one thread, in fixed shard order).
+  void AccumulateGradients(GradBuffer* grads);
 
   void EnableAdagrad();
   void Step(float lr);

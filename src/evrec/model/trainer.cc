@@ -2,24 +2,67 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "evrec/obs/metrics.h"
 #include "evrec/obs/trace.h"
 #include "evrec/util/logging.h"
+#include "evrec/util/math_util.h"
 
 namespace evrec {
 namespace model {
 
+namespace {
+
+// Everything one logical shard touches while working through its slice of
+// a minibatch. Contexts and buffers persist across batches/epochs, so the
+// steady-state hot loop performs no heap allocation.
+struct ShardState {
+  JointModel::PairContext ctx;
+  JointModel::GradBuffer grads;
+  double loss = 0.0;
+  double grad_sq = 0.0;
+};
+
+std::vector<ShardState> MakeShardStates(const JointModel& model,
+                                        int num_shards) {
+  std::vector<ShardState> shards(static_cast<size_t>(num_shards));
+  for (auto& s : shards) s.grads = model.MakeGradBuffer();
+  return shards;
+}
+
+}  // namespace
+
+ThreadPool* RepTrainer::pool() const {
+  if (config_.pool != nullptr) return config_.pool;
+  if (owned_pool_ == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
+  }
+  return owned_pool_.get();
+}
+
 double RepTrainer::EvaluateLoss(const RepDataset& data,
                                 const std::vector<RepPair>& pairs) const {
   if (pairs.empty()) return 0.0;
+  const int num_shards = std::max(1, config_.grad_shards);
+  std::vector<JointModel::PairContext> ctxs(
+      static_cast<size_t>(num_shards));
+  std::vector<double> shard_loss(static_cast<size_t>(num_shards), 0.0);
+  const float theta_r = model_->config().theta_r;
+  pool()->ParallelFor(num_shards, [&](int s) {
+    double loss = 0.0;
+    for (size_t i = static_cast<size_t>(s); i < pairs.size();
+         i += static_cast<size_t>(num_shards)) {
+      const RepPair& p = pairs[i];
+      double sim = model_->Similarity(data.user_inputs[p.user],
+                                      data.event_inputs[p.event],
+                                      &ctxs[static_cast<size_t>(s)]);
+      loss += p.weight * Eq1Loss(sim, p.label, theta_r).loss;
+    }
+    shard_loss[static_cast<size_t>(s)] = loss;
+  });
   double total = 0.0;
-  JointModel::PairContext ctx;
-  for (const RepPair& p : pairs) {
-    double sim = model_->Similarity(data.user_inputs[p.user],
-                                    data.event_inputs[p.event], &ctx);
-    total += p.weight * Eq1Loss(sim, p.label, model_->config().theta_r).loss;
-  }
+  for (double l : shard_loss) total += l;
   return total / static_cast<double>(pairs.size());
 }
 
@@ -42,7 +85,10 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
   float lr = cfg.learning_rate;
   double best_val = 1e300;
   int epochs_since_improvement = 0;
-  JointModel::PairContext ctx;
+
+  ThreadPool* tp = pool();
+  const int num_shards = std::max(1, config_.grad_shards);
+  std::vector<ShardState> shards = MakeShardStates(*model_, num_shards);
 
   // Per-epoch telemetry lands in the global registry as time series keyed
   // by epoch index, so loss/lr curves survive the training run.
@@ -54,38 +100,70 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
   obs::Series* time_series = registry->GetSeries("trainer.epoch_micros");
   obs::Histogram* epoch_hist =
       registry->GetHistogram("trainer.epoch.micros");
+  registry->GetGauge("trainer.threads")
+      ->Set(static_cast<double>(tp->num_threads()));
+  // Per-worker shard timings (prefetched: the registry map must not be
+  // grown from inside ParallelFor).
+  std::vector<obs::Histogram*> shard_hists;
+  shard_hists.reserve(static_cast<size_t>(tp->num_threads()));
+  for (int w = 0; w < tp->num_threads(); ++w) {
+    shard_hists.push_back(registry->GetHistogram(
+        "trainer.shard.micros.w" + std::to_string(w)));
+  }
 
-  // Rep-layer gradient scratch, reused across pairs.
-  std::vector<float> du, de;
+  const size_t batch_size =
+      static_cast<size_t>(std::max(1, cfg.batch_size));
+  const float theta_r = cfg.theta_r;
 
   for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
     int64_t epoch_start = obs::CurrentClock()->NowMicros();
     rng.Shuffle(pairs);
     double epoch_loss = 0.0;
     double grad_sq = 0.0;
-    size_t batch_count = 0;
-    for (size_t i = 0; i < pairs.size(); ++i) {
-      const RepPair& p = pairs[i];
-      double sim = model_->Similarity(data.user_inputs[p.user],
-                                      data.event_inputs[p.event], &ctx);
-      // Representation-layer gradient norm: redo only the O(rep_dim)
-      // cosine backward here (the tower backward inside
-      // AccumulatePairGradient dominates the cost by orders of magnitude).
-      LossGrad lg = Eq1Loss(sim, p.label, cfg.theta_r);
-      du.assign(ctx.user.head.rep.size(), 0.0f);
-      de.assign(ctx.event.head.rep.size(), 0.0f);
-      CosineBackward(ctx.user.head.rep, ctx.event.head.rep, sim,
-                     lg.dloss_dsim * p.weight, &du, &de);
-      for (float g : du) grad_sq += static_cast<double>(g) * g;
-      for (float g : de) grad_sq += static_cast<double>(g) * g;
-
-      epoch_loss += model_->AccumulatePairGradient(ctx, p.label, p.weight);
-      ++batch_count;
-      if (batch_count == static_cast<size_t>(cfg.batch_size) ||
-          i + 1 == pairs.size()) {
-        model_->Step(lr / static_cast<float>(batch_count));
-        batch_count = 0;
+    for (size_t start = 0; start < pairs.size(); start += batch_size) {
+      const size_t end = std::min(start + batch_size, pairs.size());
+      // Shards backprop concurrently into private buffers; parameters
+      // stay read-only until the reduction below.
+      tp->ParallelFor(num_shards, [&](int s) {
+        int64_t shard_start = obs::CurrentClock()->NowMicros();
+        ShardState& st = shards[static_cast<size_t>(s)];
+        for (size_t i = start + static_cast<size_t>(s); i < end;
+             i += static_cast<size_t>(num_shards)) {
+          const RepPair& p = pairs[i];
+          double sim = model_->Similarity(data.user_inputs[p.user],
+                                          data.event_inputs[p.event],
+                                          &st.ctx);
+          st.loss += model_->AccumulatePairGradient(st.ctx, p.label,
+                                                    p.weight, &st.grads);
+          // Representation-layer gradient norm, read straight off the
+          // du/de scratch AccumulatePairGradient just filled (only pairs
+          // with a live gradient wrote it).
+          LossGrad lg = Eq1Loss(sim, p.label, theta_r);
+          if (lg.dloss_dsim != 0.0 && p.weight != 0.0f) {
+            st.grad_sq +=
+                SquaredNorm(st.grads.du.data(),
+                            static_cast<int>(st.grads.du.size())) +
+                SquaredNorm(st.grads.de.data(),
+                            static_cast<int>(st.grads.de.size()));
+          }
+        }
+        shard_hists[static_cast<size_t>(s % tp->num_threads())]->Record(
+            static_cast<double>(obs::CurrentClock()->NowMicros() -
+                                shard_start));
+      });
+      // Fixed shard-order reduction: the one place gradients from
+      // different shards meet, so results cannot depend on thread count.
+      for (int s = 0; s < num_shards; ++s) {
+        ShardState& st = shards[static_cast<size_t>(s)];
+        model_->AccumulateGradients(&st.grads);
+        epoch_loss += st.loss;
+        grad_sq += st.grad_sq;
+        st.loss = 0.0;
+        st.grad_sq = 0.0;
       }
+      // The final (possibly partial) batch steps at lr / leftover-count,
+      // keeping the per-pair step size constant across the epoch.
+      model_->Step(lr / static_cast<float>(end - start));
     }
     epoch_loss /= static_cast<double>(pairs.size());
     stats.train_loss.push_back(epoch_loss);

@@ -6,14 +6,26 @@
 // The dataset stores each user's and event's encoded documents once;
 // training pairs reference them by index so a user appearing in thousands
 // of impressions is encoded a single time.
+//
+// Data parallelism. Each minibatch is split into `grad_shards` logical
+// shards (pair i of the batch goes to shard i % grad_shards). Shards run
+// forward/backward against the shared, read-only model parameters and
+// accumulate into shard-private JointModel::GradBuffers; the buffers are
+// then folded into the model in shard order 0..S-1 and a single Step is
+// taken. Because the shard count — not the thread count — fixes how the
+// per-pair float gradients associate, training is bit-identical for a
+// given seed whatever `threads` is; threads only decide how the shards
+// are spread over workers (shard s runs on worker s % threads).
 
 #ifndef EVREC_MODEL_TRAINER_H_
 #define EVREC_MODEL_TRAINER_H_
 
+#include <memory>
 #include <vector>
 
 #include "evrec/model/joint_model.h"
 #include "evrec/util/rng.h"
+#include "evrec/util/thread_pool.h"
 
 namespace evrec {
 namespace model {
@@ -52,21 +64,44 @@ struct TrainStats {
   double final_learning_rate = 0.0;
 };
 
+// Execution knobs for the data-parallel engine (the model's
+// JointModelConfig keeps owning the learning hyper-parameters).
+struct TrainerConfig {
+  // Worker threads for the minibatch shards; <= 1 runs inline on the
+  // caller. Affects wall-clock only, never results.
+  int threads = 1;
+  // Logical gradient shards per minibatch. This — not `threads` — fixes
+  // the floating-point association of the batch gradient, so changing it
+  // changes the trained bits (deterministically).
+  int grad_shards = 8;
+  // Optional shared pool (not owned). When null the trainer lazily makes
+  // its own `threads`-wide pool.
+  ThreadPool* pool = nullptr;
+};
+
 class RepTrainer {
  public:
-  explicit RepTrainer(JointModel* model) : model_(model) {
+  explicit RepTrainer(JointModel* model, TrainerConfig config = {})
+      : model_(model), config_(config) {
     EVREC_CHECK(model != nullptr);
   }
+
+  const TrainerConfig& config() const { return config_; }
 
   // Trains in place. Uses model->config() for all hyper-parameters.
   TrainStats Train(const RepDataset& data, Rng& rng) const;
 
-  // Mean Eq. 1 loss of `pairs` under the current parameters.
+  // Mean Eq. 1 loss of `pairs` under the current parameters; sharded over
+  // the pool, reduced in shard order (deterministic for any thread count).
   double EvaluateLoss(const RepDataset& data,
                       const std::vector<RepPair>& pairs) const;
 
  private:
+  ThreadPool* pool() const;
+
   JointModel* model_;
+  TrainerConfig config_;
+  mutable std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 }  // namespace model

@@ -50,8 +50,8 @@ void ConvTextModule::Forward(const text::EncodedText& input,
   ctx->empty = false;
   const int num_windows = std::max(1, n - d + 1);
   ctx->num_windows = num_windows;
-  ctx->windows = la::Matrix(num_windows, d * emb);
-  ctx->pre_pool = la::Matrix(num_windows, k);
+  ctx->windows.Resize(num_windows, d * emb);
+  ctx->pre_pool.Resize(num_windows, k);
 
   for (int i = 0; i < num_windows; ++i) {
     float* win = ctx->windows.Row(i);
@@ -66,47 +66,102 @@ void ConvTextModule::Forward(const text::EncodedText& input,
     conv_.Forward(win, ctx->pre_pool.Row(i));
   }
 
-  // Pool each output dimension over windows.
-  for (int c = 0; c < k; ++c) {
-    float max_v = ctx->pre_pool.At(0, c);
-    int argmax = 0;
-    for (int i = 1; i < num_windows; ++i) {
-      float v = ctx->pre_pool.At(i, c);
-      if (v > max_v) {
-        max_v = v;
-        argmax = i;
+  // Pool over windows. All variants walk pre_pool row-major in a single
+  // pass (the old code walked every column twice, strided).
+  const float inv_windows = 1.0f / static_cast<float>(num_windows);
+  switch (pool_) {
+    case PoolType::kLogSumExp: {
+      // Log-MEAN-exp: the paper's log-sum-exp shifted by -log(#windows).
+      // The raw sum adds the same +log(n) offset to every output
+      // dimension, which (a) points all pooled vectors toward the
+      // all-ones direction, making initial cosines ~1 regardless of
+      // content, and (b) saturates the downstream tanh layers so
+      // gradients vanish. The shift is constant per example, leaves the
+      // soft-max semantics and the max-window attribution unchanged, and
+      // keeps the gradient field identical. The per-channel running
+      // max+sum state is the fused OnlineLogSumExp recurrence.
+      ctx->pool_state.assign(static_cast<size_t>(k), OnlineLogSumExp());
+      OnlineLogSumExp* states = ctx->pool_state.data();
+      for (int i = 0; i < num_windows; ++i) {
+        const float* row = ctx->pre_pool.Row(i);
+        for (int c = 0; c < k; ++c) states[c].Update(row[c]);
       }
+      for (int c = 0; c < k; ++c) {
+        ctx->argmax_window[c] = states[c].argmax;
+        ctx->output[c] = states[c].max + std::log(states[c].sum * inv_windows);
+      }
+      break;
     }
-    ctx->argmax_window[c] = argmax;
-    switch (pool_) {
-      case PoolType::kLogSumExp: {
-        // Log-MEAN-exp: the paper's log-sum-exp shifted by -log(#windows).
-        // The raw sum adds the same +log(n) offset to every output
-        // dimension, which (a) points all pooled vectors toward the
-        // all-ones direction, making initial cosines ~1 regardless of
-        // content, and (b) saturates the downstream tanh layers so
-        // gradients vanish. The shift is constant per example, leaves the
-        // soft-max semantics and the max-window attribution unchanged, and
-        // keeps the gradient field identical.
-        float sum = 0.0f;
-        for (int i = 0; i < num_windows; ++i) {
-          sum += std::exp(ctx->pre_pool.At(i, c) - max_v);
+    case PoolType::kMax: {
+      const float* row0 = ctx->pre_pool.Row(0);
+      std::copy(row0, row0 + k, ctx->output.begin());
+      for (int i = 1; i < num_windows; ++i) {
+        const float* row = ctx->pre_pool.Row(i);
+        for (int c = 0; c < k; ++c) {
+          if (row[c] > ctx->output[c]) {
+            ctx->output[c] = row[c];
+            ctx->argmax_window[c] = i;
+          }
         }
-        ctx->output[c] =
-            max_v + std::log(sum / static_cast<float>(num_windows));
-        break;
       }
-      case PoolType::kMax:
-        ctx->output[c] = max_v;
-        break;
-      case PoolType::kMean: {
-        float sum = 0.0f;
-        for (int i = 0; i < num_windows; ++i) {
-          sum += ctx->pre_pool.At(i, c);
+      break;
+    }
+    case PoolType::kMean: {
+      // Track the max alongside the sum so argmax attribution stays
+      // available; pool_state doubles as the max/argmax scratch.
+      ctx->pool_state.assign(static_cast<size_t>(k), OnlineLogSumExp());
+      OnlineLogSumExp* states = ctx->pool_state.data();
+      for (int i = 0; i < num_windows; ++i) {
+        const float* row = ctx->pre_pool.Row(i);
+        for (int c = 0; c < k; ++c) {
+          if (row[c] > states[c].max) {
+            states[c].max = row[c];
+            states[c].argmax = i;
+          }
+          ctx->output[c] += row[c];
         }
-        ctx->output[c] = sum / static_cast<float>(num_windows);
-        break;
       }
+      for (int c = 0; c < k; ++c) {
+        ctx->argmax_window[c] = states[c].argmax;
+        ctx->output[c] *= inv_windows;
+      }
+      break;
+    }
+  }
+}
+
+void ConvTextModule::ComputePoolGrad(const float* dout,
+                                     const ConvContext& ctx) const {
+  const int k = out_dim();
+  const int num_windows = ctx.num_windows;
+  ctx.dpre.Resize(num_windows, k);
+  switch (pool_) {
+    case PoolType::kLogSumExp: {
+      // Softmax over windows per channel. output = lse - log(n), so the
+      // true log-sum-exp is output + log(n). Row-major single pass.
+      const float log_n = std::log(static_cast<float>(num_windows));
+      for (int i = 0; i < num_windows; ++i) {
+        const float* pre = ctx.pre_pool.Row(i);
+        float* dp = ctx.dpre.Row(i);
+        for (int c = 0; c < k; ++c) {
+          float alpha = std::exp(pre[c] - (ctx.output[c] + log_n));
+          dp[c] = dout[c] * alpha;
+        }
+      }
+      break;
+    }
+    case PoolType::kMax:
+      for (int c = 0; c < k; ++c) {
+        ctx.dpre.At(ctx.argmax_window[c], c) = dout[c];
+      }
+      break;
+    case PoolType::kMean: {
+      const float inv = 1.0f / static_cast<float>(num_windows);
+      for (int i = 0; i < num_windows; ++i) {
+        float* dp = ctx.dpre.Row(i);
+        for (int c = 0; c < k; ++c) dp[c] = dout[c] * inv;
+      }
+      break;
     }
   }
 }
@@ -114,45 +169,44 @@ void ConvTextModule::Forward(const text::EncodedText& input,
 void ConvTextModule::Backward(const float* dout, const ConvContext& ctx) {
   if (ctx.empty) return;
   const int emb = table_->dim();
-  const int k = out_dim();
   const int d = window_size_;
   const int n = static_cast<int>(ctx.token_ids.size());
-  const int num_windows = ctx.num_windows;
 
-  // d(pool)/d(pre_pool) per window.
-  la::Matrix dpre(num_windows, k);
-  for (int c = 0; c < k; ++c) {
-    switch (pool_) {
-      case PoolType::kLogSumExp: {
-        // Softmax over windows for this channel. output = lse - log(n),
-        // so the true log-sum-exp is output + log(n).
-        float lse = ctx.output[c] +
-                    std::log(static_cast<float>(num_windows));
-        for (int i = 0; i < num_windows; ++i) {
-          float alpha = std::exp(ctx.pre_pool.At(i, c) - lse);
-          dpre.At(i, c) = dout[c] * alpha;
-        }
-        break;
-      }
-      case PoolType::kMax:
-        dpre.At(ctx.argmax_window[c], c) = dout[c];
-        break;
-      case PoolType::kMean: {
-        float g = dout[c] / static_cast<float>(num_windows);
-        for (int i = 0; i < num_windows; ++i) dpre.At(i, c) = g;
-        break;
-      }
-    }
-  }
+  ComputePoolGrad(dout, ctx);
 
-  std::vector<float> dwindow(static_cast<size_t>(d) * emb);
-  for (int i = 0; i < num_windows; ++i) {
-    la::Zero(dwindow.data(), d * emb);
-    conv_.Backward(ctx.windows.Row(i), dpre.Row(i), dwindow.data());
+  ctx.dwindow.assign(static_cast<size_t>(d) * emb, 0.0f);
+  for (int i = 0; i < ctx.num_windows; ++i) {
+    la::Zero(ctx.dwindow.data(), d * emb);
+    conv_.Backward(ctx.windows.Row(i), ctx.dpre.Row(i), ctx.dwindow.data());
     for (int p = 0; p < d; ++p) {
       int tok_pos = i + p;
       if (tok_pos >= n) break;
-      table_->AccumulateGrad(ctx.token_ids[tok_pos], dwindow.data() + p * emb);
+      table_->AccumulateGrad(ctx.token_ids[tok_pos],
+                             ctx.dwindow.data() + p * emb);
+    }
+  }
+}
+
+void ConvTextModule::Backward(const float* dout, const ConvContext& ctx,
+                              LinearLayer::Gradients* conv_grads,
+                              EmbeddingTable::Gradients* table_grads) const {
+  if (ctx.empty) return;
+  const int emb = table_->dim();
+  const int d = window_size_;
+  const int n = static_cast<int>(ctx.token_ids.size());
+
+  ComputePoolGrad(dout, ctx);
+
+  ctx.dwindow.assign(static_cast<size_t>(d) * emb, 0.0f);
+  for (int i = 0; i < ctx.num_windows; ++i) {
+    la::Zero(ctx.dwindow.data(), d * emb);
+    conv_.Backward(ctx.windows.Row(i), ctx.dpre.Row(i), ctx.dwindow.data(),
+                   conv_grads);
+    for (int p = 0; p < d; ++p) {
+      int tok_pos = i + p;
+      if (tok_pos >= n) break;
+      table_->AccumulateGrad(ctx.token_ids[tok_pos],
+                             ctx.dwindow.data() + p * emb, 1.0f, table_grads);
     }
   }
 }

@@ -31,6 +31,7 @@
 #include "evrec/nn/embedding_table.h"
 #include "evrec/nn/linear_layer.h"
 #include "evrec/text/encoder.h"
+#include "evrec/util/math_util.h"
 
 namespace evrec {
 namespace nn {
@@ -39,7 +40,10 @@ enum class PoolType { kLogSumExp = 0, kMax = 1, kMean = 2 };
 
 const char* PoolTypeName(PoolType type);
 
-// Per-example forward cache.
+// Per-example forward cache. Matrices and scratch vectors are resized in
+// place, so a context reused across examples stops allocating once it has
+// seen the largest document — the training hot loop holds one context per
+// shard and performs no per-pair heap allocation.
 struct ConvContext {
   std::vector<int> token_ids;        // copy of the encoded input
   std::vector<int> word_index;       // provenance for attribution
@@ -49,6 +53,14 @@ struct ConvContext {
   la::Matrix pre_pool;               // num_windows x out_dim
   std::vector<float> output;         // out_dim
   std::vector<int> argmax_window;    // out_dim; window achieving the max
+
+  // Scratch reused across calls. `mutable` because it is workspace, not
+  // logical state: Backward takes the context by const reference (the
+  // cached activations really are read-only there) but still needs
+  // somewhere to stage the pooling gradient without allocating.
+  mutable std::vector<OnlineLogSumExp> pool_state;  // out_dim
+  mutable la::Matrix dpre;                          // num_windows x out_dim
+  mutable std::vector<float> dwindow;               // window_size*emb_dim
 };
 
 class ConvTextModule {
@@ -75,6 +87,22 @@ class ConvTextModule {
   // matching Forward on this module.
   void Backward(const float* dout, const ConvContext& ctx);
 
+  // Same math into external buffers; the module and its shared table stay
+  // read-only, so shards may run this concurrently on private buffers
+  // (see nn/linear_layer.h for the reduction contract).
+  void Backward(const float* dout, const ConvContext& ctx,
+                LinearLayer::Gradients* conv_grads,
+                EmbeddingTable::Gradients* table_grads) const;
+
+  // A zeroed buffer shaped for the convolution layer (the shared table's
+  // buffer is made once by the owning bank, not per module).
+  LinearLayer::Gradients MakeConvGradients() const {
+    return conv_.MakeGradients();
+  }
+  void AccumulateConvGradients(LinearLayer::Gradients* grads) {
+    conv_.AccumulateGradients(grads);
+  }
+
   // Updates the convolution parameters only (the shared table is stepped
   // by the bank that owns it).
   void EnableAdagrad() { conv_.EnableAdagrad(); }
@@ -91,6 +119,9 @@ class ConvTextModule {
                                     std::shared_ptr<EmbeddingTable> table);
 
  private:
+  // Fills ctx.dpre with d(pool)/d(pre_pool) scaled by dout.
+  void ComputePoolGrad(const float* dout, const ConvContext& ctx) const;
+
   std::shared_ptr<EmbeddingTable> table_;
   int window_size_;
   PoolType pool_;

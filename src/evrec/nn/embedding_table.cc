@@ -29,6 +29,39 @@ void EmbeddingTable::AccumulateGrad(int id, const float* grad, float scale) {
   la::Axpy(scale, grad, grad_.Row(id), dim());
 }
 
+void EmbeddingTable::AccumulateGrad(int id, const float* grad, float scale,
+                                    Gradients* grads) const {
+  EVREC_CHECK_GE(id, 0);
+  EVREC_CHECK_LT(id, vocab_size());
+  if (!grads->is_touched[static_cast<size_t>(id)]) {
+    grads->is_touched[static_cast<size_t>(id)] = 1;
+    grads->touched.push_back(id);
+  }
+  la::Axpy(scale, grad, grads->grad.Row(id), dim());
+}
+
+EmbeddingTable::Gradients EmbeddingTable::MakeGradients() const {
+  Gradients g;
+  g.grad = la::Matrix(vocab_size(), dim());
+  g.is_touched.assign(static_cast<size_t>(vocab_size()), 0);
+  return g;
+}
+
+void EmbeddingTable::Gradients::Clear() {
+  for (int id : touched) {
+    la::Zero(grad.Row(id), grad.cols());
+    is_touched[static_cast<size_t>(id)] = 0;
+  }
+  touched.clear();
+}
+
+void EmbeddingTable::AccumulateGradients(Gradients* grads) {
+  for (int id : grads->touched) {
+    AccumulateGrad(id, grads->grad.Row(id));
+  }
+  grads->Clear();
+}
+
 void EmbeddingTable::EnableAdagrad() {
   if (!adagrad_) {
     accum_ = la::Matrix(vocab_size(), dim());

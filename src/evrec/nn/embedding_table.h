@@ -28,12 +28,38 @@ class EmbeddingTable {
   // Random init in [-scale, scale]; paper: "randomly initialized".
   void RandomInit(Rng& rng, float scale = 0.1f);
 
+  // Detached sparse gradient buffer: a dense row store plus the touched-row
+  // list, so clearing and folding cost O(minibatch footprint) exactly like
+  // the internal accumulator. Shard-private instances let data-parallel
+  // trainers backprop concurrently against shared read-only parameters
+  // (see nn/linear_layer.h).
+  struct Gradients {
+    la::Matrix grad;  // vocab x dim
+    std::vector<int> touched;
+    std::vector<uint8_t> is_touched;
+
+    const float* Row(int id) const { return grad.Row(id); }
+    void Clear();
+  };
+
   const float* Vector(int id) const { return table_.Row(id); }
   float* MutableVector(int id) { return table_.Row(id); }
   const float* GradRow(int id) const { return grad_.Row(id); }
 
   // grad_row(id) += scale * grad
   void AccumulateGrad(int id, const float* grad, float scale = 1.0f);
+
+  // Same accumulation into an external buffer; const, thread-safe across
+  // disjoint buffers.
+  void AccumulateGrad(int id, const float* grad, float scale,
+                      Gradients* grads) const;
+
+  // A zeroed buffer shaped like this table.
+  Gradients MakeGradients() const;
+
+  // Folds `grads`' touched rows into the internal accumulator (in the
+  // buffer's touch order) and clears it. Single-threaded, fixed-order.
+  void AccumulateGradients(Gradients* grads);
 
   // Enables Adagrad updates: step becomes
   //   accum += grad^2;  table -= lr * grad / sqrt(accum + eps)

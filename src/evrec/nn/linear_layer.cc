@@ -26,13 +26,64 @@ void LinearLayer::Forward(const float* x, float* y) const {
   }
 }
 
-void LinearLayer::Backward(const float* x, const float* dy, float* dx) {
-  weight_grad_.AddOuter(1.0f, dy, x);
-  if (has_bias_) {
-    la::Axpy(1.0f, dy, bias_grad_.data(), out_dim());
-  }
+namespace {
+
+// Shared body of both Backward overloads: accumulate dW += dy x^T,
+// db += dy, and (when dx != nullptr) dx += W^T dy. The weight-gradient and
+// input-gradient rows are fused into one pass over x / W per output
+// coordinate (la::FusedGradInput), halving the memory traffic of the
+// separate AddOuter + GemvTransposedAccum sweeps.
+void BackwardInto(const la::Matrix& weight, bool has_bias, const float* x,
+                  const float* dy, float* dx, la::Matrix* weight_grad,
+                  std::vector<float>* bias_grad) {
+  const int out = weight.rows();
+  const int in = weight.cols();
   if (dx != nullptr) {
-    weight_.GemvTransposedAccum(dy, dx);
+    for (int r = 0; r < out; ++r) {
+      if (dy[r] == 0.0f) continue;
+      la::FusedGradInput(dy[r], x, weight.Row(r), weight_grad->Row(r), dx,
+                         in);
+    }
+  } else {
+    weight_grad->AddOuter(1.0f, dy, x);
+  }
+  if (has_bias) {
+    la::Axpy(1.0f, dy, bias_grad->data(), out);
+  }
+}
+
+}  // namespace
+
+void LinearLayer::Backward(const float* x, const float* dy, float* dx) {
+  BackwardInto(weight_, has_bias_, x, dy, dx, &weight_grad_, &bias_grad_);
+}
+
+void LinearLayer::Backward(const float* x, const float* dy, float* dx,
+                           Gradients* grads) const {
+  grads->used = true;
+  BackwardInto(weight_, has_bias_, x, dy, dx, &grads->weight, &grads->bias);
+}
+
+void LinearLayer::Gradients::Clear() {
+  weight.SetZero();
+  la::Zero(bias.data(), static_cast<int>(bias.size()));
+  used = false;
+}
+
+LinearLayer::Gradients LinearLayer::MakeGradients() const {
+  Gradients g;
+  g.weight = la::Matrix(weight_.rows(), weight_.cols());
+  if (has_bias_) g.bias.assign(bias_.size(), 0.0f);
+  return g;
+}
+
+void LinearLayer::AccumulateGradients(Gradients* grads) {
+  if (grads->used) {
+    weight_grad_.AddScaled(1.0f, grads->weight);
+    if (has_bias_) {
+      la::Axpy(1.0f, grads->bias.data(), bias_grad_.data(), out_dim());
+    }
+    grads->Clear();
   }
 }
 

@@ -3,6 +3,15 @@
 // passes it back to Backward, which keeps the layer usable from several
 // contexts at once (needed by the Siamese pre-trainer, which pushes two
 // inputs through shared weights before stepping).
+//
+// Gradient state comes in two flavors:
+//   * the layer's internal accumulator (the classic Backward/Step pair),
+//     used by the single-context training paths and by Step's optimizer;
+//   * an external LinearLayer::Gradients buffer, written by the const
+//     Backward overload. Data-parallel trainers give each shard its own
+//     buffer (parameters stay shared and read-only during the batch) and
+//     fold the buffers into the internal accumulator in fixed shard order
+//     via AccumulateGradients before a single Step.
 
 #ifndef EVREC_NN_LINEAR_LAYER_H_
 #define EVREC_NN_LINEAR_LAYER_H_
@@ -18,6 +27,16 @@ namespace nn {
 
 class LinearLayer {
  public:
+  // Detached gradient buffer for one layer (see file comment). `used`
+  // lets reducers skip buffers no pair of the shard ever touched.
+  struct Gradients {
+    la::Matrix weight;        // out x in
+    std::vector<float> bias;  // out (empty when the layer has no bias)
+    bool used = false;
+
+    void Clear();
+  };
+
   LinearLayer(int in_dim, int out_dim, bool has_bias = true);
 
   int in_dim() const { return weight_.cols(); }
@@ -31,6 +50,19 @@ class LinearLayer {
   // Accumulates dW += dy x^T, db += dy and, if dx != nullptr,
   // dx += W^T dy. `x` must be the input passed to the matching Forward.
   void Backward(const float* x, const float* dy, float* dx);
+
+  // Same math, but into an external buffer; the layer itself is untouched,
+  // so any number of threads may run this concurrently on disjoint
+  // buffers.
+  void Backward(const float* x, const float* dy, float* dx,
+                Gradients* grads) const;
+
+  // A zeroed buffer shaped for this layer.
+  Gradients MakeGradients() const;
+
+  // Folds `grads` into the internal accumulator and clears it. Call from
+  // one thread, in fixed shard order, for deterministic reduction.
+  void AccumulateGradients(Gradients* grads);
 
   // Enables Adagrad updates (see EmbeddingTable::EnableAdagrad).
   void EnableAdagrad();

@@ -1,5 +1,7 @@
 #include "evrec/pipeline/pipeline.h"
 
+#include <algorithm>
+
 #include "evrec/obs/trace.h"
 #include "evrec/util/binary_io.h"
 #include "evrec/util/logging.h"
@@ -25,6 +27,13 @@ uint64_t Fnv1a(const std::string& s) {
 TwoStagePipeline::TwoStagePipeline(const PipelineConfig& config)
     : config_(config), cache_(/*num_shards=*/16,
                               /*capacity_per_shard=*/1u << 16) {}
+
+ThreadPool* TwoStagePipeline::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
+  }
+  return pool_.get();
+}
 
 void TwoStagePipeline::Prepare() {
   EVREC_SPAN("pipeline.prepare");
@@ -90,11 +99,17 @@ uint64_t TwoStagePipeline::RepModelFingerprint() const {
   for (int w : r.text_windows) windows += StrFormat("%d,", w);
   windows += "c";
   for (int w : r.categorical_windows) windows += StrFormat("%d,", w);
+  // v6: blocked reduction kernels + the sharded data-parallel trainer
+  // changed the trained bits relative to v5; grad_shards joins the key
+  // because it fixes the gradient-reduction association (threads does
+  // not — it never affects results).
   std::string key = windows + StrFormat(
-      "v5|seed=%llu|users=%d|events=%d|pages=%d|topics=%d|days=%d|"
+      "v6|shards=%d|seed=%llu|users=%d|events=%d|pages=%d|topics=%d|"
+      "days=%d|"
       "emb=%d|mod=%d|hid=%d|rep=%d|pool=%d|bypass=%d|theta=%g|lr=%g|"
       "epochs=%d|batch=%d|mindf=%d|maxdf=%g|siamese=%d|caps=%d,%d|"
       "embs=%g|ada=%d|ifw=%g",
+      std::max(1, config_.grad_shards),
       static_cast<unsigned long long>(s.seed), s.num_users, s.num_events,
       s.num_pages, s.num_topics, s.num_days, r.embedding_dim,
       r.module_out_dim, r.hidden_dim, r.rep_dim, static_cast<int>(r.pool),
@@ -198,9 +213,13 @@ model::TrainStats TwoStagePipeline::TrainRepresentation() {
           encoders_.EncodeEventBody(event, config_.max_event_tokens));
     }
     Rng siamese_rng = rng.Fork(17);
+    model::SiameseConfig siamese_cfg = config_.siamese;
+    siamese_cfg.threads = config_.threads;
+    siamese_cfg.grad_shards = config_.grad_shards;
+    siamese_cfg.pool = pool();
     model::SiameseStats siamese_stats =
         model::SiamesePretrain(&model_->mutable_event_tower(), titles,
-                               bodies, config_.siamese, siamese_rng);
+                               bodies, siamese_cfg, siamese_rng);
     EVREC_LOG(INFO) << "siamese init: " << siamese_stats.epochs_run
                     << " epochs, final loss="
                     << (siamese_stats.train_loss.empty()
@@ -208,7 +227,11 @@ model::TrainStats TwoStagePipeline::TrainRepresentation() {
                             : siamese_stats.train_loss.back());
   }
 
-  model::RepTrainer trainer(model_.get());
+  model::TrainerConfig trainer_cfg;
+  trainer_cfg.threads = config_.threads;
+  trainer_cfg.grad_shards = config_.grad_shards;
+  trainer_cfg.pool = pool();
+  model::RepTrainer trainer(model_.get(), trainer_cfg);
   Rng train_rng = rng.Fork(29);
   stats = trainer.Train(rep_data_, train_rng);
   trained_ = true;
@@ -223,20 +246,26 @@ void TwoStagePipeline::ComputeRepVectors() {
   EVREC_CHECK(trained_) << "call TrainRepresentation() first";
   EVREC_SPAN("pipeline.rep_precompute");
   Timer timer;
+  // Each slot is written by exactly one shard and each vector is a pure
+  // function of the frozen model, so the parallel fill is deterministic;
+  // the cache itself is sharded + stampede-guarded, hence thread-safe.
   user_reps_.resize(data_.world.users.size());
-  for (size_t u = 0; u < data_.world.users.size(); ++u) {
-    user_reps_[u] = cache_.GetOrCompute(
-        store::EntityKind::kUser, static_cast<int>(u), [&]() {
-          return model_->UserVector(rep_data_.user_inputs[u]);
-        });
-  }
+  pool()->ParallelFor(
+      static_cast<int>(data_.world.users.size()), [&](int u) {
+        user_reps_[static_cast<size_t>(u)] = cache_.GetOrCompute(
+            store::EntityKind::kUser, u, [&]() {
+              return model_->UserVector(
+                  rep_data_.user_inputs[static_cast<size_t>(u)]);
+            });
+      });
   event_reps_.resize(data_.events.size());
-  for (size_t e = 0; e < data_.events.size(); ++e) {
-    event_reps_[e] = cache_.GetOrCompute(
-        store::EntityKind::kEvent, static_cast<int>(e), [&]() {
-          return model_->EventVector(rep_data_.event_inputs[e]);
+  pool()->ParallelFor(static_cast<int>(data_.events.size()), [&](int e) {
+    event_reps_[static_cast<size_t>(e)] = cache_.GetOrCompute(
+        store::EntityKind::kEvent, e, [&]() {
+          return model_->EventVector(
+              rep_data_.event_inputs[static_cast<size_t>(e)]);
         });
-  }
+  });
   EVREC_LOG(INFO) << "precomputed " << user_reps_.size() << " user and "
                   << event_reps_.size() << " event vectors in "
                   << timer.ElapsedSeconds() << "s";

@@ -49,6 +49,12 @@ struct PipelineConfig {
   int max_event_tokens = 0;
   // Directory for the representation-model disk cache ("" disables).
   std::string cache_dir;
+  // Data-parallel execution. `threads` sizes the shared worker pool used
+  // by stage-1 training (joint + Siamese) and vector precompute; it never
+  // changes results. `grad_shards` fixes the gradient-reduction layout and
+  // therefore the trained bits (it participates in the model fingerprint).
+  int threads = 1;
+  int grad_shards = 8;
 };
 
 struct EvalResult {
@@ -101,12 +107,17 @@ class TwoStagePipeline {
   // Deterministic fingerprint of everything stage 1 depends on.
   uint64_t RepModelFingerprint() const;
 
+  // Shared worker pool, created on first use (one pool for the whole
+  // pipeline, so nested phases don't over-subscribe the machine).
+  ThreadPool* pool();
+
  private:
   std::string CacheFilePath() const;
   bool TryLoadCachedModel();
   void SaveCachedModel() const;
 
   PipelineConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
   simnet::SimnetDataset data_;
   EncoderSet encoders_;
   model::RepDataset rep_data_;

@@ -1,9 +1,64 @@
 #include "evrec/serve/vector_store.h"
 
+#include <algorithm>
+
+#include "evrec/util/math_util.h"
 #include "evrec/util/string_util.h"
 
 namespace evrec {
 namespace serve {
+
+std::vector<ScoredCandidate> ScoreCandidates(
+    VectorStore* store, store::EntityKind kind,
+    const std::vector<float>& query, const std::vector<int>& candidate_ids,
+    ThreadPool* pool) {
+  const int n = static_cast<int>(candidate_ids.size());
+  std::vector<ScoredCandidate> scored(static_cast<size_t>(n));
+  std::vector<std::vector<float>> vectors(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    scored[static_cast<size_t>(i)].id = candidate_ids[static_cast<size_t>(i)];
+    StatusOr<std::vector<float>> got =
+        store->Get(kind, candidate_ids[static_cast<size_t>(i)]);
+    if (got.ok() && got.value().size() == query.size()) {
+      vectors[static_cast<size_t>(i)] = std::move(got.value());
+      scored[static_cast<size_t>(i)].found = true;
+    }
+  }
+  auto score_one = [&](int i) {
+    ScoredCandidate& sc = scored[static_cast<size_t>(i)];
+    if (sc.found) {
+      sc.score = CosineSimilarity(query.data(),
+                                  vectors[static_cast<size_t>(i)].data(),
+                                  static_cast<int>(query.size()));
+    }
+  };
+  if (pool == nullptr) {
+    for (int i = 0; i < n; ++i) score_one(i);
+  } else {
+    pool->ParallelFor(n, score_one);
+  }
+  return scored;
+}
+
+std::vector<ScoredCandidate> TopK(std::vector<ScoredCandidate> scored,
+                                  int k) {
+  scored.erase(std::remove_if(scored.begin(), scored.end(),
+                              [](const ScoredCandidate& s) {
+                                return !s.found;
+                              }),
+               scored.end());
+  auto better = [](const ScoredCandidate& a, const ScoredCandidate& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  const size_t keep =
+      std::min(scored.size(), static_cast<size_t>(std::max(0, k)));
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<long>(keep), scored.end(),
+                    better);
+  scored.resize(keep);
+  return scored;
+}
 
 StatusOr<std::vector<float>> RepCacheVectorStore::Get(store::EntityKind kind,
                                                       int id) {

@@ -11,6 +11,7 @@
 
 #include "evrec/store/rep_cache.h"
 #include "evrec/util/status.h"
+#include "evrec/util/thread_pool.h"
 
 namespace evrec {
 namespace serve {
@@ -24,6 +25,30 @@ class VectorStore {
   virtual void Put(store::EntityKind kind, int id,
                    std::vector<float> vector) = 0;
 };
+
+// One candidate's result from batch scoring.
+struct ScoredCandidate {
+  int id = 0;
+  double score = 0.0;  // cosine similarity to the query
+  bool found = false;  // false when the store had no usable vector
+};
+
+// Full-corpus candidate scoring: fetches every candidate's vector and
+// scores it against `query` by cosine similarity. Fetches run sequentially
+// (store decorators — retries, fault injectors — are not required to be
+// thread-safe), then the O(n * dim) similarity math is sharded across
+// `pool` (candidate i on shard i % num_threads). Every output slot is
+// written by exactly one shard with a value that depends only on its own
+// candidate, so the result is identical for any thread count.
+std::vector<ScoredCandidate> ScoreCandidates(
+    VectorStore* store, store::EntityKind kind,
+    const std::vector<float>& query, const std::vector<int>& candidate_ids,
+    ThreadPool* pool);
+
+// Keeps the k best found candidates, descending score, ties broken by
+// ascending id (deterministic total order).
+std::vector<ScoredCandidate> TopK(std::vector<ScoredCandidate> scored,
+                                  int k);
 
 // Adapter over the in-process RepVectorCache; a miss surfaces as NotFound.
 class RepCacheVectorStore : public VectorStore {

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "evrec/util/check.h"
@@ -22,13 +23,56 @@ inline double LogSumExp(const std::vector<double>& xs) {
   return m + std::log(sum);
 }
 
+// Float log-sum-exp, kept entirely in single precision: the max scan, the
+// shifted exponentials, and the final log all use the float overloads of
+// std::exp / std::log so the result is a pure float computation (no silent
+// promotion to double and back, which would make the value depend on which
+// translation unit inlined it).
 inline float LogSumExp(const float* xs, int n) {
   EVREC_CHECK_GT(n, 0);
   float m = xs[0];
   for (int i = 1; i < n; ++i) m = std::max(m, xs[i]);
+  if (!std::isfinite(m)) return m;
   float sum = 0.0f;
   for (int i = 0; i < n; ++i) sum += std::exp(xs[i] - m);
   return m + std::log(sum);
+}
+
+// Fused max + shifted-exp-sum state for single-pass ("online")
+// log-sum-exp: feed values with Update, read max/argmax/sum at any point.
+// When a new maximum arrives the partial sum is rescaled by
+// exp(old_max - new_max), so the invariant sum == sum_i exp(x_i - max)
+// holds after every step. One pass instead of the classic two (max scan,
+// then exp sum) — this is what the soft-max pooling hot loop uses, where
+// the two-pass form walks the pre-pool matrix column-wise (strided) twice.
+struct OnlineLogSumExp {
+  float max = -std::numeric_limits<float>::infinity();
+  float sum = 0.0f;  // sum of exp(x - max) over values seen so far
+  int argmax = -1;
+  int count = 0;
+
+  void Update(float x) {
+    if (x > max) {
+      sum = sum * std::exp(max - x) + 1.0f;  // exp(max-x) is 0 on first hit
+      max = x;
+      argmax = count;
+    } else {
+      sum += std::exp(x - max);
+    }
+    ++count;
+  }
+
+  // log sum_i exp(x_i); requires at least one Update.
+  float Value() const { return max + std::log(sum); }
+};
+
+// Single-pass float log-sum-exp over a span (fused max+sum variant of
+// LogSumExp above). Empty input is a caller bug.
+inline float FusedLogSumExp(const float* xs, int n) {
+  EVREC_CHECK_GT(n, 0);
+  OnlineLogSumExp lse;
+  for (int i = 0; i < n; ++i) lse.Update(xs[i]);
+  return lse.Value();
 }
 
 // Logistic sigmoid with clamping so exp never overflows.
@@ -58,26 +102,63 @@ inline double CrossEntropy(double label, double p) {
   return -(label * std::log(p) + (1.0 - label) * std::log(1.0 - p));
 }
 
-// Squared L2 norm / dot product over float spans.
-inline double SquaredNorm(const float* x, int n) {
-  double s = 0.0;
-  for (int i = 0; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
-  return s;
+// Squared L2 norm / dot product over float spans. Two independent double
+// accumulators per reduction: strict FP will not reassociate a single
+// running sum, so the lanes are explicit (see la/vec_ops.h).
+inline double SquaredNorm(const float* __restrict x, int n) {
+  double s0 = 0.0, s1 = 0.0;
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    s0 += static_cast<double>(x[i]) * x[i];
+    s1 += static_cast<double>(x[i + 1]) * x[i + 1];
+  }
+  for (; i < n; ++i) s0 += static_cast<double>(x[i]) * x[i];
+  return s0 + s1;
 }
 
-inline double Dot(const float* a, const float* b, int n) {
-  double s = 0.0;
-  for (int i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
-  return s;
+inline double Dot(const float* __restrict a, const float* __restrict b,
+                  int n) {
+  double s0 = 0.0, s1 = 0.0;
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    s0 += static_cast<double>(a[i]) * b[i];
+    s1 += static_cast<double>(a[i + 1]) * b[i + 1];
+  }
+  for (; i < n; ++i) s0 += static_cast<double>(a[i]) * b[i];
+  return s0 + s1;
+}
+
+// Fused single-pass <a,b>, |a|^2, |b|^2 — the cosine-similarity kernel
+// reads both spans once instead of three times.
+inline void DotAndNorms(const float* __restrict a, const float* __restrict b,
+                        int n, double* dot, double* na2, double* nb2) {
+  double d0 = 0.0, d1 = 0.0, a0 = 0.0, a1 = 0.0, b0 = 0.0, b1 = 0.0;
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    d0 += static_cast<double>(a[i]) * b[i];
+    d1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    a0 += static_cast<double>(a[i]) * a[i];
+    a1 += static_cast<double>(a[i + 1]) * a[i + 1];
+    b0 += static_cast<double>(b[i]) * b[i];
+    b1 += static_cast<double>(b[i + 1]) * b[i + 1];
+  }
+  for (; i < n; ++i) {
+    d0 += static_cast<double>(a[i]) * b[i];
+    a0 += static_cast<double>(a[i]) * a[i];
+    b0 += static_cast<double>(b[i]) * b[i];
+  }
+  *dot = d0 + d1;
+  *na2 = a0 + a1;
+  *nb2 = b0 + b1;
 }
 
 // Cosine similarity with a zero-vector guard: returns 0 when either side
 // has near-zero norm (a degenerate but reachable case for empty documents).
 inline double CosineSimilarity(const float* a, const float* b, int n) {
-  double na = SquaredNorm(a, n);
-  double nb = SquaredNorm(b, n);
+  double dot, na, nb;
+  DotAndNorms(a, b, n, &dot, &na, &nb);
   if (na < 1e-24 || nb < 1e-24) return 0.0;
-  return Dot(a, b, n) / std::sqrt(na * nb);
+  return dot / std::sqrt(na * nb);
 }
 
 // Mean of a double vector (0 for empty input).

@@ -1,0 +1,99 @@
+#include "evrec/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace evrec {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  job_ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::RunShards(int worker) {
+  // job_fn_ and job_shards_ are stable for the duration of the job: the
+  // caller only clears them after every worker has decremented
+  // active_workers_.
+  const std::function<void(int)>& fn = *job_fn_;
+  const int n = job_shards_;
+  for (int s = worker; s < n; s += num_threads_) {
+    try {
+      fn(s);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_shard_ < 0 || s < first_error_shard_) {
+        first_error_ = std::current_exception();
+        first_error_shard_ = s;
+      }
+      return;  // abandon this worker's remaining shards
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ready_.wait(lock, [&] {
+        return stopping_ || job_epoch_ != seen_epoch;
+      });
+      if (stopping_) return;
+      seen_epoch = job_epoch_;
+    }
+    RunShards(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) job_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (num_threads_ == 1 || n == 1) {
+    // Inline fast path: no synchronization, exceptions propagate directly.
+    for (int s = 0; s < n; ++s) fn(s);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_shards_ = n;
+    active_workers_ = num_threads_ - 1;
+    first_error_ = nullptr;
+    first_error_shard_ = -1;
+    ++job_epoch_;
+  }
+  job_ready_.notify_all();
+  RunShards(/*worker=*/0);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_done_.wait(lock, [&] { return active_workers_ == 0; });
+  job_fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    first_error_shard_ = -1;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace evrec

@@ -1,0 +1,75 @@
+// Fixed-size worker pool with work-stealing-free static sharding.
+//
+// ParallelFor(n, fn) runs fn(shard) for every shard in [0, n) and blocks
+// until all shards finish. Shard s is executed by worker s % num_threads
+// (the calling thread acts as worker 0), so the shard -> worker mapping is
+// a pure function of (n, num_threads): no dynamic queue, no stealing, no
+// scheduling nondeterminism. Callers that need results independent of the
+// THREAD count as well (the trainers' determinism contract) additionally
+// fix n itself and keep per-SHARD state, so only the wall-clock — never
+// the arithmetic — depends on how many workers execute the shards.
+//
+// Exceptions thrown inside fn are captured; the one from the
+// lowest-numbered failing shard is rethrown on the calling thread after
+// every worker has quiesced (a worker abandons its remaining shards once
+// one of them throws; other workers are unaffected).
+//
+// A pool with num_threads == 1 never spawns a thread: ParallelFor runs the
+// shards inline on the caller, which keeps single-threaded configurations
+// free of synchronization cost and trivially sanitizer-clean.
+
+#ifndef EVREC_UTIL_THREAD_POOL_H_
+#define EVREC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace evrec {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers (the caller participates as worker 0).
+  // Values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Blocks until fn(0), ..., fn(n - 1) have all returned. Reentrant calls
+  // from inside fn are not supported. n <= 0 is a no-op.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  // Threads the hardware reports; used to size default pools. Never 0.
+  static int HardwareThreads();
+
+ private:
+  // Runs shards worker, worker + stride, worker + 2*stride, ... of the
+  // current job, capturing the first (lowest-shard) exception.
+  void RunShards(int worker);
+  void WorkerLoop(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  const std::function<void(int)>* job_fn_ = nullptr;  // valid while active
+  int job_shards_ = 0;
+  uint64_t job_epoch_ = 0;   // bumped per ParallelFor; workers wait on it
+  int active_workers_ = 0;   // workers still running the current job
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  int first_error_shard_ = -1;
+};
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_THREAD_POOL_H_

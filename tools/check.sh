@@ -9,8 +9,9 @@
 # Each sanitizer uses its own build directory (build-address/,
 # build-undefined/, build-thread/) so instrumented and plain objects never
 # mix. The thread build runs only the concurrency-heavy suites (obs_test,
-# util_test): TSan's ~5-15x slowdown makes the full suite impractical, and
-# the remaining tests are single-threaded.
+# util_test, parallel_test for the data-parallel trainer, serve_test for
+# the parallel candidate scorer): TSan's ~5-15x slowdown makes the full
+# suite impractical, and the remaining tests are single-threaded.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,7 +34,7 @@ cmake -B "$build_dir" -S . -DEVREC_SANITIZE="$san"
 cmake --build "$build_dir" -j"$jobs"
 if [ "$san" = "thread" ]; then
   ctest --test-dir "$build_dir" --output-on-failure -j"$jobs" \
-    -R '^(obs_test|util_test)$'
+    -R '^(obs_test|util_test|parallel_test|serve_test)$'
 else
   ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
 fi

@@ -56,6 +56,10 @@ using namespace evrec;
 struct Args {
   std::string data, out, model, json, features = "base+cf+rep";
   int users = 1200, events = 1500, epochs = 8, event_id = 0, k = 5;
+  // Worker threads for training and vector precompute. Results are
+  // bit-identical for any value (see model/trainer.h); this only buys
+  // wall-clock on multi-core machines.
+  int threads = 1;
   uint64_t seed = 2017;
   bool siamese = false;
   // serve-demo fault profile.
@@ -97,6 +101,8 @@ struct Args {
         out_args->event_id = std::atoi(v);
       } else if (flag == "--k") {
         out_args->k = std::atoi(v);
+      } else if (flag == "--threads") {
+        out_args->threads = std::atoi(v);
       } else if (flag == "--seed") {
         out_args->seed = static_cast<uint64_t>(std::atoll(v));
       } else if (flag == "--error-rate") {
@@ -224,12 +230,15 @@ int CmdTrain(const Args& args) {
       bodies.push_back(sys->encoders.EncodeEventBody(event, 128));
     }
     model::SiameseConfig scfg;
+    scfg.threads = args.threads;
     Rng srng = rng.Fork(17);
     model::SiamesePretrain(&sys->model->mutable_event_tower(), titles,
                            bodies, scfg, srng);
   }
 
-  model::RepTrainer trainer(sys->model.get());
+  model::TrainerConfig tcfg;
+  tcfg.threads = args.threads;
+  model::RepTrainer trainer(sys->model.get(), tcfg);
   Rng train_rng = rng.Fork(29);
   model::TrainStats stats = trainer.Train(sys->rep_data, train_rng);
   std::printf("trained %d epochs, final train loss %.4f\n", stats.epochs_run,
@@ -362,6 +371,7 @@ FaultStormResult RunFaultStorm(const Args& args, serve::FakeClock* clock) {
   cfg.gbdt.min_samples_leaf = 10;
   cfg.max_user_tokens = 64;
   cfg.max_event_tokens = 64;
+  cfg.threads = args.threads;
 
   std::printf("training a small end-to-end system (seed=%llu)...\n",
               static_cast<unsigned long long>(args.seed));
@@ -479,6 +489,7 @@ void Usage() {
       "<generate|train|eval|search|serve-demo|metrics> [flags]\n"
       "  generate   --out DIR [--users N] [--events N] [--seed S]\n"
       "  train      --data DIR --model FILE [--epochs N] [--siamese]\n"
+      "             [--threads N]  (data-parallel; same results for any N)\n"
       "  eval       --data DIR --model FILE [--features base+cf+rep+score]\n"
       "  search     --data DIR --model FILE --event ID [--k K]\n"
       "  serve-demo [--seed S] [--error-rate P] [--spike-rate P]\n"
