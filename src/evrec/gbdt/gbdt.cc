@@ -6,6 +6,7 @@
 #include "evrec/gbdt/binner.h"
 #include "evrec/gbdt/tree_builder.h"
 #include "evrec/obs/metrics.h"
+#include "evrec/util/fault_injection.h"
 #include "evrec/obs/trace.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/math_util.h"
@@ -53,8 +54,61 @@ GbdtTrainStats GbdtModel::Train(const DataMatrix& features,
   obs::Series* loss_series =
       obs::MetricRegistry::Global()->GetSeries("gbdt.train_logloss");
 
+  int start_tree = 0;
+  if (config.checkpoints != nullptr && config.resume) {
+    uint32_t next_tree = 0;
+    uint64_t ck_rows = 0;
+    int32_t ck_features = 0;
+    RngState ck_rng;
+    GbdtModel ck_model;
+    std::vector<double> ck_loss;
+    auto loaded = config.checkpoints->LoadLatestValid(
+        [&](CheckpointReader& r) {
+          r.EnterSection("meta");
+          next_tree = r.raw().ReadU32();
+          ck_rows = r.raw().ReadU64();
+          ck_features = r.raw().ReadI32();
+          ck_rng.state = r.raw().ReadU64();
+          ck_rng.inc = r.raw().ReadU64();
+          r.LeaveSection();
+          r.EnterSection("model");
+          ck_model = GbdtModel::Deserialize(r.raw());
+          r.LeaveSection();
+          r.EnterSection("stats");
+          ck_loss = r.raw().ReadDoubleVector();
+          r.LeaveSection();
+          return r.status();
+        });
+    if (loaded.ok() && ck_rows == static_cast<uint64_t>(n) &&
+        ck_features == num_features_ &&
+        ck_model.num_trees() == static_cast<int>(next_tree) &&
+        ck_model.base_score_ == base_score_) {
+      trees_ = std::move(ck_model.trees_);
+      // Rebuild the additive scores by replaying trees in commit order —
+      // the same float association the incremental loop produced.
+      for (int i = 0; i < n; ++i) {
+        double s = base_score_;
+        for (const auto& tree : trees_) s += tree.Predict(features.Row(i));
+        scores[static_cast<size_t>(i)] = s;
+      }
+      rng.RestoreState(ck_rng);
+      stats.train_logloss = ck_loss;
+      start_tree = static_cast<int>(next_tree);
+      stats.resumed_from_tree = start_tree;
+      EVREC_LOG(INFO) << "gbdt resumed at tree " << start_tree << " from "
+                      << loaded->path;
+    } else if (loaded.ok()) {
+      trees_.clear();
+      EVREC_LOG(WARN) << "gbdt checkpoint incompatible with this dataset; "
+                      << "training fresh";
+    } else {
+      EVREC_LOG(INFO) << "no valid gbdt checkpoint ("
+                      << loaded.status().ToString() << "); training fresh";
+    }
+  }
+
   std::vector<int> sampled;
-  for (int t = 0; t < config.num_trees; ++t) {
+  for (int t = start_tree; t < config.num_trees; ++t) {
     // Logistic loss derivatives w.r.t. the additive score.
     for (int i = 0; i < n; ++i) {
       double p = Sigmoid(scores[static_cast<size_t>(i)]);
@@ -86,9 +140,54 @@ GbdtTrainStats GbdtModel::Train(const DataMatrix& features,
     stats.train_logloss.push_back(logloss / n);
     loss_series->Append(static_cast<double>(t), logloss / n);
     trees_.push_back(std::move(tree));
+
+    if (!std::isfinite(logloss)) {
+      obs::MetricRegistry::Global()
+          ->GetCounter("trainer.nonfinite_epochs")
+          ->Increment();
+      stats.diverged = true;
+      EVREC_LOG(ERROR) << "gbdt tree " << t
+                       << " produced non-finite logloss; stopping";
+      break;
+    }
+    if (config.checkpoints != nullptr &&
+        (t + 1) % std::max(1, config.checkpoint_every) == 0) {
+      Status st = config.checkpoints->Write(
+          t + 1, logloss / n, [&](CheckpointWriter& w) {
+            w.BeginSection("meta");
+            w.raw().WriteU32(static_cast<uint32_t>(t + 1));
+            w.raw().WriteU64(static_cast<uint64_t>(n));
+            w.raw().WriteI32(num_features_);
+            RngState now = rng.SaveState();
+            w.raw().WriteU64(now.state);
+            w.raw().WriteU64(now.inc);
+            w.EndSection();
+            w.BeginSection("model");
+            Serialize(w.raw());
+            w.EndSection();
+            w.BeginSection("stats");
+            w.raw().WriteDoubleVector(stats.train_logloss);
+            w.EndSection();
+          });
+      obs::MetricRegistry::Global()
+          ->GetCounter(st.ok() ? "checkpoint.writes"
+                               : "checkpoint.write_failures")
+          ->Increment();
+      if (!st.ok()) {
+        EVREC_LOG(WARN) << "gbdt checkpoint write failed: " << st.ToString();
+      }
+    }
+    if (CrashPoints::Global()->Fire("gbdt.tree_end")) {
+      stats.interrupted = true;
+      EVREC_LOG(WARN) << "crash point 'gbdt.tree_end' fired after tree " << t
+                      << "; aborting fit";
+      break;
+    }
   }
   EVREC_LOG(INFO) << "gbdt trained " << trees_.size() << " trees, final "
-                  << "train logloss=" << stats.train_logloss.back();
+                  << "train logloss="
+                  << (stats.train_logloss.empty() ? 0.0
+                                                  : stats.train_logloss.back());
   return stats;
 }
 

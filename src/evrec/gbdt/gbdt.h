@@ -12,6 +12,7 @@
 
 #include "evrec/gbdt/data_matrix.h"
 #include "evrec/gbdt/tree.h"
+#include "evrec/util/checkpoint.h"
 #include "evrec/util/rng.h"
 
 namespace evrec {
@@ -26,10 +27,23 @@ struct GbdtConfig {
   int min_samples_leaf = 20;
   int max_bins = 64;
   uint64_t seed = 13;
+
+  // Crash safety (inert when `checkpoints` is null): commit the boosted
+  // ensemble and rng state every `checkpoint_every` trees; with `resume`,
+  // continue from the newest valid checkpoint. Row scores are rebuilt by
+  // replaying tree predictions in commit order, which reproduces the
+  // incremental float accumulation exactly, so a resumed fit is
+  // bit-identical to an uninterrupted one.
+  CheckpointManager* checkpoints = nullptr;
+  int checkpoint_every = 25;
+  bool resume = false;
 };
 
 struct GbdtTrainStats {
   std::vector<double> train_logloss;  // after each tree
+  bool interrupted = false;    // crash point fired mid-run
+  int resumed_from_tree = -1;  // -1 = fresh fit
+  bool diverged = false;       // non-finite logloss; fit stopped
 };
 
 class GbdtModel {

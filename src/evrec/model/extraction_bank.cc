@@ -90,6 +90,16 @@ void ExtractionBank::Serialize(BinaryWriter& w) const {
   for (const auto& m : modules_) m.Serialize(w);
 }
 
+void ExtractionBank::SerializeOptimizer(BinaryWriter& w) const {
+  table_->SerializeOptimizer(w);
+  for (const auto& m : modules_) m.conv().SerializeOptimizer(w);
+}
+
+void ExtractionBank::DeserializeOptimizer(BinaryReader& r) {
+  table_->DeserializeOptimizer(r);
+  for (auto& m : modules_) m.mutable_conv().DeserializeOptimizer(r);
+}
+
 ExtractionBank ExtractionBank::Deserialize(BinaryReader& r) {
   ExtractionBank bank;
   r.ExpectMagic("BANK");

@@ -71,6 +71,11 @@ class ExtractionBank {
   void Serialize(BinaryWriter& w) const;
   static ExtractionBank Deserialize(BinaryReader& r);
 
+  // Adagrad accumulators of the shared table and every convolution, in
+  // Serialize order. Checkpoint-only state (see nn/linear_layer.h).
+  void SerializeOptimizer(BinaryWriter& w) const;
+  void DeserializeOptimizer(BinaryReader& r);
+
  private:
   ExtractionBank() : module_out_dim_(0) {}
 

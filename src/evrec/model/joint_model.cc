@@ -149,6 +149,18 @@ void JointModel::Serialize(BinaryWriter& w) const {
   event_tower_.Serialize(w);
 }
 
+void JointModel::SerializeOptimizer(BinaryWriter& w) const {
+  w.WriteMagic("JOPT");
+  user_tower_.SerializeOptimizer(w);
+  event_tower_.SerializeOptimizer(w);
+}
+
+void JointModel::DeserializeOptimizer(BinaryReader& r) {
+  r.ExpectMagic("JOPT");
+  user_tower_.DeserializeOptimizer(r);
+  event_tower_.DeserializeOptimizer(r);
+}
+
 JointModel JointModel::Deserialize(BinaryReader& r) {
   JointModel m;
   r.ExpectMagic("JNTM");

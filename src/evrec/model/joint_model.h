@@ -116,6 +116,13 @@ class JointModel {
   void Serialize(BinaryWriter& w) const;
   static JointModel Deserialize(BinaryReader& r);
 
+  // Adagrad accumulators of both towers. Checkpoint-only state: model
+  // artifacts (Serialize) carry parameters, checkpoints additionally
+  // carry this so a resumed run continues with the exact per-coordinate
+  // learning rates of the uninterrupted one.
+  void SerializeOptimizer(BinaryWriter& w) const;
+  void DeserializeOptimizer(BinaryReader& r);
+
  private:
   JointModel();
 

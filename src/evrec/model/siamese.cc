@@ -1,9 +1,13 @@
 #include "evrec/model/siamese.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <optional>
 
 #include "evrec/model/joint_model.h"
+#include "evrec/obs/metrics.h"
+#include "evrec/util/fault_injection.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/math_util.h"
 
@@ -56,6 +60,71 @@ SiameseStats SiamesePretrain(Tower* tower,
 
   SiameseStats stats;
   float lr = config.learning_rate;
+  int start_epoch = 0;
+
+  // Resume anchor: rng state right after the deterministic pair build.
+  // The build consumes rng draws, so an identically-seeded restart lands
+  // on the same state with the same pairs; resuming then only needs the
+  // skipped epoch shuffles replayed (the swap pattern of a Fisher-Yates
+  // shuffle depends on the drawn numbers alone — see model/trainer.cc).
+  const RngState post_build_state = rng.SaveState();
+
+  if (config.checkpoints != nullptr && config.resume) {
+    uint32_t next_epoch = 0;
+    float ck_lr = 0.0f;
+    uint64_t ck_pairs = 0;
+    RngState ck_post_build, ck_current;
+    std::optional<Tower> ck_tower;
+    std::vector<double> ck_loss;
+    auto loaded = config.checkpoints->LoadLatestValid(
+        [&](CheckpointReader& r) {
+          r.EnterSection("meta");
+          next_epoch = r.raw().ReadU32();
+          ck_lr = r.raw().ReadF32();
+          ck_pairs = r.raw().ReadU64();
+          ck_post_build.state = r.raw().ReadU64();
+          ck_post_build.inc = r.raw().ReadU64();
+          ck_current.state = r.raw().ReadU64();
+          ck_current.inc = r.raw().ReadU64();
+          r.LeaveSection();
+          r.EnterSection("model");
+          ck_tower = Tower::Deserialize(r.raw());
+          r.LeaveSection();
+          r.EnterSection("optimizer");
+          ck_tower->DeserializeOptimizer(r.raw());
+          r.LeaveSection();
+          r.EnterSection("stats");
+          ck_loss = r.raw().ReadDoubleVector();
+          r.LeaveSection();
+          return r.status();
+        });
+    bool compatible = loaded.ok() && ck_post_build == post_build_state &&
+                      ck_pairs == pairs.size();
+    if (compatible) {
+      // Verify the replayed shuffle trajectory before touching anything.
+      Rng probe = Rng::FromState(post_build_state);
+      std::vector<int> dummy(pairs.size());
+      for (uint32_t e = 0; e < next_epoch; ++e) probe.Shuffle(dummy);
+      compatible = probe.SaveState() == ck_current;
+    }
+    if (compatible) {
+      for (uint32_t e = 0; e < next_epoch; ++e) rng.Shuffle(pairs);
+      *tower = std::move(*ck_tower);
+      lr = ck_lr;
+      stats.train_loss = ck_loss;
+      stats.epochs_run = static_cast<int>(next_epoch);
+      start_epoch = static_cast<int>(next_epoch);
+      stats.resumed_from_epoch = start_epoch;
+      EVREC_LOG(INFO) << "siamese resumed at epoch " << start_epoch
+                      << " from " << loaded->path;
+    } else if (loaded.ok()) {
+      EVREC_LOG(WARN) << "siamese checkpoint incompatible with this run "
+                      << "(seed/pair mismatch); training fresh";
+    } else {
+      EVREC_LOG(INFO) << "no valid siamese checkpoint ("
+                      << loaded.status().ToString() << "); training fresh";
+    }
+  }
 
   ThreadPool* tp = config.pool;
   std::unique_ptr<ThreadPool> owned_pool;
@@ -70,7 +139,7 @@ SiameseStats SiamesePretrain(Tower* tower,
   const size_t batch_size =
       static_cast<size_t>(std::max(1, config.batch_size));
 
-  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
     rng.Shuffle(pairs);
     double epoch_loss = 0.0;
     for (size_t start = 0; start < pairs.size(); start += batch_size) {
@@ -116,7 +185,57 @@ SiameseStats SiamesePretrain(Tower* tower,
     stats.train_loss.push_back(epoch_loss);
     stats.epochs_run = epoch + 1;
     EVREC_LOG(INFO) << "siamese epoch " << epoch << " loss=" << epoch_loss;
+
+    if (!std::isfinite(epoch_loss)) {
+      obs::MetricRegistry::Global()
+          ->GetCounter("trainer.nonfinite_epochs")
+          ->Increment();
+      stats.diverged = true;
+      EVREC_LOG(ERROR) << "siamese epoch " << epoch
+                       << " produced non-finite loss; stopping";
+      break;
+    }
     lr *= config.lr_decay_per_epoch;
+
+    if (config.checkpoints != nullptr &&
+        (epoch + 1) % std::max(1, config.checkpoint_every) == 0) {
+      Status st = config.checkpoints->Write(
+          epoch + 1, epoch_loss, [&](CheckpointWriter& w) {
+            w.BeginSection("meta");
+            w.raw().WriteU32(static_cast<uint32_t>(epoch + 1));
+            w.raw().WriteF32(lr);
+            w.raw().WriteU64(pairs.size());
+            w.raw().WriteU64(post_build_state.state);
+            w.raw().WriteU64(post_build_state.inc);
+            RngState now = rng.SaveState();
+            w.raw().WriteU64(now.state);
+            w.raw().WriteU64(now.inc);
+            w.EndSection();
+            w.BeginSection("model");
+            tower->Serialize(w.raw());
+            w.EndSection();
+            w.BeginSection("optimizer");
+            tower->SerializeOptimizer(w.raw());
+            w.EndSection();
+            w.BeginSection("stats");
+            w.raw().WriteDoubleVector(stats.train_loss);
+            w.EndSection();
+          });
+      obs::MetricRegistry::Global()
+          ->GetCounter(st.ok() ? "checkpoint.writes"
+                               : "checkpoint.write_failures")
+          ->Increment();
+      if (!st.ok()) {
+        EVREC_LOG(WARN) << "siamese checkpoint write failed: "
+                        << st.ToString();
+      }
+    }
+    if (CrashPoints::Global()->Fire("siamese.epoch_end")) {
+      stats.interrupted = true;
+      EVREC_LOG(WARN) << "crash point 'siamese.epoch_end' fired after epoch "
+                      << epoch << "; aborting run";
+      break;
+    }
   }
   return stats;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "evrec/model/tower.h"
+#include "evrec/util/checkpoint.h"
 #include "evrec/util/rng.h"
 #include "evrec/util/thread_pool.h"
 
@@ -37,11 +38,24 @@ struct SiameseConfig {
   int threads = 1;
   int grad_shards = 8;
   ThreadPool* pool = nullptr;
+
+  // Crash safety (inert when `checkpoints` is null): commit the tower,
+  // optimizer accumulators, lr and rng state every `checkpoint_every`
+  // epochs; with `resume`, continue from the newest valid checkpoint with
+  // bit-identical results to an uninterrupted run (see model/trainer.h).
+  // Give the manager its own prefix (e.g. "siamese") when it shares a
+  // directory with the rep trainer.
+  CheckpointManager* checkpoints = nullptr;
+  int checkpoint_every = 1;
+  bool resume = false;
 };
 
 struct SiameseStats {
   std::vector<double> train_loss;  // per epoch
   int epochs_run = 0;
+  bool interrupted = false;     // crash point fired mid-run
+  int resumed_from_epoch = -1;  // -1 = fresh run
+  bool diverged = false;        // non-finite epoch loss; run stopped
 };
 
 // Trains `tower` (a single-text-bank event tower) so that an event's title

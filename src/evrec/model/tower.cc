@@ -144,6 +144,16 @@ void Tower::Serialize(BinaryWriter& w) const {
   head_.Serialize(w);
 }
 
+void Tower::SerializeOptimizer(BinaryWriter& w) const {
+  for (const auto& b : banks_) b.SerializeOptimizer(w);
+  head_.SerializeOptimizer(w);
+}
+
+void Tower::DeserializeOptimizer(BinaryReader& r) {
+  for (auto& b : banks_) b.DeserializeOptimizer(r);
+  head_.DeserializeOptimizer(r);
+}
+
 Tower Tower::Deserialize(BinaryReader& r) {
   Tower t;
   r.ExpectMagic("TOWR");

@@ -90,6 +90,11 @@ class Tower {
   void Serialize(BinaryWriter& w) const;
   static Tower Deserialize(BinaryReader& r);
 
+  // Adagrad accumulators of every bank and the head (checkpoint-only
+  // state; see nn/linear_layer.h).
+  void SerializeOptimizer(BinaryWriter& w) const;
+  void DeserializeOptimizer(BinaryReader& r);
+
  private:
   Tower() : head_(1, 1, 1, false) {}
 

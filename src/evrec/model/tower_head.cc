@@ -130,6 +130,18 @@ void TowerHead::Serialize(BinaryWriter& w) const {
   bypass_.Serialize(w);
 }
 
+void TowerHead::SerializeOptimizer(BinaryWriter& w) const {
+  hidden_layer_.SerializeOptimizer(w);
+  projection_.SerializeOptimizer(w);
+  bypass_.SerializeOptimizer(w);
+}
+
+void TowerHead::DeserializeOptimizer(BinaryReader& r) {
+  hidden_layer_.DeserializeOptimizer(r);
+  projection_.DeserializeOptimizer(r);
+  bypass_.DeserializeOptimizer(r);
+}
+
 TowerHead TowerHead::Deserialize(BinaryReader& r) {
   r.ExpectMagic("HEAD");
   int bypass = r.ReadI32();

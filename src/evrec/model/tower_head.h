@@ -81,6 +81,10 @@ class TowerHead {
   void Serialize(BinaryWriter& w) const;
   static TowerHead Deserialize(BinaryReader& r);
 
+  // Adagrad accumulators of the three layers (checkpoint-only state).
+  void SerializeOptimizer(BinaryWriter& w) const;
+  void DeserializeOptimizer(BinaryReader& r);
+
  private:
   nn::LinearLayer hidden_layer_;  // W1, b1: hidden x in
   nn::LinearLayer projection_;    // W2, b2: rep x hidden

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "evrec/obs/metrics.h"
 #include "evrec/obs/trace.h"
+#include "evrec/util/fault_injection.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/math_util.h"
 
@@ -29,6 +31,81 @@ std::vector<ShardState> MakeShardStates(const JointModel& model,
   std::vector<ShardState> shards(static_cast<size_t>(num_shards));
   for (auto& s : shards) s.grads = model.MakeGradBuffer();
   return shards;
+}
+
+// Full mid-run trainer state as stored in one checkpoint. Deserialized
+// into this temporary and installed into the live model only after the
+// file's footer CRC has been verified.
+struct TrainerCheckpoint {
+  uint32_t grad_shards = 0;
+  uint32_t next_epoch = 0;  // epochs completed == first epoch to run
+  float lr = 0.0f;
+  double best_val = 0.0;
+  int32_t epochs_since_improvement = 0;
+  int32_t rollbacks = 0;
+  uint64_t train_pairs = 0;
+  uint64_t val_pairs = 0;
+  RngState post_split;  // rng right after the train/validation split
+  RngState current;     // rng after the last completed epoch's shuffle
+  std::optional<Tower> user_tower;
+  std::optional<Tower> event_tower;
+  std::vector<double> train_loss, validation_loss, grad_norms, epoch_micros;
+};
+
+void WriteRngState(BinaryWriter& w, const RngState& s) {
+  w.WriteU64(s.state);
+  w.WriteU64(s.inc);
+}
+
+RngState ReadRngState(BinaryReader& r) {
+  RngState s;
+  s.state = r.ReadU64();
+  s.inc = r.ReadU64();
+  return s;
+}
+
+Status ReadTrainerCheckpoint(CheckpointReader& r, TrainerCheckpoint* ck) {
+  r.EnterSection("meta");
+  ck->grad_shards = r.raw().ReadU32();
+  ck->next_epoch = r.raw().ReadU32();
+  ck->lr = r.raw().ReadF32();
+  ck->best_val = r.raw().ReadF64();
+  ck->epochs_since_improvement = r.raw().ReadI32();
+  ck->rollbacks = r.raw().ReadI32();
+  ck->train_pairs = r.raw().ReadU64();
+  ck->val_pairs = r.raw().ReadU64();
+  ck->post_split = ReadRngState(r.raw());
+  ck->current = ReadRngState(r.raw());
+  r.LeaveSection();
+
+  r.EnterSection("model");
+  ck->user_tower = Tower::Deserialize(r.raw());
+  ck->event_tower = Tower::Deserialize(r.raw());
+  r.LeaveSection();
+
+  r.EnterSection("optimizer");
+  ck->user_tower->DeserializeOptimizer(r.raw());
+  ck->event_tower->DeserializeOptimizer(r.raw());
+  r.LeaveSection();
+
+  r.EnterSection("stats");
+  ck->train_loss = r.raw().ReadDoubleVector();
+  ck->validation_loss = r.raw().ReadDoubleVector();
+  ck->grad_norms = r.raw().ReadDoubleVector();
+  ck->epoch_micros = r.raw().ReadDoubleVector();
+  r.LeaveSection();
+  return r.status();
+}
+
+// Advances a probe generator by the draws `epochs` in-place shuffles of an
+// `n`-element vector would consume. The Fisher-Yates swap pattern depends
+// only on the drawn numbers, never the element values, so this replays the
+// exact draw sequence without touching real data.
+RngState ReplayShuffleDraws(const RngState& from, size_t n, uint32_t epochs) {
+  Rng probe = Rng::FromState(from);
+  std::vector<int> dummy(n);
+  for (uint32_t e = 0; e < epochs; ++e) probe.Shuffle(dummy);
+  return probe.SaveState();
 }
 
 }  // namespace
@@ -85,6 +162,78 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
   float lr = cfg.learning_rate;
   double best_val = 1e300;
   int epochs_since_improvement = 0;
+  int start_epoch = 0;
+
+  // Rollback anchor: the post-split pair order and rng state. A resumed or
+  // rolled-back run reconstructs the exact stochastic trajectory by
+  // replaying epoch shuffles from here.
+  const RngState post_split_state = rng.SaveState();
+  std::vector<RepPair> base_pairs;
+  if (config_.checkpoints != nullptr) base_pairs = pairs;
+
+  // Installs a verified checkpoint into the live model and trainer state.
+  // Returns false (leaving everything untouched) when the checkpoint is
+  // incompatible with this run's seed, shard count, or dataset split.
+  auto install = [&](TrainerCheckpoint& ck, const char* what) {
+    if (ck.grad_shards != static_cast<uint32_t>(config_.grad_shards) ||
+        ck.train_pairs != pairs.size() || ck.val_pairs != val.size()) {
+      EVREC_LOG(WARN) << what << " refused: grad_shards/pair counts differ "
+                      << "(checkpoint " << ck.grad_shards << "/"
+                      << ck.train_pairs << "/" << ck.val_pairs << ", run "
+                      << config_.grad_shards << "/" << pairs.size() << "/"
+                      << val.size() << ")";
+      return false;
+    }
+    if (ck.post_split != post_split_state ||
+        ReplayShuffleDraws(post_split_state, base_pairs.size(),
+                           ck.next_epoch) != ck.current) {
+      EVREC_LOG(WARN) << what << " refused: rng trajectory mismatch "
+                      << "(different seed or dataset)";
+      return false;
+    }
+    pairs = base_pairs;
+    rng.RestoreState(post_split_state);
+    for (uint32_t e = 0; e < ck.next_epoch; ++e) rng.Shuffle(pairs);
+    model_->mutable_user_tower() = std::move(*ck.user_tower);
+    model_->mutable_event_tower() = std::move(*ck.event_tower);
+    if (cfg.use_adagrad) {
+      // No-op when the optimizer section already enabled it (accumulators
+      // are preserved); covers checkpoints written without optimizer state.
+      model_->mutable_user_tower().EnableAdagrad();
+      model_->mutable_event_tower().EnableAdagrad();
+    }
+    lr = ck.lr;
+    best_val = ck.best_val;
+    epochs_since_improvement = ck.epochs_since_improvement;
+    start_epoch = static_cast<int>(ck.next_epoch);
+    stats.train_loss = ck.train_loss;
+    stats.validation_loss = ck.validation_loss;
+    stats.grad_norms = ck.grad_norms;
+    stats.epoch_micros = ck.epoch_micros;
+    stats.epochs_run = static_cast<int>(ck.next_epoch);
+    return true;
+  };
+
+  if (config_.checkpoints != nullptr && config_.resume) {
+    TrainerCheckpoint ck;
+    auto loaded = config_.checkpoints->LoadLatestValid(
+        [&ck](CheckpointReader& r) { return ReadTrainerCheckpoint(r, &ck); });
+    if (config_.checkpoints->corrupt_skipped() > 0) {
+      obs::MetricRegistry::Global()
+          ->GetCounter("checkpoint.corrupt_skipped")
+          ->Increment(
+              static_cast<uint64_t>(config_.checkpoints->corrupt_skipped()));
+    }
+    if (loaded.ok() && install(ck, "resume")) {
+      stats.resumed_from_epoch = start_epoch;
+      EVREC_LOG(INFO) << "resumed from checkpoint step " << loaded->step
+                      << " (" << loaded->path << "), continuing at epoch "
+                      << start_epoch;
+    } else if (!loaded.ok()) {
+      EVREC_LOG(INFO) << "no valid checkpoint to resume from ("
+                      << loaded.status().ToString() << "); training fresh";
+    }
+  }
 
   ThreadPool* tp = pool();
   const int num_shards = std::max(1, config_.grad_shards);
@@ -115,7 +264,65 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
       static_cast<size_t>(std::max(1, cfg.batch_size));
   const float theta_r = cfg.theta_r;
 
-  for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
+  obs::Counter* nonfinite_counter =
+      registry->GetCounter("trainer.nonfinite_epochs");
+  obs::Counter* rollback_counter = registry->GetCounter("trainer.rollbacks");
+  obs::Counter* ckpt_writes = registry->GetCounter("checkpoint.writes");
+  obs::Counter* ckpt_failures =
+      registry->GetCounter("checkpoint.write_failures");
+
+  // Best finite train loss seen — the divergence baseline.
+  double best_train = 1e300;
+  for (double l : stats.train_loss) {
+    if (std::isfinite(l) && l < best_train) best_train = l;
+  }
+
+  auto write_checkpoint = [&](int completed_epochs, double metric) {
+    Status st = config_.checkpoints->Write(
+        completed_epochs, metric, [&](CheckpointWriter& w) {
+          w.BeginSection("meta");
+          BinaryWriter& bw = w.raw();
+          bw.WriteU32(static_cast<uint32_t>(config_.grad_shards));
+          bw.WriteU32(static_cast<uint32_t>(completed_epochs));
+          bw.WriteF32(lr);
+          bw.WriteF64(best_val);
+          bw.WriteI32(epochs_since_improvement);
+          bw.WriteI32(stats.rollbacks);
+          bw.WriteU64(pairs.size());
+          bw.WriteU64(val.size());
+          WriteRngState(bw, post_split_state);
+          WriteRngState(bw, rng.SaveState());
+          w.EndSection();
+          // Towers only — not JointModel::Serialize — so installing a
+          // checkpoint can never clobber the live training
+          // hyper-parameters with serialized topology defaults.
+          w.BeginSection("model");
+          model_->user_tower().Serialize(w.raw());
+          model_->event_tower().Serialize(w.raw());
+          w.EndSection();
+          w.BeginSection("optimizer");
+          model_->user_tower().SerializeOptimizer(w.raw());
+          model_->event_tower().SerializeOptimizer(w.raw());
+          w.EndSection();
+          w.BeginSection("stats");
+          w.raw().WriteDoubleVector(stats.train_loss);
+          w.raw().WriteDoubleVector(stats.validation_loss);
+          w.raw().WriteDoubleVector(stats.grad_norms);
+          w.raw().WriteDoubleVector(stats.epoch_micros);
+          w.EndSection();
+        });
+    if (st.ok()) {
+      ckpt_writes->Increment();
+    } else {
+      // A failed commit publishes nothing usable; training carries on and
+      // the next interval tries again.
+      ckpt_failures->Increment();
+      EVREC_LOG(WARN) << "checkpoint write failed at epoch "
+                      << completed_epochs << ": " << st.ToString();
+    }
+  };
+
+  for (int epoch = start_epoch; epoch < cfg.max_epochs; ++epoch) {
     int64_t epoch_start = obs::CurrentClock()->NowMicros();
     rng.Shuffle(pairs);
     double epoch_loss = 0.0;
@@ -187,6 +394,55 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
                     << " val_loss=" << val_loss << " lr=" << lr
                     << " grad_norm=" << grad_norm;
 
+    // ---- numerical guardrails ----
+    const bool nonfinite = !std::isfinite(epoch_loss) ||
+                           !std::isfinite(val_loss) ||
+                           !std::isfinite(grad_norm);
+    if (nonfinite) nonfinite_counter->Increment();
+    const bool exploded =
+        config_.checkpoints != nullptr && best_train < 1e300 &&
+        epoch_loss > config_.divergence_factor * best_train + 1e-12;
+    if (nonfinite || exploded) {
+      EVREC_LOG(WARN) << "rep epoch " << epoch << " diverged ("
+                      << (nonfinite ? "non-finite loss/grad" : "loss explosion")
+                      << ")";
+      bool rolled_back = false;
+      if (config_.checkpoints != nullptr &&
+          stats.rollbacks < config_.max_rollbacks) {
+        // Checkpoints are only written for epochs that passed these
+        // checks, so the newest valid one is by construction "good".
+        TrainerCheckpoint ck;
+        auto good = config_.checkpoints->LoadLatestValid(
+            [&ck](CheckpointReader& r) {
+              return ReadTrainerCheckpoint(r, &ck);
+            });
+        if (good.ok() && install(ck, "rollback")) {
+          ++stats.rollbacks;
+          rollback_counter->Increment();
+          // Cumulative cut: each retry of the same stretch steps smaller.
+          lr = ck.lr * std::pow(config_.rollback_lr_cut, stats.rollbacks);
+          best_train = 1e300;
+          for (double l : stats.train_loss) {
+            if (std::isfinite(l) && l < best_train) best_train = l;
+          }
+          EVREC_LOG(WARN) << "rolled back to epoch " << start_epoch
+                          << " with lr=" << lr << " (rollback "
+                          << stats.rollbacks << "/" << config_.max_rollbacks
+                          << ")";
+          epoch = start_epoch - 1;  // loop increment lands on start_epoch
+          rolled_back = true;
+        }
+      }
+      if (!rolled_back) {
+        stats.diverged = true;
+        EVREC_LOG(ERROR) << "training diverged with no rollback available "
+                         << "(rollbacks used: " << stats.rollbacks << ")";
+        break;
+      }
+      continue;
+    }
+    if (epoch_loss < best_train) best_train = epoch_loss;
+
     if (val_loss < best_val - cfg.early_stop_tolerance) {
       best_val = val_loss;
       epochs_since_improvement = 0;
@@ -198,6 +454,19 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
       }
     }
     lr *= cfg.lr_decay_per_epoch;
+
+    if (config_.checkpoints != nullptr &&
+        (epoch + 1) % std::max(1, config_.checkpoint_every) == 0) {
+      write_checkpoint(epoch + 1, val_loss);
+    }
+    // Test-armed preemption: stop exactly as a killed process would, with
+    // whatever checkpoints are already durably committed.
+    if (CrashPoints::Global()->Fire("trainer.epoch_end")) {
+      stats.interrupted = true;
+      EVREC_LOG(WARN) << "crash point 'trainer.epoch_end' fired after epoch "
+                      << epoch << "; aborting run";
+      break;
+    }
   }
   stats.final_learning_rate = lr;
   return stats;

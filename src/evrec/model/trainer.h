@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "evrec/model/joint_model.h"
+#include "evrec/util/checkpoint.h"
 #include "evrec/util/rng.h"
 #include "evrec/util/thread_pool.h"
 
@@ -62,6 +63,16 @@ struct TrainStats {
   int epochs_run = 0;
   bool early_stopped = false;
   double final_learning_rate = 0.0;
+
+  // Crash-safety bookkeeping. `interrupted` means a crash point fired and
+  // the run stopped mid-training (test harness for preemption);
+  // `resumed_from_epoch` is the first epoch this call actually ran (-1 for
+  // a fresh run); `rollbacks` counts divergence recoveries; `diverged`
+  // means the run gave up after exhausting them.
+  bool interrupted = false;
+  int resumed_from_epoch = -1;
+  int rollbacks = 0;
+  bool diverged = false;
 };
 
 // Execution knobs for the data-parallel engine (the model's
@@ -77,6 +88,33 @@ struct TrainerConfig {
   // Optional shared pool (not owned). When null the trainer lazily makes
   // its own `threads`-wide pool.
   ThreadPool* pool = nullptr;
+
+  // ---- crash safety (all inert when `checkpoints` is null) ----
+
+  // Checkpoint manager (not owned). When set, the trainer commits its full
+  // mid-run state (towers, optimizer accumulators, lr, early-stop
+  // bookkeeping, rng state) every `checkpoint_every` epochs.
+  CheckpointManager* checkpoints = nullptr;
+  int checkpoint_every = 1;
+  // Resume from the newest valid checkpoint before training. A resumed run
+  // replays the epoch shuffles it skipped, verifies the replayed rng state
+  // against the checkpointed one, and then continues — producing final
+  // model bytes identical to the uninterrupted run at any thread count.
+  // Incompatible checkpoints (different grad_shards / seed / dataset
+  // split) are refused and training starts fresh.
+  bool resume = false;
+
+  // ---- numerical guardrails ----
+
+  // An epoch whose train loss is non-finite, or exceeds
+  // divergence_factor x the best train loss seen so far, is declared
+  // divergent: the trainer rolls back to the last good checkpoint, cuts
+  // the learning rate by rollback_lr_cut, and retries — at most
+  // max_rollbacks times before giving up (stats.diverged). Non-finite
+  // epochs without a checkpoint to roll back to end the run immediately.
+  double divergence_factor = 3.0;
+  int max_rollbacks = 3;
+  float rollback_lr_cut = 0.5f;
 };
 
 class RepTrainer {

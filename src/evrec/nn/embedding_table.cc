@@ -102,6 +102,26 @@ void EmbeddingTable::Serialize(BinaryWriter& w) const {
   table_.Serialize(w);
 }
 
+void EmbeddingTable::SerializeOptimizer(BinaryWriter& w) const {
+  w.WriteMagic("EOPT");
+  w.WriteI32(adagrad_ ? 1 : 0);
+  if (adagrad_) accum_.Serialize(w);
+}
+
+void EmbeddingTable::DeserializeOptimizer(BinaryReader& r) {
+  r.ExpectMagic("EOPT");
+  int adagrad = r.ReadI32();
+  if (!r.ok() || adagrad == 0) return;
+  la::Matrix accum = la::Matrix::Deserialize(r);
+  if (!r.ok()) return;
+  if (accum.rows() != table_.rows() || accum.cols() != table_.cols()) {
+    r.MarkCorrupt("optimizer state shape does not match embedding table");
+    return;
+  }
+  EnableAdagrad();
+  accum_ = std::move(accum);
+}
+
 EmbeddingTable EmbeddingTable::Deserialize(BinaryReader& r) {
   r.ExpectMagic("EMBT");
   la::Matrix table = la::Matrix::Deserialize(r);

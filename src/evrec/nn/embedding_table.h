@@ -80,6 +80,11 @@ class EmbeddingTable {
   void Serialize(BinaryWriter& w) const;
   static EmbeddingTable Deserialize(BinaryReader& r);
 
+  // Adagrad accumulator state, persisted by checkpoints only (see
+  // nn/linear_layer.h).
+  void SerializeOptimizer(BinaryWriter& w) const;
+  void DeserializeOptimizer(BinaryReader& r);
+
  private:
   la::Matrix table_;
   la::Matrix grad_;

@@ -137,6 +137,32 @@ void LinearLayer::Serialize(BinaryWriter& w) const {
   w.WriteFloatVector(bias_);
 }
 
+void LinearLayer::SerializeOptimizer(BinaryWriter& w) const {
+  w.WriteMagic("LOPT");
+  w.WriteI32(adagrad_ ? 1 : 0);
+  if (adagrad_) {
+    weight_accum_.Serialize(w);
+    w.WriteFloatVector(bias_accum_);
+  }
+}
+
+void LinearLayer::DeserializeOptimizer(BinaryReader& r) {
+  r.ExpectMagic("LOPT");
+  int adagrad = r.ReadI32();
+  if (!r.ok() || adagrad == 0) return;
+  la::Matrix accum = la::Matrix::Deserialize(r);
+  std::vector<float> bias_accum = r.ReadFloatVector();
+  if (!r.ok()) return;
+  if (accum.rows() != weight_.rows() || accum.cols() != weight_.cols() ||
+      bias_accum.size() != bias_.size()) {
+    r.MarkCorrupt("optimizer state shape does not match layer");
+    return;
+  }
+  EnableAdagrad();
+  weight_accum_ = std::move(accum);
+  bias_accum_ = std::move(bias_accum);
+}
+
 LinearLayer LinearLayer::Deserialize(BinaryReader& r) {
   r.ExpectMagic("LINL");
   int has_bias = r.ReadI32();

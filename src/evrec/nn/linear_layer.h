@@ -81,6 +81,12 @@ class LinearLayer {
   void Serialize(BinaryWriter& w) const;
   static LinearLayer Deserialize(BinaryReader& r);
 
+  // Optimizer (Adagrad accumulator) state, kept out of Serialize so model
+  // artifacts stay lean; checkpoints persist it so a resumed run steps
+  // with the exact per-coordinate rates of the uninterrupted one.
+  void SerializeOptimizer(BinaryWriter& w) const;
+  void DeserializeOptimizer(BinaryReader& r);
+
  private:
   la::Matrix weight_;       // out x in
   la::Matrix weight_grad_;  // out x in

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "evrec/util/check.h"
+#include "evrec/util/logging.h"
 #include "evrec/util/string_util.h"
 
 namespace evrec {
@@ -71,7 +72,16 @@ Histogram::Histogram(const HistogramOptions& options) {
 }
 
 void Histogram::Record(double value) {
-  if (std::isnan(value)) return;
+  if (!std::isfinite(value)) {
+    // Dropping a sample silently would hide a numerical fault upstream;
+    // make the loss visible in both the registry and the log.
+    MetricRegistry::Global()
+        ->GetCounter("metrics.dropped_nonfinite")
+        ->Increment();
+    EVREC_LOG_EVERY_N(WARN, 100)
+        << "histogram dropped non-finite sample (value=" << value << ")";
+    return;
+  }
   if (value < 0.0) value = 0.0;
   // First sample publishes min/max directly; later samples CAS-fold in.
   // The count_ increment is last so concurrent readers never see count > 0

@@ -4,6 +4,7 @@
 
 #include "evrec/obs/trace.h"
 #include "evrec/util/binary_io.h"
+#include "evrec/util/checkpoint.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/string_util.h"
 #include "evrec/util/timer.h"
@@ -133,11 +134,18 @@ bool TwoStagePipeline::TryLoadCachedModel() {
   if (config_.cache_dir.empty()) return false;
   std::string path = CacheFilePath();
   if (!FileExists(path)) return false;
-  BinaryReader reader(path);
-  model::JointModel loaded = model::JointModel::Deserialize(reader);
-  if (!reader.ok()) {
+  // Checksummed container: a bit flip or truncation anywhere in the cache
+  // surfaces here as Corruption and the model retrains instead of serving
+  // garbage weights. Pre-checksum caches fail the header check the same
+  // way.
+  CheckpointReader reader(path);
+  reader.EnterSection("model");
+  model::JointModel loaded = model::JointModel::Deserialize(reader.raw());
+  reader.LeaveSection();
+  Status verify = reader.ok() ? reader.Finish() : reader.status();
+  if (!verify.ok()) {
     EVREC_LOG(WARN) << "rep-model cache unreadable, retraining: "
-                    << reader.status().ToString();
+                    << verify.ToString();
     return false;
   }
   // Guard against stale caches: table sizes must match the encoders.
@@ -158,23 +166,18 @@ bool TwoStagePipeline::TryLoadCachedModel() {
 void TwoStagePipeline::SaveCachedModel() const {
   if (config_.cache_dir.empty()) return;
   std::string path = CacheFilePath();
-  // Crash-safe write: serialize to a sidecar file, then rename into place,
-  // so a crash mid-write leaves no half-written cache at the real path
-  // (a torn cache would otherwise surface as Corruption on every later
-  // run until deleted by hand).
-  std::string tmp_path = path + ".tmp";
-  BinaryWriter writer(tmp_path);
-  model_->Serialize(writer);
-  Status status = writer.Close();
+  // Crash-safe, checksummed write: serialize into a CRC-sectioned sidecar,
+  // fsync it, rename into place, fsync the directory (WriteFileAtomic).
+  // A crash at any instant leaves either no cache or a fully durable one —
+  // never a half-written file at the real path, and never a renamed file
+  // whose data blocks were lost by an unsynced page cache.
+  Status status = WriteFileAtomic(path, [this](CheckpointWriter& w) {
+    w.BeginSection("model");
+    model_->Serialize(w.raw());
+    w.EndSection();
+  });
   if (!status.ok()) {
     EVREC_LOG(WARN) << "failed to cache rep model: " << status.ToString();
-    std::remove(tmp_path.c_str());
-    return;
-  }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    EVREC_LOG(WARN) << "failed to publish rep-model cache: rename to "
-                    << path << " failed";
-    std::remove(tmp_path.c_str());
     return;
   }
   EVREC_LOG(INFO) << "cached rep model to " << path;
@@ -197,6 +200,18 @@ model::TrainStats TwoStagePipeline::TrainRepresentation() {
   model_->RandomInit(rng);
   model_->CalibrateNormalizers(rep_data_);
 
+  // Per-trainer checkpoint managers share the directory under distinct
+  // prefixes, so rep epochs and Siamese epochs never collide on step ids.
+  std::unique_ptr<CheckpointManager> rep_ckpt, siamese_ckpt;
+  if (!config_.checkpoint_dir.empty()) {
+    CheckpointOptions opt;
+    opt.dir = config_.checkpoint_dir;
+    opt.prefix = "rep";
+    rep_ckpt = std::make_unique<CheckpointManager>(opt);
+    opt.prefix = "siamese";
+    siamese_ckpt = std::make_unique<CheckpointManager>(opt);
+  }
+
   if (config_.use_siamese_init) {
     EVREC_SPAN("pipeline.siamese_init");
     // Paper §3.2.1: initialize the event tower with title/body pairs from
@@ -217,6 +232,9 @@ model::TrainStats TwoStagePipeline::TrainRepresentation() {
     siamese_cfg.threads = config_.threads;
     siamese_cfg.grad_shards = config_.grad_shards;
     siamese_cfg.pool = pool();
+    siamese_cfg.checkpoints = siamese_ckpt.get();
+    siamese_cfg.checkpoint_every = config_.checkpoint_every;
+    siamese_cfg.resume = config_.resume;
     model::SiameseStats siamese_stats =
         model::SiamesePretrain(&model_->mutable_event_tower(), titles,
                                bodies, siamese_cfg, siamese_rng);
@@ -231,6 +249,9 @@ model::TrainStats TwoStagePipeline::TrainRepresentation() {
   trainer_cfg.threads = config_.threads;
   trainer_cfg.grad_shards = config_.grad_shards;
   trainer_cfg.pool = pool();
+  trainer_cfg.checkpoints = rep_ckpt.get();
+  trainer_cfg.checkpoint_every = config_.checkpoint_every;
+  trainer_cfg.resume = config_.resume;
   model::RepTrainer trainer(model_.get(), trainer_cfg);
   Rng train_rng = rng.Fork(29);
   stats = trainer.Train(rep_data_, train_rng);
@@ -238,7 +259,9 @@ model::TrainStats TwoStagePipeline::TrainRepresentation() {
   EVREC_LOG(INFO) << "representation model trained in "
                   << timer.ElapsedSeconds() << "s (" << stats.epochs_run
                   << " epochs)";
-  SaveCachedModel();
+  // Never publish a half-trained model to the cross-run cache; an
+  // interrupted run resumes from its checkpoints instead.
+  if (!stats.interrupted && !stats.diverged) SaveCachedModel();
   return stats;
 }
 

@@ -49,6 +49,14 @@ struct PipelineConfig {
   int max_event_tokens = 0;
   // Directory for the representation-model disk cache ("" disables).
   std::string cache_dir;
+  // Directory for mid-run training checkpoints ("" disables). Stage-1
+  // trainers commit their full state there (joint model under prefix
+  // "rep", Siamese pre-training under "siamese") every `checkpoint_every`
+  // epochs; with `resume`, an interrupted run continues from the newest
+  // valid checkpoint with bit-identical results (see model/trainer.h).
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  bool resume = false;
   // Data-parallel execution. `threads` sizes the shared worker pool used
   // by stage-1 training (joint + Siamese) and vector precompute; it never
   // changes results. `grad_shards` fixes the gradient-reduction layout and

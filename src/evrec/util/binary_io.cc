@@ -1,16 +1,19 @@
 #include "evrec/util/binary_io.h"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstring>
 
+#include "evrec/util/crc32.h"
 #include "evrec/util/string_util.h"
 
 namespace evrec {
 
 namespace {
-// Refuses absurd element counts so a corrupt length prefix cannot trigger a
-// multi-gigabyte allocation.
+// Secondary cap on element counts, applied after the remaining-file-size
+// bound: even a length prefix consistent with the file size is refused
+// beyond this (no legitimate artifact stores 2^28 elements in one field).
 constexpr uint32_t kMaxVectorElements = 1u << 28;
 }  // namespace
 
@@ -29,7 +32,10 @@ void BinaryWriter::WriteRaw(const void* data, size_t n) {
   if (!status_.ok() || file_ == nullptr) return;
   if (std::fwrite(data, 1, n, file_) != n) {
     status_ = Status::IoError("short write");
+    return;
   }
+  crc_ = Crc32(crc_, data, n);
+  bytes_written_ += n;
 }
 
 void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
@@ -70,10 +76,26 @@ Status BinaryWriter::Close() {
   return status_;
 }
 
+Status BinaryWriter::CloseWithSync() {
+  if (file_ != nullptr && status_.ok()) {
+    if (std::fflush(file_) != 0) {
+      status_ = Status::IoError("flush failed");
+    } else if (::fsync(::fileno(file_)) != 0) {
+      status_ = Status::IoError("fsync failed");
+    }
+  }
+  return Close();
+}
+
 BinaryReader::BinaryReader(const std::string& path)
     : file_(std::fopen(path.c_str(), "rb")) {
   if (file_ == nullptr) {
     status_ = Status::IoError("cannot open for read: " + path);
+    return;
+  }
+  struct stat st;
+  if (::fstat(::fileno(file_), &st) == 0) {
+    file_size_ = static_cast<uint64_t>(st.st_size);
   }
 }
 
@@ -89,7 +111,30 @@ void BinaryReader::ReadRaw(void* data, size_t n) {
   if (std::fread(data, 1, n, file_) != n) {
     status_ = Status::Corruption("short read");
     std::memset(data, 0, n);
+    return;
   }
+  crc_ = Crc32(crc_, data, n);
+  offset_ += n;
+}
+
+bool BinaryReader::CheckLengthPrefix(uint32_t n, size_t elem_size,
+                                     const char* what) {
+  if (!status_.ok()) return false;
+  // Bound by the bytes actually left first: a hostile prefix in a torn or
+  // bit-flipped file must fail cleanly, not attempt the allocation.
+  uint64_t need = static_cast<uint64_t>(n) * elem_size;
+  if (need > remaining()) {
+    status_ = Status::Corruption(StrFormat(
+        "%s length %u exceeds remaining file bytes (%llu needed, %llu left)",
+        what, n, static_cast<unsigned long long>(need),
+        static_cast<unsigned long long>(remaining())));
+    return false;
+  }
+  if (n > kMaxVectorElements) {
+    status_ = Status::Corruption(StrFormat("%s length implausible", what));
+    return false;
+  }
+  return true;
 }
 
 uint32_t BinaryReader::ReadU32() {
@@ -124,10 +169,7 @@ double BinaryReader::ReadF64() {
 
 std::string BinaryReader::ReadString() {
   uint32_t n = ReadU32();
-  if (n > kMaxVectorElements) {
-    status_ = Status::Corruption("string length implausible");
-    return {};
-  }
+  if (!CheckLengthPrefix(n, 1, "string")) return {};
   std::string s(n, '\0');
   ReadRaw(s.data(), n);
   return s;
@@ -135,10 +177,7 @@ std::string BinaryReader::ReadString() {
 
 std::vector<float> BinaryReader::ReadFloatVector() {
   uint32_t n = ReadU32();
-  if (n > kMaxVectorElements) {
-    status_ = Status::Corruption("vector length implausible");
-    return {};
-  }
+  if (!CheckLengthPrefix(n, sizeof(float), "float vector")) return {};
   std::vector<float> v(n);
   ReadRaw(v.data(), n * sizeof(float));
   return v;
@@ -146,10 +185,7 @@ std::vector<float> BinaryReader::ReadFloatVector() {
 
 std::vector<double> BinaryReader::ReadDoubleVector() {
   uint32_t n = ReadU32();
-  if (n > kMaxVectorElements) {
-    status_ = Status::Corruption("vector length implausible");
-    return {};
-  }
+  if (!CheckLengthPrefix(n, sizeof(double), "double vector")) return {};
   std::vector<double> v(n);
   ReadRaw(v.data(), n * sizeof(double));
   return v;
@@ -157,10 +193,7 @@ std::vector<double> BinaryReader::ReadDoubleVector() {
 
 std::vector<int32_t> BinaryReader::ReadI32Vector() {
   uint32_t n = ReadU32();
-  if (n > kMaxVectorElements) {
-    status_ = Status::Corruption("vector length implausible");
-    return {};
-  }
+  if (!CheckLengthPrefix(n, sizeof(int32_t), "i32 vector")) return {};
   std::vector<int32_t> v(n);
   ReadRaw(v.data(), n * sizeof(int32_t));
   return v;
@@ -178,6 +211,12 @@ void BinaryReader::ExpectMagic(const char tag[4]) {
 bool FileExists(const std::string& path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) return 0;
+  return static_cast<uint64_t>(st.st_size);
 }
 
 }  // namespace evrec

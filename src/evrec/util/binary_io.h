@@ -3,6 +3,14 @@
 // strings/vectors, with a caller-supplied magic tag checked on read so a
 // truncated or mismatched file surfaces as Status::Corruption instead of
 // garbage weights.
+//
+// Both streams keep a resettable running CRC-32 of the bytes they move;
+// the checkpoint section layer (util/checkpoint.h) resets it at a section
+// boundary and compares the digest against the stored one, so any bit
+// flip inside a section is caught without a second pass over the file.
+// The reader additionally knows the file size and refuses any length
+// prefix that exceeds the bytes actually left, so a corrupt prefix can
+// never trigger a multi-gigabyte allocation.
 
 #ifndef EVREC_UTIL_BINARY_IO_H_
 #define EVREC_UTIL_BINARY_IO_H_
@@ -39,7 +47,17 @@ class BinaryWriter {
   // Writes a 4-byte section tag (e.g. "EVRC"); the reader verifies it.
   void WriteMagic(const char tag[4]);
 
+  // Running CRC-32 of every byte written since the last ResetCrc (or
+  // construction). The checkpoint layer brackets each section with these.
+  uint32_t crc() const { return crc_; }
+  void ResetCrc() { crc_ = 0; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
   Status Close();
+  // Close with durability: fflush + fsync before fclose, so the bytes are
+  // on stable storage when this returns OK. Required before an atomic
+  // rename is allowed to publish the file (see util/checkpoint.h).
+  Status CloseWithSync();
   const Status& status() const { return status_; }
 
  private:
@@ -47,6 +65,8 @@ class BinaryWriter {
 
   std::FILE* file_;
   Status status_;
+  uint32_t crc_ = 0;
+  uint64_t bytes_written_ = 0;
 };
 
 // Streaming reader mirroring BinaryWriter.
@@ -71,18 +91,47 @@ class BinaryReader {
   // Reads 4 bytes and fails with Corruption if they differ from `tag`.
   void ExpectMagic(const char tag[4]);
 
+  // Running CRC-32 of every byte read since the last ResetCrc; mirrors the
+  // writer so section digests can be recomputed while streaming.
+  uint32_t crc() const { return crc_; }
+  void ResetCrc() { crc_ = 0; }
+
+  // Total size of the file and the bytes not yet consumed. Length
+  // prefixes are validated against remaining() before any allocation.
+  uint64_t file_size() const { return file_size_; }
+  uint64_t remaining() const {
+    return offset_ <= file_size_ ? file_size_ - offset_ : 0;
+  }
+
   const Status& status() const { return status_; }
   bool ok() const { return status_.ok(); }
 
+  // Marks the stream corrupt from a higher layer's structural check (e.g.
+  // a deserialized shape that does not match its target). Sticky like IO
+  // errors: the first failure wins.
+  void MarkCorrupt(std::string msg) {
+    if (status_.ok()) status_ = Status::Corruption(std::move(msg));
+  }
+
  private:
   void ReadRaw(void* data, size_t n);
+  // Validates a count prefix of `n` elements of `elem_size` bytes against
+  // the bytes left in the file; sets Corruption and returns false when the
+  // prefix is hostile (prevents the multi-GB allocation on corrupt input).
+  bool CheckLengthPrefix(uint32_t n, size_t elem_size, const char* what);
 
   std::FILE* file_;
   Status status_;
+  uint32_t crc_ = 0;
+  uint64_t file_size_ = 0;
+  uint64_t offset_ = 0;
 };
 
 // True if a regular file exists at `path`.
 bool FileExists(const std::string& path);
+
+// Size in bytes of the regular file at `path`, or 0 if it does not exist.
+uint64_t FileSize(const std::string& path);
 
 }  // namespace evrec
 

@@ -1,0 +1,421 @@
+#include "evrec/util/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "evrec/util/check.h"
+#include "evrec/util/crc32.h"
+#include "evrec/util/logging.h"
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+
+namespace {
+
+constexpr char kHeaderMagic[] = "EVCP";
+constexpr char kSectionMagic[] = "SECT";
+constexpr char kFooterMagic[] = "EVCF";
+
+// Best-effort directory fsync: makes the rename itself durable on
+// filesystems that need it. Failure is logged, not propagated — the data
+// file is already synced and most failures here are EACCES on exotic
+// mounts, not lost writes.
+void SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  if (::fsync(fd) != 0) {
+    EVREC_LOG(WARN) << "directory fsync failed for " << dir;
+  }
+  ::close(fd);
+}
+
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  // Walk the components so nested checkpoint dirs work out of the box.
+  std::string built;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) slash = path.size();
+    built = path.substr(0, slash);
+    pos = slash + 1;
+    if (built.empty()) continue;  // leading '/'
+    struct stat st;
+    if (::stat(built.c_str(), &st) == 0) {
+      if (!S_ISDIR(st.st_mode)) {
+        return Status::IoError("not a directory: " + built);
+      }
+      continue;
+    }
+    if (::mkdir(built.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("mkdir failed: " + built);
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointWriter
+
+CheckpointWriter::CheckpointWriter(const std::string& path) : writer_(path) {
+  writer_.WriteMagic(kHeaderMagic);
+  writer_.WriteU32(kFormatVersion);
+}
+
+void CheckpointWriter::BeginSection(const std::string& name) {
+  EVREC_CHECK(!in_section_) << "BeginSection inside an open section";
+  EVREC_CHECK(!finished_) << "BeginSection after Finish";
+  in_section_ = true;
+  writer_.WriteMagic(kSectionMagic);
+  writer_.ResetCrc();  // digest covers the name and the payload
+  writer_.WriteString(name);
+}
+
+void CheckpointWriter::EndSection() {
+  EVREC_CHECK(in_section_) << "EndSection without BeginSection";
+  in_section_ = false;
+  uint32_t crc = writer_.crc();
+  section_crcs_.push_back(crc);
+  writer_.WriteU32(crc);
+}
+
+BinaryWriter& CheckpointWriter::raw() {
+  EVREC_CHECK(in_section_) << "checkpoint writes must be inside a section";
+  return writer_;
+}
+
+Status CheckpointWriter::Finish() {
+  EVREC_CHECK(!in_section_) << "Finish with an open section";
+  EVREC_CHECK(!finished_) << "Finish called twice";
+  finished_ = true;
+  writer_.WriteMagic(kFooterMagic);
+  writer_.WriteU32(static_cast<uint32_t>(section_crcs_.size()));
+  // Footer digest over the little-endian section-CRC words: detects a
+  // file truncated at a section boundary (sections individually valid,
+  // but fewer of them than were written).
+  uint32_t footer_crc = 0;
+  for (uint32_t crc : section_crcs_) {
+    footer_crc = Crc32(footer_crc, &crc, sizeof(crc));
+  }
+  writer_.WriteU32(footer_crc);
+  return writer_.CloseWithSync();
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointReader
+
+CheckpointReader::CheckpointReader(const std::string& path) : reader_(path) {
+  reader_.ExpectMagic(kHeaderMagic);
+  uint32_t version = reader_.ReadU32();
+  if (ok() && version != CheckpointWriter::kFormatVersion) {
+    forced_ = Status::Corruption(
+        StrFormat("unsupported checkpoint version %u (want %u)", version,
+                  CheckpointWriter::kFormatVersion));
+  }
+}
+
+void CheckpointReader::EnterSection(const std::string& expected) {
+  EVREC_CHECK(!in_section_) << "EnterSection inside an open section";
+  in_section_ = true;
+  reader_.ExpectMagic(kSectionMagic);
+  reader_.ResetCrc();
+  std::string name = reader_.ReadString();
+  if (ok() && name != expected) {
+    forced_ = Status::Corruption(StrFormat(
+        "checkpoint section mismatch: want '%s' got '%s'", expected.c_str(),
+        name.c_str()));
+  }
+}
+
+void CheckpointReader::LeaveSection() {
+  EVREC_CHECK(in_section_) << "LeaveSection without EnterSection";
+  in_section_ = false;
+  uint32_t computed = reader_.crc();
+  uint32_t stored = reader_.ReadU32();
+  if (ok() && computed != stored) {
+    forced_ = Status::Corruption(StrFormat(
+        "checkpoint section CRC mismatch: computed %08x stored %08x", computed,
+        stored));
+  }
+  if (ok()) section_crcs_.push_back(stored);
+}
+
+BinaryReader& CheckpointReader::raw() {
+  EVREC_CHECK(in_section_) << "checkpoint reads must be inside a section";
+  return reader_;
+}
+
+Status CheckpointReader::Finish() {
+  EVREC_CHECK(!in_section_) << "Finish with an open section";
+  if (!forced_.ok()) return forced_;
+  reader_.ExpectMagic(kFooterMagic);
+  uint32_t num_sections = reader_.ReadU32();
+  uint32_t stored_footer_crc = reader_.ReadU32();
+  if (!reader_.ok()) return reader_.status();
+  if (num_sections != section_crcs_.size()) {
+    return Status::Corruption(
+        StrFormat("checkpoint section count mismatch: footer says %u, read %u",
+                  num_sections, static_cast<uint32_t>(section_crcs_.size())));
+  }
+  uint32_t footer_crc = 0;
+  for (uint32_t crc : section_crcs_) {
+    footer_crc = Crc32(footer_crc, &crc, sizeof(crc));
+  }
+  if (footer_crc != stored_footer_crc) {
+    return Status::Corruption("checkpoint footer CRC mismatch");
+  }
+  if (reader_.remaining() != 0) {
+    return Status::Corruption(
+        StrFormat("checkpoint has %llu trailing bytes",
+                  static_cast<unsigned long long>(reader_.remaining())));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Atomic commit
+
+Status WriteFileAtomic(const std::string& path, const CheckpointWriteFn& fn,
+                       IoFaultInjector* faults) {
+  IoFaultInjector::Fault fault;
+  if (faults != nullptr) fault = faults->Next();
+
+  const std::string tmp = path + ".tmp";
+  {
+    CheckpointWriter writer(tmp);
+    fn(writer);
+    Status st = writer.Finish();
+    if (!st.ok()) {
+      std::remove(tmp.c_str());
+      return st;
+    }
+  }
+
+  if (fault.fail_write) {
+    std::remove(tmp.c_str());
+    return Status::IoError("injected write fault: commit failed for " + path);
+  }
+  if (fault.torn_bytes > 0) {
+    // Publish a torn file: model a crash that lost the tail of the data
+    // blocks. The next reader must detect this via CRC and fall back.
+    uint64_t size = FileSize(tmp);
+    uint64_t keep = fault.torn_bytes < size ? size - fault.torn_bytes : 0;
+    if (::truncate(tmp.c_str(), static_cast<off_t>(keep)) != 0) {
+      std::remove(tmp.c_str());
+      return Status::IoError("injected torn write: truncate failed");
+    }
+  }
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed publishing " + path);
+  }
+  SyncDir(DirOf(path));
+  if (fault.torn_bytes > 0) {
+    return Status::IoError("injected torn write: published truncated " + path);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointManager
+
+CheckpointManager::CheckpointManager(const CheckpointOptions& options)
+    : options_(options) {
+  EVREC_CHECK(!options_.prefix.empty()) << "checkpoint prefix required";
+  init_status_ = EnsureDir(options_.dir);
+  if (init_status_.ok()) LoadManifestOrScan();
+}
+
+std::string CheckpointManager::PathForStep(int64_t step) const {
+  return options_.dir + "/" +
+         StrFormat("%s_%010lld.bin", options_.prefix.c_str(),
+                   static_cast<long long>(step));
+}
+
+std::string CheckpointManager::ManifestPath() const {
+  return options_.dir + "/" + options_.prefix + "_MANIFEST.bin";
+}
+
+Status CheckpointManager::WriteManifest() const {
+  // The manifest is a convenience index; it is written atomically but
+  // without fault injection — losing it degrades to the directory scan.
+  return WriteFileAtomic(ManifestPath(), [this](CheckpointWriter& w) {
+    w.BeginSection("manifest");
+    w.raw().WriteU32(static_cast<uint32_t>(entries_.size()));
+    for (const CheckpointInfo& e : entries_) {
+      w.raw().WriteU64(static_cast<uint64_t>(e.step));
+      w.raw().WriteF64(e.metric);
+    }
+    w.EndSection();
+  });
+}
+
+void CheckpointManager::LoadManifestOrScan() {
+  entries_.clear();
+  const std::string manifest = ManifestPath();
+  if (FileExists(manifest)) {
+    CheckpointReader r(manifest);
+    r.EnterSection("manifest");
+    uint32_t n = r.raw().ReadU32();
+    std::vector<CheckpointInfo> loaded;
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      CheckpointInfo info;
+      info.step = static_cast<int64_t>(r.raw().ReadU64());
+      info.metric = r.raw().ReadF64();
+      info.path = PathForStep(info.step);
+      loaded.push_back(info);
+    }
+    r.LeaveSection();
+    if (r.ok() && r.Finish().ok()) {
+      // Trust only entries whose files still exist (a crash between file
+      // deletion and manifest rewrite leaves stale rows).
+      for (const CheckpointInfo& e : loaded) {
+        if (FileExists(e.path)) entries_.push_back(e);
+      }
+      std::sort(entries_.begin(), entries_.end(),
+                [](const CheckpointInfo& a, const CheckpointInfo& b) {
+                  return a.step < b.step;
+                });
+      return;
+    }
+    EVREC_LOG(WARN) << "checkpoint manifest unreadable ("
+                    << (r.ok() ? "footer invalid" : r.status().ToString())
+                    << "); rebuilding from directory scan";
+  }
+  // Fallback: scan for `<prefix>_<digits>.bin`. Metrics are unknown, so
+  // scanned entries carry +inf and can never be selected as "best".
+  DIR* dir = ::opendir(options_.dir.c_str());
+  if (dir == nullptr) return;
+  const std::string want_prefix = options_.prefix + "_";
+  while (struct dirent* ent = ::readdir(dir)) {
+    std::string name = ent->d_name;
+    if (name.size() <= want_prefix.size() + 4) continue;
+    if (name.compare(0, want_prefix.size(), want_prefix) != 0) continue;
+    if (name.compare(name.size() - 4, 4, ".bin") != 0) continue;
+    std::string digits =
+        name.substr(want_prefix.size(), name.size() - want_prefix.size() - 4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;  // skips the manifest and foreign files
+    }
+    CheckpointInfo info;
+    info.step = std::atoll(digits.c_str());
+    info.metric = std::numeric_limits<double>::infinity();
+    info.path = options_.dir + "/" + name;
+    entries_.push_back(info);
+  }
+  ::closedir(dir);
+  std::sort(entries_.begin(), entries_.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.step < b.step;
+            });
+}
+
+Status CheckpointManager::Write(int64_t step, double metric,
+                                const CheckpointWriteFn& fn) {
+  EVREC_RETURN_IF_ERROR(init_status_);
+  const std::string path = PathForStep(step);
+  Status st = WriteFileAtomic(path, fn, options_.fault_injector);
+  if (!st.ok()) return st;
+
+  CheckpointInfo info;
+  info.step = step;
+  info.metric = metric;
+  info.path = path;
+  auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [step](const CheckpointInfo& e) { return e.step == step; });
+  if (it != entries_.end()) {
+    *it = info;
+  } else {
+    entries_.insert(
+        std::upper_bound(entries_.begin(), entries_.end(), info,
+                         [](const CheckpointInfo& a, const CheckpointInfo& b) {
+                           return a.step < b.step;
+                         }),
+        info);
+  }
+  ApplyRetention();
+  return WriteManifest();
+}
+
+void CheckpointManager::ApplyRetention() {
+  if (options_.keep_last <= 0) return;
+  if (entries_.size() <= static_cast<size_t>(options_.keep_last)) return;
+
+  size_t best_idx = entries_.size();  // sentinel: none
+  if (options_.keep_best) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (best_idx == entries_.size() ||
+          entries_[i].metric < entries_[best_idx].metric) {
+        best_idx = i;
+      }
+    }
+  }
+  size_t first_kept = entries_.size() - static_cast<size_t>(options_.keep_last);
+  std::vector<CheckpointInfo> kept;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i >= first_kept || i == best_idx) {
+      kept.push_back(entries_[i]);
+    } else {
+      if (std::remove(entries_[i].path.c_str()) != 0) {
+        EVREC_LOG(WARN) << "failed to delete expired checkpoint "
+                        << entries_[i].path;
+      }
+    }
+  }
+  entries_ = std::move(kept);
+}
+
+StatusOr<CheckpointInfo> CheckpointManager::LoadLatestValid(
+    const CheckpointReadFn& fn) {
+  corrupt_skipped_ = 0;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    CheckpointReader reader(it->path);
+    Status st = fn(reader);
+    if (st.ok() && reader.ok()) st = reader.Finish();
+    if (st.ok() && reader.ok()) return *it;
+    ++corrupt_skipped_;
+    EVREC_LOG(WARN) << "checkpoint " << it->path << " rejected ("
+                    << (st.ok() ? reader.status().ToString() : st.ToString())
+                    << "); falling back to previous";
+  }
+  return Status::NotFound("no valid checkpoint in " + options_.dir);
+}
+
+std::vector<CheckpointInfo> CheckpointManager::ListCheckpoints() const {
+  std::vector<CheckpointInfo> out(entries_.rbegin(), entries_.rend());
+  return out;
+}
+
+StatusOr<CheckpointInfo> CheckpointManager::Best() const {
+  if (entries_.empty()) {
+    return Status::NotFound("no checkpoints in " + options_.dir);
+  }
+  const CheckpointInfo* best = nullptr;
+  for (const CheckpointInfo& e : entries_) {
+    if (best == nullptr || e.metric < best->metric) best = &e;
+  }
+  return *best;
+}
+
+}  // namespace evrec

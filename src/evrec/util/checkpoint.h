@@ -1,0 +1,193 @@
+// Crash-safe checkpoint subsystem.
+//
+// Three layers, bottom up:
+//
+//  1. CheckpointWriter / CheckpointReader — a checksummed-section format
+//     on top of BinaryWriter/BinaryReader. A checkpoint file is
+//
+//         "EVCP" u32 version
+//         repeat: "SECT" string name <typed payload> u32 crc32
+//         "EVCF" u32 num_sections u32 footer_crc
+//
+//     Each section's CRC-32 covers its name and payload bytes; the footer
+//     CRC covers the per-section digests, so a file that validates has
+//     every byte accounted for. Any bit flip or truncation surfaces as
+//     Status::Corruption on read — never as garbage weights.
+//
+//  2. WriteFileAtomic — the durable commit protocol shared by checkpoints
+//     and the rep-model disk cache: serialize to `<path>.tmp`, fsync the
+//     file, rename into place, best-effort fsync the directory. A crash
+//     at any instant leaves either the old file or the new file, never a
+//     half-written one at the published path.
+//
+//  3. CheckpointManager — a directory of numbered checkpoints plus a
+//     manifest. Write() commits `<prefix>_<step>.bin` atomically and
+//     applies retention (keep the newest K plus the best-metric one);
+//     LoadLatestValid() walks newest→oldest, CRC-verifying each file, and
+//     returns the first that loads cleanly — a truncated or corrupt
+//     latest checkpoint falls back to its predecessor instead of
+//     poisoning the run. If the manifest itself is unreadable the manager
+//     rebuilds its view by scanning the directory.
+//
+// The manager is not thread-safe; training loops drive it from the
+// coordinator thread. An optional IoFaultInjector (util/fault_injection.h)
+// makes commits fail or publish torn files deterministically, so recovery
+// is tested the same way serving degradation is.
+
+#ifndef EVREC_UTIL_CHECKPOINT_H_
+#define EVREC_UTIL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "evrec/util/binary_io.h"
+#include "evrec/util/fault_injection.h"
+#include "evrec/util/status.h"
+
+namespace evrec {
+
+// Creates `path` (and missing parents) as a directory; OK if it exists.
+Status EnsureDir(const std::string& path);
+
+// Section-writing wrapper. Typed payload writes go through raw(); the
+// wrapper brackets them with checksummed section boundaries. Misuse
+// (unbalanced Begin/End, writes outside a section) is an EVREC_CHECK.
+class CheckpointWriter {
+ public:
+  static constexpr uint32_t kFormatVersion = 1;
+
+  explicit CheckpointWriter(const std::string& path);
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  void BeginSection(const std::string& name);
+  void EndSection();
+
+  // The underlying typed writer, valid only between Begin/EndSection.
+  BinaryWriter& raw();
+
+  // Writes the footer and closes with fsync. Must be called exactly once,
+  // with no open section.
+  Status Finish();
+
+  const Status& status() const { return writer_.status(); }
+
+ private:
+  BinaryWriter writer_;
+  std::vector<uint32_t> section_crcs_;
+  bool in_section_ = false;
+  bool finished_ = false;
+};
+
+// Mirrors CheckpointWriter. Callers deserialize into temporaries and only
+// commit them after Finish() returns OK — section CRCs are verified at
+// LeaveSection, but a file is trusted only once the footer checks out.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const std::string& path);
+
+  CheckpointReader(const CheckpointReader&) = delete;
+  CheckpointReader& operator=(const CheckpointReader&) = delete;
+
+  // Fails with Corruption if the next section's name differs from
+  // `expected`.
+  void EnterSection(const std::string& expected);
+  // Verifies the section CRC against the stored digest.
+  void LeaveSection();
+
+  BinaryReader& raw();
+
+  // Verifies the footer (section count + footer CRC) and that the file
+  // has no trailing bytes.
+  Status Finish();
+
+  const Status& status() const {
+    return forced_.ok() ? reader_.status() : forced_;
+  }
+  bool ok() const { return reader_.ok() && forced_.ok(); }
+
+ private:
+  BinaryReader reader_;
+  // Structural failures (version/section-name/CRC mismatch) detected by
+  // this layer; sticky like the underlying reader status.
+  Status forced_;
+  std::vector<uint32_t> section_crcs_;
+  bool in_section_ = false;
+};
+
+using CheckpointWriteFn = std::function<void(CheckpointWriter&)>;
+// Returns OK only when the payload deserialized cleanly; any non-OK reader
+// status after the callback also invalidates the file.
+using CheckpointReadFn = std::function<Status(CheckpointReader&)>;
+
+// The atomic commit protocol (layer 2 above). `faults`, when set, may
+// deterministically fail the commit or truncate the published file.
+Status WriteFileAtomic(const std::string& path, const CheckpointWriteFn& fn,
+                       IoFaultInjector* faults = nullptr);
+
+struct CheckpointInfo {
+  int64_t step = -1;
+  // Validation metric at `step`; lower is better. Checkpoints recovered by
+  // directory scan (manifest lost) carry +infinity — never "best".
+  double metric = 0.0;
+  std::string path;
+};
+
+struct CheckpointOptions {
+  std::string dir;
+  std::string prefix = "ckpt";
+  int keep_last = 3;       // newest K checkpoints retained
+  bool keep_best = true;   // additionally retain the best-metric one
+  IoFaultInjector* fault_injector = nullptr;  // not owned; test hook
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(const CheckpointOptions& options);
+
+  // Non-OK when the directory could not be created; Write() refuses work
+  // in that state.
+  const Status& init_status() const { return init_status_; }
+
+  // Serializes via `fn` and commits atomically, then updates the manifest
+  // and applies retention.
+  Status Write(int64_t step, double metric, const CheckpointWriteFn& fn);
+
+  // Newest→oldest: CRC-verifies each checkpoint and hands it to `fn`;
+  // returns the first that loads cleanly. Invalid files are skipped with a
+  // warning, not deleted. NotFound when no valid checkpoint exists.
+  // corrupt_skipped() reports how many files the last call rejected.
+  StatusOr<CheckpointInfo> LoadLatestValid(const CheckpointReadFn& fn);
+
+  // Checkpoints rejected (corrupt/truncated/unreadable) during the most
+  // recent LoadLatestValid call; trainers surface this in the obs registry
+  // (the util layer cannot depend on obs).
+  int corrupt_skipped() const { return corrupt_skipped_; }
+
+  // Known checkpoints, newest first.
+  std::vector<CheckpointInfo> ListCheckpoints() const;
+
+  // Best-metric checkpoint, or NotFound.
+  StatusOr<CheckpointInfo> Best() const;
+
+  const CheckpointOptions& options() const { return options_; }
+
+ private:
+  std::string PathForStep(int64_t step) const;
+  std::string ManifestPath() const;
+  Status WriteManifest() const;
+  void LoadManifestOrScan();
+  void ApplyRetention();
+
+  CheckpointOptions options_;
+  Status init_status_;
+  std::vector<CheckpointInfo> entries_;  // ascending by step
+  int corrupt_skipped_ = 0;
+};
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_CHECKPOINT_H_

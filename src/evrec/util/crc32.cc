@@ -1,0 +1,33 @@
+#include "evrec/util/crc32.h"
+
+namespace evrec {
+
+namespace {
+
+// 256-entry table for polynomial 0xEDB88320, built once on first use.
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(uint32_t crc, const void* data, size_t n) {
+  static const Crc32Table table;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace evrec

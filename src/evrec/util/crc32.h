@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320), incremental.
+//
+// Used by the checkpoint subsystem to checksum serialized sections so a
+// torn write or a flipped bit in a cold artifact surfaces as
+// Status::Corruption at load time instead of as garbage weights. The
+// interface is the standard running-crc contract: start from 0, feed
+// ranges in order, equal inputs give equal digests on every platform
+// (byte-order independent — the table is defined over bytes).
+
+#ifndef EVREC_UTIL_CRC32_H_
+#define EVREC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace evrec {
+
+// Extends `crc` (0 for a fresh digest) with `n` bytes at `data`.
+uint32_t Crc32(uint32_t crc, const void* data, size_t n);
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_CRC32_H_

@@ -1,0 +1,53 @@
+#include "evrec/util/fault_injection.h"
+
+namespace evrec {
+
+IoFaultInjector::Fault IoFaultInjector::Next() {
+  ++decisions_;
+  Fault fault;
+  // Fixed draw order keeps the stream aligned across outcomes.
+  bool fail = rng_.Bernoulli(config_.write_error_rate);
+  bool torn = rng_.Bernoulli(config_.torn_write_rate);
+  uint32_t chop =
+      1u + rng_.UniformU32(config_.max_torn_bytes > 0 ? config_.max_torn_bytes
+                                                      : 1u);
+  if (fail) {
+    fault.fail_write = true;
+  } else if (torn) {
+    fault.torn_bytes = chop;
+  }
+  return fault;
+}
+
+CrashPoints* CrashPoints::Global() {
+  static CrashPoints* instance = new CrashPoints();
+  return instance;
+}
+
+void CrashPoints::Arm(const std::string& name, int after_hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[name];
+  p.after_hits = after_hits > 0 ? after_hits : 0;
+  p.hits = 0;
+  p.fired = false;
+}
+
+bool CrashPoints::Fire(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  if (p.after_hits <= 0 || p.fired) return false;
+  if (++p.hits >= p.after_hits) {
+    p.fired = true;
+    return true;
+  }
+  return false;
+}
+
+void CrashPoints::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+}  // namespace evrec

@@ -1,0 +1,97 @@
+// Training-side fault injection — the util sibling of serve::FaultInjector
+// (PR 1), aimed at the artifact-durability path instead of the request
+// path. Two pieces:
+//
+//   IoFaultInjector   draws one seeded decision per checkpoint commit:
+//                     fail the write outright (disk error) or publish a
+//                     torn file (the tail chopped off, modelling a crash
+//                     after rename but before the data blocks hit disk on
+//                     a filesystem without ordered journaling). A replay
+//                     with the same seed injects the identical sequence,
+//                     so recovery tests are deterministic.
+//
+//   CrashPoints       named process-wide trigger points. Tests arm a
+//                     point ("trainer.epoch_end", N); the Nth time the
+//                     training loop passes the hook it aborts as if the
+//                     process had been preempted, leaving whatever
+//                     checkpoints were already committed. Resuming from
+//                     those checkpoints must then reproduce the
+//                     uninterrupted run bit for bit.
+//
+// Both are no-ops when not configured, so production paths pay one branch.
+
+#ifndef EVREC_UTIL_FAULT_INJECTION_H_
+#define EVREC_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "evrec/util/rng.h"
+
+namespace evrec {
+
+struct IoFaultConfig {
+  double write_error_rate = 0.0;  // P(commit fails with IoError)
+  double torn_write_rate = 0.0;   // P(published file is truncated)
+  uint32_t max_torn_bytes = 64;   // 1..N bytes chopped from the tail
+  uint64_t seed = 2017;
+};
+
+class IoFaultInjector {
+ public:
+  explicit IoFaultInjector(const IoFaultConfig& config)
+      : config_(config), rng_(config.seed, /*stream=*/83) {}
+
+  struct Fault {
+    bool fail_write = false;  // commit reports IoError, nothing published
+    uint64_t torn_bytes = 0;  // truncate the published file by this much
+  };
+
+  // Draws the decision for the next commit. Consumes a fixed number of
+  // draws regardless of outcome so the sequence stays aligned across
+  // configuration tweaks (same discipline as serve::FaultInjector).
+  Fault Next();
+
+  uint64_t decisions() const { return decisions_; }
+  const IoFaultConfig& config() const { return config_; }
+
+ private:
+  IoFaultConfig config_;
+  Rng rng_;
+  uint64_t decisions_ = 0;
+};
+
+// Registry of named crash points. Thread-safe; hooks in library code call
+// Fire() which is false until a test arms the point. Firing is one-shot:
+// once triggered, the point disarms (a resumed run does not re-crash).
+class CrashPoints {
+ public:
+  static CrashPoints* Global();
+
+  // Arms `name` to fire on the `after_hits`-th call to Fire(name)
+  // (1-based; after_hits <= 0 disarms).
+  void Arm(const std::string& name, int after_hits);
+
+  // Counts a hit; returns true exactly once, when the armed threshold is
+  // reached. Unarmed points always return false.
+  bool Fire(const std::string& name);
+
+  // Disarms everything and clears hit counts (test isolation).
+  void Reset();
+
+ private:
+  struct Point {
+    int after_hits = 0;  // 0 = disarmed
+    int hits = 0;
+    bool fired = false;
+  };
+
+  std::mutex mu_;
+  std::map<std::string, Point> points_;
+};
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_FAULT_INJECTION_H_

@@ -14,9 +14,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "evrec/util/binary_io.h"
 #include "evrec/util/check.h"
 
 namespace evrec {
+
+// Complete generator state. Two Rngs with equal states produce identical
+// draw sequences forever; checkpoints persist this so a resumed training
+// run replays the exact stochastic trajectory of an uninterrupted one.
+struct RngState {
+  uint64_t state = 0;
+  uint64_t inc = 0;
+
+  bool operator==(const RngState& other) const {
+    return state == other.state && inc == other.inc;
+  }
+  bool operator!=(const RngState& other) const { return !(*this == other); }
+};
 
 class Rng {
  public:
@@ -178,6 +192,33 @@ class Rng {
   // parent sequence because PCG streams are parameterized by `inc_`.
   Rng Fork(uint64_t stream_tag) {
     return Rng(NextU64(), stream_tag * 2654435761ULL + 0x9e3779b9ULL);
+  }
+
+  // ---- state capture / checkpointing ----
+
+  RngState SaveState() const { return {state_, inc_}; }
+  void RestoreState(const RngState& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+  }
+  static Rng FromState(const RngState& s) {
+    Rng r;
+    r.RestoreState(s);
+    return r;
+  }
+
+  void Serialize(BinaryWriter& w) const {
+    w.WriteMagic("RNGS");
+    w.WriteU64(state_);
+    w.WriteU64(inc_);
+  }
+  // Restores into *this; on corrupt input the reader status is set and the
+  // generator is left untouched.
+  void Deserialize(BinaryReader& r) {
+    r.ExpectMagic("RNGS");
+    uint64_t state = r.ReadU64();
+    uint64_t inc = r.ReadU64();
+    if (r.ok()) RestoreState({state, inc});
   }
 
  private:

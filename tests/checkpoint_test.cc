@@ -1,0 +1,767 @@
+// Tests for the crash-safe training subsystem: the checksummed checkpoint
+// format (every byte flip and every truncation length must surface as
+// Corruption, never as garbage state), the atomic commit protocol under
+// injected IO faults, CheckpointManager retention / fallback / manifest
+// recovery, and the headline contract — a training run killed at an
+// arbitrary epoch boundary and resumed produces final model bytes
+// identical to an uninterrupted run, at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "evrec/gbdt/gbdt.h"
+#include "evrec/model/joint_model.h"
+#include "evrec/model/siamese.h"
+#include "evrec/model/trainer.h"
+#include "evrec/util/binary_io.h"
+#include "evrec/util/checkpoint.h"
+#include "evrec/util/fault_injection.h"
+#include "evrec/util/logging.h"
+#include "evrec/util/rng.h"
+
+namespace evrec {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Removes every regular file in `dir`, then the directory itself. The
+// checkpoint layer never nests directories, so one level is enough.
+void RemoveDirRecursive(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (struct dirent* ent = ::readdir(d)) {
+      std::string name = ent->d_name;
+      if (name == "." || name == "..") continue;
+      std::remove((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+// ---------- checkpoint file format ----------
+
+class CheckpointFormatTest : public ::testing::Test {
+ protected:
+  std::string path_ = testing::TempDir() + "/evrec_ckpt_fmt.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // A two-section file exercising every payload type the trainers use.
+  void WriteSample() {
+    CheckpointWriter w(path_);
+    w.BeginSection("alpha");
+    w.raw().WriteU32(42u);
+    w.raw().WriteString("hello");
+    w.raw().WriteDoubleVector({1.5, -2.5, 3.25});
+    w.EndSection();
+    w.BeginSection("beta");
+    w.raw().WriteU64(1ULL << 40);
+    w.raw().WriteFloatVector({0.5f, -0.5f});
+    w.EndSection();
+    ASSERT_TRUE(w.Finish().ok());
+  }
+
+  // Replays the exact read sequence of WriteSample. Returns the first
+  // failure (reader status or footer verification), OK for a clean file.
+  Status ReadSample(const std::string& path) {
+    CheckpointReader r(path);
+    r.EnterSection("alpha");
+    r.raw().ReadU32();
+    r.raw().ReadString();
+    r.raw().ReadDoubleVector();
+    r.LeaveSection();
+    r.EnterSection("beta");
+    r.raw().ReadU64();
+    r.raw().ReadFloatVector();
+    r.LeaveSection();
+    if (!r.ok()) return r.status();
+    return r.Finish();
+  }
+};
+
+TEST_F(CheckpointFormatTest, RoundTrip) {
+  WriteSample();
+  CheckpointReader r(path_);
+  r.EnterSection("alpha");
+  EXPECT_EQ(r.raw().ReadU32(), 42u);
+  EXPECT_EQ(r.raw().ReadString(), "hello");
+  EXPECT_EQ(r.raw().ReadDoubleVector(),
+            (std::vector<double>{1.5, -2.5, 3.25}));
+  r.LeaveSection();
+  r.EnterSection("beta");
+  EXPECT_EQ(r.raw().ReadU64(), 1ULL << 40);
+  EXPECT_EQ(r.raw().ReadFloatVector(), (std::vector<float>{0.5f, -0.5f}));
+  r.LeaveSection();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.Finish().ok());
+}
+
+TEST_F(CheckpointFormatTest, EveryByteFlipIsDetected) {
+  WriteSample();
+  std::string clean = ReadFileBytes(path_);
+  ASSERT_FALSE(clean.empty());
+  ASSERT_TRUE(ReadSample(path_).ok());
+  std::string flipped_path = path_ + ".flip";
+  for (size_t i = 0; i < clean.size(); ++i) {
+    std::string bytes = clean;
+    bytes[i] ^= 0x40;
+    WriteFileBytes(flipped_path, bytes);
+    Status s = ReadSample(flipped_path);
+    EXPECT_FALSE(s.ok()) << "flip at byte " << i << " went undetected";
+  }
+  std::remove(flipped_path.c_str());
+}
+
+TEST_F(CheckpointFormatTest, EveryTruncationLengthIsDetected) {
+  WriteSample();
+  std::string clean = ReadFileBytes(path_);
+  ASSERT_FALSE(clean.empty());
+  std::string trunc_path = path_ + ".trunc";
+  for (size_t keep = 0; keep < clean.size(); ++keep) {
+    WriteFileBytes(trunc_path, clean.substr(0, keep));
+    Status s = ReadSample(trunc_path);
+    EXPECT_FALSE(s.ok()) << "truncation to " << keep << " bytes passed";
+  }
+  std::remove(trunc_path.c_str());
+}
+
+TEST_F(CheckpointFormatTest, TrailingBytesAreDetected) {
+  WriteSample();
+  std::string bytes = ReadFileBytes(path_);
+  bytes.push_back('\x00');
+  WriteFileBytes(path_, bytes);
+  Status s = ReadSample(path_);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST_F(CheckpointFormatTest, WrongSectionNameIsCorruption) {
+  WriteSample();
+  CheckpointReader r(path_);
+  r.EnterSection("gamma");  // file starts with "alpha"
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CheckpointFormatTest, UnsupportedVersionIsCorruption) {
+  WriteSample();
+  std::string bytes = ReadFileBytes(path_);
+  bytes[4] = static_cast<char>(0x7F);  // version word follows "EVCP"
+  WriteFileBytes(path_, bytes);
+  CheckpointReader r(path_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+// ---------- atomic commit + fault injection ----------
+
+class WriteFileAtomicTest : public ::testing::Test {
+ protected:
+  std::string path_ = testing::TempDir() + "/evrec_atomic.bin";
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  static void WritePayload(CheckpointWriter& w) {
+    w.BeginSection("payload");
+    w.raw().WriteDoubleVector({1.0, 2.0, 3.0, 4.0});
+    w.EndSection();
+  }
+};
+
+TEST_F(WriteFileAtomicTest, CommitPublishesFileAndRemovesTmp) {
+  ASSERT_TRUE(WriteFileAtomic(path_, WritePayload).ok());
+  EXPECT_TRUE(FileExists(path_));
+  EXPECT_FALSE(FileExists(path_ + ".tmp"));
+  CheckpointReader r(path_);
+  r.EnterSection("payload");
+  EXPECT_EQ(r.raw().ReadDoubleVector(),
+            (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  r.LeaveSection();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.Finish().ok());
+}
+
+TEST_F(WriteFileAtomicTest, InjectedWriteFailurePublishesNothing) {
+  IoFaultConfig cfg;
+  cfg.write_error_rate = 1.0;
+  IoFaultInjector faults(cfg);
+  Status s = WriteFileAtomic(path_, WritePayload, &faults);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_FALSE(FileExists(path_));
+  EXPECT_FALSE(FileExists(path_ + ".tmp"));
+}
+
+TEST_F(WriteFileAtomicTest, InjectedTornWritePublishesDetectableFile) {
+  ASSERT_TRUE(WriteFileAtomic(path_, WritePayload).ok());
+  uint64_t clean_size = FileSize(path_);
+
+  IoFaultConfig cfg;
+  cfg.torn_write_rate = 1.0;
+  cfg.max_torn_bytes = 16;
+  IoFaultInjector faults(cfg);
+  Status s = WriteFileAtomic(path_, WritePayload, &faults);
+  // The commit reports failure but the truncated file IS published — that
+  // is the modelled crash. The CRC layer must reject it on read.
+  EXPECT_FALSE(s.ok());
+  ASSERT_TRUE(FileExists(path_));
+  EXPECT_LT(FileSize(path_), clean_size);
+  CheckpointReader r(path_);
+  r.EnterSection("payload");
+  r.raw().ReadDoubleVector();
+  r.LeaveSection();
+  Status verify = r.ok() ? r.Finish() : r.status();
+  EXPECT_FALSE(verify.ok());
+}
+
+// ---------- CheckpointManager ----------
+
+class CheckpointManagerTest : public ::testing::Test {
+ protected:
+  std::string dir_ = testing::TempDir() + "/evrec_ckpt_mgr";
+  void TearDown() override { RemoveDirRecursive(dir_); }
+
+  static CheckpointWriteFn Payload(uint32_t tag) {
+    return [tag](CheckpointWriter& w) {
+      w.BeginSection("state");
+      w.raw().WriteU32(tag);
+      w.EndSection();
+    };
+  }
+
+  // Reads back the tag written by Payload.
+  static Status ReadTag(CheckpointReader& r, uint32_t* tag) {
+    r.EnterSection("state");
+    *tag = r.raw().ReadU32();
+    r.LeaveSection();
+    return r.status();
+  }
+};
+
+TEST_F(CheckpointManagerTest, RetentionKeepsNewestAndBest) {
+  CheckpointOptions opt;
+  opt.dir = dir_;
+  opt.keep_last = 2;
+  opt.keep_best = true;
+  CheckpointManager mgr(opt);
+  ASSERT_TRUE(mgr.init_status().ok());
+  // Step 2 has the best (lowest) metric; 4 and 5 are the newest.
+  const double metrics[] = {0.9, 0.1, 0.8, 0.7, 0.6};
+  for (int step = 1; step <= 5; ++step) {
+    ASSERT_TRUE(mgr.Write(step, metrics[step - 1],
+                          Payload(static_cast<uint32_t>(step)))
+                    .ok());
+  }
+  std::vector<CheckpointInfo> list = mgr.ListCheckpoints();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].step, 5);
+  EXPECT_EQ(list[1].step, 4);
+  EXPECT_EQ(list[2].step, 2);  // kept as best despite being old
+  for (const auto& info : list) EXPECT_TRUE(FileExists(info.path));
+  // Expired checkpoints are gone from disk.
+  EXPECT_FALSE(FileExists(dir_ + "/ckpt_0000000001.bin"));
+  EXPECT_FALSE(FileExists(dir_ + "/ckpt_0000000003.bin"));
+  auto best = mgr.Best();
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->step, 2);
+  EXPECT_EQ(best->metric, 0.1);
+}
+
+TEST_F(CheckpointManagerTest, CorruptLatestFallsBackToPreviousValid) {
+  CheckpointOptions opt;
+  opt.dir = dir_;
+  CheckpointManager mgr(opt);
+  ASSERT_TRUE(mgr.init_status().ok());
+  for (int step = 1; step <= 3; ++step) {
+    ASSERT_TRUE(mgr.Write(step, 1.0, Payload(static_cast<uint32_t>(step)))
+                    .ok());
+  }
+  // Flip a payload byte in the newest checkpoint.
+  std::string newest = mgr.ListCheckpoints()[0].path;
+  std::string bytes = ReadFileBytes(newest);
+  bytes[bytes.size() / 2] ^= 0x01;
+  WriteFileBytes(newest, bytes);
+
+  uint32_t tag = 0;
+  auto loaded = mgr.LoadLatestValid(
+      [&tag](CheckpointReader& r) { return ReadTag(r, &tag); });
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->step, 2);
+  EXPECT_EQ(tag, 2u);
+  EXPECT_EQ(mgr.corrupt_skipped(), 1);
+}
+
+TEST_F(CheckpointManagerTest, AllCorruptIsNotFound) {
+  CheckpointOptions opt;
+  opt.dir = dir_;
+  CheckpointManager mgr(opt);
+  ASSERT_TRUE(mgr.Write(1, 1.0, Payload(1)).ok());
+  std::string path = mgr.ListCheckpoints()[0].path;
+  std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() / 2));
+
+  uint32_t tag = 0;
+  auto loaded = mgr.LoadLatestValid(
+      [&tag](CheckpointReader& r) { return ReadTag(r, &tag); });
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.corrupt_skipped(), 1);
+}
+
+TEST_F(CheckpointManagerTest, LostManifestRecoversByDirectoryScan) {
+  CheckpointOptions opt;
+  opt.dir = dir_;
+  {
+    CheckpointManager mgr(opt);
+    for (int step = 1; step <= 3; ++step) {
+      ASSERT_TRUE(mgr.Write(step, 0.5, Payload(static_cast<uint32_t>(step)))
+                      .ok());
+    }
+  }
+  ASSERT_EQ(std::remove((dir_ + "/ckpt_MANIFEST.bin").c_str()), 0);
+
+  CheckpointManager rebuilt(opt);
+  std::vector<CheckpointInfo> list = rebuilt.ListCheckpoints();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].step, 3);
+  // Scanned entries carry unknown (+inf) metrics: never "best".
+  EXPECT_TRUE(std::isinf(list[0].metric));
+  uint32_t tag = 0;
+  auto loaded = rebuilt.LoadLatestValid(
+      [&tag](CheckpointReader& r) { return ReadTag(r, &tag); });
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->step, 3);
+  EXPECT_EQ(tag, 3u);
+}
+
+TEST_F(CheckpointManagerTest, StaleManifestRowsAreFiltered) {
+  CheckpointOptions opt;
+  opt.dir = dir_;
+  {
+    CheckpointManager mgr(opt);
+    ASSERT_TRUE(mgr.Write(1, 0.5, Payload(1)).ok());
+    ASSERT_TRUE(mgr.Write(2, 0.4, Payload(2)).ok());
+  }
+  // Simulate a crash between checkpoint deletion and manifest rewrite.
+  ASSERT_EQ(std::remove((dir_ + "/ckpt_0000000002.bin").c_str()), 0);
+  CheckpointManager rebuilt(opt);
+  std::vector<CheckpointInfo> list = rebuilt.ListCheckpoints();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].step, 1);
+}
+
+TEST_F(CheckpointManagerTest, TornCommitIsSkippedOnLoad) {
+  CheckpointOptions opt;
+  opt.dir = dir_;
+  {
+    CheckpointManager mgr(opt);
+    ASSERT_TRUE(mgr.Write(1, 0.5, Payload(1)).ok());
+  }
+  // A second manager suffers a torn commit at step 2: the truncated file
+  // lands on disk but the write reports failure.
+  IoFaultConfig fcfg;
+  fcfg.torn_write_rate = 1.0;
+  fcfg.max_torn_bytes = 8;
+  IoFaultInjector faults(fcfg);
+  CheckpointOptions faulty = opt;
+  faulty.fault_injector = &faults;
+  {
+    CheckpointManager mgr(faulty);
+    EXPECT_FALSE(mgr.Write(2, 0.4, Payload(2)).ok());
+  }
+  EXPECT_TRUE(FileExists(dir_ + "/ckpt_0000000002.bin"));
+  // Force the scan path so the torn file is considered — and rejected.
+  ASSERT_EQ(std::remove((dir_ + "/ckpt_MANIFEST.bin").c_str()), 0);
+  CheckpointManager rebuilt(opt);
+  uint32_t tag = 0;
+  auto loaded = rebuilt.LoadLatestValid(
+      [&tag](CheckpointReader& r) { return ReadTag(r, &tag); });
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->step, 1);
+  EXPECT_EQ(tag, 1u);
+  EXPECT_EQ(rebuilt.corrupt_skipped(), 1);
+}
+
+// ---------- trainer kill-and-resume determinism ----------
+
+text::EncodedText MakeDoc(std::vector<int> ids) {
+  text::EncodedText e;
+  e.word_index.resize(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    e.word_index[i] = static_cast<int>(i);
+  }
+  e.token_ids = std::move(ids);
+  return e;
+}
+
+model::JointModelConfig TinyConfig() {
+  model::JointModelConfig c;
+  c.embedding_dim = 6;
+  c.module_out_dim = 6;
+  c.hidden_dim = 12;
+  c.rep_dim = 8;
+  c.text_windows = {1, 2};
+  c.categorical_windows = {1};
+  c.learning_rate = 0.1f;
+  c.batch_size = 4;
+  c.max_epochs = 3;
+  c.early_stop_patience = 40;
+  c.validation_fraction = 0.15;
+  c.seed = 11;
+  return c;
+}
+
+// Same toy construction as parallel_test: two latent topics.
+model::RepDataset MakeToyDataset() {
+  model::RepDataset data;
+  Rng rng(51);
+  for (int topic = 0; topic < 2; ++topic) {
+    for (int u = 0; u < 8; ++u) {
+      std::vector<int> ids;
+      for (int i = 0; i < 5; ++i) {
+        ids.push_back(topic * 8 + rng.UniformInt(0, 7));
+      }
+      data.user_inputs.push_back(
+          {MakeDoc(ids), MakeDoc({topic * 2 + rng.UniformInt(0, 1)})});
+    }
+    for (int e = 0; e < 8; ++e) {
+      std::vector<int> ids;
+      for (int i = 0; i < 6; ++i) {
+        ids.push_back(topic * 8 + rng.UniformInt(0, 7));
+      }
+      data.event_inputs.push_back({MakeDoc(ids)});
+    }
+  }
+  for (int u = 0; u < 16; ++u) {
+    for (int e = 0; e < 16; ++e) {
+      data.pairs.push_back({u, e, (u / 8) == (e / 8) ? 1.0f : 0.0f});
+    }
+  }
+  return data;
+}
+
+std::string ModelBytes(const model::JointModel& m, const std::string& tag) {
+  std::string path = testing::TempDir() + "/evrec_ckpt_model_" + tag + ".bin";
+  BinaryWriter w(path);
+  m.Serialize(w);
+  EXPECT_TRUE(w.Close().ok());
+  std::string bytes = ReadFileBytes(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+struct RepRun {
+  model::TrainStats stats;
+  std::string bytes;
+};
+
+// One full trainer run. `ckpt_dir` empty disables checkpointing; the
+// model init and training rng seeds are fixed so every run shares the
+// stochastic trajectory.
+RepRun RunRepTrainer(const std::string& ckpt_dir, bool resume, int threads) {
+  model::JointModelConfig cfg = TinyConfig();
+  model::JointModel m(cfg, 16, 4, 16);
+  Rng init(52);
+  m.RandomInit(init);
+  model::RepDataset data = MakeToyDataset();
+
+  model::TrainerConfig tcfg;
+  tcfg.threads = threads;
+  tcfg.grad_shards = 4;
+  // Guardrails off for the determinism runs: no rollback may fire.
+  tcfg.divergence_factor = 1e18;
+  std::unique_ptr<CheckpointManager> mgr;
+  if (!ckpt_dir.empty()) {
+    CheckpointOptions opt;
+    opt.dir = ckpt_dir;
+    mgr = std::make_unique<CheckpointManager>(opt);
+    tcfg.checkpoints = mgr.get();
+    tcfg.checkpoint_every = 1;
+    tcfg.resume = resume;
+  }
+  model::RepTrainer trainer(&m, tcfg);
+  Rng train_rng(53);
+  RepRun run;
+  run.stats = trainer.Train(data, train_rng);
+  run.bytes = ModelBytes(m, "t" + std::to_string(threads));
+  return run;
+}
+
+class ResumeDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogLevel(LogLevel::kWarn);
+    CrashPoints::Global()->Reset();
+  }
+  void TearDown() override {
+    CrashPoints::Global()->Reset();
+    SetLogLevel(LogLevel::kInfo);
+  }
+};
+
+TEST_F(ResumeDeterminismTest, KilledAndResumedRepTrainerIsBitIdentical) {
+  RepRun baseline = RunRepTrainer("", false, 1);
+  ASSERT_FALSE(baseline.bytes.empty());
+  ASSERT_EQ(baseline.stats.epochs_run, 3);
+
+  for (int threads : {1, 4}) {
+    std::string dir = testing::TempDir() + "/evrec_resume_rep_t" +
+                      std::to_string(threads);
+    // Kill after epoch 1 (the second epoch boundary), leaving checkpoints
+    // for epochs 1 and 2 on disk.
+    CrashPoints::Global()->Arm("trainer.epoch_end", 2);
+    RepRun killed = RunRepTrainer(dir, false, threads);
+    EXPECT_TRUE(killed.stats.interrupted) << "threads=" << threads;
+    EXPECT_EQ(killed.stats.epochs_run, 2);
+    EXPECT_NE(killed.bytes, baseline.bytes)
+        << "the interrupted run must actually be partial";
+
+    RepRun resumed = RunRepTrainer(dir, true, threads);
+    EXPECT_EQ(resumed.stats.resumed_from_epoch, 2) << "threads=" << threads;
+    EXPECT_EQ(resumed.stats.epochs_run, 3);
+    EXPECT_FALSE(resumed.stats.interrupted);
+    // The headline contract: byte-identical final parameters and
+    // bit-identical loss curves, killed or not, at any thread count.
+    EXPECT_EQ(resumed.bytes, baseline.bytes) << "threads=" << threads;
+    EXPECT_EQ(resumed.stats.train_loss, baseline.stats.train_loss);
+    EXPECT_EQ(resumed.stats.validation_loss,
+              baseline.stats.validation_loss);
+    EXPECT_EQ(resumed.stats.grad_norms, baseline.stats.grad_norms);
+    RemoveDirRecursive(dir);
+  }
+}
+
+TEST_F(ResumeDeterminismTest, IncompatibleCheckpointIsRefused) {
+  std::string dir = testing::TempDir() + "/evrec_resume_incompat";
+  CrashPoints::Global()->Arm("trainer.epoch_end", 2);
+  RunRepTrainer(dir, false, 1);  // leaves grad_shards=4 checkpoints
+  CrashPoints::Global()->Reset();
+
+  // Same data, different gradient-reduction layout: the checkpoint must be
+  // refused (its float association differs) and training start fresh.
+  model::JointModelConfig cfg = TinyConfig();
+  model::JointModel m(cfg, 16, 4, 16);
+  Rng init(52);
+  m.RandomInit(init);
+  model::RepDataset data = MakeToyDataset();
+  model::TrainerConfig tcfg;
+  tcfg.threads = 1;
+  tcfg.grad_shards = 2;
+  tcfg.divergence_factor = 1e18;
+  CheckpointOptions opt;
+  opt.dir = dir;
+  CheckpointManager mgr(opt);
+  tcfg.checkpoints = &mgr;
+  tcfg.resume = true;
+  model::RepTrainer trainer(&m, tcfg);
+  Rng train_rng(53);
+  model::TrainStats stats = trainer.Train(data, train_rng);
+  EXPECT_EQ(stats.resumed_from_epoch, -1);
+  EXPECT_EQ(stats.epochs_run, 3);
+  RemoveDirRecursive(dir);
+}
+
+// ---------- divergence rollback ----------
+
+TEST_F(ResumeDeterminismTest, DivergenceRollsBackThenGivesUp) {
+  std::string dir = testing::TempDir() + "/evrec_rollback";
+  model::JointModelConfig cfg = TinyConfig();
+  cfg.max_epochs = 4;
+  model::JointModel m(cfg, 16, 4, 16);
+  Rng init(52);
+  m.RandomInit(init);
+  model::RepDataset data = MakeToyDataset();
+
+  model::TrainerConfig tcfg;
+  tcfg.threads = 1;
+  tcfg.grad_shards = 4;
+  // A paranoid detector: any epoch whose loss exceeds a fifth of the best
+  // counts as an explosion, so epoch 1 always "diverges". The trainer must
+  // roll back to the epoch-1 checkpoint with a cut lr, retry, and declare
+  // divergence only after max_rollbacks attempts.
+  tcfg.divergence_factor = 0.2;
+  tcfg.max_rollbacks = 2;
+  CheckpointOptions opt;
+  opt.dir = dir;
+  CheckpointManager mgr(opt);
+  tcfg.checkpoints = &mgr;
+  tcfg.checkpoint_every = 1;
+  model::RepTrainer trainer(&m, tcfg);
+  Rng train_rng(53);
+  model::TrainStats stats = trainer.Train(data, train_rng);
+
+  EXPECT_EQ(stats.rollbacks, 2);
+  EXPECT_TRUE(stats.diverged);
+  EXPECT_FALSE(stats.early_stopped);
+  // The run gave up mid-training: at least one good epoch and one final
+  // diverging one made it into the curves (which epoch first "explodes"
+  // depends on how fast the toy loss drops, so it is not pinned here).
+  EXPECT_GE(stats.epochs_run, 2);
+  EXPECT_LE(stats.epochs_run, cfg.max_epochs);
+  EXPECT_EQ(stats.train_loss.size(),
+            static_cast<size_t>(stats.epochs_run));
+  RemoveDirRecursive(dir);
+}
+
+// ---------- siamese kill-and-resume ----------
+
+struct SiameseRun {
+  model::SiameseStats stats;
+  std::string bytes;
+};
+
+SiameseRun RunSiamese(const std::string& ckpt_dir, bool resume) {
+  model::JointModelConfig cfg = TinyConfig();
+  model::JointModel m(cfg, 16, 4, 16);
+  Rng init(52);
+  m.RandomInit(init);
+
+  std::vector<text::EncodedText> titles, bodies;
+  Rng doc_rng(61);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<int> t_ids, b_ids;
+    for (int k = 0; k < 4; ++k) t_ids.push_back(doc_rng.UniformInt(0, 15));
+    for (int k = 0; k < 7; ++k) b_ids.push_back(doc_rng.UniformInt(0, 15));
+    titles.push_back(MakeDoc(t_ids));
+    bodies.push_back(MakeDoc(b_ids));
+  }
+
+  model::SiameseConfig scfg;
+  scfg.max_epochs = 3;
+  scfg.batch_size = 4;
+  scfg.grad_shards = 2;
+  scfg.negatives_per_positive = 1;
+  std::unique_ptr<CheckpointManager> mgr;
+  if (!ckpt_dir.empty()) {
+    CheckpointOptions opt;
+    opt.dir = ckpt_dir;
+    opt.prefix = "siamese";
+    mgr = std::make_unique<CheckpointManager>(opt);
+    scfg.checkpoints = mgr.get();
+    scfg.checkpoint_every = 1;
+    scfg.resume = resume;
+  }
+  Rng srng(90);
+  SiameseRun run;
+  run.stats = model::SiamesePretrain(&m.mutable_event_tower(), titles,
+                                     bodies, scfg, srng);
+  std::string path = testing::TempDir() + "/evrec_siamese_tower.bin";
+  BinaryWriter w(path);
+  m.event_tower().Serialize(w);
+  EXPECT_TRUE(w.Close().ok());
+  run.bytes = ReadFileBytes(path);
+  std::remove(path.c_str());
+  return run;
+}
+
+TEST_F(ResumeDeterminismTest, KilledAndResumedSiameseIsBitIdentical) {
+  SiameseRun baseline = RunSiamese("", false);
+  ASSERT_FALSE(baseline.bytes.empty());
+  ASSERT_EQ(baseline.stats.epochs_run, 3);
+
+  std::string dir = testing::TempDir() + "/evrec_resume_siamese";
+  CrashPoints::Global()->Arm("siamese.epoch_end", 2);
+  SiameseRun killed = RunSiamese(dir, false);
+  EXPECT_TRUE(killed.stats.interrupted);
+  EXPECT_EQ(killed.stats.epochs_run, 2);
+  EXPECT_NE(killed.bytes, baseline.bytes);
+
+  SiameseRun resumed = RunSiamese(dir, true);
+  EXPECT_EQ(resumed.stats.resumed_from_epoch, 2);
+  EXPECT_EQ(resumed.stats.epochs_run, 3);
+  EXPECT_EQ(resumed.bytes, baseline.bytes);
+  EXPECT_EQ(resumed.stats.train_loss, baseline.stats.train_loss);
+  RemoveDirRecursive(dir);
+}
+
+// ---------- gbdt kill-and-resume ----------
+
+struct GbdtRun {
+  gbdt::GbdtTrainStats stats;
+  std::string bytes;
+};
+
+GbdtRun RunGbdt(const std::string& ckpt_dir, bool resume) {
+  const int n = 120;
+  gbdt::DataMatrix x(n, 3);
+  std::vector<float> y(static_cast<size_t>(n));
+  Rng rng(41);
+  for (int i = 0; i < n; ++i) {
+    float a = static_cast<float>(rng.Uniform(-1, 1));
+    float b = static_cast<float>(rng.Uniform(-1, 1));
+    float c = static_cast<float>(rng.Uniform(-1, 1));
+    x.Set(i, 0, a);
+    x.Set(i, 1, b);
+    x.Set(i, 2, c);
+    y[static_cast<size_t>(i)] = (a + 0.5f * b > 0.0f) ? 1.0f : 0.0f;
+  }
+  gbdt::GbdtConfig cfg;
+  cfg.num_trees = 12;
+  cfg.max_leaves = 4;
+  cfg.min_samples_leaf = 5;
+  cfg.subsample = 0.8;
+  std::unique_ptr<CheckpointManager> mgr;
+  if (!ckpt_dir.empty()) {
+    CheckpointOptions opt;
+    opt.dir = ckpt_dir;
+    opt.prefix = "gbdt";
+    mgr = std::make_unique<CheckpointManager>(opt);
+    cfg.checkpoints = mgr.get();
+    cfg.checkpoint_every = 4;
+    cfg.resume = resume;
+  }
+  gbdt::GbdtModel model;
+  GbdtRun run;
+  run.stats = model.Train(x, y, cfg);
+  std::string path = testing::TempDir() + "/evrec_gbdt_model.bin";
+  BinaryWriter w(path);
+  model.Serialize(w);
+  EXPECT_TRUE(w.Close().ok());
+  run.bytes = ReadFileBytes(path);
+  std::remove(path.c_str());
+  return run;
+}
+
+TEST_F(ResumeDeterminismTest, KilledAndResumedGbdtIsBitIdentical) {
+  GbdtRun baseline = RunGbdt("", false);
+  ASSERT_FALSE(baseline.bytes.empty());
+  ASSERT_FALSE(baseline.stats.interrupted);
+
+  std::string dir = testing::TempDir() + "/evrec_resume_gbdt";
+  // Kill after tree 5; the newest durable checkpoint is at tree 4.
+  CrashPoints::Global()->Arm("gbdt.tree_end", 6);
+  GbdtRun killed = RunGbdt(dir, false);
+  EXPECT_TRUE(killed.stats.interrupted);
+  EXPECT_NE(killed.bytes, baseline.bytes);
+
+  GbdtRun resumed = RunGbdt(dir, true);
+  EXPECT_EQ(resumed.stats.resumed_from_tree, 4);
+  EXPECT_FALSE(resumed.stats.interrupted);
+  EXPECT_EQ(resumed.bytes, baseline.bytes);
+  EXPECT_EQ(resumed.stats.train_logloss, baseline.stats.train_logloss);
+  RemoveDirRecursive(dir);
+}
+
+}  // namespace
+}  // namespace evrec

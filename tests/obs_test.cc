@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -90,6 +91,24 @@ TEST(HistogramTest, SingleSampleIsExactAtEveryQuantile) {
   EXPECT_EQ(h->Quantile(0.0), 1234.5);
   EXPECT_EQ(h->Quantile(0.5), 1234.5);
   EXPECT_EQ(h->Quantile(1.0), 1234.5);
+}
+
+TEST(HistogramTest, NonFiniteSamplesAreDroppedAndCounted) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  Counter* dropped =
+      MetricRegistry::Global()->GetCounter("metrics.dropped_nonfinite");
+  uint64_t before = dropped->value();
+  h->Record(std::numeric_limits<double>::quiet_NaN());
+  h->Record(std::numeric_limits<double>::infinity());
+  h->Record(-std::numeric_limits<double>::infinity());
+  // The samples never enter the distribution, but their loss is visible:
+  // silently swallowing a NaN would hide a numerical fault upstream.
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->sum(), 0.0);
+  EXPECT_EQ(dropped->value(), before + 3);
+  h->Record(5.0);
+  EXPECT_EQ(h->count(), 1u);
 }
 
 TEST(HistogramTest, OverflowBucketCatchesHugeValues) {

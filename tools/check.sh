@@ -2,6 +2,8 @@
 # Build and run the full test suite, optionally under a sanitizer.
 #
 #   tools/check.sh                          # plain build + ctest
+#   tools/check.sh crash                    # checkpoint/recovery tests under
+#                                           # ASan/UBSan and TSan
 #   EVREC_SANITIZE=address tools/check.sh   # ASan build + ctest
 #   EVREC_SANITIZE=undefined tools/check.sh # UBSan build + ctest
 #   EVREC_SANITIZE=thread tools/check.sh    # TSan build + concurrency tests
@@ -9,12 +11,34 @@
 # Each sanitizer uses its own build directory (build-address/,
 # build-undefined/, build-thread/) so instrumented and plain objects never
 # mix. The thread build runs only the concurrency-heavy suites (obs_test,
-# util_test, parallel_test for the data-parallel trainer, serve_test for
-# the parallel candidate scorer): TSan's ~5-15x slowdown makes the full
-# suite impractical, and the remaining tests are single-threaded.
+# util_test, checkpoint_test for kill-and-resume of the data-parallel
+# trainers, parallel_test, serve_test): TSan's ~5-15x slowdown makes the
+# full suite impractical, and the remaining tests are single-threaded.
+#
+# `crash` mode is the fault-recovery gate: it builds the crash-safety
+# suites (checkpoint_test, util_test) under ASan/UBSan — torn files and
+# bit flips must surface as Status::Corruption, never as an invalid read —
+# and then re-runs the resume-determinism tests under TSan, since resumed
+# training shares the sharded minibatch engine.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [ "$mode" = "crash" ]; then
+  crash_tests='^(checkpoint_test|util_test)$'
+  for san in address undefined thread; do
+    build_dir="build-$san"
+    echo "== crash mode: $san =="
+    cmake -B "$build_dir" -S . -DEVREC_SANITIZE="$san"
+    cmake --build "$build_dir" -j"$jobs"
+    ctest --test-dir "$build_dir" --output-on-failure -j"$jobs" \
+      -R "$crash_tests"
+  done
+  exit 0
+fi
 
 san="${EVREC_SANITIZE:-}"
 build_dir="build"
@@ -28,13 +52,11 @@ if [ -n "$san" ]; then
   esac
 fi
 
-jobs="$(nproc 2>/dev/null || echo 4)"
-
 cmake -B "$build_dir" -S . -DEVREC_SANITIZE="$san"
 cmake --build "$build_dir" -j"$jobs"
 if [ "$san" = "thread" ]; then
   ctest --test-dir "$build_dir" --output-on-failure -j"$jobs" \
-    -R '^(obs_test|util_test|parallel_test|serve_test)$'
+    -R '^(obs_test|util_test|checkpoint_test|parallel_test|serve_test)$'
 else
   ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
 fi

@@ -6,6 +6,7 @@
 //       (simnet/dataset_io.h describes the format; replace these files to
 //       run on your own data).
 //   train --data DIR --model FILE [--epochs N] [--siamese]
+//         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //       Load a TSV dataset, train the joint representation model, and
 //       serialize it.
 //   eval --data DIR --model FILE [--features base+cf+rep]
@@ -36,6 +37,7 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -46,6 +48,7 @@
 #include "evrec/pipeline/serving.h"
 #include "evrec/serve/fault_injector.h"
 #include "evrec/simnet/dataset_io.h"
+#include "evrec/util/checkpoint.h"
 #include "evrec/util/logging.h"
 
 namespace {
@@ -62,6 +65,12 @@ struct Args {
   int threads = 1;
   uint64_t seed = 2017;
   bool siamese = false;
+  // Crash-safe training: commit trainer state to `checkpoint_dir` every
+  // `checkpoint_every` epochs; --resume continues an interrupted run from
+  // the newest valid checkpoint with bit-identical results.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  bool resume = false;
   // serve-demo fault profile.
   double error_rate = 0.3, spike_rate = 0.1, corrupt_rate = 0.02;
   int64_t spike_us = 2000, budget_us = 20000;
@@ -74,6 +83,10 @@ struct Args {
       };
       if (flag == "--siamese") {
         out_args->siamese = true;
+        continue;
+      }
+      if (flag == "--resume") {
+        out_args->resume = true;
         continue;
       }
       const char* v = next();
@@ -103,6 +116,10 @@ struct Args {
         out_args->k = std::atoi(v);
       } else if (flag == "--threads") {
         out_args->threads = std::atoi(v);
+      } else if (flag == "--checkpoint-dir") {
+        out_args->checkpoint_dir = v;
+      } else if (flag == "--checkpoint-every") {
+        out_args->checkpoint_every = std::atoi(v);
       } else if (flag == "--seed") {
         out_args->seed = static_cast<uint64_t>(std::atoll(v));
       } else if (flag == "--error-rate") {
@@ -222,6 +239,23 @@ int CmdTrain(const Args& args) {
   sys->model->RandomInit(rng);
   sys->model->CalibrateNormalizers(sys->rep_data);
 
+  // Optional crash-safe checkpointing: one manager per trainer, sharing the
+  // directory under distinct prefixes so their retention never collides.
+  std::unique_ptr<CheckpointManager> rep_ckpt, siamese_ckpt;
+  if (!args.checkpoint_dir.empty()) {
+    CheckpointOptions opt;
+    opt.dir = args.checkpoint_dir;
+    opt.prefix = "rep";
+    rep_ckpt = std::make_unique<CheckpointManager>(opt);
+    opt.prefix = "siamese";
+    siamese_ckpt = std::make_unique<CheckpointManager>(opt);
+    if (!rep_ckpt->init_status().ok()) {
+      std::fprintf(stderr, "checkpoint dir unusable: %s\n",
+                   rep_ckpt->init_status().ToString().c_str());
+      return 1;
+    }
+  }
+
   if (args.siamese) {
     std::vector<text::EncodedText> titles, bodies;
     for (const auto& event : sys->dataset.events) {
@@ -231,6 +265,9 @@ int CmdTrain(const Args& args) {
     }
     model::SiameseConfig scfg;
     scfg.threads = args.threads;
+    scfg.checkpoints = siamese_ckpt.get();
+    scfg.checkpoint_every = args.checkpoint_every;
+    scfg.resume = args.resume;
     Rng srng = rng.Fork(17);
     model::SiamesePretrain(&sys->model->mutable_event_tower(), titles,
                            bodies, scfg, srng);
@@ -238,6 +275,9 @@ int CmdTrain(const Args& args) {
 
   model::TrainerConfig tcfg;
   tcfg.threads = args.threads;
+  tcfg.checkpoints = rep_ckpt.get();
+  tcfg.checkpoint_every = args.checkpoint_every;
+  tcfg.resume = args.resume;
   model::RepTrainer trainer(sys->model.get(), tcfg);
   Rng train_rng = rng.Fork(29);
   model::TrainStats stats = trainer.Train(sys->rep_data, train_rng);
@@ -490,6 +530,8 @@ void Usage() {
       "  generate   --out DIR [--users N] [--events N] [--seed S]\n"
       "  train      --data DIR --model FILE [--epochs N] [--siamese]\n"
       "             [--threads N]  (data-parallel; same results for any N)\n"
+      "             [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
+      "             (crash-safe: resumed runs are bit-identical)\n"
       "  eval       --data DIR --model FILE [--features base+cf+rep+score]\n"
       "  search     --data DIR --model FILE --event ID [--k K]\n"
       "  serve-demo [--seed S] [--error-rate P] [--spike-rate P]\n"
