@@ -91,6 +91,8 @@ RankingStats RankingTrainer::Train(const RepDataset& data,
   obs::Series* time_series = registry->GetSeries("ranking.epoch_micros");
 
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("ranking.epoch");
+    epoch_span.AddTag("epoch", std::to_string(epoch));
     int64_t epoch_start = obs::CurrentClock()->NowMicros();
     auto contrasts =
         SampleContrasts(pools, config.contrasts_per_positive, rng);

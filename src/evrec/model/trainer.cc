@@ -323,6 +323,8 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
   };
 
   for (int epoch = start_epoch; epoch < cfg.max_epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("trainer.epoch");
+    epoch_span.AddTag("epoch", std::to_string(epoch));
     int64_t epoch_start = obs::CurrentClock()->NowMicros();
     rng.Shuffle(pairs);
     double epoch_loss = 0.0;
@@ -332,6 +334,11 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
       // Shards backprop concurrently into private buffers; parameters
       // stay read-only until the reduction below.
       tp->ParallelFor(num_shards, [&](int s) {
+        // Runs under the caller's re-installed trace context: this span's
+        // parent is trainer.epoch even on a pool worker thread, and its id
+        // depends only on the shard index, not the worker that ran it.
+        obs::ScopedSpan shard_span("trainer.shard");
+        shard_span.AddTag("shard", std::to_string(s));
         int64_t shard_start = obs::CurrentClock()->NowMicros();
         ShardState& st = shards[static_cast<size_t>(s)];
         for (size_t i = start + static_cast<size_t>(s); i < end;

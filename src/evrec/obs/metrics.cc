@@ -69,9 +69,10 @@ Histogram::Histogram(const HistogramOptions& options) {
     upper *= options.growth;
   }
   buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  exemplars_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
 }
 
-void Histogram::Record(double value) {
+void Histogram::RecordWithExemplar(double value, uint64_t exemplar_trace_id) {
   if (!std::isfinite(value)) {
     // Dropping a sample silently would hide a numerical fault upstream;
     // make the loss visible in both the registry and the log.
@@ -98,6 +99,9 @@ void Histogram::Record(double value) {
                                            value) -
                           bounds_.begin());
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    exemplars_[bucket].store(exemplar_trace_id, std::memory_order_relaxed);
+  }
   sum_.fetch_add(value, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -157,6 +161,8 @@ void Histogram::Merge(const Histogram& other) {
   for (size_t b = 0; b < buckets_.size(); ++b) {
     uint64_t c = other.buckets_[b].load(std::memory_order_relaxed);
     if (c != 0) buckets_[b].fetch_add(c, std::memory_order_relaxed);
+    uint64_t ex = other.exemplars_[b].load(std::memory_order_relaxed);
+    if (ex != 0) exemplars_[b].store(ex, std::memory_order_relaxed);
   }
   sum_.fetch_add(other.sum(), std::memory_order_relaxed);
   if (count_.load(std::memory_order_relaxed) == 0) {
@@ -377,24 +383,36 @@ std::string MetricRegistry::ToJsonString() const {
   first = true;
   for (const auto& [name, h] : histograms_) {
     std::string buckets;
+    std::string exemplars;
     for (int b = 0; b < h->num_buckets() + 1; ++b) {
       uint64_t c = h->bucket_count(b);
       if (c == 0) continue;
       buckets += StrFormat("%s[%s, %llu]", buckets.empty() ? "" : ", ",
                            FormatDouble(h->bucket_upper(b)).c_str(),
                            static_cast<unsigned long long>(c));
+      uint64_t ex = h->bucket_exemplar(b);
+      if (ex != 0) {
+        exemplars += StrFormat("%s[%s, \"%016llx\"]",
+                               exemplars.empty() ? "" : ", ",
+                               FormatDouble(h->bucket_upper(b)).c_str(),
+                               static_cast<unsigned long long>(ex));
+      }
     }
+    std::string exemplar_field =
+        exemplars.empty() ? std::string()
+                          : ", \"exemplars\": [" + exemplars + "]";
     out += StrFormat(
         "%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, \"min\": %s, "
         "\"p50\": %s, \"p95\": %s, \"p99\": %s, \"max\": %s, "
-        "\"buckets\": [%s]}",
+        "\"buckets\": [%s]%s}",
         first ? "" : ",", JsonEscape(name).c_str(),
         static_cast<unsigned long long>(h->count()),
         FormatDouble(h->sum()).c_str(), FormatDouble(h->min()).c_str(),
         FormatDouble(h->Quantile(0.50)).c_str(),
         FormatDouble(h->Quantile(0.95)).c_str(),
         FormatDouble(h->Quantile(0.99)).c_str(),
-        FormatDouble(h->max()).c_str(), buckets.c_str());
+        FormatDouble(h->max()).c_str(), buckets.c_str(),
+        exemplar_field.c_str());
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";

@@ -75,7 +75,12 @@ class Histogram {
  public:
   explicit Histogram(const HistogramOptions& options = HistogramOptions());
 
-  void Record(double value);
+  void Record(double value) { RecordWithExemplar(value, 0); }
+
+  // Records `value` and, when `exemplar_trace_id` is non-zero, stamps it as
+  // the covering bucket's exemplar (last writer wins), linking e.g. a p99
+  // bucket to a concrete trace in the TraceLog.
+  void RecordWithExemplar(double value, uint64_t exemplar_trace_id);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -97,10 +102,16 @@ class Histogram {
   uint64_t bucket_count(int i) const {
     return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
   }
+  // Trace id of the most recent exemplar-carrying sample that landed in
+  // bucket i; 0 when the bucket has never seen one.
+  uint64_t bucket_exemplar(int i) const {
+    return exemplars_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<double> bounds_;  // inclusive upper bounds, strictly rising
   std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1 slots
+  std::vector<std::atomic<uint64_t>> exemplars_;  // trace id per bucket
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};

@@ -1,8 +1,11 @@
 #include "evrec/obs/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <sstream>
 
+#include "evrec/util/logging.h"
 #include "evrec/util/string_util.h"
 
 namespace evrec {
@@ -12,8 +15,64 @@ namespace {
 
 std::atomic<Clock*> g_clock{nullptr};
 
-// Per-thread span nesting depth.
-thread_local int t_span_depth = 0;
+// Innermost open span on this thread (for AddSpanTag / ActiveTraceId).
+thread_local ScopedSpan* t_active_span = nullptr;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string HexId(uint64_t id) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(id));
+}
+
+std::string TagsJson(const SpanEvent& e) {
+  std::string out = "{";
+  for (size_t i = 0; i < e.tags.size(); ++i) {
+    out += StrFormat("%s\"%s\": \"%s\"", i == 0 ? "" : ", ",
+                     JsonEscape(e.tags[i].first).c_str(),
+                     JsonEscape(e.tags[i].second).c_str());
+  }
+  out += "}";
+  return out;
+}
+
+std::string SpanJsonLine(const SpanEvent& e) {
+  return StrFormat(
+      "{\"name\": \"%s\", \"depth\": %d, \"start_us\": %lld, "
+      "\"dur_us\": %lld, \"trace\": \"%s\", \"span\": \"%s\", "
+      "\"parent\": \"%s\", \"thread\": %d, \"tags\": %s}\n",
+      JsonEscape(e.name).c_str(), e.depth,
+      static_cast<long long>(e.start_micros),
+      static_cast<long long>(e.duration_micros), HexId(e.trace_id).c_str(),
+      HexId(e.span_id).c_str(), HexId(e.parent_id).c_str(), e.thread,
+      TagsJson(e).c_str());
+}
+
+Status WriteWholeFile(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -26,14 +85,101 @@ Clock* CurrentClock() {
   return clock != nullptr ? clock : SystemClock::Instance();
 }
 
+// ---------- TraceLog ----------
+
+TraceLog::TraceLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+void TraceLog::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, capacity);
+}
+
+void TraceLog::SetSampler(const TailSamplerConfig& sampler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sampler_ = sampler;
+}
+
+TailSamplerConfig TraceLog::sampler() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampler_;
+}
+
+void TraceLog::MarkKeep(uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_[trace_id].keep = true;
+}
+
+bool TraceLog::SamplerKeeps(const TailSamplerConfig& sampler,
+                            uint64_t trace_id) {
+  if (sampler.keep_fraction >= 1.0) return true;
+  if (sampler.keep_fraction <= 0.0) return false;
+  // Splitmix64-style scramble of (seed, trace id): the keep set is a pure
+  // function of the pair, so replays and different thread counts agree.
+  uint64_t x = trace_id + 0x9e3779b97f4a7c15ull * (sampler.seed + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  double unit = static_cast<double>(x >> 11) *
+                (1.0 / static_cast<double>(1ull << 53));
+  return unit < sampler.keep_fraction;
+}
+
+void TraceLog::AppendRetainedLocked(SpanEvent event) {
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+    MetricRegistry::Global()->GetCounter("trace.dropped")->Increment();
+    EVREC_LOG_EVERY_N(WARN, 4096)
+        << "trace ring buffer full (capacity " << capacity_
+        << "); dropping oldest spans (" << dropped_ << " dropped so far)";
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceLog::FinalizeTraceLocked(uint64_t trace_id) {
+  auto it = pending_.find(trace_id);
+  if (it == pending_.end()) return;
+  PendingTrace trace = std::move(it->second);
+  pending_.erase(it);
+  if (trace.keep || SamplerKeeps(sampler_, trace_id)) {
+    for (SpanEvent& e : trace.spans) AppendRetainedLocked(std::move(e));
+  } else {
+    ++sampled_out_;
+    MetricRegistry::Global()->GetCounter("trace.sampled_out")->Increment();
+  }
+}
+
 void TraceLog::Record(SpanEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  if (event.trace_id == 0) {
+    // Hand-built event with no trace identity: retain directly (the
+    // sampler only reasons about whole traces).
+    AppendRetainedLocked(std::move(event));
+    return;
+  }
+  const bool is_root = event.parent_id == 0;
+  const uint64_t trace_id = event.trace_id;
+  PendingTrace& pending = pending_[trace_id];
+  pending.spans.push_back(std::move(event));
+  if (pending.spans.size() > capacity_) {
+    // A single runaway trace (a long training run) must not hold
+    // unbounded memory while its root stays open.
+    pending.spans.pop_front();
+    ++dropped_;
+    MetricRegistry::Global()->GetCounter("trace.dropped")->Increment();
+    EVREC_LOG_EVERY_N(WARN, 4096)
+        << "trace " << trace_id << " exceeds span capacity " << capacity_
+        << "; dropping its oldest spans";
+  }
+  if (is_root) FinalizeTraceLocked(trace_id);
 }
 
 std::vector<SpanEvent> TraceLog::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  return std::vector<SpanEvent>(events_.begin(), events_.end());
 }
 
 size_t TraceLog::size() const {
@@ -41,40 +187,32 @@ size_t TraceLog::size() const {
   return events_.size();
 }
 
+uint64_t TraceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t TraceLog::sampled_out() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_out_;
+}
+
 void TraceLog::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  pending_.clear();
+  dropped_ = 0;
+  sampled_out_ = 0;
 }
 
 void TraceLog::DumpJsonLines(std::ostream& os) const {
-  for (const SpanEvent& e : Snapshot()) {
-    os << StrFormat(
-        "{\"name\": \"%s\", \"depth\": %d, \"start_us\": %lld, "
-        "\"dur_us\": %lld}\n",
-        e.name.c_str(), e.depth, static_cast<long long>(e.start_micros),
-        static_cast<long long>(e.duration_micros));
-  }
+  for (const SpanEvent& e : Snapshot()) os << SpanJsonLine(e);
 }
 
 Status TraceLog::DumpJsonLines(const std::string& path) const {
   std::string out;
-  for (const SpanEvent& e : Snapshot()) {
-    out += StrFormat(
-        "{\"name\": \"%s\", \"depth\": %d, \"start_us\": %lld, "
-        "\"dur_us\": %lld}\n",
-        e.name.c_str(), e.depth, static_cast<long long>(e.start_micros),
-        static_cast<long long>(e.duration_micros));
-  }
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
-  size_t written = std::fwrite(out.data(), 1, out.size(), f);
-  int close_rc = std::fclose(f);
-  if (written != out.size() || close_rc != 0) {
-    return Status::IoError("short write to " + path);
-  }
-  return Status::Ok();
+  for (const SpanEvent& e : Snapshot()) out += SpanJsonLine(e);
+  return WriteWholeFile(path, out);
 }
 
 void TraceLog::DumpText(std::ostream& os) const {
@@ -84,30 +222,122 @@ void TraceLog::DumpText(std::ostream& os) const {
   }
 }
 
+void TraceLog::DumpChromeTrace(std::ostream& os) const {
+  std::vector<SpanEvent> events = Snapshot();
+  // Deterministic event order: chronological, ties broken by ids (span
+  // ids are unique within a trace, trace ids across the process).
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_micros != b.start_micros) {
+                return a.start_micros < b.start_micros;
+              }
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              return a.span_id < b.span_id;
+            });
+  os << "{\"traceEvents\": [\n"
+     << "{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \"evrec\"}}";
+  for (const SpanEvent& e : events) {
+    std::string args = StrFormat(
+        "{\"trace\": \"%s\", \"span\": \"%s\", \"parent\": \"%s\", "
+        "\"depth\": \"%d\"",
+        HexId(e.trace_id).c_str(), HexId(e.span_id).c_str(),
+        HexId(e.parent_id).c_str(), e.depth);
+    for (const auto& [key, value] : e.tags) {
+      args += StrFormat(", \"%s\": \"%s\"", JsonEscape(key).c_str(),
+                        JsonEscape(value).c_str());
+    }
+    args += "}";
+    os << StrFormat(
+        ",\n{\"name\": \"%s\", \"cat\": \"evrec\", \"ph\": \"X\", "
+        "\"ts\": %lld, \"dur\": %lld, \"pid\": 1, \"tid\": %d, "
+        "\"args\": %s}",
+        JsonEscape(e.name).c_str(), static_cast<long long>(e.start_micros),
+        static_cast<long long>(e.duration_micros), e.thread, args.c_str());
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+Status TraceLog::DumpChromeTrace(const std::string& path) const {
+  std::ostringstream os;
+  DumpChromeTrace(os);
+  return WriteWholeFile(path, os.str());
+}
+
 TraceLog* TraceLog::Global() {
   static TraceLog* log = new TraceLog();
   return log;
 }
+
+// ---------- ScopedSpan ----------
 
 ScopedSpan::ScopedSpan(const char* name, MetricRegistry* registry,
                        TraceLog* log)
     : name_(name),
       registry_(registry != nullptr ? registry : MetricRegistry::Global()),
       log_(log != nullptr ? log : TraceLog::Global()),
-      start_micros_(CurrentClock()->NowMicros()),
-      depth_(t_span_depth++) {}
+      saved_(CurrentTraceContext()) {
+  const bool new_trace = saved_.trace_id == 0;
+  trace_id_ = new_trace ? NextTraceId() : saved_.trace_id;
+  parent_id_ = saved_.span_id;
+  depth_ = saved_.depth;
+  // A root's identity comes from its fresh trace id alone — the outer
+  // sibling counter is thread history, and folding it in would make root
+  // ids depend on what else ran on this thread earlier.
+  span_id_ = DeriveSpanId(trace_id_, parent_id_, name,
+                          new_trace ? 0 : saved_.child_seq);
+  TraceContext inner;
+  inner.trace_id = trace_id_;
+  inner.span_id = span_id_;
+  inner.depth = depth_ + 1;
+  inner.child_seq = 0;
+  SetCurrentTraceContext(inner);
+  prev_active_ = t_active_span;
+  t_active_span = this;
+  start_micros_ = CurrentClock()->NowMicros();
+}
 
 ScopedSpan::~ScopedSpan() {
-  --t_span_depth;
+  t_active_span = prev_active_;
+  // Restore the parent frame with its sibling counter advanced, so the
+  // next span at this level gets a distinct deterministic ordinal. Closing
+  // a root restores the empty context untouched: the next root gets a new
+  // trace id anyway, and leaving child_seq at zero keeps root span ids
+  // independent of how many traces this thread has already run.
+  TraceContext restored = saved_;
+  if (saved_.trace_id != 0) restored.child_seq = saved_.child_seq + 1;
+  SetCurrentTraceContext(restored);
+
   int64_t duration = CurrentClock()->NowMicros() - start_micros_;
   SpanEvent event;
   event.name = name_;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_id = parent_id_;
   event.depth = depth_;
+  event.thread = TraceThreadOrdinal();
   event.start_micros = start_micros_;
   event.duration_micros = duration;
+  event.tags = std::move(tags_);
   log_->Record(std::move(event));
   registry_->GetHistogram(std::string("span.") + name_)
-      ->Record(static_cast<double>(duration));
+      ->RecordWithExemplar(static_cast<double>(duration), trace_id_);
+}
+
+void ScopedSpan::AddTag(const std::string& key, std::string value) {
+  tags_.emplace_back(key, std::move(value));
+}
+
+void ScopedSpan::KeepTrace() { log_->MarkKeep(trace_id_); }
+
+void AddSpanTag(const std::string& key, std::string value) {
+  if (t_active_span != nullptr) {
+    t_active_span->AddTag(key, std::move(value));
+  }
+}
+
+uint64_t ActiveTraceId() {
+  return t_active_span != nullptr ? t_active_span->trace_id_ : 0;
 }
 
 }  // namespace obs

@@ -1,34 +1,55 @@
-// Scoped trace spans over the injectable clock.
+// Request-scoped trace spans over the injectable clock.
 //
-//   void TrainRepresentation() {
-//     EVREC_SPAN("pipeline.rep_train");
+//   void Recommend() {
+//     EVREC_SPAN("serve.request");
 //     ...
 //   }
 //
 // A span measures the wall time between construction and destruction on
 // the process-wide observability clock (SetClock; defaults to the real
 // SystemClock — inject a FakeClock to make replays produce exact,
-// reproducible latencies). Spans nest: each thread keeps a depth counter,
-// so a span opened inside another span records depth parent+1.
+// reproducible latencies). Every span carries a trace identity: the
+// TraceId of the request (or training run) it belongs to, its own SpanId,
+// and its parent's SpanId — all deterministic (util/trace_context.h), so a
+// FakeClock replay emits byte-identical dumps. Opening a span with no
+// active trace starts a new trace as its root; nested spans become
+// children; ThreadPool::ParallelFor re-installs the caller's context in
+// every shard, so spans opened on worker threads attach to their true
+// parent instead of starting fresh at depth 0. Spans also carry key:value
+// tags (tier, candidate count, cache hit/miss, retry attempt, ...).
 //
 // On close a span does two things:
 //   1. appends a SpanEvent to a TraceLog (close-ordered: children appear
-//      before their parent), which can flush to a JSON-lines event log or
-//      a human text table;
+//      before their parent);
 //   2. records its duration into the histogram "span.<name>" of the
-//      MetricRegistry, so every traced phase gets p50/p95/p99 for free.
+//      MetricRegistry with its trace id as the bucket exemplar, so a p99
+//      bucket links back to a concrete trace.
+//
+// The TraceLog buffers each trace until its root closes, then makes the
+// tail-sampling decision: traces marked MarkKeep (errors, degraded or
+// over-deadline requests) are always retained; the rest are kept with a
+// seeded probability that is a pure function of (seed, trace id), so the
+// retained set is identical across runs and thread counts. Retained spans
+// live in a bounded ring buffer (evictions counted in `trace.dropped` with
+// a rate-limited warning — long training runs no longer accumulate spans
+// forever) and export as JSON lines (back-compatible), a human text table,
+// or Chrome trace-event JSON loadable in Perfetto / chrome://tracing.
 
 #ifndef EVREC_OBS_TRACE_H_
 #define EVREC_OBS_TRACE_H_
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "evrec/obs/metrics.h"
 #include "evrec/util/clock.h"
+#include "evrec/util/trace_context.h"
 
 namespace evrec {
 namespace obs {
@@ -41,32 +62,96 @@ Clock* CurrentClock();
 
 struct SpanEvent {
   std::string name;
-  int depth = 0;               // 0 = top-level span on its thread
+  uint64_t trace_id = 0;   // trace this span belongs to
+  uint64_t span_id = 0;    // this span
+  uint64_t parent_id = 0;  // 0 = trace root
+  int depth = 0;           // 0 = trace root
+  int thread = 0;          // TraceThreadOrdinal() of the closing thread
   int64_t start_micros = 0;    // CurrentClock() time at open
   int64_t duration_micros = 0;
+  // Key:value annotations, in attach order.
+  std::vector<std::pair<std::string, std::string>> tags;
 };
 
-// Append-only, thread-safe log of closed spans.
+// Tail-sampling policy applied when a trace's root span closes. Traces
+// marked MarkKeep bypass the coin entirely; everything else is kept iff
+// a seeded hash of the trace id falls under keep_fraction — the decision
+// depends only on (seed, trace id), never on arrival order or threads.
+struct TailSamplerConfig {
+  double keep_fraction = 1.0;
+  uint64_t seed = 1;
+};
+
+// Thread-safe log of closed spans: per-trace pending buffers until the
+// root closes, then a tail-sampled bounded ring of retained spans.
 class TraceLog {
  public:
+  static constexpr size_t kDefaultCapacity = 65536;
+
+  explicit TraceLog(size_t capacity = kDefaultCapacity);
+
+  // Applies to future appends; an over-full ring evicts oldest first.
+  void set_capacity(size_t capacity);
+  void SetSampler(const TailSamplerConfig& sampler);
+  TailSamplerConfig sampler() const;
+
+  // Forces retention of `trace_id` when its root closes (errors, degraded
+  // tiers, deadline overruns). Call while the trace is still open — i.e.
+  // before its root span closes.
+  void MarkKeep(uint64_t trace_id);
+
+  // Pure sampling predicate (exposed for tests and replays).
+  static bool SamplerKeeps(const TailSamplerConfig& sampler,
+                           uint64_t trace_id);
+
   void Record(SpanEvent event);
+  // Retained spans, flush order (within a trace: close order, children
+  // before parents). Pending (unfinished) traces are not included.
   std::vector<SpanEvent> Snapshot() const;
   size_t size() const;
+  // Spans lost to ring eviction or per-trace pending overflow. Mirrored
+  // into the global counter "trace.dropped".
+  uint64_t dropped() const;
+  // Whole traces discarded by the tail sampler (also "trace.sampled_out").
+  uint64_t sampled_out() const;
   void Clear();
 
   // One JSON object per line: {"name": ..., "depth": N, "start_us": N,
-  // "dur_us": N}. Deterministic given deterministic clock readings.
+  // "dur_us": N, ...} — the original four keys first (back compatible),
+  // then trace/span/parent ids (16-digit hex), thread, and tags.
+  // Deterministic given deterministic clock readings.
   void DumpJsonLines(std::ostream& os) const;
   Status DumpJsonLines(const std::string& path) const;
 
   // Human table: close-ordered rows, indented two spaces per depth.
   void DumpText(std::ostream& os) const;
 
+  // Chrome trace-event JSON (one "X" complete event per span, per-thread
+  // tracks via tid) — loadable in Perfetto / chrome://tracing. Events are
+  // sorted by (start, trace, span) so identical replays dump identical
+  // bytes. Ids and tags ride in "args".
+  void DumpChromeTrace(std::ostream& os) const;
+  Status DumpChromeTrace(const std::string& path) const;
+
   static TraceLog* Global();
 
  private:
+  struct PendingTrace {
+    std::deque<SpanEvent> spans;
+    bool keep = false;
+  };
+
+  // Both called with mu_ held.
+  void AppendRetainedLocked(SpanEvent event);
+  void FinalizeTraceLocked(uint64_t trace_id);
+
   mutable std::mutex mu_;
-  std::vector<SpanEvent> events_;
+  size_t capacity_;
+  TailSamplerConfig sampler_;
+  std::deque<SpanEvent> events_;  // retained ring, oldest first
+  std::unordered_map<uint64_t, PendingTrace> pending_;
+  uint64_t dropped_ = 0;
+  uint64_t sampled_out_ = 0;
 };
 
 // RAII span. `name` must outlive the span (string literals in practice).
@@ -81,13 +166,40 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  // Attaches a tag recorded when the span closes (last write per key wins
+  // at export time; duplicates are kept in order).
+  void AddTag(const std::string& key, std::string value);
+  // Tail sampling: always retain this span's trace.
+  void KeepTrace();
+
+  uint64_t trace_id() const { return trace_id_; }
+  uint64_t span_id() const { return span_id_; }
+  uint64_t parent_id() const { return parent_id_; }
+
  private:
+  friend void AddSpanTag(const std::string& key, std::string value);
+  friend uint64_t ActiveTraceId();
+
   const char* name_;
   MetricRegistry* registry_;
   TraceLog* log_;
-  int64_t start_micros_;
+  TraceContext saved_;
+  uint64_t trace_id_;
+  uint64_t span_id_;
+  uint64_t parent_id_;
   int depth_;
+  int64_t start_micros_;
+  std::vector<std::pair<std::string, std::string>> tags_;
+  ScopedSpan* prev_active_;
 };
+
+// Tags the innermost open span on this thread; silently dropped when no
+// span is open. Lets leaf code (retry loops, circuit breaker) annotate the
+// request span without plumbing a span pointer through every signature.
+void AddSpanTag(const std::string& key, std::string value);
+
+// Trace id of the innermost open span on this thread (0 when none).
+uint64_t ActiveTraceId();
 
 }  // namespace obs
 }  // namespace evrec

@@ -1,0 +1,342 @@
+#include "evrec/obs/trace_analysis.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+#include "evrec/util/json.h"
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+namespace obs {
+
+namespace {
+
+std::string HexId(uint64_t id) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(id));
+}
+
+// Parses the 16-digit hex ids the exporter writes into "args".
+bool ParseHexId(const JsonValue& v, uint64_t* out) {
+  if (!v.IsString() || v.string_value.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(v.string_value.c_str(), &end, 16);
+  return end != nullptr && *end == '\0';
+}
+
+int64_t EndMicros(const ParsedSpan& s) {
+  return s.start_micros + s.duration_micros;
+}
+
+// Canonical analysis order: by trace, then chronological, then span id —
+// independent of thread interleavings and tid assignment.
+bool CanonicalLess(const ParsedSpan& a, const ParsedSpan& b) {
+  if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+  if (a.start_micros != b.start_micros) return a.start_micros < b.start_micros;
+  return a.span_id < b.span_id;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ParsedSpan>> ParseChromeTrace(const std::string& text) {
+  StatusOr<JsonValue> doc = ParseJson(text);
+  if (!doc.ok()) return doc.status();
+  const JsonValue* events = &doc.value();
+  if (doc.value().IsObject()) {
+    events = doc.value().Find("traceEvents");
+    if (events == nullptr) {
+      return Status::Corruption("chrome trace: no \"traceEvents\" array");
+    }
+  }
+  if (!events->IsArray()) {
+    return Status::Corruption("chrome trace: \"traceEvents\" is not an array");
+  }
+  std::vector<ParsedSpan> spans;
+  spans.reserve(events->array.size());
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    if (!ev.IsObject()) {
+      return Status::Corruption(
+          StrFormat("chrome trace: event %zu is not an object", i));
+    }
+    const JsonValue* ph = ev.Find("ph");
+    if (ph == nullptr || !ph->IsString()) {
+      return Status::Corruption(
+          StrFormat("chrome trace: event %zu has no \"ph\"", i));
+    }
+    if (ph->string_value != "X") continue;  // metadata / counter events
+    ParsedSpan span;
+    const JsonValue* name = ev.Find("name");
+    const JsonValue* ts = ev.Find("ts");
+    const JsonValue* dur = ev.Find("dur");
+    if (name == nullptr || !name->IsString() || ts == nullptr ||
+        !ts->IsNumber() || dur == nullptr || !dur->IsNumber()) {
+      return Status::Corruption(
+          StrFormat("chrome trace: event %zu missing name/ts/dur", i));
+    }
+    span.name = name->string_value;
+    span.start_micros = static_cast<int64_t>(ts->number_value);
+    span.duration_micros = static_cast<int64_t>(dur->number_value);
+    const JsonValue* tid = ev.Find("tid");
+    if (tid != nullptr && tid->IsNumber()) {
+      span.tid = static_cast<int>(tid->number_value);
+    }
+    const JsonValue* args = ev.Find("args");
+    if (args == nullptr || !args->IsObject()) {
+      return Status::Corruption(
+          StrFormat("chrome trace: event %zu has no \"args\"", i));
+    }
+    bool have_trace = false, have_span = false, have_parent = false;
+    for (const auto& [key, value] : args->object) {
+      if (key == "trace") {
+        have_trace = ParseHexId(value, &span.trace_id);
+      } else if (key == "span") {
+        have_span = ParseHexId(value, &span.span_id);
+      } else if (key == "parent") {
+        have_parent = ParseHexId(value, &span.parent_id);
+      } else if (key == "depth") {
+        // structural, not a tag
+      } else if (value.IsString()) {
+        span.tags.emplace_back(key, value.string_value);
+      }
+    }
+    if (!have_trace || !have_span || !have_parent) {
+      return Status::Corruption(StrFormat(
+          "chrome trace: event %zu (\"%s\") lacks trace/span/parent ids", i,
+          span.name.c_str()));
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+Status ValidateSpans(const std::vector<ParsedSpan>& spans) {
+  // Pass 1: ordering, duration sanity, and the per-trace span-id directory.
+  std::unordered_map<uint64_t, std::unordered_map<uint64_t, size_t>> by_trace;
+  std::unordered_map<uint64_t, size_t> roots;
+  int64_t prev_ts = INT64_MIN;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const ParsedSpan& s = spans[i];
+    if (s.start_micros < prev_ts) {
+      return Status::Corruption(StrFormat(
+          "span %zu (\"%s\"): timestamps not monotone (%lld after %lld)", i,
+          s.name.c_str(), static_cast<long long>(s.start_micros),
+          static_cast<long long>(prev_ts)));
+    }
+    prev_ts = s.start_micros;
+    if (s.duration_micros < 0) {
+      return Status::Corruption(StrFormat(
+          "span %zu (\"%s\"): negative duration %lld", i, s.name.c_str(),
+          static_cast<long long>(s.duration_micros)));
+    }
+    if (s.trace_id == 0 || s.span_id == 0) {
+      return Status::Corruption(
+          StrFormat("span %zu (\"%s\"): zero trace or span id", i,
+                    s.name.c_str()));
+    }
+    auto [it, inserted] = by_trace[s.trace_id].emplace(s.span_id, i);
+    if (!inserted) {
+      return Status::Corruption(
+          StrFormat("span %zu (\"%s\"): duplicate span id %s in trace %s", i,
+                    s.name.c_str(), HexId(s.span_id).c_str(),
+                    HexId(s.trace_id).c_str()));
+    }
+    if (s.parent_id == 0) {
+      auto [root_it, root_inserted] = roots.emplace(s.trace_id, i);
+      (void)root_it;
+      if (!root_inserted) {
+        return Status::Corruption(
+            StrFormat("span %zu (\"%s\"): second root in trace %s", i,
+                      s.name.c_str(), HexId(s.trace_id).c_str()));
+      }
+    }
+  }
+  // Pass 2: parent links resolve and children nest inside their parent.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const ParsedSpan& s = spans[i];
+    if (s.parent_id == 0) continue;
+    const auto& directory = by_trace[s.trace_id];
+    auto parent_it = directory.find(s.parent_id);
+    if (parent_it == directory.end()) {
+      return Status::Corruption(StrFormat(
+          "span %zu (\"%s\"): parent %s missing from trace %s", i,
+          s.name.c_str(), HexId(s.parent_id).c_str(),
+          HexId(s.trace_id).c_str()));
+    }
+    const ParsedSpan& parent = spans[parent_it->second];
+    if (s.start_micros < parent.start_micros ||
+        EndMicros(s) > EndMicros(parent)) {
+      return Status::Corruption(StrFormat(
+          "span %zu (\"%s\"): [%lld, %lld] escapes parent \"%s\" "
+          "[%lld, %lld]",
+          i, s.name.c_str(), static_cast<long long>(s.start_micros),
+          static_cast<long long>(EndMicros(s)), parent.name.c_str(),
+          static_cast<long long>(parent.start_micros),
+          static_cast<long long>(EndMicros(parent))));
+    }
+  }
+  for (const auto& [trace_id, directory] : by_trace) {
+    if (roots.count(trace_id) == 0) {
+      return Status::Corruption(
+          StrFormat("trace %s has no root span", HexId(trace_id).c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+void AnalyzeSpans(const std::vector<ParsedSpan>& spans,
+                  const TraceAnalysisOptions& options, std::ostream& os) {
+  if (spans.empty()) {
+    os << "no spans\n";
+    return;
+  }
+  std::vector<ParsedSpan> sorted = spans;
+  std::sort(sorted.begin(), sorted.end(), CanonicalLess);
+
+  // Per-trace bookkeeping: root index, span count, child lists.
+  std::map<uint64_t, std::vector<size_t>> trace_members;  // sorted traces
+  std::unordered_map<uint64_t, std::vector<size_t>> children;  // by span id
+  std::unordered_map<uint64_t, size_t> trace_root;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    trace_members[sorted[i].trace_id].push_back(i);
+    if (sorted[i].parent_id == 0) {
+      trace_root.emplace(sorted[i].trace_id, i);
+    } else {
+      children[sorted[i].parent_id].push_back(i);
+    }
+  }
+
+  os << StrFormat("%zu spans across %zu traces\n\n", sorted.size(),
+                  trace_members.size());
+  os << "traces (root duration):\n";
+  uint64_t slowest_trace = 0;
+  int64_t slowest_dur = -1;
+  constexpr size_t kMaxTraceRows = 20;
+  size_t rows = 0;
+  for (const auto& [trace_id, members] : trace_members) {
+    auto root_it = trace_root.find(trace_id);
+    if (root_it == trace_root.end()) {
+      if (rows++ < kMaxTraceRows) {
+        os << StrFormat("  %s  (no root)  %zu spans\n",
+                        HexId(trace_id).c_str(), members.size());
+      }
+      continue;
+    }
+    const ParsedSpan& root = sorted[root_it->second];
+    if (rows++ < kMaxTraceRows) {
+      os << StrFormat("  %s  %-24s %8lld us  %zu spans\n",
+                      HexId(trace_id).c_str(), root.name.c_str(),
+                      static_cast<long long>(root.duration_micros),
+                      members.size());
+    }
+    if (root.duration_micros > slowest_dur) {
+      slowest_dur = root.duration_micros;
+      slowest_trace = trace_id;
+    }
+  }
+  if (rows > kMaxTraceRows) {
+    os << StrFormat("  ... %zu more traces\n", rows - kMaxTraceRows);
+  }
+
+  // Critical path of the slowest trace: from the root, repeatedly descend
+  // into the child that finishes last (ties -> smallest span id, which is
+  // deterministic because span ids are pure hashes).
+  auto slowest_root = trace_root.find(slowest_trace);
+  if (slowest_root != trace_root.end()) {
+    os << StrFormat("\ncritical path (trace %s, %lld us):\n",
+                    HexId(slowest_trace).c_str(),
+                    static_cast<long long>(slowest_dur));
+    size_t cur = slowest_root->second;
+    int indent = 0;
+    while (true) {
+      const ParsedSpan& s = sorted[cur];
+      os << StrFormat("  %*s%-*s %8lld us\n", indent * 2, "",
+                      32 - indent * 2, s.name.c_str(),
+                      static_cast<long long>(s.duration_micros));
+      auto kids = children.find(s.span_id);
+      if (kids == children.end()) break;
+      size_t next = kids->second[0];
+      for (size_t idx : kids->second) {
+        int64_t end = EndMicros(sorted[idx]);
+        int64_t best = EndMicros(sorted[next]);
+        if (end > best ||
+            (end == best && sorted[idx].span_id < sorted[next].span_id)) {
+          next = idx;
+        }
+      }
+      cur = next;
+      ++indent;
+    }
+  }
+
+  // Top-N slowest individual spans.
+  std::vector<size_t> by_dur(sorted.size());
+  for (size_t i = 0; i < by_dur.size(); ++i) by_dur[i] = i;
+  std::sort(by_dur.begin(), by_dur.end(), [&](size_t a, size_t b) {
+    if (sorted[a].duration_micros != sorted[b].duration_micros) {
+      return sorted[a].duration_micros > sorted[b].duration_micros;
+    }
+    return CanonicalLess(sorted[a], sorted[b]);
+  });
+  size_t top = std::min<size_t>(by_dur.size(),
+                                options.top_n > 0
+                                    ? static_cast<size_t>(options.top_n)
+                                    : 0);
+  if (top > 0) {
+    os << StrFormat("\ntop %zu slowest spans:\n", top);
+    for (size_t r = 0; r < top; ++r) {
+      const ParsedSpan& s = sorted[by_dur[r]];
+      std::string tag_note;
+      for (const auto& [key, value] : s.tags) {
+        tag_note +=
+            StrFormat("%s%s=%s", tag_note.empty() ? "  [" : " ",
+                      key.c_str(), value.c_str());
+      }
+      if (!tag_note.empty()) tag_note += "]";
+      os << StrFormat("  %-28s %8lld us  trace %s%s\n", s.name.c_str(),
+                      static_cast<long long>(s.duration_micros),
+                      HexId(s.trace_id).c_str(), tag_note.c_str());
+    }
+  }
+
+  // Self-time flat profile: a span's self time is its duration minus the
+  // summed durations of its direct children, clamped at zero (children
+  // running in parallel on pool workers can overlap-sum past the parent).
+  struct Flat {
+    int64_t self_micros = 0;
+    uint64_t count = 0;
+  };
+  std::map<std::string, Flat> flat;  // sorted by name for determinism
+  for (const ParsedSpan& s : sorted) {
+    int64_t child_total = 0;
+    auto kids = children.find(s.span_id);
+    if (kids != children.end()) {
+      for (size_t idx : kids->second) {
+        child_total += sorted[idx].duration_micros;
+      }
+    }
+    Flat& slot = flat[s.name];
+    slot.self_micros += std::max<int64_t>(0, s.duration_micros - child_total);
+    slot.count += 1;
+  }
+  std::vector<std::pair<std::string, Flat>> flat_rows(flat.begin(),
+                                                      flat.end());
+  std::sort(flat_rows.begin(), flat_rows.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.self_micros != b.second.self_micros) {
+                return a.second.self_micros > b.second.self_micros;
+              }
+              return a.first < b.first;
+            });
+  os << "\nself-time profile:\n";
+  os << StrFormat("  %-28s %10s %8s\n", "name", "self_us", "count");
+  for (const auto& [name, row] : flat_rows) {
+    os << StrFormat("  %-28s %10lld %8llu\n", name.c_str(),
+                    static_cast<long long>(row.self_micros),
+                    static_cast<unsigned long long>(row.count));
+  }
+}
+
+}  // namespace obs
+}  // namespace evrec

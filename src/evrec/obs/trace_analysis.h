@@ -1,0 +1,68 @@
+// Offline analysis of exported Chrome trace-event files — the read side of
+// TraceLog::DumpChromeTrace, shared by `evrec_cli trace` and tests.
+//
+//   ParseChromeTrace   Chrome trace JSON -> flat span list
+//   ValidateSpans      structural invariants (monotone timestamps, parents
+//                      present, one root per trace, child nested in parent)
+//   AnalyzeSpans       human report: per-trace summary, critical path of
+//                      the slowest trace, top-N slowest spans, self-time
+//                      flat profile
+//
+// Every step is deterministic: spans are re-sorted by (trace, start, span)
+// before analysis and thread ids are ignored, so a FakeClock replay prints
+// byte-identical reports regardless of --threads.
+
+#ifndef EVREC_OBS_TRACE_ANALYSIS_H_
+#define EVREC_OBS_TRACE_ANALYSIS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "evrec/util/status.h"
+
+namespace evrec {
+namespace obs {
+
+struct ParsedSpan {
+  std::string name;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = trace root
+  int64_t start_micros = 0;
+  int64_t duration_micros = 0;
+  int tid = 0;  // informational only; analysis ignores it
+  // Tag key:value pairs from "args" (ids/depth excluded), file order.
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+// Parses a Chrome trace-event document ({"traceEvents": [...]} or a bare
+// event array). Keeps "X" (complete) events; metadata ("M") and other
+// phases are skipped. Corrupt JSON or events missing required fields
+// produce Status::Corruption.
+StatusOr<std::vector<ParsedSpan>> ParseChromeTrace(const std::string& text);
+
+// Structural invariants over a parsed span list (file order):
+//   - timestamps non-decreasing in file order (exporter sorts by start)
+//   - durations >= 0
+//   - every non-zero parent id names a span of the same trace
+//   - exactly one root (parent 0) per trace
+//   - children start/end inside their parent's [start, end] window
+// First violation is returned as Status::Corruption.
+Status ValidateSpans(const std::vector<ParsedSpan>& spans);
+
+struct TraceAnalysisOptions {
+  int top_n = 10;  // rows in the slowest-span table
+};
+
+// Writes the analysis report (see file comment) to `os`. The span list
+// need not be pre-sorted; call ValidateSpans first if you want structural
+// guarantees.
+void AnalyzeSpans(const std::vector<ParsedSpan>& spans,
+                  const TraceAnalysisOptions& options, std::ostream& os);
+
+}  // namespace obs
+}  // namespace evrec
+
+#endif  // EVREC_OBS_TRACE_ANALYSIS_H_

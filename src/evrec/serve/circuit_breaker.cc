@@ -1,5 +1,7 @@
 #include "evrec/serve/circuit_breaker.h"
 
+#include "evrec/obs/trace.h"
+
 namespace evrec {
 namespace serve {
 
@@ -7,6 +9,8 @@ void CircuitBreaker::TransitionTo(State next) {
   if (state_ == next) return;
   state_ = next;
   ++transitions_;
+  // Surfaces the flip on whichever request span triggered it.
+  obs::AddSpanTag("breaker", CircuitStateName(next));
   if (next == State::kOpen) {
     opened_at_micros_ = clock_->NowMicros();
   } else if (next == State::kHalfOpen) {

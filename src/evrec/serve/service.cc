@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "evrec/obs/trace.h"
 #include "evrec/util/check.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/string_util.h"
@@ -51,7 +52,10 @@ RecommendationService::RecommendationService(const Backends& backends,
 StatusOr<std::vector<float>> RecommendationService::FetchVector(
     store::EntityKind kind, int id, const DeadlineBudget& budget,
     ServeStats* stats) {
+  obs::ScopedSpan span("serve.fetch_vector");
+  span.AddTag("kind", kind == store::EntityKind::kUser ? "user" : "event");
   Status last = Status::Unavailable("vector fetch never attempted");
+  int attempts_made = 0;
   for (int attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
     if (attempt > 0) {
       int64_t remaining = budget.RemainingMicros();
@@ -65,23 +69,39 @@ StatusOr<std::vector<float>> RecommendationService::FetchVector(
     }
     if (budget.Exhausted()) break;
     ++stats->store_attempts;
+    ++attempts_made;
     StatusOr<std::vector<float>> result = backends_.store->Get(kind, id);
-    if (result.ok()) return result;
+    if (result.ok()) {
+      span.AddTag("attempts", StrFormat("%d", attempts_made));
+      span.AddTag("outcome", "hit");
+      return result;
+    }
     last = std::move(result).status();
     if (last.code() == StatusCode::kNotFound) {
       ++stats->store_misses;
+      span.AddTag("attempts", StrFormat("%d", attempts_made));
+      span.AddTag("outcome", "miss");
       return last;  // deterministic: retrying a miss cannot help
     }
     if (last.code() == StatusCode::kCorruption) {
       ++stats->store_corruptions;
+      span.AddTag("attempts", StrFormat("%d", attempts_made));
+      span.AddTag("outcome", "corrupt");
       return last;  // stored bytes are bad; recompute instead
     }
     ++stats->store_transient_errors;
-    if (!IsRetriableError(last)) return last;
+    if (!IsRetriableError(last)) {
+      span.AddTag("attempts", StrFormat("%d", attempts_made));
+      span.AddTag("outcome", "error");
+      return last;
+    }
   }
+  span.AddTag("attempts", StrFormat("%d", attempts_made));
   if (budget.Exhausted()) {
+    span.AddTag("outcome", "deadline");
     return Status::DeadlineExceeded("vector fetch budget exhausted");
   }
+  span.AddTag("outcome", "error");
   return last;
 }
 
@@ -99,14 +119,19 @@ RecommendationService::ResolvedVector RecommendationService::ResolveVector(
     return ResolvedVector(std::move(fetched), false);
   }
   ++stats->recompute_attempts;
+  obs::ScopedSpan span("serve.recompute");
+  span.AddTag("kind", kind == store::EntityKind::kUser ? "user" : "event");
   StatusOr<std::vector<float>> computed = backends_.recompute(kind, id);
   if (computed.ok()) {
     breaker_.RecordSuccess();
     backends_.store->Put(kind, id, *computed);
+    span.AddTag("outcome", "ok");
     return ResolvedVector(std::move(computed), true);
   }
   breaker_.RecordFailure();
   ++stats->recompute_failures;
+  span.AddTag("outcome", "failed");
+  span.KeepTrace();
   return ResolvedVector(std::move(computed), false);
 }
 
@@ -136,6 +161,16 @@ RankResponse RecommendationService::Rank(int user,
   st.requests = 1;
   st.candidates = candidates.size();
   uint64_t breaker_transitions_before = breaker_.transitions();
+  // Root span of this request's trace; every nested span (fetch, retry,
+  // recompute, per-candidate scoring — including work ParallelFor moves to
+  // pool threads) shares its trace id.
+  obs::ScopedSpan request_span("serve.request");
+  request_span.AddTag("user", StrFormat("%d", user));
+  request_span.AddTag("candidates",
+                      StrFormat("%zu", candidates.size()));
+  request_span.AddTag("budget_us",
+                      StrFormat("%lld",
+                                static_cast<long long>(budget_micros)));
   int64_t start = backends_.clock->NowMicros();
   DeadlineBudget budget(backends_.clock, budget_micros);
 
@@ -146,6 +181,8 @@ RankResponse RecommendationService::Rank(int user,
   response.ranking.reserve(candidates.size());
   for (int event : candidates) {
     int64_t candidate_start = backends_.clock->NowMicros();
+    obs::ScopedSpan candidate_span("serve.candidate");
+    candidate_span.AddTag("event", StrFormat("%d", event));
     RankedCandidate rc;
     rc.event = event;
     if (!budget.Exhausted() && user_vec.vec.ok()) {
@@ -175,9 +212,11 @@ RankResponse RecommendationService::Rank(int user,
           << "degraded candidate: user=" << user << " event=" << event
           << " served at tier " << rc.tier;
     }
+    candidate_span.AddTag("tier", StrFormat("%d", rc.tier));
     ++st.tier_served[rc.tier - 1];
-    metrics_.tier_micros[rc.tier - 1]->Record(static_cast<double>(
-        backends_.clock->NowMicros() - candidate_start));
+    metrics_.tier_micros[rc.tier - 1]->RecordWithExemplar(
+        static_cast<double>(backends_.clock->NowMicros() - candidate_start),
+        candidate_span.trace_id());
     response.ranking.push_back(rc);
   }
 
@@ -191,6 +230,22 @@ RankResponse RecommendationService::Rank(int user,
                            breaker_transitions_before;
   response.elapsed_micros = backends_.clock->NowMicros() - start;
   lifetime_.Merge(st);
+
+  // Tail-sampling: interesting requests are always retained regardless of
+  // the sampler's keep fraction.
+  const bool degraded = st.tier_served[2] + st.tier_served[3] > 0;
+  const bool over_deadline =
+      budget_micros > 0 && response.elapsed_micros > budget_micros;
+  const bool had_errors = st.store_corruptions + st.store_transient_errors +
+                              st.recompute_failures + st.breaker_rejections >
+                          0;
+  request_span.AddTag("elapsed_us",
+                      StrFormat("%lld", static_cast<long long>(
+                                            response.elapsed_micros)));
+  if (degraded) request_span.AddTag("degraded", "1");
+  if (over_deadline) request_span.AddTag("over_deadline", "1");
+  if (had_errors) request_span.AddTag("errors", "1");
+  if (degraded || over_deadline || had_errors) request_span.KeepTrace();
 
   // Mirror this request's deltas into the registry so the exported totals
   // track lifetime_stats() exactly (serve_test pins them bit-for-bit).
@@ -209,8 +264,9 @@ RankResponse RecommendationService::Rank(int user,
   for (int t = 0; t < 4; ++t) {
     metrics_.tier_served[t]->Increment(st.tier_served[t]);
   }
-  metrics_.request_micros->Record(
-      static_cast<double>(response.elapsed_micros));
+  metrics_.request_micros->RecordWithExemplar(
+      static_cast<double>(response.elapsed_micros),
+      request_span.trace_id());
   return response;
 }
 

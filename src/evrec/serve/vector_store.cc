@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "evrec/obs/trace.h"
 #include "evrec/util/math_util.h"
 #include "evrec/util/string_util.h"
 
@@ -12,6 +13,9 @@ std::vector<ScoredCandidate> ScoreCandidates(
     VectorStore* store, store::EntityKind kind,
     const std::vector<float>& query, const std::vector<int>& candidate_ids,
     ThreadPool* pool) {
+  obs::ScopedSpan span("serve.score_candidates");
+  span.AddTag("candidates",
+              StrFormat("%zu", candidate_ids.size()));
   const int n = static_cast<int>(candidate_ids.size());
   std::vector<ScoredCandidate> scored(static_cast<size_t>(n));
   std::vector<std::vector<float>> vectors(static_cast<size_t>(n));

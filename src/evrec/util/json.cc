@@ -1,0 +1,211 @@
+#include "evrec/util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace evrec {
+
+namespace {
+
+// Recursive-descent parser over a string view [pos, text.size()).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue value;
+    Status st = ParseValue(&value, /*depth=*/0);
+    if (!st.ok()) return st;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  Status Fail(const std::string& what) const {
+    return Status::Corruption("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+      case 'f':
+        return ParseKeyword(out);
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          out->kind = JsonValue::Kind::kNull;
+          return Status::Ok();
+        }
+        return Fail("invalid keyword");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseKeyword(JsonValue* out) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Status::Ok();
+    }
+    return Fail("invalid keyword");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) return Fail("invalid number");
+    pos_ += static_cast<size_t>(end - start);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = v;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape digit");
+            }
+          }
+          // Our exporters only escape ASCII control characters; anything
+          // wider is preserved as a replacement to keep the reader simple.
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status st = ParseString(&key);
+      if (!st.ok()) return st;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      st = ParseValue(&value, depth + 1);
+      if (!st.ok()) return st;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue value;
+      Status st = ParseValue(&value, depth + 1);
+      if (!st.ok()) return st;
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!IsObject()) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace evrec

@@ -1,0 +1,53 @@
+// Minimal JSON reader for the library's own exporters (Chrome trace
+// dumps, BENCH_*.json, metric snapshots). Full standard grammar — objects,
+// arrays, strings with escapes, numbers, true/false/null — parsed into a
+// plain value tree; hostile input (truncation, deep nesting, bad escapes)
+// surfaces as Status::Corruption, never UB. Object keys keep file order;
+// duplicate keys keep both entries (Find returns the first).
+
+#ifndef EVREC_UTIL_JSON_H_
+#define EVREC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "evrec/util/status.h"
+
+namespace evrec {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsBool() const { return kind == Kind::kBool; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsObject() const { return kind == Kind::kObject; }
+
+  // First member with this key, or nullptr (also nullptr on non-objects).
+  const JsonValue* Find(const std::string& key) const;
+
+  // number_value when a number, `fallback` otherwise.
+  double NumberOr(double fallback) const {
+    return IsNumber() ? number_value : fallback;
+  }
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed, trailing
+// garbage rejected).
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_JSON_H_

@@ -34,6 +34,10 @@ void ThreadPool::RunShards(int worker) {
   const int n = job_shards_;
   for (int s = worker; s < n; s += num_threads_) {
     try {
+      // Each shard runs under the caller's trace context so spans opened
+      // inside attach to the caller's open span (same banding as the
+      // inline path: ids never depend on which worker ran the shard).
+      ScopedTraceContext trace_scope(ShardTraceContext(job_context_, s));
       fn(s);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -67,14 +71,29 @@ void ThreadPool::WorkerLoop(int worker) {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  const TraceContext caller_context = CurrentTraceContext();
+  // After the job, the caller's sibling counter advances past every band
+  // this job handed out, so spans opened by the NEXT ParallelFor under the
+  // same parent (e.g. per-batch shard spans in a training loop) derive
+  // distinct ids. Deterministic: depends only on n, never on threads.
+  TraceContext after_job = caller_context;
+  after_job.child_seq =
+      caller_context.child_seq + static_cast<uint64_t>(n);
   if (num_threads_ == 1 || n == 1) {
     // Inline fast path: no synchronization, exceptions propagate directly.
-    for (int s = 0; s < n; ++s) fn(s);
+    // Shards still get their banded trace contexts so span ids are
+    // identical to what a multi-threaded pool would assign.
+    for (int s = 0; s < n; ++s) {
+      ScopedTraceContext trace_scope(ShardTraceContext(caller_context, s));
+      fn(s);
+    }
+    SetCurrentTraceContext(after_job);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_fn_ = &fn;
+    job_context_ = caller_context;
     job_shards_ = n;
     active_workers_ = num_threads_ - 1;
     first_error_ = nullptr;
@@ -87,6 +106,7 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   job_done_.wait(lock, [&] { return active_workers_ == 0; });
   job_fn_ = nullptr;
+  SetCurrentTraceContext(after_job);
   if (first_error_) {
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;

@@ -17,6 +17,12 @@
 // A pool with num_threads == 1 never spawns a thread: ParallelFor runs the
 // shards inline on the caller, which keeps single-threaded configurations
 // free of synchronization cost and trivially sanitizer-clean.
+//
+// Trace propagation: ParallelFor captures the caller's TraceContext and
+// installs a per-shard copy (ShardTraceContext) around every fn(s) — on
+// workers and on the inline path alike — so trace spans opened inside a
+// shard attach to the caller's open span instead of starting a fresh
+// trace at depth 0, with span ids that depend only on the shard index.
 
 #ifndef EVREC_UTIL_THREAD_POOL_H_
 #define EVREC_UTIL_THREAD_POOL_H_
@@ -27,6 +33,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "evrec/util/trace_context.h"
 
 namespace evrec {
 
@@ -62,6 +70,7 @@ class ThreadPool {
   std::condition_variable job_ready_;
   std::condition_variable job_done_;
   const std::function<void(int)>* job_fn_ = nullptr;  // valid while active
+  TraceContext job_context_;  // caller's trace context, stable per job
   int job_shards_ = 0;
   uint64_t job_epoch_ = 0;   // bumped per ParallelFor; workers wait on it
   int active_workers_ = 0;   // workers still running the current job

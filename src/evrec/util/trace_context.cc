@@ -1,0 +1,77 @@
+#include "evrec/util/trace_context.h"
+
+#include <atomic>
+
+namespace evrec {
+
+namespace {
+
+thread_local TraceContext t_context;
+
+std::atomic<uint64_t> g_next_trace_id{1};
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+const TraceContext& CurrentTraceContext() { return t_context; }
+
+void SetCurrentTraceContext(const TraceContext& context) {
+  t_context = context;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context)
+    : saved_(t_context) {
+  t_context = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_context = saved_; }
+
+TraceContext ShardTraceContext(const TraceContext& parent, int shard) {
+  TraceContext ctx = parent;
+  // Disjoint sibling band per shard: a shard would have to open 2^32
+  // sequential children to collide with its neighbour (or with children
+  // the caller opens after the ParallelFor returns, which stay in the low
+  // band because the caller's own child_seq is untouched).
+  ctx.child_seq =
+      parent.child_seq + ((static_cast<uint64_t>(shard) + 1) << 32);
+  return ctx;
+}
+
+uint64_t NextTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResetTraceIdsForTest(uint64_t next) {
+  g_next_trace_id.store(next, std::memory_order_relaxed);
+}
+
+uint64_t DeriveSpanId(uint64_t trace_id, uint64_t parent_id,
+                      const char* name, uint64_t ordinal) {
+  uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, trace_id);
+  hash = FnvMix(hash, parent_id);
+  for (const char* p = name; *p != '\0'; ++p) {
+    hash ^= static_cast<unsigned char>(*p);
+    hash *= kFnvPrime;
+  }
+  hash = FnvMix(hash, ordinal);
+  return hash == 0 ? 1 : hash;
+}
+
+int TraceThreadOrdinal() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+}  // namespace evrec

@@ -1,0 +1,75 @@
+// Request-scoped trace identity, propagated across threads.
+//
+// A TraceContext names the span under which new work should attach: the
+// trace it belongs to, the innermost open span (the parent of any span
+// opened next), the depth that next span will record, and the sibling
+// ordinal it will be assigned. The context is thread-local; obs::ScopedSpan
+// pushes/pops it, and ThreadPool::ParallelFor captures the caller's context
+// and re-installs a per-shard copy in every worker, so spans opened inside
+// parallel shards report their true parent instead of starting a fresh
+// trace at depth 0 on each worker thread.
+//
+// Identifiers are deterministic, never random: trace ids come from a
+// process-wide counter (requests and training runs open roots sequentially,
+// so the sequence is stable across runs), and span ids are a pure hash of
+// (trace id, parent id, name, sibling ordinal). ParallelFor gives shard s
+// the sibling band s << 32, so the ids — like everything else in the
+// engine — are identical for any thread count. This file lives in util
+// (not obs) because ThreadPool needs it and obs already depends on util.
+
+#ifndef EVREC_UTIL_TRACE_CONTEXT_H_
+#define EVREC_UTIL_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace evrec {
+
+struct TraceContext {
+  uint64_t trace_id = 0;   // 0 = no active trace; next span starts one
+  uint64_t span_id = 0;    // innermost open span; 0 = next span is a root
+  int depth = 0;           // depth the next span opened will record
+  uint64_t child_seq = 0;  // sibling ordinal assigned to the next child
+};
+
+// The calling thread's current context (a zero context when no span is
+// open on this thread).
+const TraceContext& CurrentTraceContext();
+void SetCurrentTraceContext(const TraceContext& context);
+
+// RAII install/restore, used by ParallelFor around each shard.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+// The context shard `shard` of a ParallelFor runs under: the caller's
+// parent span, with sibling ordinals moved into a disjoint per-shard band
+// so ids depend on the shard index, never on which worker executed it.
+TraceContext ShardTraceContext(const TraceContext& parent, int shard);
+
+// Next process-wide trace id (1-based, monotone). Roots are opened from
+// sequential call sites, so the assignment order — and therefore every id
+// in a replay — is reproducible.
+uint64_t NextTraceId();
+// Rewinds the trace-id counter (test isolation only).
+void ResetTraceIdsForTest(uint64_t next = 1);
+
+// Deterministic span id: FNV-1a over (trace, parent, name, ordinal),
+// nudged away from 0 (0 means "no span").
+uint64_t DeriveSpanId(uint64_t trace_id, uint64_t parent_id,
+                      const char* name, uint64_t ordinal);
+
+// Compact monotone per-thread ordinal (first thread to ask is 1), used to
+// assign exporter tracks. Display-only: analysis must never depend on it.
+int TraceThreadOrdinal();
+
+}  // namespace evrec
+
+#endif  // EVREC_UTIL_TRACE_CONTEXT_H_

@@ -18,8 +18,11 @@
 
 #include "evrec/obs/metrics.h"
 #include "evrec/obs/trace.h"
+#include "evrec/obs/trace_analysis.h"
 #include "evrec/util/clock.h"
 #include "evrec/util/rng.h"
+#include "evrec/util/thread_pool.h"
+#include "evrec/util/trace_context.h"
 
 namespace evrec {
 namespace obs {
@@ -384,7 +387,388 @@ TEST_F(SpanTest, JsonLinesHaveOneObjectPerSpan) {
   std::string text = os.str();
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
   EXPECT_NE(text.find("{\"name\": \"a\""), std::string::npos);
-  EXPECT_NE(text.find("\"dur_us\": 2}"), std::string::npos);
+  // The four original keys still lead each line (back compatibility);
+  // trace identity follows.
+  EXPECT_NE(text.find("\"dur_us\": 2,"), std::string::npos);
+  EXPECT_NE(text.find("\"trace\": "), std::string::npos);
+  EXPECT_NE(text.find("\"tags\": {}"), std::string::npos);
+}
+
+// ---------- trace identity, propagation, sampling ----------
+
+TEST_F(SpanTest, NestedSpansShareTraceAndLinkParents) {
+  FakeClock clock;
+  SetClock(&clock);
+  MetricRegistry registry;
+  TraceLog log;
+  {
+    ScopedSpan outer("outer", &registry, &log);
+    clock.Advance(1);
+    {
+      ScopedSpan inner("inner", &registry, &log);
+      clock.Advance(1);
+    }
+  }
+  std::vector<SpanEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const SpanEvent& inner = events[0];
+  const SpanEvent& outer = events[1];
+  EXPECT_NE(outer.trace_id, 0u);
+  EXPECT_EQ(inner.trace_id, outer.trace_id);
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  EXPECT_NE(inner.span_id, outer.span_id);
+}
+
+TEST_F(SpanTest, SiblingSpansWithSameNameGetDistinctIds) {
+  FakeClock clock;
+  SetClock(&clock);
+  MetricRegistry registry;
+  TraceLog log;
+  {
+    ScopedSpan root("root", &registry, &log);
+    {
+      ScopedSpan a("step", &registry, &log);
+    }
+    {
+      ScopedSpan b("step", &registry, &log);
+    }
+  }
+  std::vector<SpanEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_NE(events[0].span_id, events[1].span_id);
+  EXPECT_EQ(events[0].parent_id, events[1].parent_id);
+}
+
+TEST_F(SpanTest, TagsAreExportedInAttachOrder) {
+  FakeClock clock;
+  SetClock(&clock);
+  MetricRegistry registry;
+  TraceLog log;
+  {
+    ScopedSpan span("tagged", &registry, &log);
+    span.AddTag("tier", "2");
+    AddSpanTag("cache", "miss");  // free function: innermost open span
+  }
+  AddSpanTag("orphan", "dropped");  // no open span: silently ignored
+  std::vector<SpanEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].tags.size(), 2u);
+  EXPECT_EQ(events[0].tags[0],
+            std::make_pair(std::string("tier"), std::string("2")));
+  EXPECT_EQ(events[0].tags[1],
+            std::make_pair(std::string("cache"), std::string("miss")));
+}
+
+TEST(TailSamplerTest, KeepDecisionIsPureAndSeeded) {
+  TailSamplerConfig half;
+  half.keep_fraction = 0.5;
+  half.seed = 42;
+  int kept = 0;
+  for (uint64_t id = 1; id <= 2000; ++id) {
+    bool first = TraceLog::SamplerKeeps(half, id);
+    bool second = TraceLog::SamplerKeeps(half, id);
+    EXPECT_EQ(first, second);  // pure function of (seed, trace id)
+    if (first) ++kept;
+  }
+  // Roughly half kept (hash uniformity, wide tolerance).
+  EXPECT_GT(kept, 800);
+  EXPECT_LT(kept, 1200);
+  // A different seed picks a different subset.
+  TailSamplerConfig other = half;
+  other.seed = 43;
+  int disagreements = 0;
+  for (uint64_t id = 1; id <= 2000; ++id) {
+    if (TraceLog::SamplerKeeps(half, id) !=
+        TraceLog::SamplerKeeps(other, id)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0);
+  // Edges: 1.0 keeps everything, 0.0 keeps nothing.
+  TailSamplerConfig all, none;
+  all.keep_fraction = 1.0;
+  none.keep_fraction = 0.0;
+  EXPECT_TRUE(TraceLog::SamplerKeeps(all, 7));
+  EXPECT_FALSE(TraceLog::SamplerKeeps(none, 7));
+}
+
+TEST_F(SpanTest, SampledOutTracesAreDiscardedWholesale) {
+  FakeClock clock;
+  SetClock(&clock);
+  MetricRegistry registry;
+  TraceLog log;
+  TailSamplerConfig none;
+  none.keep_fraction = 0.0;
+  log.SetSampler(none);
+  {
+    ScopedSpan root("req", &registry, &log);
+    ScopedSpan child("work", &registry, &log);
+  }
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.sampled_out(), 1u);  // one whole trace, not per span
+}
+
+TEST_F(SpanTest, KeepTraceOverridesSamplerForInterestingRequests) {
+  FakeClock clock;
+  SetClock(&clock);
+  MetricRegistry registry;
+  TraceLog log;
+  TailSamplerConfig none;
+  none.keep_fraction = 0.0;
+  log.SetSampler(none);
+  {
+    ScopedSpan root("req.degraded", &registry, &log);
+    root.KeepTrace();  // error / degraded / over-deadline path
+    ScopedSpan child("work", &registry, &log);
+  }
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.sampled_out(), 0u);
+}
+
+TEST_F(SpanTest, RingBufferEvictsOldestAndCountsDrops) {
+  FakeClock clock;
+  SetClock(&clock);
+  MetricRegistry registry;
+  TraceLog log(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("burst", &registry, &log);
+    clock.Advance(1);
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+  // The survivors are the newest four.
+  std::vector<SpanEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().start_micros, 6);
+  EXPECT_EQ(events.back().start_micros, 9);
+}
+
+TEST_F(SpanTest, ExemplarLinksLatencyBucketToTrace) {
+  FakeClock clock;
+  SetClock(&clock);
+  MetricRegistry registry;
+  TraceLog log;
+  uint64_t trace_id = 0;
+  {
+    ScopedSpan span("slow.op", &registry, &log);
+    trace_id = span.trace_id();
+    clock.Advance(1000);
+  }
+  ASSERT_NE(trace_id, 0u);
+  Histogram* h = registry.GetHistogram("span.slow.op");
+  ASSERT_EQ(h->count(), 1u);
+  bool found = false;
+  for (int b = 0; b < h->num_buckets() + 1; ++b) {
+    if (h->bucket_count(b) > 0) {
+      EXPECT_EQ(h->bucket_exemplar(b), trace_id);
+      found = true;
+    } else {
+      EXPECT_EQ(h->bucket_exemplar(b), 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Merge carries exemplars into the destination registry.
+  MetricRegistry total;
+  total.Merge(registry);
+  Histogram* merged = total.GetHistogram("span.slow.op");
+  bool merged_found = false;
+  for (int b = 0; b < merged->num_buckets() + 1; ++b) {
+    if (merged->bucket_exemplar(b) == trace_id) merged_found = true;
+  }
+  EXPECT_TRUE(merged_found);
+  // And the JSON snapshot names the trace.
+  std::string json = registry.ToJsonString();
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+}
+
+TEST_F(SpanTest, ParallelForReinstallsContextOnWorkerShards) {
+  // The regression this guards: spans opened inside ParallelFor used to
+  // start fresh traces at depth 0 on worker threads. They must attach to
+  // the caller's open span — with ids independent of the pool size.
+  FakeClock clock;
+  SetClock(&clock);
+  auto run = [&](int threads) {
+    ResetTraceIdsForTest();
+    MetricRegistry registry;
+    TraceLog log;
+    ThreadPool pool(threads);
+    {
+      ScopedSpan root("job", &registry, &log);
+      pool.ParallelFor(8, [&](int s) {
+        (void)s;
+        ScopedSpan shard("job.shard", &registry, &log);
+      });
+      // A second job under the same parent must get fresh span ids.
+      pool.ParallelFor(8, [&](int s) {
+        (void)s;
+        ScopedSpan shard("job.shard", &registry, &log);
+      });
+    }
+    return log.Snapshot();
+  };
+  std::vector<SpanEvent> single = run(1);
+  std::vector<SpanEvent> pooled = run(4);
+  ASSERT_EQ(single.size(), 17u);
+  ASSERT_EQ(pooled.size(), 17u);
+
+  auto check = [](std::vector<SpanEvent> events) {
+    const SpanEvent* root = nullptr;
+    for (const auto& e : events) {
+      if (e.name == "job") root = &e;
+    }
+    ASSERT_NE(root, nullptr);
+    std::vector<uint64_t> shard_ids;
+    for (const auto& e : events) {
+      EXPECT_EQ(e.trace_id, root->trace_id);  // one trace end to end
+      if (e.name != "job.shard") continue;
+      EXPECT_EQ(e.parent_id, root->span_id);  // true parent, not a new root
+      EXPECT_EQ(e.depth, 1);
+      shard_ids.push_back(e.span_id);
+    }
+    std::sort(shard_ids.begin(), shard_ids.end());
+    EXPECT_EQ(std::adjacent_find(shard_ids.begin(), shard_ids.end()),
+              shard_ids.end())
+        << "duplicate shard span ids";
+  };
+  check(single);
+  check(pooled);
+
+  // Identical span-id sets for 1 thread and 4 threads: ids depend on the
+  // shard index, never on which worker ran the shard.
+  auto ids = [](const std::vector<SpanEvent>& events) {
+    std::vector<uint64_t> out;
+    for (const auto& e : events) out.push_back(e.span_id);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(ids(single), ids(pooled));
+}
+
+// ---------- exporters & analysis ----------
+
+TEST_F(SpanTest, ChromeTraceReplayIsByteIdentical) {
+  auto build = [&] {
+    FakeClock clock(1000);
+    SetClock(&clock);
+    ResetTraceIdsForTest();
+    MetricRegistry registry;
+    TraceLog log;
+    {
+      ScopedSpan root("serve.request", &registry, &log);
+      root.AddTag("user", "7");
+      {
+        ScopedSpan fetch("serve.fetch_vector", &registry, &log);
+        fetch.AddTag("outcome", "hit");
+        clock.Advance(5);
+      }
+      {
+        ScopedSpan score("serve.score", &registry, &log);
+        clock.Advance(3);
+      }
+      clock.Advance(2);
+    }
+    std::ostringstream os;
+    log.DumpChromeTrace(os);
+    return os.str();
+  };
+  std::string first = build();
+  std::string second = build();
+  EXPECT_EQ(first, second);  // byte-identical replay
+  // Format spot checks: complete events, micros timestamps, ids in args.
+  EXPECT_NE(first.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(first.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(first.find("\"ts\": 1000"), std::string::npos);
+  EXPECT_NE(first.find("\"dur\": 10"), std::string::npos);
+  EXPECT_NE(first.find("\"trace\": \"0000000000000001\""),
+            std::string::npos);
+  EXPECT_NE(first.find("\"outcome\": \"hit\""), std::string::npos);
+
+  // The exported bytes round-trip through the analysis parser and pass
+  // every structural invariant.
+  auto spans = ParseChromeTrace(first);
+  ASSERT_TRUE(spans.ok()) << spans.status().ToString();
+  ASSERT_EQ(spans->size(), 3u);
+  EXPECT_TRUE(ValidateSpans(*spans).ok());
+  // Tag round-trip (ids and depth are structural, not tags).
+  bool saw_outcome = false;
+  for (const auto& s : *spans) {
+    for (const auto& [k, v] : s.tags) {
+      if (k == "outcome") {
+        EXPECT_EQ(v, "hit");
+        saw_outcome = true;
+      }
+      EXPECT_NE(k, "trace");
+      EXPECT_NE(k, "depth");
+    }
+  }
+  EXPECT_TRUE(saw_outcome);
+}
+
+TEST_F(SpanTest, AnalysisReportIsDeterministicAndNamesCriticalPath) {
+  FakeClock clock(0);
+  SetClock(&clock);
+  ResetTraceIdsForTest();
+  MetricRegistry registry;
+  TraceLog log;
+  {
+    ScopedSpan root("serve.request", &registry, &log);
+    {
+      ScopedSpan fast("fast.child", &registry, &log);
+      clock.Advance(2);
+    }
+    {
+      ScopedSpan slow("slow.child", &registry, &log);
+      clock.Advance(50);
+    }
+    clock.Advance(1);
+  }
+  std::ostringstream chrome;
+  log.DumpChromeTrace(chrome);
+  auto spans = ParseChromeTrace(chrome.str());
+  ASSERT_TRUE(spans.ok());
+  ASSERT_TRUE(ValidateSpans(*spans).ok());
+  TraceAnalysisOptions options;
+  options.top_n = 2;
+  std::ostringstream report1, report2;
+  AnalyzeSpans(*spans, options, report1);
+  AnalyzeSpans(*spans, options, report2);
+  EXPECT_EQ(report1.str(), report2.str());
+  std::string report = report1.str();
+  // The critical path descends into the child that finishes last.
+  size_t critical = report.find("critical path");
+  ASSERT_NE(critical, std::string::npos);
+  EXPECT_NE(report.find("slow.child", critical), std::string::npos);
+  EXPECT_NE(report.find("self-time profile"), std::string::npos);
+  EXPECT_NE(report.find("top 2 slowest spans"), std::string::npos);
+}
+
+TEST(TraceAnalysisTest, ValidatorRejectsStructuralCorruption) {
+  auto make = [](const std::string& events) {
+    return "{\"traceEvents\": [" + events + "]}";
+  };
+  const char* good =
+      "{\"name\": \"root\", \"ph\": \"X\", \"ts\": 0, \"dur\": 10, "
+      "\"pid\": 1, \"tid\": 0, \"args\": {\"trace\": "
+      "\"0000000000000001\", \"span\": \"000000000000000a\", "
+      "\"parent\": \"0000000000000000\"}}";
+  auto good_spans = ParseChromeTrace(make(good));
+  ASSERT_TRUE(good_spans.ok());
+  EXPECT_TRUE(ValidateSpans(*good_spans).ok());
+
+  // Parent id that names no span in the trace.
+  std::string orphan = make(std::string(good) +
+      ", {\"name\": \"child\", \"ph\": \"X\", \"ts\": 1, \"dur\": 1, "
+      "\"pid\": 1, \"tid\": 0, \"args\": {\"trace\": "
+      "\"0000000000000001\", \"span\": \"000000000000000b\", "
+      "\"parent\": \"00000000000000ff\"}}");
+  auto orphan_spans = ParseChromeTrace(orphan);
+  ASSERT_TRUE(orphan_spans.ok());
+  EXPECT_FALSE(ValidateSpans(*orphan_spans).ok());
+
+  // Malformed JSON is a Corruption status, not a crash.
+  EXPECT_FALSE(ParseChromeTrace("{\"traceEvents\": [ nope ]}").ok());
+  EXPECT_FALSE(ParseChromeTrace("").ok());
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "evrec/obs/metrics.h"
+#include "evrec/obs/trace.h"
 #include "evrec/pipeline/pipeline.h"
 #include "evrec/pipeline/serving.h"
 #include "evrec/serve/circuit_breaker.h"
@@ -590,6 +591,131 @@ TEST_F(ServeEndToEndTest, BreakerOpensOnRecomputeFailuresThenRecovers) {
   EXPECT_GT(up.stats.tier_served[1], 0u);
   // Recomputed vectors were written back: nothing fell past tier 2.
   EXPECT_EQ(up.stats.tier_served[2] + up.stats.tier_served[3], 0u);
+}
+
+TEST_F(ServeEndToEndTest, TailSamplerAlwaysKeepsDegradedRequests) {
+  // A keep-nothing sampler still retains requests the service marked
+  // interesting (degraded tiers, blown deadlines): MarkKeep at the root
+  // overrides the sampling decision wholesale.
+  obs::TraceLog* log = obs::TraceLog::Global();
+  log->Clear();
+  obs::TailSamplerConfig drop_all;
+  drop_all.keep_fraction = 0.0;
+  drop_all.seed = 17;
+  log->SetSampler(drop_all);
+
+  FakeClock clock;
+  obs::MetricRegistry registry;
+  RecommendationService::Backends backends = bundle_->MakeBackends(&clock);
+  backends.metrics = &registry;
+  RecommendationService service(backends, ServiceConfig{});
+
+  const auto& eval = pipeline_->dataset().eval;
+  std::vector<int> candidates;
+  for (size_t i = 0; i < eval.size() && candidates.size() < 5; ++i) {
+    if (eval[i].user == eval[0].user) candidates.push_back(eval[i].event);
+  }
+  ASSERT_FALSE(candidates.empty());
+
+  // Healthy request under a generous budget: nothing interesting happens,
+  // so the sampler discards the whole trace.
+  service.Rank(eval[0].user, candidates, eval[0].day,
+               /*budget_micros=*/1000000);
+  EXPECT_EQ(log->size(), 0u);
+  EXPECT_EQ(log->sampled_out(), 1u);
+
+  // Zero budget: every candidate degrades to tier 4, the root is marked
+  // degraded, and the trace survives despite keep_fraction = 0.
+  service.Rank(eval[0].user, candidates, eval[0].day, /*budget_micros=*/0);
+  std::vector<obs::SpanEvent> spans = log->Snapshot();
+  ASSERT_FALSE(spans.empty());
+  const obs::SpanEvent* root = nullptr;
+  for (const auto& s : spans) {
+    if (s.parent_id == 0) {
+      ASSERT_EQ(root, nullptr) << "exactly one root per retained trace";
+      root = &s;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "serve.request");
+  std::map<std::string, std::string> tags(root->tags.begin(),
+                                          root->tags.end());
+  EXPECT_EQ(tags.at("degraded"), "1");
+  EXPECT_EQ(tags.at("candidates"), StrFormat("%zu", candidates.size()));
+  // Budget 0 means "no deadline", so the request is degraded, not late.
+  EXPECT_EQ(tags.count("over_deadline"), 0u);
+
+  // Every retained span belongs to the degraded request's trace, and the
+  // per-candidate children link straight to the root.
+  size_t candidate_spans = 0;
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.trace_id, root->trace_id);
+    if (s.name == "serve.candidate") {
+      EXPECT_EQ(s.parent_id, root->span_id);
+      ++candidate_spans;
+    }
+  }
+  EXPECT_EQ(candidate_spans, candidates.size());
+
+  // The request-latency histogram carries the retained trace as a bucket
+  // exemplar, so a metrics reader can jump from a suspicious bucket to a
+  // concrete trace in the log.
+  obs::Histogram* request_micros =
+      registry.GetHistogram("serve.request.micros");
+  bool exemplar_links_trace = false;
+  for (int i = 0; i <= request_micros->num_buckets(); ++i) {
+    if (request_micros->bucket_exemplar(i) == root->trace_id) {
+      exemplar_links_trace = true;
+    }
+  }
+  EXPECT_TRUE(exemplar_links_trace);
+
+  log->Clear();
+  log->SetSampler(obs::TailSamplerConfig{});  // keep-everything default
+}
+
+TEST_F(ServeEndToEndTest, TailSamplerAlwaysKeepsDeadlineExceededRequests) {
+  obs::TraceLog* log = obs::TraceLog::Global();
+  log->Clear();
+  obs::TailSamplerConfig drop_all;
+  drop_all.keep_fraction = 0.0;
+  drop_all.seed = 17;
+  log->SetSampler(drop_all);
+
+  // A slow store blows a tight budget: the first fetch alone costs more
+  // than the whole deadline, so elapsed > budget and the root is marked
+  // over_deadline — which must force retention.
+  FakeClock clock;
+  FaultConfig slow_cfg;
+  slow_cfg.base_latency_micros = 400;
+  slow_cfg.seed = 5;
+  FaultInjector slow_injector(slow_cfg);
+  FaultyVectorStore slow_store(bundle_->store.get(), &slow_injector,
+                               &clock);
+  RecommendationService service(
+      bundle_->MakeBackends(&clock, &slow_store), ServiceConfig{});
+
+  const auto& eval = pipeline_->dataset().eval;
+  std::vector<int> candidates;
+  for (size_t i = 0; i < eval.size() && candidates.size() < 5; ++i) {
+    if (eval[i].user == eval[0].user) candidates.push_back(eval[i].event);
+  }
+  RankResponse resp = service.Rank(eval[0].user, candidates, eval[0].day,
+                                   /*budget_micros=*/300);
+  EXPECT_GT(resp.elapsed_micros, 300);
+
+  std::vector<obs::SpanEvent> spans = log->Snapshot();
+  const obs::SpanEvent* root = nullptr;
+  for (const auto& s : spans) {
+    if (s.parent_id == 0) root = &s;
+  }
+  ASSERT_NE(root, nullptr) << "deadline-exceeded trace must be retained";
+  std::map<std::string, std::string> tags(root->tags.begin(),
+                                          root->tags.end());
+  EXPECT_EQ(tags.at("over_deadline"), "1");
+
+  log->Clear();
+  log->SetSampler(obs::TailSamplerConfig{});
 }
 
 }  // namespace

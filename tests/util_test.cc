@@ -18,11 +18,13 @@
 #include "evrec/util/binary_io.h"
 #include "evrec/util/crc32.h"
 #include "evrec/util/csv_writer.h"
+#include "evrec/util/json.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/math_util.h"
 #include "evrec/util/rng.h"
 #include "evrec/util/status.h"
 #include "evrec/util/string_util.h"
+#include "evrec/util/trace_context.h"
 
 namespace evrec {
 namespace {
@@ -751,6 +753,115 @@ TEST(LoggingTest, LogEveryNWithOneEmitsEverything) {
     EVREC_LOG_EVERY_N(WARN, 1) << "all " << i;
   }
   EXPECT_EQ(capture.Lines().size(), 5u);
+}
+
+// ---------- json ----------
+
+TEST(JsonTest, ParsesNestedDocument) {
+  StatusOr<JsonValue> doc = ParseJson(
+      "{\"name\": \"t1\", \"pi\": 3.5, \"neg\": -2e3, \"ok\": true, "
+      "\"none\": null, \"list\": [1, \"two\", false], "
+      "\"inner\": {\"k\": 7}}");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("name")->string_value, "t1");
+  EXPECT_DOUBLE_EQ(doc->Find("pi")->number_value, 3.5);
+  EXPECT_DOUBLE_EQ(doc->Find("neg")->number_value, -2000.0);
+  EXPECT_TRUE(doc->Find("ok")->bool_value);
+  EXPECT_TRUE(doc->Find("none")->IsNull());
+  const JsonValue* list = doc->Find("list");
+  ASSERT_TRUE(list->IsArray());
+  ASSERT_EQ(list->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(list->array[0].number_value, 1.0);
+  EXPECT_EQ(list->array[1].string_value, "two");
+  EXPECT_FALSE(list->array[2].bool_value);
+  EXPECT_DOUBLE_EQ(doc->Find("inner")->Find("k")->number_value, 7.0);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, DecodesStringEscapes) {
+  StatusOr<JsonValue> doc =
+      ParseJson("{\"s\": \"a\\\"b\\\\c\\n\\t\\u0041\"}");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("s")->string_value, "a\"b\\c\n\tA");
+}
+
+TEST(JsonTest, DuplicateKeysKeepBothAndFindReturnsFirst) {
+  StatusOr<JsonValue> doc = ParseJson("{\"a\": 1, \"a\": 2}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->object.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc->Find("a")->number_value, 1.0);
+}
+
+TEST(JsonTest, HostileInputIsCorruptionNotUB) {
+  const char* bad[] = {
+      "",                  // empty
+      "{",                 // truncated object
+      "[1, 2",             // truncated array
+      "{\"a\": }",         // missing value
+      "{\"a\" 1}",         // missing colon
+      "\"unterminated",    // unterminated string
+      "\"bad\\escape\"",   // unknown escape
+      "{\"a\": 1} extra",  // trailing garbage
+      "nul",               // truncated literal
+  };
+  for (const char* text : bad) {
+    StatusOr<JsonValue> doc = ParseJson(text);
+    EXPECT_FALSE(doc.ok()) << "accepted: " << text;
+    EXPECT_EQ(doc.status().code(), StatusCode::kCorruption) << text;
+  }
+}
+
+// ---------- trace context ----------
+
+TEST(TraceContextTest, DeriveSpanIdIsPureAndCollisionResistant) {
+  uint64_t id = DeriveSpanId(7, 3, "serve.request", 0);
+  EXPECT_EQ(DeriveSpanId(7, 3, "serve.request", 0), id);  // pure
+  EXPECT_NE(id, 0u);  // 0 is reserved for "no span"
+  // Any coordinate change moves the id.
+  EXPECT_NE(DeriveSpanId(8, 3, "serve.request", 0), id);
+  EXPECT_NE(DeriveSpanId(7, 4, "serve.request", 0), id);
+  EXPECT_NE(DeriveSpanId(7, 3, "serve.candidate", 0), id);
+  EXPECT_NE(DeriveSpanId(7, 3, "serve.request", 1), id);
+}
+
+TEST(TraceContextTest, ShardBandsAreDisjointAndShardDeterministic) {
+  TraceContext parent;
+  parent.trace_id = 5;
+  parent.span_id = 99;
+  parent.depth = 2;
+  parent.child_seq = 3;
+  std::set<uint64_t> bands;
+  for (int s = 0; s < 16; ++s) {
+    TraceContext shard = ShardTraceContext(parent, s);
+    // Identity and depth pass through; only the sibling band moves.
+    EXPECT_EQ(shard.trace_id, parent.trace_id);
+    EXPECT_EQ(shard.span_id, parent.span_id);
+    EXPECT_EQ(shard.depth, parent.depth);
+    EXPECT_EQ(shard.child_seq,
+              parent.child_seq + ((static_cast<uint64_t>(s) + 1) << 32));
+    bands.insert(shard.child_seq);
+    // Same shard index -> same band, no matter which worker runs it.
+    EXPECT_EQ(ShardTraceContext(parent, s).child_seq, shard.child_seq);
+  }
+  EXPECT_EQ(bands.size(), 16u);
+  // The caller's own low band stays clear of every shard band.
+  EXPECT_LT(parent.child_seq + 100, *bands.begin());
+}
+
+TEST(TraceContextTest, ScopedInstallRestoresPreviousContext) {
+  TraceContext before = CurrentTraceContext();
+  TraceContext inner;
+  inner.trace_id = 42;
+  inner.span_id = 7;
+  inner.depth = 1;
+  {
+    ScopedTraceContext scope(inner);
+    EXPECT_EQ(CurrentTraceContext().trace_id, 42u);
+    EXPECT_EQ(CurrentTraceContext().span_id, 7u);
+  }
+  EXPECT_EQ(CurrentTraceContext().trace_id, before.trace_id);
+  EXPECT_EQ(CurrentTraceContext().span_id, before.span_id);
+  EXPECT_EQ(CurrentTraceContext().child_seq, before.child_seq);
 }
 
 }  // namespace

@@ -1,0 +1,148 @@
+// bench_diff — compare two BENCH_*.json files (bench/common/bench_profile
+// WriteBenchJson output) and fail on regressions.
+//
+//   bench_diff BASELINE.json CANDIDATE.json [--threshold P]
+//
+// Every headline metric (the "metrics" object) present in both files is
+// compared. Direction is inferred from the name: metrics mentioning
+// seconds/micros/time/loss are lower-is-better, everything else (AUC,
+// precision, speedup, determinism flags) is higher-is-better. A relative
+// worsening beyond the threshold (default 0.10 = 10%) is a regression and
+// makes the exit status non-zero. "phase_seconds" entries are reported for
+// context but never fail the diff (wall-clock phases are too noisy on
+// shared hardware to gate on).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "evrec/util/json.h"
+#include "evrec/util/string_util.h"
+
+namespace {
+
+using evrec::JsonValue;
+using evrec::ParseJson;
+using evrec::StatusOr;
+using evrec::StrFormat;
+
+StatusOr<JsonValue> LoadJsonFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return evrec::Status::IoError("cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return ParseJson(text);
+}
+
+bool LowerIsBetter(const std::string& name) {
+  return name.find("seconds") != std::string::npos ||
+         name.find("micros") != std::string::npos ||
+         name.find("time") != std::string::npos ||
+         name.find("loss") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff BASELINE.json CANDIDATE.json "
+                 "[--threshold P]\n");
+    return 1;
+  }
+
+  StatusOr<JsonValue> baseline = LoadJsonFile(files[0]);
+  StatusOr<JsonValue> candidate = LoadJsonFile(files[1]);
+  if (!baseline.ok() || !candidate.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 (!baseline.ok() ? baseline.status() : candidate.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  const JsonValue* base_metrics = baseline->Find("metrics");
+  const JsonValue* cand_metrics = candidate->Find("metrics");
+  if (base_metrics == nullptr || !base_metrics->IsObject() ||
+      cand_metrics == nullptr || !cand_metrics->IsObject()) {
+    std::fprintf(stderr, "bench_diff: missing \"metrics\" object\n");
+    return 1;
+  }
+
+  std::printf("%-28s %12s %12s %9s  %s\n", "metric", "baseline",
+              "candidate", "delta", "verdict");
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [name, base_value] : base_metrics->object) {
+    const JsonValue* cand_value = cand_metrics->Find(name);
+    if (cand_value == nullptr || !cand_value->IsNumber() ||
+        !base_value.IsNumber()) {
+      continue;
+    }
+    ++compared;
+    double b = base_value.number_value;
+    double c = cand_value->number_value;
+    const bool lower_better = LowerIsBetter(name);
+    // Relative worsening; positive means the candidate is worse.
+    double worsening;
+    if (b == 0.0) {
+      worsening = c == 0.0 ? 0.0 : (lower_better == (c > 0.0) ? 1.0 : -1.0);
+    } else {
+      double rel = (c - b) / std::fabs(b);
+      worsening = lower_better ? rel : -rel;
+    }
+    const char* verdict = "ok";
+    if (worsening > threshold) {
+      verdict = "REGRESSION";
+      ++regressions;
+    } else if (worsening < -threshold) {
+      verdict = "improved";
+    }
+    std::printf("%-28s %12.6g %12.6g %+8.1f%%  %s\n", name.c_str(), b, c,
+                100.0 * (b == 0.0 ? worsening : (c - b) / std::fabs(b)),
+                verdict);
+  }
+
+  const JsonValue* base_phases = baseline->Find("phase_seconds");
+  const JsonValue* cand_phases = candidate->Find("phase_seconds");
+  if (base_phases != nullptr && base_phases->IsObject() &&
+      cand_phases != nullptr && cand_phases->IsObject()) {
+    bool header = false;
+    for (const auto& [name, base_value] : base_phases->object) {
+      const JsonValue* cand_value = cand_phases->Find(name);
+      if (cand_value == nullptr || !cand_value->IsNumber() ||
+          !base_value.IsNumber()) {
+        continue;
+      }
+      if (!header) {
+        std::printf("\nphase_seconds (informational, never gates):\n");
+        header = true;
+      }
+      std::printf("  %-26s %12.6g %12.6g\n", name.c_str(),
+                  base_value.number_value, cand_value->number_value);
+    }
+  }
+
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_diff: no shared numeric metrics\n");
+    return 1;
+  }
+  std::printf("\n%d metric(s) compared, %d regression(s) beyond %.0f%%\n",
+              compared, regressions, 100.0 * threshold);
+  return regressions > 0 ? 1 : 0;
+}

@@ -4,6 +4,8 @@
 #   tools/check.sh                          # plain build + ctest
 #   tools/check.sh crash                    # checkpoint/recovery tests under
 #                                           # ASan/UBSan and TSan
+#   tools/check.sh trace                    # end-to-end tracing gate under
+#                                           # ASan and TSan
 #   EVREC_SANITIZE=address tools/check.sh   # ASan build + ctest
 #   EVREC_SANITIZE=undefined tools/check.sh # UBSan build + ctest
 #   EVREC_SANITIZE=thread tools/check.sh    # TSan build + concurrency tests
@@ -20,6 +22,14 @@
 # bit flips must surface as Status::Corruption, never as an invalid read —
 # and then re-runs the resume-determinism tests under TSan, since resumed
 # training shares the sharded minibatch engine.
+#
+# `trace` mode is the request-tracing gate: under ASan and TSan it runs
+# the trace unit suites, then drives the real pipeline end to end
+# (`evrec_cli serve-demo --trace-out`), validates the exported Chrome
+# trace with `evrec_cli trace`, and diffs the analysis between
+# single-threaded and pooled runs — span ids, parent links, and the
+# whole report must be identical for any thread count. It also smoke
+# tests bench_diff on a synthetic regression.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +46,55 @@ if [ "$mode" = "crash" ]; then
     cmake --build "$build_dir" -j"$jobs"
     ctest --test-dir "$build_dir" --output-on-failure -j"$jobs" \
       -R "$crash_tests"
+  done
+  exit 0
+fi
+
+if [ "$mode" = "trace" ]; then
+  trace_tests='^(obs_test|util_test|serve_test)$'
+  for san in address thread; do
+    build_dir="build-$san"
+    echo "== trace mode: $san =="
+    cmake -B "$build_dir" -S . -DEVREC_SANITIZE="$san"
+    cmake --build "$build_dir" -j"$jobs"
+    ctest --test-dir "$build_dir" --output-on-failure -j"$jobs" \
+      -R "$trace_tests"
+
+    work="$(mktemp -d)"
+    trap 'rm -rf "$work"' EXIT
+    cli="$build_dir/tools/evrec_cli"
+    # End-to-end: export a Chrome trace from the demo pipeline, validate
+    # and analyze it, and require the analysis to be identical between a
+    # single-threaded and a pooled run (the raw files differ only in the
+    # display-only tid field).
+    (cd "$work" && "$OLDPWD/$cli" serve-demo --threads 1 \
+      --trace-out trace1.json > /dev/null)
+    (cd "$work" && "$OLDPWD/$cli" serve-demo --threads 4 \
+      --trace-out trace4.json > /dev/null)
+    "$cli" trace "$work/trace1.json" > "$work/analysis1.txt"
+    "$cli" trace "$work/trace4.json" > "$work/analysis4.txt"
+    if ! cmp -s "$work/analysis1.txt" "$work/analysis4.txt"; then
+      echo "trace analysis differs between --threads 1 and 4" >&2
+      diff "$work/analysis1.txt" "$work/analysis4.txt" | head -20 >&2
+      exit 1
+    fi
+    echo "trace analysis identical across thread counts"
+
+    # bench_diff must pass a self-compare and fail a planted regression.
+    cat > "$work/base.json" <<'EOF'
+{"name": "t", "metrics": {"auc": 0.70, "train_seconds": 10.0}}
+EOF
+    cat > "$work/bad.json" <<'EOF'
+{"name": "t", "metrics": {"auc": 0.60, "train_seconds": 13.0}}
+EOF
+    "$build_dir/tools/bench_diff" "$work/base.json" "$work/base.json"
+    if "$build_dir/tools/bench_diff" "$work/base.json" "$work/bad.json"; then
+      echo "bench_diff missed a planted regression" >&2
+      exit 1
+    fi
+    echo "bench_diff gate works"
+    rm -rf "$work"
+    trap - EXIT
   done
   exit 0
 fi

@@ -29,6 +29,19 @@
 //       histograms with p50/p95/p99) and the trace-span tree. With
 //       --json the registry snapshot is also written as deterministic
 //       JSON: two runs with the same flags produce byte-identical files.
+//   serve-demo ... [--trace-out FILE] [--trace-sample P] [--trace-seed S]
+//       With --trace-out, the replay's request-scoped traces are exported
+//       as Chrome trace-event JSON (open in Perfetto / chrome://tracing).
+//       --trace-sample enables tail sampling: error/degraded/over-deadline
+//       requests are always kept, the rest with probability P (seeded by
+//       --trace-seed). Runs on the simulated clock: same flags => byte-
+//       identical trace files, for any --threads value.
+//   trace FILE [--top N]
+//       Analyze an exported Chrome trace: validate structure (monotone
+//       timestamps, parent links, nesting), then print the per-trace
+//       summary, the critical path of the slowest trace, the top-N
+//       slowest spans, and a self-time flat profile. Exit 1 if the file
+//       is malformed.
 //
 // Exit status 0 on success, 1 on bad usage or failure.
 
@@ -44,6 +57,7 @@
 #include "evrec/ann/ivf_index.h"
 #include "evrec/obs/metrics.h"
 #include "evrec/obs/trace.h"
+#include "evrec/obs/trace_analysis.h"
 #include "evrec/pipeline/pipeline.h"
 #include "evrec/pipeline/serving.h"
 #include "evrec/serve/fault_injector.h"
@@ -74,9 +88,15 @@ struct Args {
   // serve-demo fault profile.
   double error_rate = 0.3, spike_rate = 0.1, corrupt_rate = 0.02;
   int64_t spike_us = 2000, budget_us = 20000;
+  // Request-scoped tracing (serve-demo) and trace analysis (trace).
+  std::string trace_out;
+  double trace_sample = 1.0;
+  uint64_t trace_seed = 1;
+  int top = 10;
 
-  static bool Parse(int argc, char** argv, Args* out_args) {
-    for (int i = 2; i < argc; ++i) {
+  static bool Parse(int argc, char** argv, Args* out_args,
+                    int start = 2) {
+    for (int i = start; i < argc; ++i) {
       std::string flag = argv[i];
       auto next = [&]() -> const char* {
         return (i + 1 < argc) ? argv[++i] : nullptr;
@@ -132,6 +152,14 @@ struct Args {
         out_args->spike_us = std::atoll(v);
       } else if (flag == "--budget-us") {
         out_args->budget_us = std::atoll(v);
+      } else if (flag == "--trace-out") {
+        out_args->trace_out = v;
+      } else if (flag == "--trace-sample") {
+        out_args->trace_sample = std::atof(v);
+      } else if (flag == "--trace-seed") {
+        out_args->trace_seed = static_cast<uint64_t>(std::atoll(v));
+      } else if (flag == "--top") {
+        out_args->top = std::atoi(v);
       } else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
         return false;
@@ -469,6 +497,13 @@ FaultStormResult RunFaultStorm(const Args& args, serve::FakeClock* clock) {
 
 int CmdServeDemo(const Args& args) {
   serve::FakeClock clock;
+  // Spans read the simulated clock: with fixed flags the exported trace
+  // is byte-identical across runs and across --threads values.
+  obs::SetClock(&clock);
+  obs::TailSamplerConfig sampler;
+  sampler.keep_fraction = args.trace_sample;
+  sampler.seed = args.trace_seed;
+  obs::TraceLog::Global()->SetSampler(sampler);
   FaultStormResult result = RunFaultStorm(args, &clock);
 
   const serve::ServeStats& stats = result.stats;
@@ -484,6 +519,20 @@ int CmdServeDemo(const Args& args) {
               "worst deadline overshoot: %lldus\n",
               result.breaker_state, result.incomplete,
               static_cast<long long>(result.worst_overshoot));
+  if (!args.trace_out.empty()) {
+    obs::TraceLog* log = obs::TraceLog::Global();
+    Status status = log->DumpChromeTrace(args.trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve-demo: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu spans retained, %llu traces sampled out, "
+                "%llu spans dropped -> %s\n",
+                log->size(),
+                static_cast<unsigned long long>(log->sampled_out()),
+                static_cast<unsigned long long>(log->dropped()),
+                args.trace_out.c_str());
+  }
   if (!result.complete()) {
     std::fprintf(stderr, "serve-demo: degradation chain failed to cover "
                          "every candidate\n");
@@ -522,6 +571,42 @@ int CmdMetrics(const Args& args) {
   return 0;
 }
 
+// Validates and analyzes a Chrome trace exported by serve-demo. The
+// report is deterministic for a deterministic trace file: spans are
+// re-sorted canonically and thread ids ignored, so traces captured with
+// different --threads values analyze identically.
+int CmdTrace(const std::string& path, const Args& args) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  auto spans = obs::ParseChromeTrace(text);
+  if (!spans.ok()) {
+    std::fprintf(stderr, "trace: %s\n",
+                 spans.status().ToString().c_str());
+    return 1;
+  }
+  Status valid = obs::ValidateSpans(*spans);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "trace: invalid: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  obs::TraceAnalysisOptions options;
+  options.top_n = args.top;
+  obs::AnalyzeSpans(*spans, options, std::cout);
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
@@ -536,7 +621,9 @@ void Usage() {
       "  search     --data DIR --model FILE --event ID [--k K]\n"
       "  serve-demo [--seed S] [--error-rate P] [--spike-rate P]\n"
       "             [--spike-us U] [--corrupt-rate P] [--budget-us U]\n"
-      "  metrics    [serve-demo flags] [--json FILE]\n");
+      "             [--trace-out FILE] [--trace-sample P] [--trace-seed S]\n"
+      "  metrics    [serve-demo flags] [--json FILE]\n"
+      "  trace      FILE [--top N]  (analyze an exported Chrome trace)\n");
 }
 
 }  // namespace
@@ -547,12 +634,25 @@ int main(int argc, char** argv) {
     return 1;
   }
   SetLogLevel(LogLevel::kWarn);
+  std::string cmd = argv[1];
+  if (cmd == "trace") {
+    // Positional file argument, then flags.
+    if (argc < 3 || argv[2][0] == '-') {
+      Usage();
+      return 1;
+    }
+    Args args;
+    if (!Args::Parse(argc, argv, &args, /*start=*/3)) {
+      Usage();
+      return 1;
+    }
+    return CmdTrace(argv[2], args);
+  }
   Args args;
   if (!Args::Parse(argc, argv, &args)) {
     Usage();
     return 1;
   }
-  std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "train") return CmdTrain(args);
   if (cmd == "eval") return CmdEval(args);
