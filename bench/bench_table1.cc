@@ -85,6 +85,11 @@ int main() {
   for (const auto& [key, value] : bench::RunTrainerThreadSweep(*pipeline)) {
     metrics[key] = value;
   }
+  // Live-telemetry hot-path overhead (ns/op) and exposition-write cost so
+  // bench_diff catches monitoring regressions alongside model quality.
+  for (const auto& [key, value] : bench::MonitorOverheadMetrics()) {
+    metrics[key] = value;
+  }
   bench::WriteBenchJson("table1", metrics);
   return 0;
 }

@@ -8,6 +8,9 @@
 #include <fstream>
 
 #include "evrec/obs/metrics.h"
+#include "evrec/obs/monitor.h"
+#include "evrec/obs/openmetrics.h"
+#include "evrec/util/clock.h"
 #include "evrec/util/csv_writer.h"
 #include "evrec/util/rng.h"
 #include "evrec/util/string_util.h"
@@ -112,6 +115,52 @@ std::map<std::string, double> RunTrainerThreadSweep(
               "(hardware threads: %d)\n",
               metrics["speedup_vs_1thread"], deterministic ? "yes" : "NO",
               ThreadPool::HardwareThreads());
+  return metrics;
+}
+
+std::map<std::string, double> MonitorOverheadMetrics() {
+  std::map<std::string, double> metrics;
+  FakeClock clock(0);
+  obs::Monitor monitor(&clock);
+  obs::RollingCounter* counter = monitor.GetCounter("bench.requests");
+  obs::RollingHistogram* hist = monitor.GetHistogram("bench.micros");
+
+  // Advance 50 simulated microseconds per op so bucket rotation (the
+  // non-trivial branch of the hot path) is exercised, not just the
+  // accumulate-into-current-bucket fast path.
+  constexpr int kOps = 1 << 20;
+  Timer timer;
+  for (int i = 0; i < kOps; ++i) {
+    counter->Add();
+    clock.Advance(50);
+  }
+  metrics["monitor_counter_ns_per_op"] =
+      timer.ElapsedSeconds() * 1e9 / kOps;
+  timer.Reset();
+  for (int i = 0; i < kOps; ++i) {
+    hist->Record(static_cast<double>(i & 1023));
+    clock.Advance(50);
+  }
+  metrics["monitor_histogram_ns_per_op"] =
+      timer.ElapsedSeconds() * 1e9 / kOps;
+
+  // Exposition cost over the registry the bench run actually populated
+  // (span histograms, trainer counters, ...) plus the monitor above.
+  constexpr int kWrites = 50;
+  std::string exposition;
+  timer.Reset();
+  for (int i = 0; i < kWrites; ++i) {
+    exposition =
+        obs::ToOpenMetricsString(*obs::MetricRegistry::Global(), &monitor);
+  }
+  metrics["openmetrics_write_micros"] =
+      timer.ElapsedSeconds() * 1e6 / kWrites;
+  std::printf(
+      "[bench] monitor overhead: counter %.0fns/op, histogram %.0fns/op, "
+      "exposition %.0fus (%zu bytes)\n",
+      metrics["monitor_counter_ns_per_op"],
+      metrics["monitor_histogram_ns_per_op"],
+      metrics["openmetrics_write_micros"], exposition.size());
   return metrics;
 }
 

@@ -48,6 +48,15 @@ pipeline::PipelineConfig BenchProfile();
 std::map<std::string, double> RunTrainerThreadSweep(
     const pipeline::TwoStagePipeline& pipeline);
 
+// Hot-path overhead of the live-telemetry layer (obs/monitor.h), measured
+// on a FakeClock so bucket rotation is exercised deterministically:
+//   monitor_counter_ns_per_op    one RollingCounter::Add
+//   monitor_histogram_ns_per_op  one RollingHistogram::Record
+//   openmetrics_write_micros     one full OpenMetrics exposition of the
+//                                global registry plus a populated monitor
+// All three are lower-is-better, so bench_diff gates regressions.
+std::map<std::string, double> MonitorOverheadMetrics();
+
 // Builds the pipeline, trains (or loads) the representation model, and
 // precomputes all representation vectors. Prints coarse phase timing.
 std::unique_ptr<pipeline::TwoStagePipeline> MakeTrainedPipeline(

@@ -58,7 +58,11 @@ void FusedGradInput(float dyi, const float* __restrict x,
   }
 }
 
-void Zero(float* x, int n) { std::memset(x, 0, sizeof(float) * n); }
+void Zero(float* x, int n) {
+  // n == 0 usually means x is a null data() of an empty vector; memset is
+  // UB on null even with a zero length.
+  if (n > 0) std::memset(x, 0, sizeof(float) * n);
+}
 
 float Norm(const float* __restrict x, int n) {
   double s0 = 0.0, s1 = 0.0;

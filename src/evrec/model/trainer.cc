@@ -249,15 +249,18 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
   obs::Series* time_series = registry->GetSeries("trainer.epoch_micros");
   obs::Histogram* epoch_hist =
       registry->GetHistogram("trainer.epoch.micros");
-  registry->GetGauge("trainer.threads")
+  // env.* = run environment, not workload: exporters that must be
+  // byte-identical across machine shapes (OpenMetrics) exclude the family.
+  registry->GetGauge("env.trainer.threads")
       ->Set(static_cast<double>(tp->num_threads()));
-  // Per-worker shard timings (prefetched: the registry map must not be
-  // grown from inside ParallelFor).
+  // Per-shard timings (prefetched: the registry map must not be grown from
+  // inside ParallelFor). Keyed by shard — part of the gradient layout and
+  // thus thread-count-independent — not by worker.
   std::vector<obs::Histogram*> shard_hists;
-  shard_hists.reserve(static_cast<size_t>(tp->num_threads()));
-  for (int w = 0; w < tp->num_threads(); ++w) {
+  shard_hists.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
     shard_hists.push_back(registry->GetHistogram(
-        "trainer.shard.micros.w" + std::to_string(w)));
+        "trainer.shard.micros.s" + std::to_string(s)));
   }
 
   const size_t batch_size =
@@ -361,7 +364,7 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
                             static_cast<int>(st.grads.de.size()));
           }
         }
-        shard_hists[static_cast<size_t>(s % tp->num_threads())]->Record(
+        shard_hists[static_cast<size_t>(s)]->Record(
             static_cast<double>(obs::CurrentClock()->NowMicros() -
                                 shard_start));
       });

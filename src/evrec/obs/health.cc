@@ -1,0 +1,125 @@
+#include "evrec/obs/health.h"
+
+#include <algorithm>
+
+#include "evrec/util/checkpoint.h"
+#include "evrec/util/string_util.h"
+#include "evrec/util/thread_pool.h"
+
+namespace evrec {
+namespace obs {
+
+const char* HealthStatusName(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kServing: return "serving";
+    case HealthStatus::kDegraded: return "degraded";
+    case HealthStatus::kUnhealthy: return "unhealthy";
+  }
+  return "unknown";
+}
+
+void HealthRegistry::Register(const std::string& name, HealthProbe probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_[name] = std::move(probe);
+}
+
+void HealthRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.erase(name);
+}
+
+size_t HealthRegistry::probe_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_.size();
+}
+
+HealthReport HealthRegistry::Check(const std::string& name) const {
+  HealthProbe probe;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = probes_.find(name);
+    if (it == probes_.end()) {
+      return {HealthStatus::kUnhealthy, "unknown probe '" + name + "'"};
+    }
+    probe = it->second;
+  }
+  return probe();
+}
+
+std::vector<HealthRegistry::ProbeResult> HealthRegistry::CheckAll() const {
+  // Copy the directory under the lock, probe outside it: a probe is free
+  // to touch the registry (or block briefly) without holding mu_.
+  std::vector<std::pair<std::string, HealthProbe>> probes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probes.reserve(probes_.size());
+    for (const auto& [name, p] : probes_) probes.emplace_back(name, p);
+  }
+  std::vector<ProbeResult> out;
+  out.reserve(probes.size());
+  for (auto& [name, probe] : probes) {
+    out.push_back(ProbeResult{name, probe()});
+  }
+  return out;
+}
+
+HealthStatus HealthRegistry::Aggregate() const {
+  HealthStatus worst = HealthStatus::kServing;
+  for (const ProbeResult& r : CheckAll()) {
+    if (static_cast<int>(r.report.status) > static_cast<int>(worst)) {
+      worst = r.report.status;
+    }
+  }
+  return worst;
+}
+
+void HealthRegistry::DumpStatus(std::ostream& os) const {
+  std::vector<ProbeResult> results = CheckAll();
+  HealthStatus worst = HealthStatus::kServing;
+  for (const ProbeResult& r : results) {
+    if (static_cast<int>(r.report.status) > static_cast<int>(worst)) {
+      worst = r.report.status;
+    }
+  }
+  for (const ProbeResult& r : results) {
+    os << StrFormat("  %-22s %-10s %s\n", r.name.c_str(),
+                    HealthStatusName(r.report.status),
+                    r.report.detail.c_str());
+  }
+  os << "  aggregate: " << HealthStatusName(worst) << "\n";
+}
+
+HealthProbe MakeThreadPoolProbe(const ThreadPool* pool) {
+  return [pool]() -> HealthReport {
+    // The worker count is environment shape, not health — leaving it out
+    // keeps health reports byte-identical across machine configurations
+    // (the same convention that excludes env.* metrics from exposition).
+    return {pool->num_threads() >= 1 ? HealthStatus::kServing
+                                     : HealthStatus::kUnhealthy,
+            "worker pool alive"};
+  };
+}
+
+HealthProbe MakeCheckpointProbe(const CheckpointOptions& options) {
+  // Capture by value; each probe call opens the manifest fresh so a
+  // checkpoint written after registration is visible.
+  CheckpointOptions opts = options;
+  return [opts]() -> HealthReport {
+    CheckpointManager manager(opts);
+    if (!manager.init_status().ok()) {
+      return {HealthStatus::kUnhealthy,
+              "checkpoint dir unusable: " + manager.init_status().message()};
+    }
+    std::vector<CheckpointInfo> checkpoints = manager.ListCheckpoints();
+    if (checkpoints.empty()) {
+      return {HealthStatus::kUnhealthy,
+              "no checkpoint under " + opts.dir};
+    }
+    return {HealthStatus::kServing,
+            StrFormat("latest checkpoint step=%lld",
+                      static_cast<long long>(checkpoints.front().step))};
+  };
+}
+
+}  // namespace obs
+}  // namespace evrec

@@ -1,0 +1,102 @@
+// Component health probes and the aggregate serving verdict.
+//
+// A probe is a named closure that inspects one component RIGHT NOW and
+// returns a verdict plus a short human detail string:
+//
+//   kServing    the component is fully functional
+//   kDegraded   usable but impaired (breaker half-open, store flaky) —
+//               the service answers, possibly with fallbacks
+//   kUnhealthy  the component cannot do its job (breaker open, no
+//               checkpoint, store unreachable)
+//
+// The HealthRegistry is a directory of probes; CheckAll() runs every probe
+// and Aggregate() folds their verdicts into the service-level answer a
+// load balancer would consume (worst verdict wins; no probes = serving).
+// Probes are registered by the component owners — RecommendationService
+// registers its circuit breaker and vector store, TwoStagePipeline
+// registers checkpoint freshness and thread-pool liveness — and MUST be
+// unregistered before the captured component dies (owners do this in their
+// destructors).
+//
+// Determinism: probes read component state, never wall time, so a CheckAll
+// at a given FakeClock instant is reproducible.
+
+#ifndef EVREC_OBS_HEALTH_H_
+#define EVREC_OBS_HEALTH_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace evrec {
+
+class ThreadPool;
+struct CheckpointOptions;
+
+namespace obs {
+
+enum class HealthStatus { kServing, kDegraded, kUnhealthy };
+const char* HealthStatusName(HealthStatus status);
+
+struct HealthReport {
+  HealthStatus status = HealthStatus::kServing;
+  std::string detail;
+};
+
+using HealthProbe = std::function<HealthReport()>;
+
+class HealthRegistry {
+ public:
+  HealthRegistry() = default;
+  HealthRegistry(const HealthRegistry&) = delete;
+  HealthRegistry& operator=(const HealthRegistry&) = delete;
+
+  // Registering an existing name replaces the probe (a restarted component
+  // re-registers itself).
+  void Register(const std::string& name, HealthProbe probe);
+  void Unregister(const std::string& name);
+
+  size_t probe_count() const;
+
+  // Runs one probe; unknown names report kUnhealthy.
+  HealthReport Check(const std::string& name) const;
+
+  struct ProbeResult {
+    std::string name;
+    HealthReport report;
+  };
+  // Runs every probe, name-sorted. Probes run outside the registry lock so
+  // a probe may (un)register other probes without deadlocking.
+  std::vector<ProbeResult> CheckAll() const;
+
+  // Worst verdict across all probes; an empty registry is serving.
+  HealthStatus Aggregate() const;
+
+  // Operator table: one line per probe plus the aggregate verdict.
+  void DumpStatus(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, HealthProbe> probes_;
+};
+
+// ---- Probe factories for components that don't know about obs ----
+
+// Liveness by construction: reports serving with the worker count while
+// the pool exists (the pool joins its workers in its destructor, so a
+// registered probe outliving the pool is the bug Unregister prevents).
+HealthProbe MakeThreadPoolProbe(const ThreadPool* pool);
+
+// Freshness of the newest valid checkpoint under `options`: unhealthy when
+// the directory is unusable or empty, serving otherwise with the latest
+// step in the detail. Deterministic — reads the manifest, never mtimes.
+HealthProbe MakeCheckpointProbe(const CheckpointOptions& options);
+
+}  // namespace obs
+}  // namespace evrec
+
+#endif  // EVREC_OBS_HEALTH_H_

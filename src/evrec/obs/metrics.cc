@@ -12,17 +12,18 @@
 namespace evrec {
 namespace obs {
 
-namespace {
-
-// Shortest-round-trip-ish formatting shared by the JSON and text dumps so
-// snapshots of identical values are byte-identical.
-std::string FormatDouble(double v) {
+std::string FormatMetricValue(double v) {
   if (v == static_cast<double>(static_cast<int64_t>(v)) &&
       std::abs(v) < 1e15) {
     return StrFormat("%lld", static_cast<long long>(v));
   }
   return StrFormat("%.9g", v);
 }
+
+namespace {
+
+// Local alias for the historical name used throughout this file.
+std::string FormatDouble(double v) { return FormatMetricValue(v); }
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -70,6 +71,7 @@ Histogram::Histogram(const HistogramOptions& options) {
   }
   buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
   exemplars_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  exemplar_values_ = std::vector<std::atomic<double>>(bounds_.size() + 1);
 }
 
 void Histogram::RecordWithExemplar(double value, uint64_t exemplar_trace_id) {
@@ -100,6 +102,9 @@ void Histogram::RecordWithExemplar(double value, uint64_t exemplar_trace_id) {
                           bounds_.begin());
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   if (exemplar_trace_id != 0) {
+    // Value first, id second: a reader keying off a non-zero id may see a
+    // stale value for one sample, never a torn pair — fine for telemetry.
+    exemplar_values_[bucket].store(value, std::memory_order_relaxed);
     exemplars_[bucket].store(exemplar_trace_id, std::memory_order_relaxed);
   }
   sum_.fetch_add(value, std::memory_order_relaxed);
@@ -162,7 +167,12 @@ void Histogram::Merge(const Histogram& other) {
     uint64_t c = other.buckets_[b].load(std::memory_order_relaxed);
     if (c != 0) buckets_[b].fetch_add(c, std::memory_order_relaxed);
     uint64_t ex = other.exemplars_[b].load(std::memory_order_relaxed);
-    if (ex != 0) exemplars_[b].store(ex, std::memory_order_relaxed);
+    if (ex != 0) {
+      exemplar_values_[b].store(
+          other.exemplar_values_[b].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      exemplars_[b].store(ex, std::memory_order_relaxed);
+    }
   }
   sum_.fetch_add(other.sum(), std::memory_order_relaxed);
   if (count_.load(std::memory_order_relaxed) == 0) {
@@ -178,18 +188,60 @@ void Histogram::Merge(const Histogram& other) {
 // ---------- Series ----------
 
 void Series::Append(double x, double y) {
-  std::lock_guard<std::mutex> lock(mu_);
-  points_.emplace_back(x, y);
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    points_.emplace_back(x, y);
+    while (points_.size() - start_ > max_points_) {
+      ++start_;
+      ++dropped_;
+      ++evicted;
+    }
+    // Amortized O(1): compact the evicted prefix once it matches the live
+    // span, so the vector never holds more than 2x the cap.
+    if (start_ > 0 && start_ >= points_.size() - start_) {
+      points_.erase(points_.begin(),
+                    points_.begin() + static_cast<ptrdiff_t>(start_));
+      start_ = 0;
+    }
+  }
+  if (evicted != 0) {
+    // Outside mu_: the global registry's lock is taken while iterating
+    // series (DumpText and friends), so incrementing under mu_ would
+    // invert that order.
+    MetricRegistry::Global()
+        ->GetCounter("metrics.series_dropped")
+        ->Increment(evicted);
+    EVREC_LOG_EVERY_N(WARN, 1000)
+        << "series at retention cap; evicting oldest points "
+        << "(see metrics.series_dropped)";
+  }
 }
 
 std::vector<std::pair<double, double>> Series::Points() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return points_;
+  return std::vector<std::pair<double, double>>(
+      points_.begin() + static_cast<ptrdiff_t>(start_), points_.end());
 }
 
 size_t Series::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return points_.size();
+  return points_.size() - start_;
+}
+
+uint64_t Series::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Series::set_max_points(size_t max_points) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_points_ = max_points < 1 ? 1 : max_points;
+}
+
+size_t Series::max_points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_points_;
 }
 
 // ---------- MetricRegistry ----------
@@ -240,8 +292,15 @@ Series* MetricRegistry::GetSeries(const std::string& name) {
                 histograms_.count(name) == 0)
         << "metric '" << name << "' already exists with a different kind";
     it = series_.emplace(name, std::make_unique<Series>()).first;
+    it->second->set_max_points(series_max_points_);
   }
   return it->second.get();
+}
+
+void MetricRegistry::set_series_max_points(size_t max_points) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_max_points_ = max_points < 1 ? 1 : max_points;
+  for (auto& [name, s] : series_) s->set_max_points(series_max_points_);
 }
 
 void MetricRegistry::Merge(const MetricRegistry& other) {
@@ -293,6 +352,15 @@ std::map<std::string, double> MetricRegistry::GaugeValues() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, double> out;
   for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricRegistry::HistogramEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
   return out;
 }
 

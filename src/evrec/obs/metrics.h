@@ -38,6 +38,11 @@
 namespace evrec {
 namespace obs {
 
+// Shortest-round-trip-ish float formatting shared by every deterministic
+// exporter (JSON, text, OpenMetrics, status reports): integers print with
+// no fraction, everything else as %.9g.
+std::string FormatMetricValue(double v);
+
 class Counter {
  public:
   void Increment(uint64_t n = 1) {
@@ -107,27 +112,53 @@ class Histogram {
   uint64_t bucket_exemplar(int i) const {
     return exemplars_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
   }
+  // The recorded value of that same exemplar sample (meaningful only when
+  // bucket_exemplar(i) != 0); OpenMetrics exposition attaches it to the
+  // bucket line.
+  double bucket_exemplar_value(int i) const {
+    return exemplar_values_[static_cast<size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
 
  private:
   std::vector<double> bounds_;  // inclusive upper bounds, strictly rising
   std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1 slots
   std::vector<std::atomic<uint64_t>> exemplars_;  // trace id per bucket
+  std::vector<std::atomic<double>> exemplar_values_;  // sample per bucket
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
 };
 
-// Append-only (x, y) time series, e.g. (epoch, loss).
+// Append-only (x, y) time series, e.g. (epoch, loss). Retention is bounded:
+// once a series holds max_points, each append evicts the oldest point and
+// bumps the process-wide `metrics.series_dropped` counter (with a
+// rate-limited warning), so a long training run cannot grow the registry
+// without limit.
 class Series {
  public:
+  // Default retention per series; ~1 MB of points at 16 bytes each.
+  static constexpr size_t kDefaultMaxPoints = 65536;
+
   void Append(double x, double y);
   std::vector<std::pair<double, double>> Points() const;
   size_t size() const;
 
+  // Total points evicted from this series since creation.
+  uint64_t dropped() const;
+
+  // Adjusts the cap (minimum 1); an over-full series evicts down to the new
+  // cap on its next Append.
+  void set_max_points(size_t max_points);
+  size_t max_points() const;
+
  private:
   mutable std::mutex mu_;
   std::vector<std::pair<double, double>> points_;
+  size_t start_ = 0;  // index of the logical head (evicted prefix)
+  size_t max_points_ = kDefaultMaxPoints;
+  uint64_t dropped_ = 0;
 };
 
 struct HistogramSnapshot {
@@ -155,10 +186,19 @@ class MetricRegistry {
   // Folds a per-thread shard into this registry (see file comment).
   void Merge(const MetricRegistry& other);
 
+  // Applies `max_points` to every existing series and to series created
+  // later (the satellite cap for long training runs).
+  void set_series_max_points(size_t max_points);
+
   // Snapshots for programmatic consumers (benches, tests).
   std::map<std::string, uint64_t> CounterValues() const;
   std::map<std::string, double> GaugeValues() const;
   std::map<std::string, HistogramSnapshot> HistogramValues() const;
+
+  // Name-sorted stable pointers for bucket-level exporters (OpenMetrics);
+  // valid for the registry's lifetime.
+  std::vector<std::pair<std::string, const Histogram*>> HistogramEntries()
+      const;
 
   // Human-readable aligned table of every metric.
   void DumpText(std::ostream& os) const;
@@ -182,6 +222,7 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, HistogramOptions> histogram_options_;
   std::map<std::string, std::unique_ptr<Series>> series_;
+  size_t series_max_points_ = Series::kDefaultMaxPoints;
 };
 
 }  // namespace obs

@@ -1,0 +1,242 @@
+#include "evrec/obs/monitor.h"
+
+#include <algorithm>
+
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace obs {
+
+namespace {
+
+// Bucket number for a clock reading. Clock readings are non-negative in
+// practice (SystemClock since boot, FakeClock from its start value), but a
+// floor division keeps boundary behaviour sane either way: a timestamp
+// exactly on a bucket boundary belongs to the bucket it opens.
+int64_t BucketIndexFor(int64_t now_micros, int64_t width) {
+  int64_t q = now_micros / width;
+  if (now_micros % width < 0) --q;
+  return q;
+}
+
+int ClampWindowBuckets(int64_t window_micros, int64_t width,
+                       int num_buckets) {
+  if (window_micros <= 0) return 1;
+  int64_t nb = (window_micros + width - 1) / width;
+  if (nb < 1) nb = 1;
+  if (nb > num_buckets) nb = num_buckets;
+  return static_cast<int>(nb);
+}
+
+}  // namespace
+
+// ---------- RollingCounter ----------
+
+RollingCounter::RollingCounter(Clock* clock, const WindowOptions& options)
+    : clock_(clock), options_(options) {
+  EVREC_CHECK(clock != nullptr);
+  EVREC_CHECK_GT(options.bucket_width_micros, 0);
+  EVREC_CHECK_GT(options.num_buckets, 0);
+  ring_.resize(static_cast<size_t>(options.num_buckets));
+}
+
+int64_t RollingCounter::CurrentIndexLocked() const {
+  return BucketIndexFor(clock_->NowMicros(), options_.bucket_width_micros);
+}
+
+int RollingCounter::WindowBucketsLocked(int64_t window_micros) const {
+  return ClampWindowBuckets(window_micros, options_.bucket_width_micros,
+                            options_.num_buckets);
+}
+
+void RollingCounter::Add(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t idx = CurrentIndexLocked();
+  Bucket& b = ring_[static_cast<size_t>(idx % options_.num_buckets)];
+  if (b.index != idx) {
+    // Slot last held an older (or never any) bucket: recycle it.
+    b.index = idx;
+    b.count = 0;
+  }
+  b.count += n;
+}
+
+uint64_t RollingCounter::Sum(int64_t window_micros) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t cur = CurrentIndexLocked();
+  int nb = WindowBucketsLocked(window_micros);
+  uint64_t sum = 0;
+  for (const Bucket& b : ring_) {
+    if (b.index < 0) continue;
+    if (b.index > cur || cur - b.index >= nb) continue;  // stale or future
+    sum += b.count;
+  }
+  return sum;
+}
+
+double RollingCounter::Rate(int64_t window_micros) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t cur = CurrentIndexLocked();
+  int nb = WindowBucketsLocked(window_micros);
+  uint64_t sum = 0;
+  for (const Bucket& b : ring_) {
+    if (b.index < 0) continue;
+    if (b.index > cur || cur - b.index >= nb) continue;
+    sum += b.count;
+  }
+  double seconds = static_cast<double>(nb) *
+                   static_cast<double>(options_.bucket_width_micros) / 1e6;
+  return static_cast<double>(sum) / seconds;
+}
+
+// ---------- RollingHistogram ----------
+
+RollingHistogram::RollingHistogram(Clock* clock, const WindowOptions& window,
+                                   const HistogramOptions& histogram)
+    : clock_(clock), window_(window), histogram_(histogram) {
+  EVREC_CHECK(clock != nullptr);
+  EVREC_CHECK_GT(window.bucket_width_micros, 0);
+  EVREC_CHECK_GT(window.num_buckets, 0);
+  ring_.resize(static_cast<size_t>(window.num_buckets));
+}
+
+int64_t RollingHistogram::CurrentIndexLocked() const {
+  return BucketIndexFor(clock_->NowMicros(), window_.bucket_width_micros);
+}
+
+int RollingHistogram::WindowBucketsLocked(int64_t window_micros) const {
+  return ClampWindowBuckets(window_micros, window_.bucket_width_micros,
+                            window_.num_buckets);
+}
+
+void RollingHistogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t idx = CurrentIndexLocked();
+  Bucket& b = ring_[static_cast<size_t>(idx % window_.num_buckets)];
+  if (b.index != idx || b.hist == nullptr) {
+    b.index = idx;
+    b.hist = std::make_unique<Histogram>(histogram_);
+  }
+  b.hist->Record(value);
+}
+
+void RollingHistogram::MergeWindowLocked(int64_t window_micros,
+                                         Histogram* out) const {
+  int64_t cur = CurrentIndexLocked();
+  int nb = WindowBucketsLocked(window_micros);
+  for (const Bucket& b : ring_) {
+    if (b.index < 0 || b.hist == nullptr) continue;
+    if (b.index > cur || cur - b.index >= nb) continue;
+    out->Merge(*b.hist);
+  }
+}
+
+uint64_t RollingHistogram::Count(int64_t window_micros) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram merged(histogram_);
+  MergeWindowLocked(window_micros, &merged);
+  return merged.count();
+}
+
+HistogramSnapshot RollingHistogram::Snapshot(int64_t window_micros) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram merged(histogram_);
+  MergeWindowLocked(window_micros, &merged);
+  HistogramSnapshot snap;
+  snap.count = merged.count();
+  snap.sum = merged.sum();
+  snap.min = merged.min();
+  snap.max = merged.max();
+  snap.p50 = merged.Quantile(0.50);
+  snap.p95 = merged.Quantile(0.95);
+  snap.p99 = merged.Quantile(0.99);
+  return snap;
+}
+
+double RollingHistogram::Quantile(int64_t window_micros, double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram merged(histogram_);
+  MergeWindowLocked(window_micros, &merged);
+  return merged.Quantile(q);
+}
+
+// ---------- Monitor ----------
+
+Monitor::Monitor(Clock* clock, const WindowOptions& defaults)
+    : clock_(clock), defaults_(defaults),
+      report_windows_{10 * 1000000LL, 60 * 1000000LL} {
+  EVREC_CHECK(clock != nullptr);
+}
+
+RollingCounter* Monitor::GetCounter(const std::string& name) {
+  return GetCounter(name, defaults_);
+}
+
+RollingCounter* Monitor::GetCounter(const std::string& name,
+                                    const WindowOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    EVREC_CHECK(histograms_.count(name) == 0)
+        << "rolling metric '" << name
+        << "' already exists with a different kind";
+    it = counters_
+             .emplace(name,
+                      std::make_unique<RollingCounter>(clock_, options))
+             .first;
+  }
+  return it->second.get();
+}
+
+RollingHistogram* Monitor::GetHistogram(const std::string& name,
+                                        const HistogramOptions& histogram) {
+  return GetHistogram(name, defaults_, histogram);
+}
+
+RollingHistogram* Monitor::GetHistogram(const std::string& name,
+                                        const WindowOptions& window,
+                                        const HistogramOptions& histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    EVREC_CHECK(counters_.count(name) == 0)
+        << "rolling metric '" << name
+        << "' already exists with a different kind";
+    it = histograms_
+             .emplace(name, std::make_unique<RollingHistogram>(
+                                clock_, window, histogram))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::pair<std::string, const RollingCounter*>>
+Monitor::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const RollingCounter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const RollingHistogram*>>
+Monitor::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const RollingHistogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+void Monitor::set_report_windows(std::vector<int64_t> windows_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  report_windows_ = std::move(windows_micros);
+}
+
+std::vector<int64_t> Monitor::report_windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_windows_;
+}
+
+}  // namespace obs
+}  // namespace evrec

@@ -1,0 +1,173 @@
+// Windowed ("live") telemetry over the injectable clock. The MetricRegistry
+// answers "what happened since process start"; a Monitor answers "what is
+// happening NOW": current QPS, the error rate over the last minute, a
+// sliding p99. Both are needed to operate the serving layer — the SLO
+// burn-rate engine (obs/slo.h) and the health probes (obs/health.h) are
+// built on these windows.
+//
+// Each rolling metric is a ring of fixed-width time buckets. Bucket k
+// covers [k*width, (k+1)*width) on the monitor's clock; slot k % n holds
+// the most recent bucket with that residue and carries its bucket index as
+// a tag, so a long idle gap that wraps the ring simply leaves stale tags
+// behind — queries skip any slot whose tag falls outside the asked-for
+// window, and writes reset a stale slot before accumulating into it. No
+// background thread ever advances the ring; time moves only when a reader
+// or writer observes the clock, which keeps every operation a pure
+// function of (clock reading, prior operations) and therefore bit-
+// reproducible under FakeClock for any thread count.
+//
+//   RollingCounter    windowed event count: Sum(window) and Rate(window)
+//   RollingHistogram  windowed distribution: the last-N bucket histograms
+//                     are merged on demand for sliding-window percentiles
+//
+// Thread safety: each rolling metric serializes updates and queries behind
+// its own mutex (the hot path is one clock read + one bucket update — far
+// cheaper than the serve work it measures; bench_table1 records the
+// measured ns/op). The Monitor directory itself locks like MetricRegistry:
+// lookup once, then update through the stable pointer.
+
+#ifndef EVREC_OBS_MONITOR_H_
+#define EVREC_OBS_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "evrec/obs/metrics.h"
+#include "evrec/util/clock.h"
+
+namespace evrec {
+namespace obs {
+
+struct WindowOptions {
+  // Width of one ring bucket. Queries are quantized to whole buckets.
+  int64_t bucket_width_micros = 1000000;  // 1s
+  // Ring capacity: the longest usable lookback is
+  // bucket_width_micros * num_buckets (longer windows are clamped).
+  int num_buckets = 64;
+};
+
+// Windowed monotone counter.
+class RollingCounter {
+ public:
+  RollingCounter(Clock* clock, const WindowOptions& options);
+
+  void Add(uint64_t n = 1);
+
+  // Total increments inside the last `window_micros`, including the
+  // current (possibly partial) bucket. The window is rounded up to whole
+  // buckets and clamped to the ring capacity.
+  uint64_t Sum(int64_t window_micros) const;
+
+  // Sum(window) / covered-window-seconds (the rounded, clamped span). The
+  // current bucket is usually partial, so a rate over a short window reads
+  // slightly low until the bucket fills — deterministic either way.
+  double Rate(int64_t window_micros) const;
+
+  const WindowOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    int64_t index = -1;  // bucket number, -1 = never used
+    uint64_t count = 0;
+  };
+
+  // Both called with mu_ held.
+  int64_t CurrentIndexLocked() const;
+  int WindowBucketsLocked(int64_t window_micros) const;
+
+  Clock* clock_;
+  WindowOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Bucket> ring_;
+};
+
+// Windowed distribution: one fixed-bucket Histogram per time bucket;
+// sliding-window statistics merge the live histograms on demand.
+class RollingHistogram {
+ public:
+  RollingHistogram(Clock* clock, const WindowOptions& window,
+                   const HistogramOptions& histogram = HistogramOptions());
+
+  void Record(double value);
+
+  // Count of samples inside the window.
+  uint64_t Count(int64_t window_micros) const;
+
+  // Merged snapshot (count/sum/min/max/p50/p95/p99) of the last
+  // `window_micros`; all-zero when the window holds no samples.
+  HistogramSnapshot Snapshot(int64_t window_micros) const;
+
+  // Convenience: Snapshot-equivalent single quantile.
+  double Quantile(int64_t window_micros, double q) const;
+
+  const WindowOptions& options() const { return window_; }
+
+ private:
+  struct Bucket {
+    int64_t index = -1;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  int64_t CurrentIndexLocked() const;
+  int WindowBucketsLocked(int64_t window_micros) const;
+  // Merges the in-window bucket histograms into `out` (same options).
+  void MergeWindowLocked(int64_t window_micros, Histogram* out) const;
+
+  Clock* clock_;
+  WindowOptions window_;
+  HistogramOptions histogram_;
+  mutable std::mutex mu_;
+  std::vector<Bucket> ring_;
+};
+
+// Directory of named rolling metrics, sharing one clock and default window
+// shape. Same contract as MetricRegistry: find-or-create returns stable
+// pointers, a name never changes kind, metrics are never deleted.
+class Monitor {
+ public:
+  explicit Monitor(Clock* clock,
+                   const WindowOptions& defaults = WindowOptions());
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  RollingCounter* GetCounter(const std::string& name);
+  RollingCounter* GetCounter(const std::string& name,
+                             const WindowOptions& options);
+  RollingHistogram* GetHistogram(
+      const std::string& name,
+      const HistogramOptions& histogram = HistogramOptions());
+  RollingHistogram* GetHistogram(const std::string& name,
+                                 const WindowOptions& window,
+                                 const HistogramOptions& histogram);
+
+  // Stable pointers, name-sorted — the exposition writer iterates these.
+  std::vector<std::pair<std::string, const RollingCounter*>> Counters() const;
+  std::vector<std::pair<std::string, const RollingHistogram*>> Histograms()
+      const;
+
+  // Windows the OpenMetrics exposition and status reports evaluate each
+  // rolling metric over (default: 10s and 60s).
+  void set_report_windows(std::vector<int64_t> windows_micros);
+  std::vector<int64_t> report_windows() const;
+
+  Clock* clock() const { return clock_; }
+  const WindowOptions& defaults() const { return defaults_; }
+
+ private:
+  Clock* clock_;
+  WindowOptions defaults_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<RollingCounter>> counters_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>> histograms_;
+  std::vector<int64_t> report_windows_;
+};
+
+}  // namespace obs
+}  // namespace evrec
+
+#endif  // EVREC_OBS_MONITOR_H_

@@ -1,0 +1,131 @@
+#include "evrec/obs/openmetrics.h"
+
+#include <sstream>
+
+#include "evrec/util/string_util.h"
+
+namespace evrec {
+namespace obs {
+
+namespace {
+
+bool IsEnvMetric(const std::string& name) {
+  return name.rfind("env.", 0) == 0;
+}
+
+// Human window label: whole seconds when possible, else ms, else us.
+std::string WindowLabel(int64_t window_micros) {
+  if (window_micros % 1000000 == 0) {
+    return StrFormat("%llds",
+                     static_cast<long long>(window_micros / 1000000));
+  }
+  if (window_micros % 1000 == 0) {
+    return StrFormat("%lldms", static_cast<long long>(window_micros / 1000));
+  }
+  return StrFormat("%lldus", static_cast<long long>(window_micros));
+}
+
+void WriteHistogram(const std::string& name, const Histogram& h,
+                    std::ostream& os) {
+  os << "# TYPE " << name << " histogram\n";
+  uint64_t cumulative = 0;
+  const int nb = h.num_buckets();
+  for (int b = 0; b <= nb; ++b) {
+    cumulative += h.bucket_count(b);
+    std::string le =
+        b < nb ? FormatMetricValue(h.bucket_upper(b)) : std::string("+Inf");
+    os << name << "_bucket{le=\"" << le << "\"} " << cumulative;
+    uint64_t ex = h.bucket_exemplar(b);
+    if (ex != 0) {
+      // OpenMetrics exemplar: ties this bucket to a concrete trace in the
+      // TraceLog (ids print exactly as the trace exporters do).
+      os << " # {trace_id=\""
+         << StrFormat("%016llx", static_cast<unsigned long long>(ex))
+         << "\"} " << FormatMetricValue(h.bucket_exemplar_value(b));
+    }
+    os << "\n";
+  }
+  os << name << "_sum " << FormatMetricValue(h.sum()) << "\n";
+  os << name << "_count " << h.count() << "\n";
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void WriteOpenMetrics(const MetricRegistry& registry, const Monitor* monitor,
+                      std::ostream& os, const OpenMetricsOptions& options) {
+  for (const auto& [name, value] : registry.CounterValues()) {
+    if (!options.include_env && IsEnvMetric(name)) continue;
+    std::string n = SanitizeMetricName(name);
+    os << "# TYPE " << n << " counter\n";
+    os << n << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    if (!options.include_env && IsEnvMetric(name)) continue;
+    std::string n = SanitizeMetricName(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << " " << FormatMetricValue(value) << "\n";
+  }
+  for (const auto& [name, h] : registry.HistogramEntries()) {
+    if (!options.include_env && IsEnvMetric(name)) continue;
+    WriteHistogram(SanitizeMetricName(name), *h, os);
+  }
+  // Series are training artifacts (per-epoch curves), not scrape-time
+  // samples; the JSON dump carries them.
+
+  if (monitor != nullptr) {
+    const std::vector<int64_t> windows = monitor->report_windows();
+    for (const auto& [name, counter] : monitor->Counters()) {
+      if (!options.include_env && IsEnvMetric(name)) continue;
+      std::string n = SanitizeMetricName(name) + "_rate";
+      os << "# TYPE " << n << " gauge\n";
+      for (int64_t w : windows) {
+        os << n << "{window=\"" << WindowLabel(w) << "\"} "
+           << FormatMetricValue(counter->Rate(w)) << "\n";
+      }
+    }
+    for (const auto& [name, hist] : monitor->Histograms()) {
+      if (!options.include_env && IsEnvMetric(name)) continue;
+      std::string n = SanitizeMetricName(name) + "_window";
+      os << "# TYPE " << n << " summary\n";
+      for (int64_t w : windows) {
+        const std::string wl = WindowLabel(w);
+        HistogramSnapshot snap = hist->Snapshot(w);
+        os << n << "{window=\"" << wl << "\",quantile=\"0.5\"} "
+           << FormatMetricValue(snap.p50) << "\n";
+        os << n << "{window=\"" << wl << "\",quantile=\"0.95\"} "
+           << FormatMetricValue(snap.p95) << "\n";
+        os << n << "{window=\"" << wl << "\",quantile=\"0.99\"} "
+           << FormatMetricValue(snap.p99) << "\n";
+        os << n << "_sum{window=\"" << wl << "\"} "
+           << FormatMetricValue(snap.sum) << "\n";
+        os << n << "_count{window=\"" << wl << "\"} " << snap.count << "\n";
+      }
+    }
+  }
+  os << "# EOF\n";
+}
+
+std::string ToOpenMetricsString(const MetricRegistry& registry,
+                                const Monitor* monitor,
+                                const OpenMetricsOptions& options) {
+  std::ostringstream os;
+  WriteOpenMetrics(registry, monitor, os, options);
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace evrec

@@ -1,0 +1,55 @@
+// Prometheus / OpenMetrics text exposition for the observability surface.
+//
+// Writes every metric of a MetricRegistry — counters (`_total` samples),
+// gauges, histograms (cumulative `_bucket{le="..."}` ladder with OpenMetrics
+// exemplars linking hot buckets to trace ids, plus `_sum`/`_count`) — and,
+// when a Monitor is supplied, the live windowed view: per-window rates for
+// every rolling counter and per-window quantiles for every rolling
+// histogram, labelled `{window="10s"}` etc. for each configured report
+// window. Output ends with the mandatory `# EOF` terminator.
+//
+// Names are sanitized to the Prometheus charset ([a-zA-Z0-9_:]); the
+// registry's dotted names map dots to underscores.
+//
+// Determinism: metrics emit in sorted-name order with the registry's fixed
+// float formatting and no timestamps, so a FakeClock run produces
+// byte-identical exposition for any thread count. To keep that property,
+// metrics under the `env.*` prefix (machine/run environment such as the
+// worker count) are EXCLUDED by default — in a real deployment those are
+// target labels applied by the scraper, not samples.
+
+#ifndef EVREC_OBS_OPENMETRICS_H_
+#define EVREC_OBS_OPENMETRICS_H_
+
+#include <ostream>
+#include <string>
+
+#include "evrec/obs/metrics.h"
+#include "evrec/obs/monitor.h"
+
+namespace evrec {
+namespace obs {
+
+struct OpenMetricsOptions {
+  // Include `env.*` metrics (breaks cross-environment byte-identity).
+  bool include_env = false;
+};
+
+// `monitor` may be null (registry-only exposition).
+void WriteOpenMetrics(const MetricRegistry& registry, const Monitor* monitor,
+                      std::ostream& os,
+                      const OpenMetricsOptions& options = OpenMetricsOptions());
+
+std::string ToOpenMetricsString(
+    const MetricRegistry& registry, const Monitor* monitor = nullptr,
+    const OpenMetricsOptions& options = OpenMetricsOptions());
+
+// Maps an arbitrary metric name onto the Prometheus charset: every
+// character outside [a-zA-Z0-9_:] becomes '_', and a leading digit gains a
+// '_' prefix. Exposed for tests.
+std::string SanitizeMetricName(const std::string& name);
+
+}  // namespace obs
+}  // namespace evrec
+
+#endif  // EVREC_OBS_OPENMETRICS_H_

@@ -36,6 +36,22 @@ ThreadPool* TwoStagePipeline::pool() {
   return pool_.get();
 }
 
+void TwoStagePipeline::RegisterHealthProbes(obs::HealthRegistry* health) {
+  health->Register("pipeline.thread_pool",
+                   obs::MakeThreadPoolProbe(pool()));
+  if (!config_.checkpoint_dir.empty()) {
+    CheckpointOptions ckpt;
+    ckpt.dir = config_.checkpoint_dir;
+    ckpt.prefix = "rep";
+    health->Register("pipeline.checkpoint", obs::MakeCheckpointProbe(ckpt));
+  }
+}
+
+void TwoStagePipeline::UnregisterHealthProbes(obs::HealthRegistry* health) {
+  health->Unregister("pipeline.thread_pool");
+  health->Unregister("pipeline.checkpoint");
+}
+
 void TwoStagePipeline::Prepare() {
   EVREC_SPAN("pipeline.prepare");
   Timer timer;

@@ -26,6 +26,7 @@
 #include "evrec/model/joint_model.h"
 #include "evrec/model/siamese.h"
 #include "evrec/model/trainer.h"
+#include "evrec/obs/health.h"
 #include "evrec/pipeline/encoders.h"
 #include "evrec/store/rep_cache.h"
 
@@ -118,6 +119,14 @@ class TwoStagePipeline {
   // Shared worker pool, created on first use (one pool for the whole
   // pipeline, so nested phases don't over-subscribe the machine).
   ThreadPool* pool();
+
+  // Registers this pipeline's component probes (thread-pool liveness and,
+  // when checkpointing is configured, checkpoint freshness) under
+  // "pipeline.*". The probes capture pipeline internals: unregister them
+  // (UnregisterHealthProbes) before the pipeline dies if the registry
+  // outlives it.
+  void RegisterHealthProbes(obs::HealthRegistry* health);
+  void UnregisterHealthProbes(obs::HealthRegistry* health);
 
  private:
   std::string CacheFilePath() const;

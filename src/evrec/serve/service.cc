@@ -47,6 +47,65 @@ RecommendationService::RecommendationService(const Backends& backends,
     metrics_.tier_micros[t] =
         reg->GetHistogram(StrFormat("serve.tier.%d.micros", t + 1));
   }
+
+  if (backends_.monitor != nullptr) {
+    obs::Monitor* mon = backends_.monitor;
+    live_.requests = mon->GetCounter("serve.requests");
+    live_.errors = mon->GetCounter("serve.errors");
+    live_.store_attempts = mon->GetCounter("serve.store.attempts");
+    live_.store_errors = mon->GetCounter("serve.store.errors");
+    live_.request_micros = mon->GetHistogram("serve.request.micros");
+  }
+
+  if (backends_.health != nullptr) {
+    backends_.health->Register(
+        "serve.circuit_breaker", [this]() -> obs::HealthReport {
+          CircuitBreaker::State s = breaker_.state();
+          obs::HealthStatus verdict =
+              s == CircuitBreaker::State::kClosed
+                  ? obs::HealthStatus::kServing
+                  : (s == CircuitBreaker::State::kHalfOpen
+                         ? obs::HealthStatus::kDegraded
+                         : obs::HealthStatus::kUnhealthy);
+          return {verdict, StrFormat("breaker %s after %llu transition(s)",
+                                     CircuitStateName(s),
+                                     static_cast<unsigned long long>(
+                                         breaker_.transitions()))};
+        });
+    backends_.health->Register(
+        "serve.vector_store", [this]() -> obs::HealthReport {
+          if (live_.store_attempts == nullptr) {
+            return {obs::HealthStatus::kServing, "no live telemetry"};
+          }
+          // Reachability from the last 10s of real traffic: flaky above
+          // 10% failed lookups, unreachable above 50%.
+          const int64_t window = 10 * 1000000LL;
+          uint64_t attempts = live_.store_attempts->Sum(window);
+          if (attempts == 0) {
+            return {obs::HealthStatus::kServing, "idle (no recent lookups)"};
+          }
+          double error_rate =
+              static_cast<double>(live_.store_errors->Sum(window)) /
+              static_cast<double>(attempts);
+          obs::HealthStatus verdict =
+              error_rate > 0.5 ? obs::HealthStatus::kUnhealthy
+                               : (error_rate > 0.1
+                                      ? obs::HealthStatus::kDegraded
+                                      : obs::HealthStatus::kServing);
+          return {verdict,
+                  StrFormat("error rate %s over %llu lookup(s)",
+                            obs::FormatMetricValue(error_rate).c_str(),
+                            static_cast<unsigned long long>(attempts))};
+        });
+  }
+}
+
+RecommendationService::~RecommendationService() {
+  // The probes capture `this`; they must not outlive the service.
+  if (backends_.health != nullptr) {
+    backends_.health->Unregister("serve.circuit_breaker");
+    backends_.health->Unregister("serve.vector_store");
+  }
 }
 
 StatusOr<std::vector<float>> RecommendationService::FetchVector(
@@ -267,6 +326,22 @@ RankResponse RecommendationService::Rank(int user,
   metrics_.request_micros->RecordWithExemplar(
       static_cast<double>(response.elapsed_micros),
       request_span.trace_id());
+
+  // Live telemetry + SLO accounting. RecordRequest runs before the root
+  // span closes so a firing alert can still MarkKeep this trace.
+  if (live_.requests != nullptr) {
+    live_.requests->Add(1);
+    if (had_errors) live_.errors->Add(1);
+    live_.store_attempts->Add(st.store_attempts);
+    live_.store_errors->Add(st.store_transient_errors +
+                            st.store_corruptions);
+    live_.request_micros->Record(
+        static_cast<double>(response.elapsed_micros));
+  }
+  if (backends_.slo != nullptr) {
+    backends_.slo->RecordRequest(had_errors, response.elapsed_micros,
+                                 request_span.trace_id());
+  }
   return response;
 }
 

@@ -18,7 +18,10 @@
 
 #include "evrec/baseline/assembler.h"
 #include "evrec/gbdt/gbdt.h"
+#include "evrec/obs/health.h"
 #include "evrec/obs/metrics.h"
+#include "evrec/obs/monitor.h"
+#include "evrec/obs/slo.h"
 #include "evrec/serve/circuit_breaker.h"
 #include "evrec/serve/clock.h"
 #include "evrec/serve/fault_injector.h"
@@ -67,10 +70,22 @@ class RecommendationService {
     // Destination for serve.* counters and latency histograms; nullptr
     // means the process-wide obs::MetricRegistry::Global().
     obs::MetricRegistry* metrics = nullptr;
+    // Optional live telemetry: rolling-window serve.* metrics (QPS, error
+    // rate, sliding latency percentiles) are fed per request when set.
+    obs::Monitor* monitor = nullptr;
+    // Optional SLO engine: every request is reported (error flag + latency)
+    // before its root span closes, so episodes firing an alert retain their
+    // traces.
+    obs::SloEngine* slo = nullptr;
+    // Optional health registry: the service registers its circuit-breaker
+    // and vector-store probes on construction and unregisters them on
+    // destruction.
+    obs::HealthRegistry* health = nullptr;
   };
 
   RecommendationService(const Backends& backends,
                         const ServiceConfig& config);
+  ~RecommendationService();
 
   RankResponse Rank(int user, const std::vector<int>& candidates, int day) {
     return Rank(user, candidates, day, config_.default_budget_micros);
@@ -129,12 +144,23 @@ class RecommendationService {
     obs::Histogram* tier_micros[4] = {nullptr, nullptr, nullptr, nullptr};
   };
 
+  // Rolling-window mirrors of the hot serve metrics, resolved once when a
+  // Monitor is supplied (all null otherwise).
+  struct LiveMetrics {
+    obs::RollingCounter* requests = nullptr;
+    obs::RollingCounter* errors = nullptr;
+    obs::RollingCounter* store_attempts = nullptr;
+    obs::RollingCounter* store_errors = nullptr;
+    obs::RollingHistogram* request_micros = nullptr;
+  };
+
   Backends backends_;
   ServiceConfig config_;
   CircuitBreaker breaker_;
   Rng jitter_rng_;
   ServeStats lifetime_;
   RegistryMetrics metrics_;
+  LiveMetrics live_;
 };
 
 }  // namespace serve

@@ -12,6 +12,8 @@
 // context but never fail the diff (wall-clock phases are too noisy on
 // shared hardware to gate on).
 
+#include <sys/stat.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -29,6 +31,19 @@ using evrec::StatusOr;
 using evrec::StrFormat;
 
 StatusOr<JsonValue> LoadJsonFile(const std::string& path) {
+  // Diagnose the argument before opening it: "parse error at byte 0" on a
+  // directory or a missing file sends people down the wrong road.
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return evrec::Status::IoError("no such file: " + path);
+  }
+  if (S_ISDIR(st.st_mode)) {
+    return evrec::Status::InvalidArgument(
+        path + " is a directory, expected a BENCH_*.json file");
+  }
+  if (!S_ISREG(st.st_mode)) {
+    return evrec::Status::InvalidArgument(path + " is not a regular file");
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return evrec::Status::IoError("cannot open " + path);
@@ -38,12 +53,19 @@ StatusOr<JsonValue> LoadJsonFile(const std::string& path) {
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
   std::fclose(f);
-  return ParseJson(text);
+  StatusOr<JsonValue> parsed = ParseJson(text);
+  if (!parsed.ok()) {
+    return evrec::Status::InvalidArgument(
+        path + ": malformed JSON (" + parsed.status().message() + ")");
+  }
+  return parsed;
 }
 
 bool LowerIsBetter(const std::string& name) {
   return name.find("seconds") != std::string::npos ||
          name.find("micros") != std::string::npos ||
+         name.find("nanos") != std::string::npos ||
+         name.find("ns_per_op") != std::string::npos ||
          name.find("time") != std::string::npos ||
          name.find("loss") != std::string::npos;
 }
@@ -62,8 +84,10 @@ int main(int argc, char** argv) {
   }
   if (files.size() != 2) {
     std::fprintf(stderr,
+                 "bench_diff: expected exactly two files, got %zu\n"
                  "usage: bench_diff BASELINE.json CANDIDATE.json "
-                 "[--threshold P]\n");
+                 "[--threshold P]\n",
+                 files.size());
     return 1;
   }
 

@@ -6,6 +6,10 @@
 #                                           # ASan/UBSan and TSan
 #   tools/check.sh trace                    # end-to-end tracing gate under
 #                                           # ASan and TSan
+#   tools/check.sh monitor                  # live-telemetry gate: monitor/
+#                                           # SLO/health tests under ASan/
+#                                           # UBSan/TSan plus OpenMetrics
+#                                           # byte-identity across threads
 #   EVREC_SANITIZE=address tools/check.sh   # ASan build + ctest
 #   EVREC_SANITIZE=undefined tools/check.sh # UBSan build + ctest
 #   EVREC_SANITIZE=thread tools/check.sh    # TSan build + concurrency tests
@@ -13,9 +17,10 @@
 # Each sanitizer uses its own build directory (build-address/,
 # build-undefined/, build-thread/) so instrumented and plain objects never
 # mix. The thread build runs only the concurrency-heavy suites (obs_test,
-# util_test, checkpoint_test for kill-and-resume of the data-parallel
-# trainers, parallel_test, serve_test): TSan's ~5-15x slowdown makes the
-# full suite impractical, and the remaining tests are single-threaded.
+# monitor_test for the rolling-window/SLO paths, util_test,
+# checkpoint_test for kill-and-resume of the data-parallel trainers,
+# parallel_test, serve_test): TSan's ~5-15x slowdown makes the full suite
+# impractical, and the remaining tests are single-threaded.
 #
 # `crash` mode is the fault-recovery gate: it builds the crash-safety
 # suites (checkpoint_test, util_test) under ASan/UBSan — torn files and
@@ -30,6 +35,13 @@
 # single-threaded and pooled runs — span ids, parent links, and the
 # whole report must be identical for any thread count. It also smoke
 # tests bench_diff on a synthetic regression.
+#
+# `monitor` mode is the live-telemetry gate: the monitor/SLO/health suites
+# run under ASan, UBSan, and TSan, then the OpenMetrics exposition and the
+# full `evrec_cli monitor` fault-storm report are diffed between
+# --threads 1 and 4 (byte-identity is the contract), and bench_diff's
+# argument diagnostics are exercised (missing file, directory, malformed
+# JSON, wrong arity).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -99,6 +111,81 @@ EOF
   exit 0
 fi
 
+if [ "$mode" = "monitor" ]; then
+  monitor_tests='^(monitor_test|obs_test|serve_test)$'
+  for san in address undefined thread; do
+    build_dir="build-$san"
+    echo "== monitor mode: $san =="
+    cmake -B "$build_dir" -S . -DEVREC_SANITIZE="$san"
+    cmake --build "$build_dir" -j"$jobs"
+    ctest --test-dir "$build_dir" --output-on-failure -j"$jobs" \
+      -R "$monitor_tests"
+
+    work="$(mktemp -d)"
+    trap 'rm -rf "$work"' EXIT
+    cli="$build_dir/tools/evrec_cli"
+    # The OpenMetrics exposition must be byte-identical for any thread
+    # count (env.* metrics are excluded for exactly this reason). Run in
+    # sibling directories with the same --out name so nothing path-shaped
+    # can leak into the bytes.
+    mkdir "$work/t1" "$work/t4"
+    (cd "$work/t1" && "$OLDPWD/$cli" metrics --threads 1 \
+      --format openmetrics --out metrics.om > /dev/null)
+    (cd "$work/t4" && "$OLDPWD/$cli" metrics --threads 4 \
+      --format openmetrics --out metrics.om > /dev/null)
+    if ! cmp -s "$work/t1/metrics.om" "$work/t4/metrics.om"; then
+      echo "openmetrics exposition differs between --threads 1 and 4" >&2
+      diff "$work/t1/metrics.om" "$work/t4/metrics.om" | head -20 >&2
+      exit 1
+    fi
+    echo "openmetrics exposition identical across thread counts"
+
+    # Full monitor episode (fault storm -> alerts -> recovery): both the
+    # operator report on stdout and the exported exposition must replay
+    # byte-identically across thread counts, and the command itself
+    # validates the pending->firing->resolved lifecycle (exit 1 if the
+    # episode did not play out).
+    (cd "$work/t1" && "$OLDPWD/$cli" monitor --threads 1 \
+      --out monitor.om > report.txt)
+    (cd "$work/t4" && "$OLDPWD/$cli" monitor --threads 4 \
+      --out monitor.om > report.txt)
+    for f in report.txt monitor.om; do
+      if ! cmp -s "$work/t1/$f" "$work/t4/$f"; then
+        echo "monitor $f differs between --threads 1 and 4" >&2
+        diff "$work/t1/$f" "$work/t4/$f" | head -20 >&2
+        exit 1
+      fi
+    done
+    echo "monitor report and exposition identical across thread counts"
+
+    # bench_diff argument diagnostics: each bad input must fail with a
+    # pointed message, not a generic parse error.
+    bd="$build_dir/tools/bench_diff"
+    echo '{"name": "t", "metrics": {"auc": 0.7}}' > "$work/ok.json"
+    echo '{oops' > "$work/bad.json"
+    if "$bd" "$work/ok.json" "$work/missing.json" 2> "$work/err.txt"; then
+      echo "bench_diff accepted a missing file" >&2; exit 1
+    fi
+    grep -q "no such file" "$work/err.txt"
+    if "$bd" "$work/ok.json" "$work" 2> "$work/err.txt"; then
+      echo "bench_diff accepted a directory" >&2; exit 1
+    fi
+    grep -q "is a directory" "$work/err.txt"
+    if "$bd" "$work/ok.json" "$work/bad.json" 2> "$work/err.txt"; then
+      echo "bench_diff accepted malformed JSON" >&2; exit 1
+    fi
+    grep -q "malformed JSON" "$work/err.txt"
+    if "$bd" "$work/ok.json" 2> "$work/err.txt"; then
+      echo "bench_diff accepted one file" >&2; exit 1
+    fi
+    grep -q "expected exactly two files" "$work/err.txt"
+    echo "bench_diff diagnostics ok"
+    rm -rf "$work"
+    trap - EXIT
+  done
+  exit 0
+fi
+
 san="${EVREC_SANITIZE:-}"
 build_dir="build"
 if [ -n "$san" ]; then
@@ -115,7 +202,7 @@ cmake -B "$build_dir" -S . -DEVREC_SANITIZE="$san"
 cmake --build "$build_dir" -j"$jobs"
 if [ "$san" = "thread" ]; then
   ctest --test-dir "$build_dir" --output-on-failure -j"$jobs" \
-    -R '^(obs_test|util_test|checkpoint_test|parallel_test|serve_test)$'
+    -R '^(obs_test|monitor_test|util_test|checkpoint_test|parallel_test|serve_test)$'
 else
   ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
 fi

@@ -36,6 +36,20 @@
 //       requests are always kept, the rest with probability P (seeded by
 //       --trace-seed). Runs on the simulated clock: same flags => byte-
 //       identical trace files, for any --threads value.
+//   metrics ... [--format openmetrics] [--out FILE]
+//       Prometheus/OpenMetrics text exposition of the whole registry
+//       (counters, gauges, histogram bucket ladders with trace-exemplars).
+//       env.* metrics are excluded, so the bytes are identical for any
+//       --threads value.
+//   monitor [serve-demo flags] [--out FILE]
+//       Live-telemetry demo: replays the eval impressions healthy ->
+//       fault-storm -> healthy on a paced simulated clock with rolling
+//       windows, availability + latency SLOs under scaled multi-window
+//       burn-rate rules, and component health probes. Prints a
+//       deterministic report (live rates/percentiles, SLO table, alert
+//       timeline, health verdicts, forced trace retention); --out writes
+//       the OpenMetrics exposition including window rates. Exits non-zero
+//       unless the storm drove an alert pending -> firing -> resolved.
 //   trace FILE [--top N]
 //       Analyze an exported Chrome trace: validate structure (monotone
 //       timestamps, parent links, nesting), then print the per-trace
@@ -55,7 +69,11 @@
 #include <utility>
 
 #include "evrec/ann/ivf_index.h"
+#include "evrec/obs/health.h"
 #include "evrec/obs/metrics.h"
+#include "evrec/obs/monitor.h"
+#include "evrec/obs/openmetrics.h"
+#include "evrec/obs/slo.h"
 #include "evrec/obs/trace.h"
 #include "evrec/obs/trace_analysis.h"
 #include "evrec/pipeline/pipeline.h"
@@ -93,6 +111,8 @@ struct Args {
   double trace_sample = 1.0;
   uint64_t trace_seed = 1;
   int top = 10;
+  // metrics/monitor exposition format: "text" or "openmetrics".
+  std::string format = "text";
 
   static bool Parse(int argc, char** argv, Args* out_args,
                     int start = 2) {
@@ -160,6 +180,8 @@ struct Args {
         out_args->trace_seed = static_cast<uint64_t>(std::atoll(v));
       } else if (flag == "--top") {
         out_args->top = std::atoi(v);
+      } else if (flag == "--format") {
+        out_args->format = v;
       } else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
         return false;
@@ -420,10 +442,16 @@ struct FaultStormResult {
   }
 };
 
-// Trains a tiny end-to-end system, then replays the week-6 (eval-split)
-// impressions as ranking requests through the fault-tolerant serving
-// layer, with deterministic fault injection on `clock`.
-FaultStormResult RunFaultStorm(const Args& args, serve::FakeClock* clock) {
+// Tiny end-to-end system shared by the serve-demo/metrics/monitor replay
+// commands: trained pipeline, serving bundle, and the week-6 impressions
+// grouped into one ranking request per (user, day).
+struct DemoSystem {
+  std::unique_ptr<pipeline::TwoStagePipeline> pipeline;
+  pipeline::ServingBundle bundle;
+  std::map<std::pair<int, int>, std::vector<int>> requests;
+};
+
+DemoSystem BuildDemoSystem(const Args& args) {
   pipeline::PipelineConfig cfg;
   cfg.simnet = simnet::TinySimnetConfig();
   cfg.simnet.seed = args.seed;
@@ -443,17 +471,29 @@ FaultStormResult RunFaultStorm(const Args& args, serve::FakeClock* clock) {
 
   std::printf("training a small end-to-end system (seed=%llu)...\n",
               static_cast<unsigned long long>(args.seed));
-  pipeline::TwoStagePipeline pipeline(cfg);
-  pipeline.Prepare();
-  pipeline.TrainRepresentation();
-  pipeline.ComputeRepVectors();
+  DemoSystem sys;
+  sys.pipeline = std::make_unique<pipeline::TwoStagePipeline>(cfg);
+  sys.pipeline->Prepare();
+  sys.pipeline->TrainRepresentation();
+  sys.pipeline->ComputeRepVectors();
 
   baseline::FeatureConfig features;
   features.base = true;
   features.cf = true;
   features.rep_score = true;
-  pipeline::ServingBundle bundle =
-      pipeline::BuildServingBundle(pipeline, features);
+  sys.bundle = pipeline::BuildServingBundle(*sys.pipeline, features);
+
+  for (const auto& imp : sys.pipeline->dataset().eval) {
+    sys.requests[{imp.user, imp.day}].push_back(imp.event);
+  }
+  return sys;
+}
+
+// Trains a tiny end-to-end system, then replays the week-6 (eval-split)
+// impressions as ranking requests through the fault-tolerant serving
+// layer, with deterministic fault injection on `clock`.
+FaultStormResult RunFaultStorm(const Args& args, serve::FakeClock* clock) {
+  DemoSystem sys = BuildDemoSystem(args);
 
   serve::FaultConfig fault_cfg;
   fault_cfg.transient_error_rate = args.error_rate;
@@ -463,27 +503,21 @@ FaultStormResult RunFaultStorm(const Args& args, serve::FakeClock* clock) {
   fault_cfg.base_latency_micros = 100;
   fault_cfg.seed = args.seed;
   serve::FaultInjector injector(fault_cfg);
-  serve::FaultyVectorStore faulty_store(bundle.store.get(), &injector,
+  serve::FaultyVectorStore faulty_store(sys.bundle.store.get(), &injector,
                                         clock);
 
   serve::ServiceConfig service_cfg;
   service_cfg.default_budget_micros = args.budget_us;
   serve::RecommendationService service(
-      bundle.MakeBackends(clock, &faulty_store), service_cfg);
-
-  // Group week-6 impressions into one request per (user, day).
-  std::map<std::pair<int, int>, std::vector<int>> requests;
-  for (const auto& imp : pipeline.dataset().eval) {
-    requests[{imp.user, imp.day}].push_back(imp.event);
-  }
+      sys.bundle.MakeBackends(clock, &faulty_store), service_cfg);
 
   std::printf("replaying %zu requests (error-rate=%.2f spike-rate=%.2f "
               "spike=%lldus corrupt-rate=%.2f budget=%lldus)...\n",
-              requests.size(), args.error_rate, args.spike_rate,
+              sys.requests.size(), args.error_rate, args.spike_rate,
               static_cast<long long>(args.spike_us), args.corrupt_rate,
               static_cast<long long>(args.budget_us));
   FaultStormResult result;
-  for (const auto& [key, candidates] : requests) {
+  for (const auto& [key, candidates] : sys.requests) {
     serve::RankResponse resp =
         service.Rank(key.first, candidates, key.second, args.budget_us);
     if (resp.ranking.size() != candidates.size()) ++result.incomplete;
@@ -546,14 +580,45 @@ int CmdServeDemo(const Args& args) {
 // and latency histogram in the dump is a pure function of the flags —
 // two invocations produce byte-identical --json output.
 int CmdMetrics(const Args& args) {
+  if (args.format != "text" && args.format != "openmetrics") {
+    std::fprintf(stderr, "metrics: unknown --format '%s' "
+                         "(expected text or openmetrics)\n",
+                 args.format.c_str());
+    return 1;
+  }
   serve::FakeClock clock;
   obs::SetClock(&clock);
   FaultStormResult result = RunFaultStorm(args, &clock);
 
-  std::printf("\n");
-  obs::MetricRegistry::Global()->DumpText(std::cout);
-  std::printf("\n-- trace spans --\n");
-  obs::TraceLog::Global()->DumpText(std::cout);
+  if (args.format == "openmetrics") {
+    // Scrape-format exposition of the whole registry. env.* metrics are
+    // excluded (see obs/openmetrics.h), so the bytes are identical for any
+    // --threads value; --out writes them to a file for diffing.
+    std::string text =
+        obs::ToOpenMetricsString(*obs::MetricRegistry::Global());
+    if (args.out.empty()) {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(args.out.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "metrics: cannot open %s\n", args.out.c_str());
+        return 1;
+      }
+      size_t written = std::fwrite(text.data(), 1, text.size(), f);
+      int close_rc = std::fclose(f);
+      if (written != text.size() || close_rc != 0) {
+        std::fprintf(stderr, "metrics: short write to %s\n",
+                     args.out.c_str());
+        return 1;
+      }
+      std::printf("wrote OpenMetrics exposition to %s\n", args.out.c_str());
+    }
+  } else {
+    std::printf("\n");
+    obs::MetricRegistry::Global()->DumpText(std::cout);
+    std::printf("\n-- trace spans --\n");
+    obs::TraceLog::Global()->DumpText(std::cout);
+  }
 
   if (!args.json.empty()) {
     Status status = obs::MetricRegistry::Global()->DumpJson(args.json);
@@ -568,6 +633,217 @@ int CmdMetrics(const Args& args) {
                          "every candidate\n");
     return 1;
   }
+  return 0;
+}
+
+// Delegates lookups to a swappable backing store; the monitor demo swaps
+// a healthy store for a faulty one to open and close a degradation
+// episode.
+class SwitchableStore : public serve::VectorStore {
+ public:
+  explicit SwitchableStore(serve::VectorStore* inner) : inner_(inner) {}
+  void Set(serve::VectorStore* inner) { inner_ = inner; }
+
+  StatusOr<std::vector<float>> Get(store::EntityKind kind,
+                                   int id) override {
+    return inner_->Get(kind, id);
+  }
+  void Put(store::EntityKind kind, int id,
+           std::vector<float> vector) override {
+    inner_->Put(kind, id, std::move(vector));
+  }
+
+ private:
+  serve::VectorStore* inner_;
+};
+
+// Live-monitoring demo: replays the eval impressions through the serving
+// layer three times — healthy, fault storm, healthy again — on a paced
+// simulated clock, with rolling-window metrics, two SLOs (availability +
+// latency) under scaled burn-rate rules, and the component health probes
+// wired in. Prints a deterministic status report: same flags => identical
+// bytes, for any --threads value. Exits non-zero unless the storm drove
+// an alert through pending -> firing -> resolved with the episode's
+// traces force-retained.
+int CmdMonitor(const Args& args) {
+  serve::FakeClock clock;
+  obs::SetClock(&clock);
+  obs::TailSamplerConfig sampler;
+  sampler.keep_fraction = args.trace_sample;
+  sampler.seed = args.trace_seed;
+  obs::TraceLog::Global()->SetSampler(sampler);
+
+  DemoSystem sys = BuildDemoSystem(args);
+
+  // Live telemetry: 1s buckets, 128s of lookback.
+  obs::WindowOptions window;
+  window.bucket_width_micros = 1000000;
+  window.num_buckets = 128;
+  obs::Monitor monitor(&clock, window);
+  obs::HealthRegistry health;
+  obs::SloEngine slo(&clock);
+
+  // Burn-rate ladders scaled so an episode plays out in simulated seconds
+  // (the production shape is DefaultBurnRateRules(): 5m/1h + 6h/3d).
+  std::vector<obs::BurnRateRule> rules(2);
+  rules[0].name = "fast";
+  rules[0].short_window_micros = 5 * 1000000LL;
+  rules[0].long_window_micros = 20 * 1000000LL;
+  rules[0].threshold = 5.0;
+  rules[0].pending_micros = 2 * 1000000LL;
+  rules[0].resolve_micros = 10 * 1000000LL;
+  rules[1].name = "slow";
+  rules[1].short_window_micros = 20 * 1000000LL;
+  rules[1].long_window_micros = 100 * 1000000LL;
+  rules[1].threshold = 1.0;
+  rules[1].pending_micros = 5 * 1000000LL;
+  rules[1].resolve_micros = 20 * 1000000LL;
+
+  obs::SloConfig availability;
+  availability.name = "availability";
+  availability.kind = obs::SloKind::kAvailability;
+  availability.objective = 0.95;
+  availability.window = window;
+  availability.rules = rules;
+  slo.AddObjective(availability);
+
+  obs::SloConfig latency;
+  latency.name = "latency";
+  latency.kind = obs::SloKind::kLatency;
+  latency.objective = 0.9;
+  latency.latency_threshold_micros = args.budget_us;
+  latency.window = window;
+  latency.rules = rules;
+  slo.AddObjective(latency);
+
+  sys.pipeline->RegisterHealthProbes(&health);
+
+  // Two stores over the same cache: one healthy (base latency only), one
+  // with the configured fault profile; phases swap which one serves.
+  serve::FaultConfig healthy_cfg;
+  healthy_cfg.base_latency_micros = 100;
+  healthy_cfg.seed = args.seed;
+  serve::FaultInjector healthy_injector(healthy_cfg);
+  serve::FaultyVectorStore healthy_store(sys.bundle.store.get(),
+                                         &healthy_injector, &clock);
+  serve::FaultConfig storm_cfg = healthy_cfg;
+  storm_cfg.transient_error_rate = args.error_rate;
+  storm_cfg.latency_spike_rate = args.spike_rate;
+  storm_cfg.latency_spike_micros = args.spike_us;
+  storm_cfg.corruption_rate = args.corrupt_rate;
+  serve::FaultInjector storm_injector(storm_cfg);
+  serve::FaultyVectorStore storm_store(sys.bundle.store.get(),
+                                       &storm_injector, &clock);
+  SwitchableStore switchable(&healthy_store);
+
+  serve::ServiceConfig service_cfg;
+  service_cfg.default_budget_micros = args.budget_us;
+  serve::RecommendationService::Backends backends =
+      sys.bundle.MakeBackends(&clock, &switchable);
+  backends.monitor = &monitor;
+  backends.slo = &slo;
+  backends.health = &health;
+  serve::RecommendationService service(backends, service_cfg);
+
+  // ~4 requests per simulated second.
+  const int64_t request_gap_micros = 250000;
+  auto replay = [&](const char* phase) {
+    std::printf("phase %-8s t=%.1fs..", phase,
+                static_cast<double>(clock.NowMicros()) / 1e6);
+    for (const auto& [key, candidates] : sys.requests) {
+      clock.Advance(request_gap_micros);
+      service.Rank(key.first, candidates, key.second, args.budget_us);
+    }
+    std::printf("%.1fs  aggregate health: %s\n",
+                static_cast<double>(clock.NowMicros()) / 1e6,
+                obs::HealthStatusName(health.Aggregate()));
+  };
+
+  std::printf("monitoring %zu requests/phase (error-rate=%.2f "
+              "spike-rate=%.2f corrupt-rate=%.2f budget=%lldus)\n",
+              sys.requests.size(), args.error_rate, args.spike_rate,
+              args.corrupt_rate, static_cast<long long>(args.budget_us));
+  replay("healthy");
+  switchable.Set(&storm_store);
+  replay("storm");
+  switchable.Set(&healthy_store);
+  replay("recovery");
+
+  // Idle drain: tick until every alert quiets down (bounded).
+  int drain_ticks = 0;
+  while (slo.AnyFiring() && drain_ticks < 600) {
+    clock.Advance(1000000);
+    slo.Tick();
+    ++drain_ticks;
+  }
+  for (int i = 0; i < 30; ++i) {  // let resolved states expire to inactive
+    clock.Advance(1000000);
+    slo.Tick();
+  }
+
+  const int64_t report_window = 60 * 1000000LL;
+  obs::HistogramSnapshot lat = monitor.GetHistogram("serve.request.micros")
+                                   ->Snapshot(report_window);
+  std::printf("\n== live metrics (last 60s of t=%.1fs) ==\n",
+              static_cast<double>(clock.NowMicros()) / 1e6);
+  std::printf("  serve.requests rate: %s/s\n",
+              obs::FormatMetricValue(
+                  monitor.GetCounter("serve.requests")->Rate(report_window))
+                  .c_str());
+  std::printf("  serve.request.micros p50/p95/p99: %s / %s / %s\n",
+              obs::FormatMetricValue(lat.p50).c_str(),
+              obs::FormatMetricValue(lat.p95).c_str(),
+              obs::FormatMetricValue(lat.p99).c_str());
+
+  std::printf("\n== slo status ==\n");
+  slo.DumpStatus(std::cout);
+  std::printf("\n== alert timeline ==\n");
+  slo.DumpTimeline(std::cout);
+  std::printf("\n== health probes ==\n");
+  health.DumpStatus(std::cout);
+  std::printf("\n== trace retention ==\n");
+  std::printf("  traces force-retained while firing: %llu\n",
+              static_cast<unsigned long long>(slo.traces_marked()));
+
+  if (!args.out.empty()) {
+    // Full exposition including the rolling-window rates/quantiles.
+    std::string text =
+        obs::ToOpenMetricsString(*obs::MetricRegistry::Global(), &monitor);
+    std::FILE* f = std::fopen(args.out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "monitor: cannot open %s\n", args.out.c_str());
+      return 1;
+    }
+    size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    int close_rc = std::fclose(f);
+    if (written != text.size() || close_rc != 0) {
+      std::fprintf(stderr, "monitor: short write to %s\n",
+                   args.out.c_str());
+      return 1;
+    }
+    std::printf("\nwrote OpenMetrics exposition to %s\n", args.out.c_str());
+  }
+
+  // The demo is only a success if the storm drove a full alert lifecycle.
+  bool saw_pending = false, saw_firing = false, saw_resolved = false;
+  for (const obs::AlertEvent& e : slo.Timeline()) {
+    if (e.to == obs::AlertState::kPending) saw_pending = true;
+    if (e.to == obs::AlertState::kFiring) saw_firing = true;
+    if (e.to == obs::AlertState::kResolved) saw_resolved = true;
+  }
+  if (!saw_pending || !saw_firing || !saw_resolved ||
+      slo.traces_marked() == 0 || slo.AnyFiring()) {
+    std::fprintf(stderr,
+                 "monitor: incomplete alert lifecycle "
+                 "(pending=%d firing=%d resolved=%d marked=%llu "
+                 "still_firing=%d)\n",
+                 saw_pending, saw_firing, saw_resolved,
+                 static_cast<unsigned long long>(slo.traces_marked()),
+                 slo.AnyFiring());
+    return 1;
+  }
+
+  sys.pipeline->UnregisterHealthProbes(&health);
   return 0;
 }
 
@@ -611,7 +887,7 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: evrec_cli "
-      "<generate|train|eval|search|serve-demo|metrics> [flags]\n"
+      "<generate|train|eval|search|serve-demo|metrics|monitor> [flags]\n"
       "  generate   --out DIR [--users N] [--events N] [--seed S]\n"
       "  train      --data DIR --model FILE [--epochs N] [--siamese]\n"
       "             [--threads N]  (data-parallel; same results for any N)\n"
@@ -623,6 +899,11 @@ void Usage() {
       "             [--spike-us U] [--corrupt-rate P] [--budget-us U]\n"
       "             [--trace-out FILE] [--trace-sample P] [--trace-seed S]\n"
       "  metrics    [serve-demo flags] [--json FILE]\n"
+      "             [--format text|openmetrics] [--out FILE]\n"
+      "  monitor    [serve-demo flags] [--out FILE]\n"
+      "             (healthy/storm/recovery replay with rolling-window\n"
+      "             metrics, SLO burn-rate alerts, health probes; --out\n"
+      "             writes the OpenMetrics exposition)\n"
       "  trace      FILE [--top N]  (analyze an exported Chrome trace)\n");
 }
 
@@ -659,6 +940,7 @@ int main(int argc, char** argv) {
   if (cmd == "search") return CmdSearch(args);
   if (cmd == "serve-demo") return CmdServeDemo(args);
   if (cmd == "metrics") return CmdMetrics(args);
+  if (cmd == "monitor") return CmdMonitor(args);
   Usage();
   return 1;
 }
