@@ -90,6 +90,12 @@ int main() {
   for (const auto& [key, value] : bench::MonitorOverheadMetrics()) {
     metrics[key] = value;
   }
+  // SIMD kernel-layer throughput (dot/gemv/score-block ns/op, scalar-tier
+  // speedups, and flat-vs-legacy candidate-scoring rate) so bench_diff
+  // gates kernel regressions alongside model quality.
+  for (const auto& [key, value] : bench::KernelThroughputMetrics()) {
+    metrics[key] = value;
+  }
   bench::WriteBenchJson("table1", metrics);
   return 0;
 }

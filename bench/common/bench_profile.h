@@ -57,6 +57,23 @@ std::map<std::string, double> RunTrainerThreadSweep(
 // All three are lower-is-better, so bench_diff gates regressions.
 std::map<std::string, double> MonitorOverheadMetrics();
 
+// Throughput of the dispatched SIMD kernel layer (la/simd/) and the
+// batched serving scorer, at the representation dims 32/64/128:
+//   dot_d<D>_ns_per_op          one la::DotF under the native tier
+//   gemv_d<D>_ns_per_op         one 64xD Matrix::Gemv under the native tier
+//   score_block_d<D>_ns_per_op  one 8-candidate cosine block sweep
+//   simd_dot_speedup_d<D>       scalar-tier ns / native-tier ns
+//   simd_gemv_speedup_d<D>      scalar-tier ns / native-tier ns
+//   score_candidates_per_sec_flat    candidates/sec, flat blocked layout
+//   score_candidates_per_sec_legacy  candidates/sec, the per-candidate
+//                                    std::vector + double-cosine path the
+//                                    flat layout replaced
+//   score_candidates_flat_speedup    flat / legacy
+//   simd_level                       active tier (0 scalar, 1 sse2, 2 avx2)
+// ns_per_op metrics are lower-is-better; the per_sec and speedup metrics
+// are higher-is-better — both named so bench_diff gates the right way.
+std::map<std::string, double> KernelThroughputMetrics();
+
 // Builds the pipeline, trains (or loads) the representation model, and
 // precomputes all representation vectors. Prints coarse phase timing.
 std::unique_ptr<pipeline::TwoStagePipeline> MakeTrainedPipeline(

@@ -4,8 +4,9 @@
 //   1. train the representation model on 4 weeks of history
 //   2. precompute user/event vectors into the serving KV cache (TAO-style)
 //   3. train the GBDT combiner on week 5 with baseline + rep features
-//   4. serve week-6 recommendations: candidate events per user, scored by
-//      the combiner with CACHED vectors (no neural network at serve time)
+//   4. serve week-6 recommendations: batched-cosine retrieval over the
+//      cached vectors narrows the candidates, then the combiner ranks the
+//      retrieved set with CACHED vectors (no neural network at serve time)
 //
 // Prints a per-user top-k recommendation list plus serving-cache stats.
 //
@@ -66,12 +67,17 @@ int main() {
   timer.Reset();
   int scored_pairs = 0;
   for (int user = 0; user < 3; ++user) {
+    // Stage-1 retrieval: batched cosine over the cached vectors (8
+    // candidates per kernel sweep), heap-selected top 40. The combiner
+    // then ranks only the retrieved set.
+    std::vector<serve::ScoredCandidate> retrieved =
+        pipeline.RetrieveTopEvents(user, candidates, 40);
     std::vector<std::pair<double, int>> ranked;
     std::vector<float> row;
-    for (int event : candidates) {
+    for (const serve::ScoredCandidate& sc : retrieved) {
       row.clear();
-      assembler.ExtractRow(user, event, day, features, &row);
-      ranked.emplace_back(combiner.PredictProbability(row.data()), event);
+      assembler.ExtractRow(user, sc.id, day, features, &row);
+      ranked.emplace_back(combiner.PredictProbability(row.data()), sc.id);
       ++scored_pairs;
     }
     std::sort(ranked.rbegin(), ranked.rend());

@@ -4,23 +4,24 @@
 #include <cmath>
 #include <numeric>
 
+#include "evrec/la/vec_ops.h"
+
 namespace evrec {
 namespace ann {
 
 namespace {
 
 void Normalize(float* v, int dim) {
-  double norm = 0.0;
-  for (int i = 0; i < dim; ++i) norm += static_cast<double>(v[i]) * v[i];
-  if (norm < 1e-24) return;
-  float inv = static_cast<float>(1.0 / std::sqrt(norm));
-  for (int i = 0; i < dim; ++i) v[i] *= inv;
+  float sqnorm = la::DotF(v, v, dim);
+  if (sqnorm < 1e-24f) return;
+  la::Scale(1.0f / std::sqrt(sqnorm), v, dim);
 }
 
-double Dot(const float* a, const float* b, int dim) {
-  double s = 0.0;
-  for (int i = 0; i < dim; ++i) s += static_cast<double>(a[i]) * b[i];
-  return s;
+// Descending score, ties by ascending id: the same deterministic total
+// order serve::TopK uses.
+bool Better(const SearchResult& a, const SearchResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
 }
 
 }  // namespace
@@ -28,79 +29,106 @@ double Dot(const float* a, const float* b, int dim) {
 void IvfIndex::Build(const std::vector<std::vector<float>>& vectors,
                      const IvfConfig& config) {
   EVREC_CHECK(!vectors.empty());
-  num_vectors_ = static_cast<int>(vectors.size());
-  dim_ = static_cast<int>(vectors[0].size());
+  la::FlatVectorBlock block(static_cast<int>(vectors[0].size()));
+  block.Resize(static_cast<int>(vectors.size()));
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    EVREC_CHECK_EQ(vectors[i].size(), vectors[0].size());
+    block.Set(static_cast<int>(i), vectors[i].data());
+  }
+  Build(block, config);
+}
+
+void IvfIndex::Build(const la::FlatVectorBlock& vectors,
+                     const IvfConfig& config) {
+  num_vectors_ = vectors.size();
+  dim_ = vectors.dim();
+  EVREC_CHECK_GT(num_vectors_, 0);
   EVREC_CHECK_GT(dim_, 0);
 
-  data_.resize(static_cast<size_t>(num_vectors_) * dim_);
+  // Normalized row-major working copy for k-means (the blocked layout is
+  // built from it at the end).
+  std::vector<float> data(static_cast<size_t>(num_vectors_) * dim_);
   for (int i = 0; i < num_vectors_; ++i) {
-    EVREC_CHECK_EQ(vectors[static_cast<size_t>(i)].size(),
-                   static_cast<size_t>(dim_));
-    std::copy(vectors[static_cast<size_t>(i)].begin(),
-              vectors[static_cast<size_t>(i)].end(),
-              data_.begin() + static_cast<size_t>(i) * dim_);
-    Normalize(data_.data() + static_cast<size_t>(i) * dim_, dim_);
+    float* row = data.data() + static_cast<size_t>(i) * dim_;
+    vectors.CopyTo(i, row);
+    Normalize(row, dim_);
   }
+  auto row = [&](int id) {
+    return data.data() + static_cast<size_t>(id) * dim_;
+  };
 
   const int k = std::min(config.num_lists, num_vectors_);
   Rng rng(config.seed, 67);
 
   // k-means++ style seeding: first centroid random, rest from distinct
   // random picks (cheap variant adequate for a coarse quantizer).
-  centroids_.clear();
+  std::vector<std::vector<float>> centroids;
   std::vector<int> perm(static_cast<size_t>(num_vectors_));
   std::iota(perm.begin(), perm.end(), 0);
   rng.Shuffle(perm);
   for (int c = 0; c < k; ++c) {
-    const float* v = Vector(perm[static_cast<size_t>(c)]);
-    centroids_.emplace_back(v, v + dim_);
+    const float* v = row(perm[static_cast<size_t>(c)]);
+    centroids.emplace_back(v, v + dim_);
   }
+
+  auto nearest = [&](const float* v) {
+    int best = 0;
+    float best_score = -2.0f;
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      float s = la::DotF(centroids[c].data(), v, dim_);
+      if (s > best_score) {
+        best_score = s;
+        best = static_cast<int>(c);
+      }
+    }
+    return best;
+  };
 
   std::vector<int> assignment(static_cast<size_t>(num_vectors_), 0);
   for (int iter = 0; iter < config.kmeans_iterations; ++iter) {
     // Assign.
     for (int i = 0; i < num_vectors_; ++i) {
-      assignment[static_cast<size_t>(i)] = NearestCentroid(Vector(i));
+      assignment[static_cast<size_t>(i)] = nearest(row(i));
     }
-    // Update (spherical k-means: mean then renormalize).
+    // Update (spherical k-means: mean then renormalize). Double sums keep
+    // the centroid update robust to summation order.
     std::vector<std::vector<double>> sums(
-        centroids_.size(), std::vector<double>(static_cast<size_t>(dim_)));
-    std::vector<int> counts(centroids_.size(), 0);
+        centroids.size(), std::vector<double>(static_cast<size_t>(dim_)));
+    std::vector<int> counts(centroids.size(), 0);
     for (int i = 0; i < num_vectors_; ++i) {
       int c = assignment[static_cast<size_t>(i)];
-      const float* v = Vector(i);
+      const float* v = row(i);
       for (int d = 0; d < dim_; ++d) {
         sums[static_cast<size_t>(c)][static_cast<size_t>(d)] += v[d];
       }
       ++counts[static_cast<size_t>(c)];
     }
-    for (size_t c = 0; c < centroids_.size(); ++c) {
+    for (size_t c = 0; c < centroids.size(); ++c) {
       if (counts[c] == 0) continue;  // keep the old centroid
       for (int d = 0; d < dim_; ++d) {
-        centroids_[c][static_cast<size_t>(d)] =
+        centroids[c][static_cast<size_t>(d)] =
             static_cast<float>(sums[c][static_cast<size_t>(d)] / counts[c]);
       }
-      Normalize(centroids_[c].data(), dim_);
+      Normalize(centroids[c].data(), dim_);
     }
   }
 
-  lists_.assign(centroids_.size(), {});
+  // Freeze into the blocked layout: one slot per centroid, one block set
+  // per cell's member vectors.
+  centroids_.Reset(dim_);
+  for (const auto& c : centroids) centroids_.Append(c.data());
+
+  lists_.assign(centroids.size(), {});
   for (int i = 0; i < num_vectors_; ++i) {
-    lists_[static_cast<size_t>(NearestCentroid(Vector(i)))].push_back(i);
+    lists_[static_cast<size_t>(nearest(row(i)))].push_back(i);
   }
-}
-
-int IvfIndex::NearestCentroid(const float* v) const {
-  int best = 0;
-  double best_score = -2.0;
-  for (size_t c = 0; c < centroids_.size(); ++c) {
-    double s = Dot(centroids_[c].data(), v, dim_);
-    if (s > best_score) {
-      best_score = s;
-      best = static_cast<int>(c);
-    }
+  list_blocks_.clear();
+  list_blocks_.reserve(lists_.size());
+  for (const auto& ids : lists_) {
+    la::FlatVectorBlock lb(dim_);
+    for (int id : ids) lb.Append(row(id));
+    list_blocks_.push_back(std::move(lb));
   }
-  return best;
 }
 
 std::vector<SearchResult> IvfIndex::Search(const std::vector<float>& query,
@@ -111,52 +139,57 @@ std::vector<SearchResult> IvfIndex::Search(const std::vector<float>& query,
   std::vector<float> q(query);
   Normalize(q.data(), dim_);
 
-  // Rank centroids by similarity, take the top nprobe lists.
-  std::vector<std::pair<double, int>> cells;
-  cells.reserve(centroids_.size());
-  for (size_t c = 0; c < centroids_.size(); ++c) {
-    cells.emplace_back(Dot(centroids_[c].data(), q.data(), dim_),
-                       static_cast<int>(c));
+  // Rank centroids by similarity (one batched sweep), take the top nprobe
+  // lists. Ties break toward the lower cell index — deterministic.
+  std::vector<float> cell_scores(static_cast<size_t>(num_lists()));
+  centroids_.DotAll(q.data(), cell_scores.data());
+  std::vector<std::pair<float, int>> cells;
+  cells.reserve(cell_scores.size());
+  for (size_t c = 0; c < cell_scores.size(); ++c) {
+    cells.emplace_back(cell_scores[c], static_cast<int>(c));
   }
   nprobe = std::min<int>(nprobe, static_cast<int>(cells.size()));
   std::partial_sort(cells.begin(), cells.begin() + nprobe, cells.end(),
-                    std::greater<>());
+                    [](const std::pair<float, int>& a,
+                       const std::pair<float, int>& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
 
+  // Scan each probed cell with the batched kernel: 8 list members per
+  // sweep of the query.
   std::vector<SearchResult> results;
+  float dots[la::FlatVectorBlock::kLane];
   for (int p = 0; p < nprobe; ++p) {
-    for (int id : lists_[static_cast<size_t>(cells[static_cast<size_t>(p)]
-                                                 .second)]) {
-      if (id == exclude) continue;
-      results.push_back({id, Dot(Vector(id), q.data(), dim_)});
+    const int cell = cells[static_cast<size_t>(p)].second;
+    const std::vector<int>& ids = lists_[static_cast<size_t>(cell)];
+    const la::FlatVectorBlock& lb = list_blocks_[static_cast<size_t>(cell)];
+    for (int b = 0; b < lb.num_blocks(); ++b) {
+      lb.DotBlock(b, q.data(), dots);
+      const int begin = b * la::FlatVectorBlock::kLane;
+      const int count = std::min(la::FlatVectorBlock::kLane,
+                                 static_cast<int>(ids.size()) - begin);
+      for (int l = 0; l < count; ++l) {
+        int id = ids[static_cast<size_t>(begin + l)];
+        if (id == exclude) continue;
+        results.push_back({id, dots[l]});
+      }
     }
   }
   int keep = std::min<int>(k, static_cast<int>(results.size()));
   std::partial_sort(results.begin(), results.begin() + keep, results.end(),
-                    [](const SearchResult& a, const SearchResult& b) {
-                      return a.score > b.score;
-                    });
+                    Better);
   results.resize(static_cast<size_t>(keep));
   return results;
 }
 
 std::vector<SearchResult> IvfIndex::SearchExact(
     const std::vector<float>& query, int k, int exclude) const {
-  EVREC_CHECK(built());
-  std::vector<float> q(query);
-  Normalize(q.data(), dim_);
-  std::vector<SearchResult> results;
-  results.reserve(static_cast<size_t>(num_vectors_));
-  for (int i = 0; i < num_vectors_; ++i) {
-    if (i == exclude) continue;
-    results.push_back({i, Dot(Vector(i), q.data(), dim_)});
-  }
-  int keep = std::min<int>(k, static_cast<int>(results.size()));
-  std::partial_sort(results.begin(), results.begin() + keep, results.end(),
-                    [](const SearchResult& a, const SearchResult& b) {
-                      return a.score > b.score;
-                    });
-  results.resize(static_cast<size_t>(keep));
-  return results;
+  // Probing every list visits every vector exactly once, and a vector's
+  // score does not depend on which block it sits in (lane accumulators are
+  // independent), so this is a true exact scan with scores bit-identical
+  // to the approximate path's.
+  return Search(query, k, num_lists(), exclude);
 }
 
 double IvfIndex::RecallAtK(const std::vector<float>& query, int k,

@@ -7,12 +7,19 @@
 // (L2-normalized) vectors into `num_lists` cells; a query scans only the
 // `nprobe` nearest cells. Similarity is cosine (inner product on the
 // normalized copies stored in the index).
+//
+// Storage is the flat blocked SoA layout (la::FlatVectorBlock): each cell
+// keeps its member vectors in 8-wide interleaved blocks, so a cell scan
+// runs the batched dot kernel — one sweep of the query scores 8 list
+// members — instead of a per-vector pointer chase. Scores are float end
+// to end, matching the serve/ scoring path.
 
 #ifndef EVREC_ANN_IVF_INDEX_H_
 #define EVREC_ANN_IVF_INDEX_H_
 
 #include <vector>
 
+#include "evrec/la/flat_block.h"
 #include "evrec/util/check.h"
 #include "evrec/util/rng.h"
 
@@ -27,7 +34,7 @@ struct IvfConfig {
 
 struct SearchResult {
   int id;
-  double score;  // cosine similarity
+  float score;  // cosine similarity (float, like every serve/ score)
 };
 
 class IvfIndex {
@@ -40,18 +47,24 @@ class IvfIndex {
   void Build(const std::vector<std::vector<float>>& vectors,
              const IvfConfig& config);
 
-  bool built() const { return !centroids_.empty(); }
+  // Same, from an existing flat block (e.g. the pipeline's precomputed
+  // event-rep block) — no per-vector std::vector round trip.
+  void Build(const la::FlatVectorBlock& vectors, const IvfConfig& config);
+
+  bool built() const { return centroids_.size() > 0; }
   int size() const { return num_vectors_; }
   int dim() const { return dim_; }
-  int num_lists() const { return static_cast<int>(centroids_.size()); }
+  int num_lists() const { return centroids_.size(); }
 
   // Top-k by cosine similarity, scanning the `nprobe` closest lists.
-  // Results are sorted by descending score. `exclude` (optional id) is
-  // filtered out (self-queries).
+  // Results are sorted by descending score, ties by ascending id.
+  // `exclude` (optional id) is filtered out (self-queries).
   std::vector<SearchResult> Search(const std::vector<float>& query, int k,
                                    int nprobe, int exclude = -1) const;
 
-  // Exact top-k (full scan) — ground truth for recall measurement.
+  // Exact top-k — scans every list, which visits every vector exactly
+  // once, so the per-vector scores are bit-identical to Search's. Ground
+  // truth for recall measurement.
   std::vector<SearchResult> SearchExact(const std::vector<float>& query,
                                         int k, int exclude = -1) const;
 
@@ -59,16 +72,11 @@ class IvfIndex {
   double RecallAtK(const std::vector<float>& query, int k, int nprobe) const;
 
  private:
-  const float* Vector(int id) const {
-    return data_.data() + static_cast<size_t>(id) * dim_;
-  }
-  int NearestCentroid(const float* v) const;
-
   int num_vectors_ = 0;
   int dim_ = 0;
-  std::vector<float> data_;                 // normalized, row-major
-  std::vector<std::vector<float>> centroids_;
-  std::vector<std::vector<int>> lists_;     // ids per centroid
+  la::FlatVectorBlock centroids_;            // one slot per cell
+  std::vector<std::vector<int>> lists_;      // ids per cell
+  std::vector<la::FlatVectorBlock> list_blocks_;  // vectors per cell
 };
 
 }  // namespace ann

@@ -1,0 +1,141 @@
+#include "evrec/la/flat_block.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "evrec/la/simd/dispatch.h"
+#include "evrec/util/check.h"
+
+namespace evrec {
+namespace la {
+
+namespace {
+constexpr int kAlign = 64;
+// Matches util::CosineSimilarity's degenerate-vector guard (float range:
+// the smallest positive squared norm of a nonzero float vector is far
+// above 1e-24f only for normal values, but the guard exists to catch
+// all-zero vectors, which produce an exact 0.0f).
+constexpr float kMinSqNorm = 1e-24f;
+}  // namespace
+
+void FlatVectorBlock::FreeDeleter::operator()(float* p) const {
+  std::free(p);
+}
+
+void FlatVectorBlock::Reset(int dim) {
+  EVREC_CHECK_GE(dim, 0);
+  dim_ = dim;
+  size_ = 0;
+  cap_blocks_ = 0;
+  data_.reset();
+}
+
+void FlatVectorBlock::EnsureBlockCapacity(int blocks) {
+  if (blocks <= cap_blocks_) return;
+  int new_cap = cap_blocks_ < 4 ? 4 : cap_blocks_;
+  while (new_cap < blocks) new_cap *= 2;
+  size_t floats = static_cast<size_t>(new_cap) * dim_ * kLane;
+  size_t bytes = floats * sizeof(float);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  bytes = (bytes + kAlign - 1) / kAlign * kAlign;
+  float* p = static_cast<float*>(std::aligned_alloc(kAlign, bytes));
+  EVREC_CHECK(p != nullptr);
+  size_t used = static_cast<size_t>(num_blocks()) * dim_ * kLane;
+  if (used > 0) std::memcpy(p, data_.get(), used * sizeof(float));
+  std::memset(p + used, 0, bytes - used * sizeof(float));
+  data_.reset(p);
+  cap_blocks_ = new_cap;
+}
+
+void FlatVectorBlock::Resize(int n) {
+  EVREC_CHECK_GE(n, 0);
+  EnsureBlockCapacity((n + kLane - 1) / kLane);
+  // Invariant: every slot at index >= size_ holds zeros (fresh allocations
+  // are zeroed; shrinking re-zeroes below), so growing needs no writes and
+  // the padding lanes of the last block are always valid.
+  for (int i = n; i < size_; ++i) Set(i, nullptr);
+  size_ = n;
+}
+
+int FlatVectorBlock::Append(const float* v) {
+  int i = size_;
+  EnsureBlockCapacity(i / kLane + 1);
+  ++size_;
+  Set(i, v);
+  return i;
+}
+
+int FlatVectorBlock::Append(const std::vector<float>& v) {
+  EVREC_CHECK_EQ(static_cast<int>(v.size()), dim_);
+  return Append(v.data());
+}
+
+void FlatVectorBlock::Set(int i, const float* v) {
+  EVREC_CHECK_GE(i, 0);
+  EVREC_CHECK_LT(i, size_);
+  float* base = data_.get() +
+                static_cast<size_t>(i / kLane) * dim_ * kLane + (i % kLane);
+  if (v == nullptr) {
+    for (int d = 0; d < dim_; ++d) base[static_cast<size_t>(d) * kLane] = 0.0f;
+    return;
+  }
+  for (int d = 0; d < dim_; ++d) base[static_cast<size_t>(d) * kLane] = v[d];
+}
+
+void FlatVectorBlock::CopyTo(int i, float* out) const {
+  EVREC_CHECK_GE(i, 0);
+  EVREC_CHECK_LT(i, size_);
+  const float* base = data_.get() +
+                      static_cast<size_t>(i / kLane) * dim_ * kLane +
+                      (i % kLane);
+  for (int d = 0; d < dim_; ++d) out[d] = base[static_cast<size_t>(d) * kLane];
+}
+
+std::vector<float> FlatVectorBlock::Get(int i) const {
+  std::vector<float> out(dim_);
+  CopyTo(i, out.data());
+  return out;
+}
+
+void FlatVectorBlock::DotAll(const float* q, float* out) const {
+  const simd::KernelTable& k = simd::ActiveKernels();
+  float dots[kLane];
+  for (int b = 0; b < num_blocks(); ++b) {
+    k.dot_block8(q, BlockData(b), dim_, dots);
+    int count = size_ - b * kLane;
+    if (count > kLane) count = kLane;
+    for (int l = 0; l < count; ++l) out[b * kLane + l] = dots[l];
+  }
+}
+
+void FlatVectorBlock::CosineAll(const float* q, float* out) const {
+  const float q2 = simd::ActiveKernels().dot(q, q, dim_);
+  float scores[kLane];
+  for (int b = 0; b < num_blocks(); ++b) {
+    CosineBlock(b, q, q2, scores);
+    int count = size_ - b * kLane;
+    if (count > kLane) count = kLane;
+    for (int l = 0; l < count; ++l) out[b * kLane + l] = scores[l];
+  }
+}
+
+void FlatVectorBlock::CosineBlock(int b, const float* q, float q_sqnorm,
+                                  float* scores8) const {
+  float dots[kLane], sqns[kLane];
+  simd::ActiveKernels().dot_sqn_block8(q, BlockData(b), dim_, dots, sqns);
+  for (int l = 0; l < kLane; ++l) {
+    if (q_sqnorm < kMinSqNorm || sqns[l] < kMinSqNorm) {
+      scores8[l] = 0.0f;
+    } else {
+      scores8[l] = dots[l] / std::sqrt(q_sqnorm * sqns[l]);
+    }
+  }
+}
+
+void FlatVectorBlock::DotBlock(int b, const float* q, float* dots8) const {
+  simd::ActiveKernels().dot_block8(q, BlockData(b), dim_, dots8);
+}
+
+}  // namespace la
+}  // namespace evrec

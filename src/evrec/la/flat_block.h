@@ -1,0 +1,105 @@
+// Contiguous, 64-byte-aligned SoA storage for a set of equal-dimension
+// float vectors, laid out for the 8-wide batched scoring kernels.
+//
+// Vectors are grouped into blocks of kLane = 8. Inside block b, the 8
+// member vectors are interleaved dimension-major:
+//
+//   data[ b * dim * 8  +  d * 8  +  lane ]  =  element d of vector
+//                                              (b * 8 + lane)
+//
+// so one sweep of a query vector q scores all 8 lane vectors with
+// perfectly sequential 32-byte loads (one cache line holds element d and
+// d+1 for all 8 lanes) and no horizontal reduction: lane l's dot product
+// accumulates independently over d. That makes the batched kernels both
+// the fastest and the easiest to keep bit-identical across ISA tiers.
+//
+// Slots past size() within the last block are zero-filled padding, so the
+// kernels can always process whole blocks.
+
+#ifndef EVREC_LA_FLAT_BLOCK_H_
+#define EVREC_LA_FLAT_BLOCK_H_
+
+#include <memory>
+#include <vector>
+
+namespace evrec {
+namespace la {
+
+class FlatVectorBlock {
+ public:
+  static constexpr int kLane = 8;
+
+  FlatVectorBlock() = default;
+  explicit FlatVectorBlock(int dim) { Reset(dim); }
+
+  FlatVectorBlock(FlatVectorBlock&&) = default;
+  FlatVectorBlock& operator=(FlatVectorBlock&&) = default;
+  FlatVectorBlock(const FlatVectorBlock&) = delete;
+  FlatVectorBlock& operator=(const FlatVectorBlock&) = delete;
+
+  // Drops all vectors and fixes the dimension.
+  void Reset(int dim);
+
+  int dim() const { return dim_; }
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int num_blocks() const { return (size_ + kLane - 1) / kLane; }
+
+  // Grows (or shrinks) to n slots; new slots are zero vectors.
+  void Resize(int n);
+
+  // Appends a copy of v (length dim()) and returns its slot index.
+  int Append(const float* v);
+  int Append(const std::vector<float>& v);
+
+  // Overwrites slot i with v (length dim()).
+  void Set(int i, const float* v);
+
+  // Reads slot i back out (gather; not a hot path).
+  void CopyTo(int i, float* out) const;
+  std::vector<float> Get(int i) const;
+
+  // Base pointer of block b (dim()*8 floats). The allocation is 64-byte
+  // aligned; block b starts b*dim()*32 bytes in, so every block is at
+  // least 32-byte aligned (the kernels use unaligned loads regardless).
+  const float* BlockData(int b) const {
+    return data_.get() + static_cast<size_t>(b) * dim_ * kLane;
+  }
+
+  // out[i] = <q, vector i> for all i in [0, size()), via the dispatched
+  // dot_block8 kernel. q has length dim().
+  void DotAll(const float* q, float* out) const;
+
+  // out[i] = cosine(q, vector i): dot / sqrt(|q|^2 |v_i|^2), 0 when either
+  // norm underflows (matches util::CosineSimilarity's zero guard). The
+  // candidate norms are recomputed in the same sweep as the dots, so the
+  // block is read exactly once.
+  void CosineAll(const float* q, float* out) const;
+
+  // Scores one block of 8 slots: scores8[l] = cosine(q, vector b*8+l).
+  // q_sqnorm is <q, q> (compute once per query with la::DotF). Padding
+  // lanes score 0. This is the shard unit for parallel scoring.
+  void CosineBlock(int b, const float* q, float q_sqnorm,
+                   float* scores8) const;
+
+  // Dot products for one block of 8 slots (for pre-normalized vectors
+  // where the dot IS the cosine, e.g. the IVF index).
+  void DotBlock(int b, const float* q, float* dots8) const;
+
+ private:
+  void EnsureBlockCapacity(int blocks);
+
+  struct FreeDeleter {
+    void operator()(float* p) const;
+  };
+
+  int dim_ = 0;
+  int size_ = 0;
+  int cap_blocks_ = 0;
+  std::unique_ptr<float[], FreeDeleter> data_;
+};
+
+}  // namespace la
+}  // namespace evrec
+
+#endif  // EVREC_LA_FLAT_BLOCK_H_

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "evrec/la/simd/dispatch.h"
+
 namespace evrec {
 namespace la {
 
@@ -29,44 +31,22 @@ void Matrix::Resize(int rows, int cols) {
   data_.assign(n, 0.0f);
 }
 
+// The three hot matrix kernels forward to the dispatched ISA tier (see
+// simd/dispatch.h); all tiers produce bit-identical output.
+
 void Matrix::Gemv(const float* __restrict x, float* __restrict out) const {
-  const int cols = cols_;
-  for (int r = 0; r < rows_; ++r) {
-    const float* __restrict row = data_.data() + static_cast<size_t>(r) * cols;
-    // Lane-blocked reduction; see vec_ops.h for why the lanes are explicit.
-    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-    int c = 0;
-    for (; c + 4 <= cols; c += 4) {
-      s0 += row[c] * x[c];
-      s1 += row[c + 1] * x[c + 1];
-      s2 += row[c + 2] * x[c + 2];
-      s3 += row[c + 3] * x[c + 3];
-    }
-    for (; c < cols; ++c) s0 += row[c] * x[c];
-    out[r] = (s0 + s1) + (s2 + s3);
-  }
+  simd::ActiveKernels().gemv(data_.data(), rows_, cols_, x, out);
 }
 
 void Matrix::GemvTransposedAccum(const float* __restrict y,
                                  float* __restrict out) const {
-  const int cols = cols_;
-  for (int r = 0; r < rows_; ++r) {
-    const float* __restrict row = data_.data() + static_cast<size_t>(r) * cols;
-    float yr = y[r];
-    if (yr == 0.0f) continue;
-    for (int c = 0; c < cols; ++c) out[c] += yr * row[c];
-  }
+  simd::ActiveKernels().gemv_transposed_accum(data_.data(), rows_, cols_, y,
+                                              out);
 }
 
 void Matrix::AddOuter(float alpha, const float* __restrict y,
                       const float* __restrict x) {
-  const int cols = cols_;
-  for (int r = 0; r < rows_; ++r) {
-    float* __restrict row = data_.data() + static_cast<size_t>(r) * cols;
-    float ay = alpha * y[r];
-    if (ay == 0.0f) continue;
-    for (int c = 0; c < cols; ++c) row[c] += ay * x[c];
-  }
+  simd::ActiveKernels().add_outer(data_.data(), rows_, cols_, alpha, y, x);
 }
 
 void Matrix::AddScaled(float alpha, const Matrix& other) {

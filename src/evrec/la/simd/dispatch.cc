@@ -1,0 +1,130 @@
+#include "evrec/la/simd/dispatch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace evrec {
+namespace la {
+namespace simd {
+namespace {
+
+bool CpuSupports(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse2:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("sse2");
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx2:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      // __builtin_cpu_supports folds in the OSXSAVE/XGETBV check, so this
+      // is false when the OS does not save ymm state.
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* TableFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return Avx2Table();
+    case SimdLevel::kSse2:
+      return Sse2Table();
+    case SimdLevel::kScalar:
+      return ScalarTable();
+  }
+  return ScalarTable();
+}
+
+SimdLevel BestAvailable() {
+  if (SimdLevelAvailable(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+  if (SimdLevelAvailable(SimdLevel::kSse2)) return SimdLevel::kSse2;
+  return SimdLevel::kScalar;
+}
+
+SimdLevel DetectLevel() {
+  SimdLevel level = BestAvailable();
+  const char* env = std::getenv("EVREC_SIMD");
+  if (env == nullptr || env[0] == '\0') return level;
+  SimdLevel requested;
+  if (std::strcmp(env, "avx2") == 0) {
+    requested = SimdLevel::kAvx2;
+  } else if (std::strcmp(env, "sse2") == 0) {
+    requested = SimdLevel::kSse2;
+  } else if (std::strcmp(env, "scalar") == 0) {
+    requested = SimdLevel::kScalar;
+  } else {
+    std::fprintf(stderr,
+                 "[evrec] EVREC_SIMD=%s not recognized "
+                 "(want avx2|sse2|scalar); using %s\n",
+                 env, SimdLevelName(level));
+    return level;
+  }
+  if (!SimdLevelAvailable(requested)) {
+    std::fprintf(stderr,
+                 "[evrec] EVREC_SIMD=%s not available on this CPU/build; "
+                 "using %s\n",
+                 env, SimdLevelName(level));
+    return level;
+  }
+  return requested;
+}
+
+struct Active {
+  const KernelTable* table;
+  SimdLevel level;
+};
+
+Active& ActiveSlot() {
+  static Active active = [] {
+    SimdLevel level = DetectLevel();
+    return Active{TableFor(level), level};
+  }();
+  return active;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+bool SimdLevelAvailable(SimdLevel level) {
+  return TableFor(level) != nullptr && CpuSupports(level);
+}
+
+SimdLevel ActiveSimdLevel() { return ActiveSlot().level; }
+
+const KernelTable& ActiveKernels() { return *ActiveSlot().table; }
+
+void SetSimdLevelForTesting(SimdLevel level) {
+  if (!SimdLevelAvailable(level)) {
+    std::fprintf(stderr,
+                 "[evrec] SetSimdLevelForTesting(%s): level unavailable; "
+                 "keeping %s\n",
+                 SimdLevelName(level), SimdLevelName(ActiveSlot().level));
+    return;
+  }
+  ActiveSlot() = Active{TableFor(level), level};
+}
+
+}  // namespace simd
+}  // namespace la
+}  // namespace evrec

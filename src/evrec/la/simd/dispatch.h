@@ -1,0 +1,44 @@
+// Runtime kernel dispatch: pick the widest ISA tier the CPU supports,
+// once, at first kernel use. The choice NEVER changes numerical results —
+// every tier produces bit-identical output (see scalar_impl.h) — it only
+// changes speed, which is why the selected level does not participate in
+// the model fingerprint or any cache key.
+//
+// Override for testing/debugging with EVREC_SIMD=avx2|sse2|scalar (read
+// once per process). Requesting a tier the CPU or build does not support
+// falls back to the best available tier with a warning on stderr.
+
+#ifndef EVREC_LA_SIMD_DISPATCH_H_
+#define EVREC_LA_SIMD_DISPATCH_H_
+
+#include "evrec/la/simd/kernels.h"
+
+namespace evrec {
+namespace la {
+namespace simd {
+
+enum class SimdLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+const char* SimdLevelName(SimdLevel level);
+
+// True when the tier is compiled in AND the running CPU supports it.
+// kScalar is always available.
+bool SimdLevelAvailable(SimdLevel level);
+
+// The level the process is running (after detection + EVREC_SIMD).
+SimdLevel ActiveSimdLevel();
+
+// The active kernel table. Selected once; subsequent calls are a load.
+const KernelTable& ActiveKernels();
+
+// Repoints the active table at a specific tier so one test process can
+// sweep every tier (the EVREC_SIMD override is read only once). The level
+// must be available. Not thread-safe: call only from single-threaded test
+// or bench setup, never while kernels may be executing elsewhere.
+void SetSimdLevelForTesting(SimdLevel level);
+
+}  // namespace simd
+}  // namespace la
+}  // namespace evrec
+
+#endif  // EVREC_LA_SIMD_DISPATCH_H_

@@ -1,0 +1,34 @@
+// Scalar tier: the reference implementations from scalar_impl.h, exposed
+// through a KernelTable. Always available; the parity tests in
+// tests/kernel_test.cc compare every other tier against this one.
+
+#include "evrec/la/simd/kernels.h"
+#include "evrec/la/simd/scalar_impl.h"
+
+namespace evrec {
+namespace la {
+namespace simd {
+
+const KernelTable* ScalarTable() {
+  static const KernelTable table = {
+      ScalarDot,
+      ScalarDotAndNorms,
+      ScalarAxpy,
+      ScalarScale,
+      ScalarAdd,
+      ScalarTanhForward,
+      ScalarTanhBackward,
+      ScalarTanhBackwardAccum,
+      ScalarFusedGradInput,
+      ScalarGemv,
+      ScalarGemvTransposedAccum,
+      ScalarAddOuter,
+      ScalarDotBlock8,
+      ScalarDotSqnBlock8,
+  };
+  return &table;
+}
+
+}  // namespace simd
+}  // namespace la
+}  // namespace evrec

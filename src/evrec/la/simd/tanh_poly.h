@@ -1,0 +1,69 @@
+// Rational-polynomial tanh shared by every kernel tier.
+//
+// std::tanh cannot be used in the SIMD tiers (libm is scalar and its exact
+// bits vary across implementations), so all tiers — including the scalar
+// reference — evaluate the same degree-13/6 rational approximation with an
+// identical operation chain: clamp, Horner numerator, Horner denominator,
+// one divide. Each step is a single-rounded float op in every tier (the
+// kernel library is built with -ffp-contract=off, so no FMA contraction),
+// which makes the scalar and vector results bit-identical by construction.
+//
+// The coefficients are the classic Cephes-derived fit used by Eigen's
+// generic packet tanh: max error vs. true tanh is well under 1e-6 over the
+// clamped range, and the approximation saturates to exactly the same value
+// on both sides of the clamp.
+//
+// NaN inputs clamp to -kTanhClamp (the comparisons below are ordered the
+// same way minps/maxps resolve NaN), so the output stays finite; training
+// guardrails reject non-finite values before they reach the kernels.
+
+#ifndef EVREC_LA_SIMD_TANH_POLY_H_
+#define EVREC_LA_SIMD_TANH_POLY_H_
+
+namespace evrec {
+namespace la {
+namespace simd {
+
+inline constexpr float kTanhClamp = 7.90531110763549805f;
+
+inline constexpr float kTanhAlpha1 = 4.89352455891786e-03f;
+inline constexpr float kTanhAlpha3 = 6.37261928875436e-04f;
+inline constexpr float kTanhAlpha5 = 1.48572235717979e-05f;
+inline constexpr float kTanhAlpha7 = 5.12229709037114e-08f;
+inline constexpr float kTanhAlpha9 = -8.60467152213735e-11f;
+inline constexpr float kTanhAlpha11 = 2.00018790482477e-13f;
+inline constexpr float kTanhAlpha13 = -2.76076847742355e-16f;
+
+inline constexpr float kTanhBeta0 = 4.89352518554385e-03f;
+inline constexpr float kTanhBeta2 = 2.26843463243900e-03f;
+inline constexpr float kTanhBeta4 = 1.18534705686654e-04f;
+inline constexpr float kTanhBeta6 = 1.19825839466702e-06f;
+
+// Scalar reference evaluation. The two clamp ternaries are written to
+// match maxps/minps operand semantics exactly: max(a, b) = (a > b) ? a : b
+// and min(a, b) = (a < b) ? a : b, with the value being clamped in the
+// first position.
+inline float TanhPoly(float x) {
+  x = (x > -kTanhClamp) ? x : -kTanhClamp;
+  x = (x < kTanhClamp) ? x : kTanhClamp;
+  const float x2 = x * x;
+  float p = kTanhAlpha13;
+  p = p * x2 + kTanhAlpha11;
+  p = p * x2 + kTanhAlpha9;
+  p = p * x2 + kTanhAlpha7;
+  p = p * x2 + kTanhAlpha5;
+  p = p * x2 + kTanhAlpha3;
+  p = p * x2 + kTanhAlpha1;
+  p = p * x;
+  float q = kTanhBeta6;
+  q = q * x2 + kTanhBeta4;
+  q = q * x2 + kTanhBeta2;
+  q = q * x2 + kTanhBeta0;
+  return p / q;
+}
+
+}  // namespace simd
+}  // namespace la
+}  // namespace evrec
+
+#endif  // EVREC_LA_SIMD_TANH_POLY_H_

@@ -3,59 +3,51 @@
 #include <cmath>
 #include <cstring>
 
+#include "evrec/la/simd/dispatch.h"
+
 namespace evrec {
 namespace la {
 
-void Axpy(float alpha, const float* __restrict x, float* __restrict y,
-          int n) {
-  for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+// Every hot kernel forwards to the dispatched ISA tier (see
+// simd/dispatch.h). All tiers are bit-identical, so callers see one
+// deterministic result regardless of CPU, EVREC_SIMD, or thread count.
+
+void Axpy(float alpha, const float* x, float* y, int n) {
+  simd::ActiveKernels().axpy(alpha, x, y, n);
 }
 
-float DotF(const float* __restrict x, const float* __restrict y, int n) {
-  // Four independent accumulators: strict FP forbids the compiler from
-  // reassociating a single running sum, so the lanes are explicit.
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  int i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += x[i] * y[i];
-    s1 += x[i + 1] * y[i + 1];
-    s2 += x[i + 2] * y[i + 2];
-    s3 += x[i + 3] * y[i + 3];
-  }
-  for (; i < n; ++i) s0 += x[i] * y[i];
-  return (s0 + s1) + (s2 + s3);
+float DotF(const float* x, const float* y, int n) {
+  return simd::ActiveKernels().dot(x, y, n);
 }
 
-void Scale(float alpha, float* __restrict x, int n) {
-  for (int i = 0; i < n; ++i) x[i] *= alpha;
+void DotAndNorms(const float* a, const float* b, int n, float* dot,
+                 float* a_sqnorm, float* b_sqnorm) {
+  simd::ActiveKernels().dot_and_norms(a, b, n, dot, a_sqnorm, b_sqnorm);
 }
 
-void Add(const float* __restrict a, const float* __restrict b,
-         float* __restrict out, int n) {
-  for (int i = 0; i < n; ++i) out[i] = a[i] + b[i];
+void Scale(float alpha, float* x, int n) {
+  simd::ActiveKernels().scale(alpha, x, n);
 }
 
-void TanhForward(const float* __restrict x, float* __restrict out, int n) {
-  for (int i = 0; i < n; ++i) out[i] = std::tanh(x[i]);
+void Add(const float* a, const float* b, float* out, int n) {
+  simd::ActiveKernels().add(a, b, out, n);
 }
 
-void TanhBackward(const float* __restrict y, const float* __restrict dy,
-                  float* __restrict dx, int n) {
-  for (int i = 0; i < n; ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+void TanhForward(const float* x, float* out, int n) {
+  simd::ActiveKernels().tanh_forward(x, out, n);
 }
 
-void TanhBackwardAccum(const float* __restrict y, const float* __restrict dy,
-                       float* __restrict dx, int n) {
-  for (int i = 0; i < n; ++i) dx[i] += dy[i] * (1.0f - y[i] * y[i]);
+void TanhBackward(const float* y, const float* dy, float* dx, int n) {
+  simd::ActiveKernels().tanh_backward(y, dy, dx, n);
 }
 
-void FusedGradInput(float dyi, const float* __restrict x,
-                    const float* __restrict w, float* __restrict gw,
-                    float* __restrict dx, int n) {
-  for (int i = 0; i < n; ++i) {
-    gw[i] += dyi * x[i];
-    dx[i] += dyi * w[i];
-  }
+void TanhBackwardAccum(const float* y, const float* dy, float* dx, int n) {
+  simd::ActiveKernels().tanh_backward_accum(y, dy, dx, n);
+}
+
+void FusedGradInput(float dyi, const float* x, const float* w, float* gw,
+                    float* dx, int n) {
+  simd::ActiveKernels().fused_grad_input(dyi, x, w, gw, dx, n);
 }
 
 void Zero(float* x, int n) {
@@ -64,7 +56,9 @@ void Zero(float* x, int n) {
   if (n > 0) std::memset(x, 0, sizeof(float) * n);
 }
 
-float Norm(const float* __restrict x, int n) {
+float Norm(const float* x, int n) {
+  // Double accumulation; cold path (weight-norm diagnostics), so it stays
+  // scalar and out of the dispatch table.
   double s0 = 0.0, s1 = 0.0;
   int i = 0;
   for (; i + 2 <= n; i += 2) {

@@ -1,14 +1,16 @@
-// Flat float-span kernels used by the NN layers. All loops are written so
-// the compiler auto-vectorizes them without -ffast-math: element-wise
-// kernels carry __restrict spans (no aliasing analysis needed), and
-// reductions accumulate into four independent lanes so the strict-FP
-// compiler is free to keep one partial sum per SIMD lane. Sizes in this
-// project are small (16-512), so a hand-rolled BLAS is not warranted.
+// Flat float-span kernels used by the NN layers. Each entry point
+// forwards to the SIMD kernel layer (la/simd/): an ISA tier — AVX2, SSE2,
+// or the scalar reference — is selected once at startup by runtime CPU
+// detection (overridable with EVREC_SIMD=avx2|sse2|scalar), and every
+// tier implements the same fixed 8-lane accumulator structure, so the
+// results are bit-identical regardless of which tier runs. See
+// simd/scalar_impl.h for the determinism contract and DESIGN.md §14 for
+// the full argument.
 //
 // Note the lane-blocked reductions fix a DIFFERENT summation order than a
 // sequential loop; every caller that needs reproducibility gets it from
-// "same kernel, same input => same bits", not from matching the scalar
-// order.
+// "same kernel, same input => same bits", not from matching a naive
+// sequential order.
 
 #ifndef EVREC_LA_VEC_OPS_H_
 #define EVREC_LA_VEC_OPS_H_
@@ -24,13 +26,21 @@ void Axpy(float alpha, const float* x, float* y, int n);
 // <x, y>
 float DotF(const float* x, const float* y, int n);
 
+// One-pass <a,b>, |a|^2, |b|^2 (float accumulation, 8-lane scheme). The
+// float counterpart of util::DotAndNorms for the serving-side scoring
+// paths that stay in float end to end.
+void DotAndNorms(const float* a, const float* b, int n, float* dot,
+                 float* a_sqnorm, float* b_sqnorm);
+
 // x *= alpha
 void Scale(float alpha, float* x, int n);
 
-// out = a + b
+// out = a + b; out may alias a or b (pure element-wise).
 void Add(const float* a, const float* b, float* out, int n);
 
-// out[i] = tanh(x[i])
+// out[i] = tanh(x[i]), evaluated with the shared rational-polynomial
+// approximation (simd/tanh_poly.h; max error well under 1e-6) so the
+// SIMD tiers and the scalar reference produce identical bits.
 void TanhForward(const float* x, float* out, int n);
 
 // dx[i] = dy[i] * (1 - y[i]^2), where y = tanh(x) (uses the activation,

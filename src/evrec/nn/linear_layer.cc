@@ -22,7 +22,7 @@ void LinearLayer::XavierInit(Rng& rng) { weight_.XavierInit(rng); }
 void LinearLayer::Forward(const float* x, float* y) const {
   weight_.Gemv(x, y);
   if (has_bias_) {
-    for (int i = 0; i < out_dim(); ++i) y[i] += bias_[static_cast<size_t>(i)];
+    la::Add(y, bias_.data(), y, out_dim());
   }
 }
 

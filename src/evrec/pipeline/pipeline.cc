@@ -116,12 +116,15 @@ uint64_t TwoStagePipeline::RepModelFingerprint() const {
   for (int w : r.text_windows) windows += StrFormat("%d,", w);
   windows += "c";
   for (int w : r.categorical_windows) windows += StrFormat("%d,", w);
-  // v6: blocked reduction kernels + the sharded data-parallel trainer
-  // changed the trained bits relative to v5; grad_shards joins the key
-  // because it fixes the gradient-reduction association (threads does
-  // not — it never affects results).
+  // v7: the SIMD kernel layer's fixed 8-lane reductions and the shared
+  // polynomial tanh changed the trained bits relative to v6's 4-lane
+  // kernels. The dispatched ISA tier (EVREC_SIMD) deliberately does NOT
+  // join the key: every tier produces bit-identical results, which
+  // tools/check.sh kernels enforces. grad_shards joins the key because it
+  // fixes the gradient-reduction association (threads does not — it never
+  // affects results).
   std::string key = windows + StrFormat(
-      "v6|shards=%d|seed=%llu|users=%d|events=%d|pages=%d|topics=%d|"
+      "v7|shards=%d|seed=%llu|users=%d|events=%d|pages=%d|topics=%d|"
       "days=%d|"
       "emb=%d|mod=%d|hid=%d|rep=%d|pool=%d|bypass=%d|theta=%g|lr=%g|"
       "epochs=%d|batch=%d|mindf=%d|maxdf=%g|siamese=%d|caps=%d,%d|"
@@ -305,9 +308,36 @@ void TwoStagePipeline::ComputeRepVectors() {
               rep_data_.event_inputs[static_cast<size_t>(e)]);
         });
   });
+  // Materialize the blocked SoA copies for the batched scoring kernels.
+  // Sequential: it's a strided memcpy, cheap next to the model forward
+  // passes above.
+  user_rep_block_.Reset(config_.rep.rep_dim);
+  user_rep_block_.Resize(static_cast<int>(user_reps_.size()));
+  for (size_t u = 0; u < user_reps_.size(); ++u) {
+    user_rep_block_.Set(static_cast<int>(u), user_reps_[u].data());
+  }
+  event_rep_block_.Reset(config_.rep.rep_dim);
+  event_rep_block_.Resize(static_cast<int>(event_reps_.size()));
+  for (size_t e = 0; e < event_reps_.size(); ++e) {
+    event_rep_block_.Set(static_cast<int>(e), event_reps_[e].data());
+  }
   EVREC_LOG(INFO) << "precomputed " << user_reps_.size() << " user and "
                   << event_reps_.size() << " event vectors in "
                   << timer.ElapsedSeconds() << "s";
+}
+
+std::vector<serve::ScoredCandidate> TwoStagePipeline::RetrieveTopEvents(
+    int user_id, const std::vector<int>& candidate_event_ids, int k) {
+  EVREC_CHECK(!user_reps_.empty())
+      << "call ComputeRepVectors() before RetrieveTopEvents()";
+  EVREC_CHECK_GE(user_id, 0);
+  EVREC_CHECK_LT(user_id, static_cast<int>(user_reps_.size()));
+  serve::RepCacheVectorStore store(&cache_);
+  return serve::TopK(
+      serve::ScoreCandidates(&store, store::EntityKind::kEvent,
+                             user_reps_[static_cast<size_t>(user_id)],
+                             candidate_event_ids, pool()),
+      k);
 }
 
 EvalResult TwoStagePipeline::EvaluateFeatureConfig(

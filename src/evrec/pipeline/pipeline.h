@@ -23,11 +23,13 @@
 #include "evrec/baseline/assembler.h"
 #include "evrec/eval/metrics.h"
 #include "evrec/gbdt/gbdt.h"
+#include "evrec/la/flat_block.h"
 #include "evrec/model/joint_model.h"
 #include "evrec/model/siamese.h"
 #include "evrec/model/trainer.h"
 #include "evrec/obs/health.h"
 #include "evrec/pipeline/encoders.h"
+#include "evrec/serve/vector_store.h"
 #include "evrec/store/rep_cache.h"
 
 namespace evrec {
@@ -109,6 +111,24 @@ class TwoStagePipeline {
   const std::vector<std::vector<float>>& event_reps() const {
     return event_reps_;
   }
+  // The same vectors materialized into the 64-byte-aligned blocked SoA
+  // layout the batched scoring kernels want (la/flat_block.h): slot i is
+  // user/event i. Filled by ComputeRepVectors alongside the row vectors;
+  // feed these to ann::IvfIndex::Build or score them directly.
+  const la::FlatVectorBlock& user_rep_block() const {
+    return user_rep_block_;
+  }
+  const la::FlatVectorBlock& event_rep_block() const {
+    return event_rep_block_;
+  }
+
+  // Stage-1 retrieval, the serving path of the paper's §4: scores the
+  // user's cached representation vector against the candidate events'
+  // cached vectors (batched cosine kernel over the shared worker pool) and
+  // returns the top k by heap partial selection. Requires
+  // ComputeRepVectors().
+  std::vector<serve::ScoredCandidate> RetrieveTopEvents(
+      int user_id, const std::vector<int>& candidate_event_ids, int k);
   store::CacheStats cache_stats() const { return cache_.Stats(); }
   // Serving-layer access to the vector cache (see pipeline/serving.h).
   store::RepVectorCache& mutable_rep_cache() { return cache_; }
@@ -143,6 +163,8 @@ class TwoStagePipeline {
   store::RepVectorCache cache_;
   std::vector<std::vector<float>> user_reps_;
   std::vector<std::vector<float>> event_reps_;
+  la::FlatVectorBlock user_rep_block_;
+  la::FlatVectorBlock event_rep_block_;
   bool prepared_ = false;
   bool trained_ = false;
 };

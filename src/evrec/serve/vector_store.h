@@ -26,29 +26,42 @@ class VectorStore {
                    std::vector<float> vector) = 0;
 };
 
-// One candidate's result from batch scoring.
+// One candidate's result from batch scoring. Scores are float end to end:
+// the representation vectors are float, the kernels accumulate in float,
+// and keeping the struct at 12 bytes doubles how many candidates fit in a
+// cache line during selection.
 struct ScoredCandidate {
   int id = 0;
-  double score = 0.0;  // cosine similarity to the query
+  float score = 0.0f;  // cosine similarity to the query
   bool found = false;  // false when the store had no usable vector
 };
 
 // Full-corpus candidate scoring: fetches every candidate's vector and
 // scores it against `query` by cosine similarity. Fetches run sequentially
 // (store decorators — retries, fault injectors — are not required to be
-// thread-safe), then the O(n * dim) similarity math is sharded across
-// `pool` (candidate i on shard i % num_threads). Every output slot is
-// written by exactly one shard with a value that depends only on its own
-// candidate, so the result is identical for any thread count.
+// thread-safe) into a 64-byte-aligned la::FlatVectorBlock scratch, then
+// the similarity math runs as a cache-blocked batched kernel: one sweep of
+// the query vector scores 8 candidates (la::FlatVectorBlock::CosineBlock).
+// The per-block work is sharded across `pool`; every block's scores depend
+// only on that block's candidates, so the result is identical for any
+// thread count — and for any SIMD tier (see la/simd/dispatch.h).
 std::vector<ScoredCandidate> ScoreCandidates(
     VectorStore* store, store::EntityKind kind,
     const std::vector<float>& query, const std::vector<int>& candidate_ids,
     ThreadPool* pool);
 
 // Keeps the k best found candidates, descending score, ties broken by
-// ascending id (deterministic total order).
-std::vector<ScoredCandidate> TopK(std::vector<ScoredCandidate> scored,
+// ascending id (deterministic total order). Heap-based partial selection
+// over a bounded k-element heap — O(n log k), never a full sort — and the
+// argument is consumed (pass std::move or a temporary; copy explicitly if
+// the full score list is still needed).
+std::vector<ScoredCandidate> TopK(std::vector<ScoredCandidate>&& scored,
                                   int k);
+
+// Same selection over a raw span (no ownership taken); the batched-scoring
+// callers that keep `scored` alive use this to avoid the copy.
+std::vector<ScoredCandidate> TopKSpan(const ScoredCandidate* scored,
+                                      size_t n, int k);
 
 // Adapter over the in-process RepVectorCache; a miss surfaces as NotFound.
 class RepCacheVectorStore : public VectorStore {

@@ -323,18 +323,27 @@ TEST(ScoreCandidatesTest, ParallelMatchesSequential) {
 
 TEST(ScoreCandidatesTest, TopKOrdersAndBreaksTies) {
   std::vector<serve::ScoredCandidate> scored = {
-      {5, 0.2, true},  {9, 0.9, true}, {1, 0.5, true},
-      {7, 0.5, true},  {3, 0.0, false},  // missing: never ranked
-      {2, -0.1, true},
+      {5, 0.2f, true},  {9, 0.9f, true}, {1, 0.5f, true},
+      {7, 0.5f, true},  {3, 0.0f, false},  // missing: never ranked
+      {2, -0.1f, true},
   };
-  std::vector<serve::ScoredCandidate> top = serve::TopK(scored, 4);
+  // TopKSpan selects without consuming, so `scored` survives all queries.
+  std::vector<serve::ScoredCandidate> top =
+      serve::TopKSpan(scored.data(), scored.size(), 4);
   ASSERT_EQ(top.size(), 4u);
   EXPECT_EQ(top[0].id, 9);
   EXPECT_EQ(top[1].id, 1);  // 0.5 tie broken by ascending id
   EXPECT_EQ(top[2].id, 7);
   EXPECT_EQ(top[3].id, 5);
   // k larger than the found set returns only found candidates.
-  EXPECT_EQ(serve::TopK(scored, 10).size(), 5u);
+  EXPECT_EQ(serve::TopKSpan(scored.data(), scored.size(), 10).size(), 5u);
+  // k = 0 and the consuming rvalue overload.
+  EXPECT_TRUE(serve::TopKSpan(scored.data(), scored.size(), 0).empty());
+  std::vector<serve::ScoredCandidate> consumed =
+      serve::TopK(std::move(scored), 2);
+  ASSERT_EQ(consumed.size(), 2u);
+  EXPECT_EQ(consumed[0].id, 9);
+  EXPECT_EQ(consumed[1].id, 1);
 }
 
 }  // namespace

@@ -10,6 +10,12 @@
 #                                           # SLO/health tests under ASan/
 #                                           # UBSan/TSan plus OpenMetrics
 #                                           # byte-identity across threads
+#   tools/check.sh kernels                  # SIMD-kernel gate: parity tests
+#                                           # under ASan/UBSan/TSan and under
+#                                           # every EVREC_SIMD tier, plus
+#                                           # byte-identity of trained models
+#                                           # and metrics JSON between
+#                                           # EVREC_SIMD=scalar and native
 #   EVREC_SANITIZE=address tools/check.sh   # ASan build + ctest
 #   EVREC_SANITIZE=undefined tools/check.sh # UBSan build + ctest
 #   EVREC_SANITIZE=thread tools/check.sh    # TSan build + concurrency tests
@@ -183,6 +189,86 @@ if [ "$mode" = "monitor" ]; then
     rm -rf "$work"
     trap - EXIT
   done
+  exit 0
+fi
+
+if [ "$mode" = "kernels" ]; then
+  # The SIMD-tier contract gate. Three layers:
+  #   1. the kernel parity/dispatch suites (plus the la/nn/serve suites
+  #      that consume the kernels) under ASan, UBSan, and TSan;
+  #   2. the same parity suite re-run under every EVREC_SIMD override, so
+  #      each tier's intrinsics path executes under the sanitizers;
+  #   3. end-to-end byte-identity: a trained model file and the metrics
+  #      registry JSON must be bit-for-bit identical between
+  #      EVREC_SIMD=scalar and the native tier, at --threads 1 and 4.
+  #      This is the reason the SIMD level is NOT in the model
+  #      fingerprint: the tier must never change trained bits.
+  kernel_tests='^(kernel_test|la_test|nn_test|parallel_test|serve_test)$'
+  for san in address undefined thread; do
+    build_dir="build-$san"
+    echo "== kernels mode: $san =="
+    cmake -B "$build_dir" -S . -DEVREC_SANITIZE="$san"
+    cmake --build "$build_dir" -j"$jobs"
+    ctest --test-dir "$build_dir" --output-on-failure -j"$jobs" \
+      -R "$kernel_tests"
+    for lvl in scalar sse2 avx2; do
+      echo "-- kernel_test under EVREC_SIMD=$lvl ($san)"
+      EVREC_SIMD="$lvl" "$build_dir/tests/kernel_test" > /dev/null
+    done
+  done
+
+  echo "== kernels mode: byte-identity scalar vs native =="
+  cmake -B build -S .
+  cmake --build build -j"$jobs"
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  cli="build/tools/evrec_cli"
+  mkdir "$work/data"
+  "$cli" generate --out "$work/data" --users 60 --events 60 > /dev/null
+  for t in 1 4; do
+    EVREC_SIMD=scalar "$cli" train --data "$work/data" \
+      --model "$work/model_scalar_t$t.bin" --epochs 2 --threads "$t" \
+      > /dev/null
+    "$cli" train --data "$work/data" \
+      --model "$work/model_native_t$t.bin" --epochs 2 --threads "$t" \
+      > /dev/null
+  done
+  for f in model_scalar_t4.bin model_native_t1.bin model_native_t4.bin; do
+    if ! cmp -s "$work/model_scalar_t1.bin" "$work/$f"; then
+      echo "trained model $f differs from the scalar --threads 1 run" >&2
+      exit 1
+    fi
+  done
+  echo "trained models identical across SIMD tiers and thread counts"
+
+  # metrics --json in sibling dirs with the same file name, so nothing
+  # path-shaped can leak into the bytes (same trick as monitor mode).
+  for run in scalar_t1 scalar_t4 native_t1 native_t4; do
+    mkdir "$work/$run"
+  done
+  (cd "$work/scalar_t1" && EVREC_SIMD=scalar "$OLDPWD/$cli" metrics \
+    --threads 1 --json metrics.json > /dev/null)
+  (cd "$work/scalar_t4" && EVREC_SIMD=scalar "$OLDPWD/$cli" metrics \
+    --threads 4 --json metrics.json > /dev/null)
+  (cd "$work/native_t1" && "$OLDPWD/$cli" metrics \
+    --threads 1 --json metrics.json > /dev/null)
+  (cd "$work/native_t4" && "$OLDPWD/$cli" metrics \
+    --threads 4 --json metrics.json > /dev/null)
+  # The registry snapshot includes env/pool series, so it is only promised
+  # identical for identical flags: compare scalar vs native per thread
+  # count (the SIMD-tier invariant), not across thread counts.
+  for t in 1 4; do
+    if ! cmp -s "$work/scalar_t$t/metrics.json" \
+        "$work/native_t$t/metrics.json"; then
+      echo "metrics JSON differs: scalar vs native at --threads $t" >&2
+      diff "$work/scalar_t$t/metrics.json" "$work/native_t$t/metrics.json" \
+        | head -20 >&2
+      exit 1
+    fi
+  done
+  echo "metrics JSON identical between SIMD tiers at each thread count"
+  rm -rf "$work"
+  trap - EXIT
   exit 0
 fi
 
