@@ -90,6 +90,11 @@ int main() {
   for (const auto& [key, value] : bench::MonitorOverheadMetrics()) {
     metrics[key] = value;
   }
+  // Profiler hot-path overhead (span charge, tallied allocation, export)
+  // so bench_diff catches profiling-cost regressions the same way.
+  for (const auto& [key, value] : bench::ProfilerOverheadMetrics()) {
+    metrics[key] = value;
+  }
   // SIMD kernel-layer throughput (dot/gemv/score-block ns/op, scalar-tier
   // speedups, and flat-vs-legacy candidate-scoring rate) so bench_diff
   // gates kernel regressions alongside model quality.

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include <fstream>
+#include <sstream>
 
 #include "evrec/la/flat_block.h"
 #include "evrec/la/matrix.h"
@@ -14,6 +15,8 @@
 #include "evrec/obs/metrics.h"
 #include "evrec/obs/monitor.h"
 #include "evrec/obs/openmetrics.h"
+#include "evrec/obs/profile.h"
+#include "evrec/obs/trace.h"
 #include "evrec/util/clock.h"
 #include "evrec/util/csv_writer.h"
 #include "evrec/util/math_util.h"
@@ -166,6 +169,56 @@ std::map<std::string, double> MonitorOverheadMetrics() {
       metrics["monitor_counter_ns_per_op"],
       metrics["monitor_histogram_ns_per_op"],
       metrics["openmetrics_write_micros"], exposition.size());
+  return metrics;
+}
+
+std::map<std::string, double> ProfilerOverheadMetrics() {
+  std::map<std::string, double> metrics;
+  obs::Profiler* profiler = obs::Profiler::Global();
+  profiler->Stop();
+  profiler->Clear();
+  obs::ProfileConfig pcfg;
+  pcfg.sample_hz = 1000;
+  profiler->StartDeterministic(pcfg);
+
+  // Span open/close is the per-phase cost trainers and the serving path
+  // pay on every instrumented scope; charge against the live aggregate.
+  constexpr int kOps = 1 << 16;
+  Timer timer;
+  for (int i = 0; i < kOps; ++i) {
+    obs::ScopedSpan span("bench.profiler_span");
+  }
+  metrics["profiler_span_ns_per_op"] = timer.ElapsedSeconds() * 1e9 / kOps;
+
+  // Tallied allocation: the replaced global operator new/delete bump the
+  // thread-local accountant on every call while collecting.
+  timer.Reset();
+  {
+    obs::ScopedSpan span("bench.profiler_alloc");
+    for (int i = 0; i < kOps; ++i) {
+      char* p = new char[64];
+      asm volatile("" : : "g"(p) : "memory");  // defeat new-elision
+      delete[] p;
+    }
+  }
+  metrics["profiler_alloc_ns_per_op"] = timer.ElapsedSeconds() * 1e9 / kOps;
+
+  profiler->Stop();
+  constexpr int kWrites = 50;
+  std::string text;
+  timer.Reset();
+  for (int i = 0; i < kWrites; ++i) {
+    std::ostringstream os;
+    profiler->WriteText(os);
+    text = os.str();
+  }
+  metrics["profiler_export_micros"] = timer.ElapsedSeconds() * 1e6 / kWrites;
+  profiler->Clear();
+  std::printf(
+      "[bench] profiler overhead: span %.0fns/op, alloc %.0fns/op, "
+      "export %.0fus (%zu bytes)\n",
+      metrics["profiler_span_ns_per_op"], metrics["profiler_alloc_ns_per_op"],
+      metrics["profiler_export_micros"], text.size());
   return metrics;
 }
 

@@ -57,6 +57,18 @@ std::map<std::string, double> RunTrainerThreadSweep(
 // All three are lower-is-better, so bench_diff gates regressions.
 std::map<std::string, double> MonitorOverheadMetrics();
 
+// Hot-path overhead of the in-process profiler (obs/profile.h) while
+// deterministic collection is live:
+//   profiler_span_ns_per_op   one ScopedSpan open/close charged to the
+//                             aggregate (the per-phase instrumentation
+//                             cost trainers and the serving path pay)
+//   profiler_alloc_ns_per_op  one tallied new[]/delete[] round trip
+//                             through the replaced global operators
+//   profiler_export_micros    one full text-profile export of the
+//                             aggregate the loop above produced
+// All three are lower-is-better, so bench_diff gates regressions.
+std::map<std::string, double> ProfilerOverheadMetrics();
+
 // Throughput of the dispatched SIMD kernel layer (la/simd/) and the
 // batched serving scorer, at the representation dims 32/64/128:
 //   dot_d<D>_ns_per_op          one la::DotF under the native tier

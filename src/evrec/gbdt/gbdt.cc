@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "evrec/gbdt/binner.h"
 #include "evrec/gbdt/tree_builder.h"
 #include "evrec/obs/metrics.h"
+#include "evrec/obs/profile.h"
 #include "evrec/util/fault_injection.h"
 #include "evrec/obs/trace.h"
 #include "evrec/util/logging.h"
@@ -107,8 +109,20 @@ GbdtTrainStats GbdtModel::Train(const DataMatrix& features,
     }
   }
 
+  // Per-tree cost series: boosting is sequential on the calling thread, so
+  // a clock + thread-local tally window around each iteration captures the
+  // full tree's time and heap traffic.
+  obs::Series* tree_micros_series =
+      obs::MetricRegistry::Global()->GetSeries("gbdt.tree_micros");
+  obs::Series* tree_alloc_series =
+      obs::MetricRegistry::Global()->GetSeries("gbdt.tree_alloc_bytes");
+
   std::vector<int> sampled;
   for (int t = start_tree; t < config.num_trees; ++t) {
+    obs::ScopedSpan tree_span("gbdt.tree");
+    tree_span.AddTag("tree", std::to_string(t));
+    const int64_t tree_start = obs::CurrentClock()->NowMicros();
+    const obs::ThreadCostSnapshot tree_cost_open = obs::ThreadCost();
     // Logistic loss derivatives w.r.t. the additive score.
     for (int i = 0; i < n; ++i) {
       double p = Sigmoid(scores[static_cast<size_t>(i)]);
@@ -140,6 +154,13 @@ GbdtTrainStats GbdtModel::Train(const DataMatrix& features,
     stats.train_logloss.push_back(logloss / n);
     loss_series->Append(static_cast<double>(t), logloss / n);
     trees_.push_back(std::move(tree));
+    tree_micros_series->Append(
+        static_cast<double>(t),
+        static_cast<double>(obs::CurrentClock()->NowMicros() - tree_start));
+    tree_alloc_series->Append(
+        static_cast<double>(t),
+        static_cast<double>(obs::ThreadCost().alloc_bytes -
+                            tree_cost_open.alloc_bytes));
 
     if (!std::isfinite(logloss)) {
       obs::MetricRegistry::Global()

@@ -7,6 +7,8 @@
 
 #include "evrec/model/joint_model.h"
 #include "evrec/obs/metrics.h"
+#include "evrec/obs/profile.h"
+#include "evrec/obs/trace.h"
 #include "evrec/util/fault_injection.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/math_util.h"
@@ -129,6 +131,9 @@ SiameseStats SiamesePretrain(Tower* tower,
   ThreadPool* tp = config.pool;
   std::unique_ptr<ThreadPool> owned_pool;
   if (tp == nullptr) {
+    // Thread-count-scaled infrastructure: excluded from allocation
+    // tallies (see TwoStagePipeline::pool()).
+    obs::ScopedTallySuppress suppress;
     owned_pool = std::make_unique<ThreadPool>(config.threads);
     tp = owned_pool.get();
   }
@@ -139,12 +144,44 @@ SiameseStats SiamesePretrain(Tower* tower,
   const size_t batch_size =
       static_cast<size_t>(std::max(1, config.batch_size));
 
+  // Cost series (same layout as the rep trainer's): per-epoch self time
+  // and heap traffic, per-shard timing/allocation histograms prefetched
+  // so the registry map never grows inside ParallelFor.
+  obs::MetricRegistry* registry = obs::MetricRegistry::Global();
+  obs::Series* self_series =
+      registry->GetSeries("siamese.epoch.self_micros");
+  obs::Series* alloc_series =
+      registry->GetSeries("siamese.epoch.alloc_bytes");
+  std::vector<obs::Histogram*> shard_micros_hists;
+  std::vector<obs::Histogram*> shard_alloc_hists;
+  shard_micros_hists.reserve(static_cast<size_t>(num_shards));
+  shard_alloc_hists.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shard_micros_hists.push_back(registry->GetHistogram(
+        "siamese.shard.micros.s" + std::to_string(s)));
+    shard_alloc_hists.push_back(registry->GetHistogram(
+        "siamese.shard.alloc_bytes.s" + std::to_string(s)));
+  }
+
   for (int epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("siamese.epoch");
+    epoch_span.AddTag("epoch", std::to_string(epoch));
+    const int64_t epoch_start = obs::CurrentClock()->NowMicros();
+    const obs::ThreadCostSnapshot epoch_cost_open = obs::ThreadCost();
+    // Slot s is only written by the thread running shard s in the current
+    // batch (ParallelFor is a barrier), so plain slots are race-free and
+    // the sums are thread-count-independent.
+    std::vector<int64_t> shard_micros(static_cast<size_t>(num_shards), 0);
+    std::vector<uint64_t> shard_alloc(static_cast<size_t>(num_shards), 0);
     rng.Shuffle(pairs);
     double epoch_loss = 0.0;
     for (size_t start = 0; start < pairs.size(); start += batch_size) {
       const size_t end = std::min(start + batch_size, pairs.size());
       tp->ParallelFor(num_shards, [&](int s) {
+        obs::ScopedSpan shard_span("siamese.shard");
+        shard_span.AddTag("shard", std::to_string(s));
+        const int64_t shard_start = obs::CurrentClock()->NowMicros();
+        const obs::ThreadCostSnapshot shard_cost_open = obs::ThreadCost();
         SiameseShard& st = shards[static_cast<size_t>(s)];
         for (size_t idx = start + static_cast<size_t>(s); idx < end;
              idx += static_cast<size_t>(num_shards)) {
@@ -170,6 +207,16 @@ SiameseStats SiamesePretrain(Tower* tower,
             tower->Backward(st.db.data(), st.body_ctx, &st.grads);
           }
         }
+        const int64_t shard_elapsed =
+            obs::CurrentClock()->NowMicros() - shard_start;
+        const uint64_t shard_bytes =
+            obs::ThreadCost().alloc_bytes - shard_cost_open.alloc_bytes;
+        shard_micros[static_cast<size_t>(s)] += shard_elapsed;
+        shard_alloc[static_cast<size_t>(s)] += shard_bytes;
+        shard_micros_hists[static_cast<size_t>(s)]->Record(
+            static_cast<double>(shard_elapsed));
+        shard_alloc_hists[static_cast<size_t>(s)]->Record(
+            static_cast<double>(shard_bytes));
       });
       // Deterministic fixed-order reduction, then one step at the batch's
       // true size (the trailing partial batch uses its leftover count).
@@ -181,6 +228,33 @@ SiameseStats SiamesePretrain(Tower* tower,
       }
       tower->Step(lr / static_cast<float>(end - start));
     }
+    // Epoch cost: caller-window bytes minus the caller-run shards (shard s
+    // runs on worker s % num_threads, and the caller is worker 0), plus all
+    // shard windows — thread-count-independent like trainer.cc's formula.
+    const int64_t epoch_elapsed =
+        obs::CurrentClock()->NowMicros() - epoch_start;
+    const uint64_t caller_window =
+        obs::ThreadCost().alloc_bytes - epoch_cost_open.alloc_bytes;
+    uint64_t caller_shard_bytes = 0;
+    uint64_t all_shard_bytes = 0;
+    int64_t shard_micros_total = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      all_shard_bytes += shard_alloc[static_cast<size_t>(s)];
+      if (s % tp->num_threads() == 0) {
+        caller_shard_bytes += shard_alloc[static_cast<size_t>(s)];
+      }
+      shard_micros_total += shard_micros[static_cast<size_t>(s)];
+    }
+    const uint64_t epoch_alloc_bytes =
+        caller_window - std::min(caller_shard_bytes, caller_window) +
+        all_shard_bytes;
+    self_series->Append(
+        static_cast<double>(epoch),
+        static_cast<double>(
+            std::max<int64_t>(0, epoch_elapsed - shard_micros_total)));
+    alloc_series->Append(static_cast<double>(epoch),
+                         static_cast<double>(epoch_alloc_bytes));
+
     epoch_loss /= static_cast<double>(pairs.size());
     stats.train_loss.push_back(epoch_loss);
     stats.epochs_run = epoch + 1;

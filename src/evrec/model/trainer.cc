@@ -6,6 +6,7 @@
 #include <string>
 
 #include "evrec/obs/metrics.h"
+#include "evrec/obs/profile.h"
 #include "evrec/obs/trace.h"
 #include "evrec/util/fault_injection.h"
 #include "evrec/util/logging.h"
@@ -113,6 +114,9 @@ RngState ReplayShuffleDraws(const RngState& from, size_t n, uint32_t epochs) {
 ThreadPool* RepTrainer::pool() const {
   if (config_.pool != nullptr) return config_.pool;
   if (owned_pool_ == nullptr) {
+    // Thread-count-scaled infrastructure: excluded from allocation
+    // tallies (see TwoStagePipeline::pool()).
+    obs::ScopedTallySuppress suppress;
     owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
   }
   return owned_pool_.get();
@@ -127,6 +131,11 @@ double RepTrainer::EvaluateLoss(const RepDataset& data,
   std::vector<double> shard_loss(static_cast<size_t>(num_shards), 0.0);
   const float theta_r = model_->config().theta_r;
   pool()->ParallelFor(num_shards, [&](int s) {
+    // Span-wrapped so the shard's heap traffic is charged to this frame on
+    // whichever thread runs it: allocation attribution stays byte-identical
+    // across --threads values (a bare lambda would fold its allocations
+    // into the caller's window only when run inline).
+    obs::ScopedSpan shard_span("trainer.eval_shard");
     double loss = 0.0;
     for (size_t i = static_cast<size_t>(s); i < pairs.size();
          i += static_cast<size_t>(num_shards)) {
@@ -262,6 +271,20 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
     shard_hists.push_back(registry->GetHistogram(
         "trainer.shard.micros.s" + std::to_string(s)));
   }
+  // Profiler-backed cost series: per-epoch self time (epoch wall time
+  // minus training-shard work) and heap traffic, plus per-shard
+  // allocation histograms (prefetched for the same no-growth-in-
+  // ParallelFor rule as the timing histograms above).
+  obs::Series* self_series =
+      registry->GetSeries("trainer.epoch.self_micros");
+  obs::Series* alloc_series =
+      registry->GetSeries("trainer.epoch.alloc_bytes");
+  std::vector<obs::Histogram*> shard_alloc_hists;
+  shard_alloc_hists.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shard_alloc_hists.push_back(registry->GetHistogram(
+        "trainer.shard.alloc_bytes.s" + std::to_string(s)));
+  }
 
   const size_t batch_size =
       static_cast<size_t>(std::max(1, cfg.batch_size));
@@ -329,6 +352,13 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
     obs::ScopedSpan epoch_span("trainer.epoch");
     epoch_span.AddTag("epoch", std::to_string(epoch));
     int64_t epoch_start = obs::CurrentClock()->NowMicros();
+    const obs::ThreadCostSnapshot epoch_cost_open = obs::ThreadCost();
+    // Per-shard cost accumulators for this epoch. Slot s is only written
+    // by whichever thread runs shard s in the current batch (batches are
+    // sequential, ParallelFor is a barrier), so plain slots suffice and
+    // the sums are thread-count-independent.
+    std::vector<int64_t> shard_micros(static_cast<size_t>(num_shards), 0);
+    std::vector<uint64_t> shard_alloc(static_cast<size_t>(num_shards), 0);
     rng.Shuffle(pairs);
     double epoch_loss = 0.0;
     double grad_sq = 0.0;
@@ -343,6 +373,7 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
         obs::ScopedSpan shard_span("trainer.shard");
         shard_span.AddTag("shard", std::to_string(s));
         int64_t shard_start = obs::CurrentClock()->NowMicros();
+        const obs::ThreadCostSnapshot shard_cost_open = obs::ThreadCost();
         ShardState& st = shards[static_cast<size_t>(s)];
         for (size_t i = start + static_cast<size_t>(s); i < end;
              i += static_cast<size_t>(num_shards)) {
@@ -364,9 +395,16 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
                             static_cast<int>(st.grads.de.size()));
           }
         }
+        const int64_t shard_elapsed =
+            obs::CurrentClock()->NowMicros() - shard_start;
+        const uint64_t shard_bytes =
+            obs::ThreadCost().alloc_bytes - shard_cost_open.alloc_bytes;
+        shard_micros[static_cast<size_t>(s)] += shard_elapsed;
+        shard_alloc[static_cast<size_t>(s)] += shard_bytes;
         shard_hists[static_cast<size_t>(s)]->Record(
-            static_cast<double>(obs::CurrentClock()->NowMicros() -
-                                shard_start));
+            static_cast<double>(shard_elapsed));
+        shard_alloc_hists[static_cast<size_t>(s)]->Record(
+            static_cast<double>(shard_bytes));
       });
       // Fixed shard-order reduction: the one place gradients from
       // different shards meet, so results cannot depend on thread count.
@@ -382,6 +420,26 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
       // keeping the per-pair step size constant across the epoch.
       model_->Step(lr / static_cast<float>(end - start));
     }
+    // Close the training allocation window before validation/checkpoint
+    // work: the epoch series report training-phase heap traffic. Each
+    // shard window is counted exactly once — windows of shards the caller
+    // executed (s % num_threads == 0, caller is worker 0) are already
+    // inside the caller's window, so subtract them before adding all
+    // shard windows back.
+    const uint64_t caller_window =
+        obs::ThreadCost().alloc_bytes - epoch_cost_open.alloc_bytes;
+    uint64_t caller_shard_bytes = 0;
+    uint64_t all_shard_bytes = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      all_shard_bytes += shard_alloc[static_cast<size_t>(s)];
+      if (s % tp->num_threads() == 0) {
+        caller_shard_bytes += shard_alloc[static_cast<size_t>(s)];
+      }
+    }
+    const uint64_t epoch_alloc_bytes =
+        caller_window - std::min(caller_shard_bytes, caller_window) +
+        all_shard_bytes;
+
     epoch_loss /= static_cast<double>(pairs.size());
     stats.train_loss.push_back(epoch_loss);
     stats.epochs_run = epoch + 1;
@@ -400,6 +458,14 @@ TrainStats RepTrainer::Train(const RepDataset& data, Rng& rng) const {
     grad_series->Append(x, grad_norm);
     time_series->Append(x, static_cast<double>(epoch_elapsed));
     epoch_hist->Record(static_cast<double>(epoch_elapsed));
+    int64_t shard_micros_total = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      shard_micros_total += shard_micros[static_cast<size_t>(s)];
+    }
+    self_series->Append(
+        x, static_cast<double>(
+               std::max<int64_t>(0, epoch_elapsed - shard_micros_total)));
+    alloc_series->Append(x, static_cast<double>(epoch_alloc_bytes));
     EVREC_LOG(INFO) << "rep epoch " << epoch << " train_loss=" << epoch_loss
                     << " val_loss=" << val_loss << " lr=" << lr
                     << " grad_norm=" << grad_norm;

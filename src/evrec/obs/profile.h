@@ -1,0 +1,304 @@
+// In-process sampling profiler with allocation accounting.
+//
+// Answers the question the metric/trace layers cannot: where, inside an
+// instrumented span, CPU time and heap traffic actually go. Two collection
+// modes feed one aggregate of folded stacks:
+//
+//   kReal           SIGPROF fires `sample_hz` times per second of consumed
+//                   CPU time; the signal handler walks the real call stack
+//                   (backtrace) and pushes raw PCs plus the interrupted
+//                   thread's trace id into a bounded lock-free ring. The
+//                   ring is drained and symbolized (dladdr) off the hot
+//                   path — never inside the handler.
+//
+//   kDeterministic  No signals. Every closing trace span charges
+//                   floor(self_micros / period) synthetic samples to its
+//                   symbolic span-name stack (root;child;leaf), which
+//                   util/trace_context propagates across ParallelFor
+//                   shards exactly like trace ids. Under a FakeClock the
+//                   exported profile is byte-identical across runs and
+//                   across --threads — this is the mode every CLI demo and
+//                   CI gate uses. An injectable tick source and a
+//                   synthetic stack provider (RecordSynthetic) let tests
+//                   replace the clock arithmetic entirely.
+//
+// Allocation accounting is mode-independent and always cheap: linking this
+// library replaces the global operator new/delete (profile.cc) with
+// versions that bump thread-local byte/count tallies before delegating to
+// malloc/free. obs::ScopedSpan snapshots the tallies at open and charges
+// its *self* window (own window minus same-thread children's windows) at
+// close, so every stack in the profile carries heap traffic next to CPU
+// samples, and serve::RecommendationService can tag each request with its
+// allocation cost. The tallies count cumulative traffic, not live bytes —
+// frees are free.
+//
+// Signal-safety rules (kReal): the handler touches only POD thread-locals,
+// lock-free atomics, backtrace() (primed once at Start so its lazy dlopen
+// happens outside the handler), and memcpy; it saves/restores errno and
+// never allocates, locks, or formats.
+//
+// SLO coupling: Arm() stores a config without collecting. While any burn-
+// rate alert is firing, SloEngine::RecordRequest force-enables collection
+// (EnsureIncidentCollection) and retains the degraded request's trace id
+// in the profile (MarkIncidentTrace) — the profile-side mirror of
+// TraceLog::MarkKeep — so an operator gets a flamegraph of the incident,
+// not just a burn rate.
+
+#ifndef EVREC_OBS_PROFILE_H_
+#define EVREC_OBS_PROFILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "evrec/util/status.h"
+#include "evrec/util/trace_context.h"
+
+namespace evrec {
+namespace obs {
+
+struct ProfileConfig {
+  // Samples per second of CPU time (kReal: SIGPROF rate; kDeterministic:
+  // one synthetic sample per 1e6/sample_hz micros of span self-time).
+  int sample_hz = 100;
+  // kReal: capacity of the pending-sample ring (rounded up to a power of
+  // two). Overflow drops samples and counts them, never blocks.
+  size_t ring_capacity = 8192;
+  // kReal: stack frames kept per sample (hard cap 64).
+  int max_frames = 48;
+  // Bound on retained per-request cost entries; when full, the oldest
+  // non-incident entry is evicted first (incident entries parallel trace
+  // retention and survive as long as possible).
+  size_t max_request_entries = 4096;
+  // Auto-stop: collection turns itself off once this much observability-
+  // clock time has elapsed since Start (0 = run until Stop). Deterministic
+  // under a FakeClock.
+  int64_t max_duration_micros = 0;
+  // Where the CLI writes the text profile on exit (informational here).
+  std::string out_path;
+};
+
+// One folded stack ("root;child;leaf") with its accumulated costs.
+struct ProfileStackEntry {
+  std::string stack;
+  uint64_t samples = 0;
+  int64_t self_micros = 0;  // kDeterministic only; 0 in kReal
+  uint64_t alloc_bytes = 0;
+  uint64_t alloc_count = 0;
+};
+
+// Per-request cost attribution, keyed by the request's trace id.
+struct ProfileRequestEntry {
+  uint64_t trace_id = 0;
+  uint64_t cpu_samples = 0;
+  uint64_t alloc_bytes = 0;
+  // Retained because an SLO alert was firing when the request was served.
+  bool forced = false;
+};
+
+// Cumulative (monotone) tallies of the calling thread. Deltas across a
+// region give that region's same-thread cost; the serving layer snapshots
+// around each request.
+struct ThreadCostSnapshot {
+  uint64_t alloc_bytes = 0;
+  uint64_t alloc_count = 0;
+  uint64_t cpu_samples = 0;
+};
+ThreadCostSnapshot ThreadCost();
+
+// Suppresses allocation tallying on the calling thread while alive
+// (nestable). The tracer and profiler wrap their own bookkeeping in this:
+// internal allocations must not pollute the windows being measured — and,
+// more subtly, must not make a parent's self-allocation depend on whether
+// a child span's bookkeeping ran on the caller (--threads 1) or on a pool
+// worker (--threads N), which would break export byte-identity.
+class ScopedTallySuppress {
+ public:
+  ScopedTallySuppress();
+  ~ScopedTallySuppress();
+
+  ScopedTallySuppress(const ScopedTallySuppress&) = delete;
+  ScopedTallySuppress& operator=(const ScopedTallySuppress&) = delete;
+};
+
+class Profiler {
+ public:
+  enum class Mode { kOff, kReal, kDeterministic };
+
+  Profiler();
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Starts SIGPROF sampling. Fails if this (or another) Profiler is
+  // already collecting in real mode — ITIMER_PROF is process-wide.
+  Status Start(const ProfileConfig& config);
+  // Starts deterministic (span-driven) collection. Never fails.
+  void StartDeterministic(const ProfileConfig& config);
+  // Stops collection (disarms the timer in kReal) and folds any pending
+  // ring samples into the aggregate. The aggregate survives for export.
+  void Stop();
+
+  Mode mode() const;
+  bool collecting() const;
+
+  // Incident profiling: stores `config` without starting. The first
+  // EnsureIncidentCollection() after arming starts deterministic
+  // collection with the stored config; subsequent calls are no-ops while
+  // collection is live. Unarmed and idle, both calls are no-ops.
+  void Arm(const ProfileConfig& config);
+  bool armed() const;
+  void EnsureIncidentCollection();
+  // Times incident collection was activated by a firing alert.
+  uint64_t incident_activations() const;
+
+  // Retains `trace_id` in the request table as an incident (forced) entry:
+  // upgrades the entry if the id is already present, inserts a cost-less
+  // placeholder otherwise (NoteRequest fills the cost in later). The
+  // profile-side mirror of TraceLog::MarkKeep.
+  void MarkIncidentTrace(uint64_t trace_id);
+
+  // kDeterministic: charges a closing span's self cost to the symbolic
+  // stack named by walking `leaf` to the root. Called by ScopedSpan.
+  void ChargeSpan(const ProfileFrame* leaf, int64_t self_micros,
+                  uint64_t alloc_bytes, uint64_t alloc_count);
+
+  // Synthetic stack provider (tests): charges an explicit root-first
+  // stack, bypassing spans and the tick source.
+  void RecordSynthetic(const std::vector<std::string>& frames,
+                       uint64_t samples, int64_t self_micros,
+                       uint64_t alloc_bytes, uint64_t alloc_count);
+
+  // Injectable tick source (kDeterministic): maps span self-time to a
+  // sample count. Default: self_micros / (1e6 / sample_hz). nullptr
+  // restores the default.
+  using TickFn = std::function<uint64_t(int64_t self_micros)>;
+  void SetTickSource(TickFn fn);
+
+  // Records one served request's cost. Merges into an existing entry with
+  // the same trace id (e.g. a MarkIncidentTrace placeholder) if it is the
+  // most recent one; `forced` marks the entry incident-retained.
+  void NoteRequest(uint64_t trace_id, uint64_t cpu_samples,
+                   uint64_t alloc_bytes, bool forced);
+
+  // kReal: folds pending ring samples into the aggregate (symbolizing
+  // via dladdr) and returns how many were folded. Stop() and the
+  // exporters call this; safe to call any time.
+  size_t DrainPending();
+
+  uint64_t total_samples() const;
+  uint64_t dropped_samples() const;  // ring overflow (kReal)
+  uint64_t total_alloc_bytes() const;
+  uint64_t total_alloc_count() const;
+  uint64_t forced_requests() const;
+
+  // Aggregate views: stacks sorted lexicographically, requests in
+  // retention order. Both deterministic for deterministic input.
+  std::vector<ProfileStackEntry> StackEntries() const;
+  std::vector<ProfileRequestEntry> RequestEntries() const;
+
+  // Folded-stack export (`stack;frames N`), flamegraph.pl input, sorted.
+  void WriteFolded(std::ostream& os) const;
+  Status WriteFolded(const std::string& path) const;
+  // Self-describing text profile (protobuf-less pprof-style: header
+  // comments, one `stack`/`request` record per line). ParseProfileText
+  // round-trips it.
+  void WriteText(std::ostream& os) const;
+  Status WriteText(const std::string& path) const;
+
+  // Drops the aggregate, request table, and counters; keeps mode/config.
+  void Clear();
+
+  static Profiler* Global();
+
+  // kReal machinery (ring + saved signal/timer state). Public only so the
+  // file-local SIGPROF handler can reach the ring; not part of the API.
+  struct RealState;
+
+ private:
+  struct StackCost {
+    uint64_t samples = 0;
+    int64_t self_micros = 0;
+    uint64_t alloc_bytes = 0;
+    uint64_t alloc_count = 0;
+  };
+
+  void AddCostLocked(const std::string& stack, const StackCost& cost);
+  void NoteRequestLocked(uint64_t trace_id, uint64_t cpu_samples,
+                         uint64_t alloc_bytes, bool forced);
+  // Deterministic auto-stop: disables collection once the configured
+  // duration has elapsed on the observability clock.
+  void MaybeExpire();
+  size_t DrainPendingLocked();
+  void StopCollectionLocked();
+
+  mutable std::mutex mu_;
+  ProfileConfig config_;
+  ProfileConfig armed_config_;
+  std::atomic<int> mode_{static_cast<int>(Mode::kOff)};
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> incident_activations_{0};
+  int64_t period_micros_ = 10000;
+  int64_t start_micros_ = 0;
+  TickFn tick_fn_;
+
+  std::map<std::string, StackCost> stacks_;
+  std::deque<ProfileRequestEntry> requests_;
+  uint64_t forced_requests_ = 0;
+  uint64_t total_samples_ = 0;
+  uint64_t total_alloc_bytes_ = 0;
+  uint64_t total_alloc_count_ = 0;
+  // Applied to the ring's raw dropped counter so Clear() can zero the
+  // reported value without touching an atomic a handler may be bumping.
+  int64_t dropped_offset_ = 0;
+
+  // Current ring (behind an opaque pointer so this header stays free of
+  // <signal.h> / <execinfo.h>) plus rings retired by a later Start: a
+  // signal delivered around a Stop may still be completing a slot write,
+  // so old rings are kept until the Profiler itself dies.
+  RealState* real_ = nullptr;
+  std::vector<RealState*> retired_;
+};
+
+// ---------------------------------------------------------------------------
+// Offline analysis (the `evrec_cli profile` subcommand).
+
+struct ParsedProfile {
+  std::string mode;
+  int64_t period_micros = 0;
+  uint64_t total_samples = 0;
+  uint64_t dropped_samples = 0;
+  uint64_t total_alloc_bytes = 0;
+  uint64_t total_alloc_count = 0;
+  std::vector<ProfileStackEntry> stacks;
+  std::vector<ProfileRequestEntry> requests;
+};
+
+// Parses WriteText output. Unknown header lines are ignored (forward
+// compatible); malformed records fail with kCorruption.
+StatusOr<ParsedProfile> ParseProfileText(const std::string& text);
+
+struct ProfileReportOptions {
+  int top_n = 10;
+};
+
+// Human report: top-N frames by self and by total (inclusive) cost, the
+// per-frame allocation table, and the request summary. Output depends only
+// on the profile contents — never on thread ordinals or arrival order.
+void WriteProfileReport(const ParsedProfile& profile,
+                        const ProfileReportOptions& options, std::ostream& os);
+
+// Re-emits the folded stacks of a parsed profile (flamegraph.pl input).
+void WriteFoldedFromParsed(const ParsedProfile& profile, std::ostream& os);
+
+}  // namespace obs
+}  // namespace evrec
+
+#endif  // EVREC_OBS_PROFILE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "evrec/obs/profile.h"
 #include "evrec/util/check.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/string_util.h"
@@ -200,10 +201,11 @@ std::vector<Slo::RuleStatus> Slo::Status() const {
 // ---------- SloEngine ----------
 
 SloEngine::SloEngine(Clock* clock, MetricRegistry* registry,
-                     TraceLog* trace_log)
+                     TraceLog* trace_log, Profiler* profiler)
     : clock_(clock),
       registry_(registry != nullptr ? registry : MetricRegistry::Global()),
-      trace_log_(trace_log != nullptr ? trace_log : TraceLog::Global()) {
+      trace_log_(trace_log != nullptr ? trace_log : TraceLog::Global()),
+      profiler_(profiler != nullptr ? profiler : Profiler::Global()) {
   EVREC_CHECK(clock != nullptr);
   firing_gauge_ = registry_->GetGauge("slo.alerts.firing");
 }
@@ -247,9 +249,13 @@ void SloEngine::RecordRequest(bool error, int64_t latency_micros,
   }
   if (firing && trace_id != 0) {
     // The episode is live: keep this request's trace whatever the tail
-    // sampler would have decided.
+    // sampler would have decided, and mirror the retention into the
+    // profiler so the incident's flamegraph names the same trace ids.
+    // An armed profiler starts collecting on the first degraded request.
     trace_log_->MarkKeep(trace_id);
     ++traces_marked_;
+    profiler_->EnsureIncidentCollection();
+    profiler_->MarkIncidentTrace(trace_id);
   }
 }
 

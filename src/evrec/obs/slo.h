@@ -151,14 +151,20 @@ class Slo {
   std::vector<RuleState> rules_;
 };
 
+class Profiler;
+
 // Owns the declared objectives and the shared alert timeline; the serving
 // layer feeds it one call per request.
 class SloEngine {
  public:
   // Registry for transition counters (nullptr = process global); trace_log
-  // for forced retention while firing (nullptr = TraceLog::Global()).
+  // for forced retention while firing (nullptr = TraceLog::Global());
+  // profiler for incident profiling while firing (nullptr =
+  // Profiler::Global() — a no-op unless the profiler was Arm()ed or is
+  // already collecting).
   explicit SloEngine(Clock* clock, MetricRegistry* registry = nullptr,
-                     TraceLog* trace_log = nullptr);
+                     TraceLog* trace_log = nullptr,
+                     Profiler* profiler = nullptr);
 
   Slo* AddObjective(const SloConfig& config);
 
@@ -175,7 +181,9 @@ class SloEngine {
 
   bool AnyFiring() const;
 
-  // Traces force-retained because they were observed while firing.
+  // Traces force-retained because they were observed while firing. The
+  // profiler's request table retains the same ids (forced entries), so
+  // profile retention parallels trace retention entry for entry.
   uint64_t traces_marked() const;
 
   std::vector<AlertEvent> Timeline() const;
@@ -195,6 +203,7 @@ class SloEngine {
   Clock* clock_;
   MetricRegistry* registry_;
   TraceLog* trace_log_;
+  Profiler* profiler_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Slo>> slos_;
   std::vector<AlertEvent> timeline_;

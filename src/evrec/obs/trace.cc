@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "evrec/obs/profile.h"
 #include "evrec/util/logging.h"
 #include "evrec/util/string_util.h"
 
@@ -286,14 +287,27 @@ ScopedSpan::ScopedSpan(const char* name, MetricRegistry* registry,
   // ids depend on what else ran on this thread earlier.
   span_id_ = DeriveSpanId(trace_id_, parent_id_, name,
                           new_trace ? 0 : saved_.child_seq);
+  // Profiler cost scope: link this span's frame under the parent's (the
+  // saved context carries the parent frame across threads) and expose it
+  // to children through the inner context.
+  frame_.name = name;
+  frame_.parent = saved_.frame;
+  frame_.child_micros = &child_micros_;
+  frame_.child_alloc_bytes = &child_alloc_bytes_;
+  frame_.child_alloc_count = &child_alloc_count_;
+  frame_.thread = TraceThreadOrdinal();
   TraceContext inner;
   inner.trace_id = trace_id_;
   inner.span_id = span_id_;
   inner.depth = depth_ + 1;
   inner.child_seq = 0;
+  inner.frame = &frame_;
   SetCurrentTraceContext(inner);
   prev_active_ = t_active_span;
   t_active_span = this;
+  const ThreadCostSnapshot open_cost = ThreadCost();
+  open_alloc_bytes_ = open_cost.alloc_bytes;
+  open_alloc_count_ = open_cost.alloc_count;
   start_micros_ = CurrentClock()->NowMicros();
 }
 
@@ -309,6 +323,47 @@ ScopedSpan::~ScopedSpan() {
   SetCurrentTraceContext(restored);
 
   int64_t duration = CurrentClock()->NowMicros() - start_micros_;
+
+  // Profiler cost accounting. The allocation window is read before any
+  // bookkeeping below allocates, and everything after this line runs
+  // tally-suppressed: span bookkeeping is not request work, and letting
+  // it tally would make a parent's self-allocation depend on which thread
+  // a child's destructor ran on.
+  const ThreadCostSnapshot close_cost = ThreadCost();
+  ScopedTallySuppress suppress;
+  const uint64_t window_bytes = close_cost.alloc_bytes - open_alloc_bytes_;
+  const uint64_t window_count = close_cost.alloc_count - open_alloc_count_;
+  const uint64_t child_bytes =
+      child_alloc_bytes_.load(std::memory_order_relaxed);
+  const uint64_t child_count =
+      child_alloc_count_.load(std::memory_order_relaxed);
+  int64_t self_micros =
+      duration - child_micros_.load(std::memory_order_relaxed);
+  if (self_micros < 0) {
+    self_micros = 0;  // cross-thread children can out-sum wall time
+  }
+  const uint64_t self_bytes =
+      window_bytes > child_bytes ? window_bytes - child_bytes : 0;
+  const uint64_t self_count =
+      window_count > child_count ? window_count - child_count : 0;
+  if (frame_.parent != nullptr) {
+    frame_.parent->child_micros->fetch_add(duration,
+                                           std::memory_order_relaxed);
+    if (frame_.parent->thread == TraceThreadOrdinal()) {
+      // Same-thread child: the parent's own window contains this whole
+      // window, so hand it up for subtraction. A cross-thread child's
+      // allocations never entered the parent's window in the first place
+      // — which is exactly why self-bytes come out identical at any
+      // thread count.
+      frame_.parent->child_alloc_bytes->fetch_add(window_bytes,
+                                                  std::memory_order_relaxed);
+      frame_.parent->child_alloc_count->fetch_add(window_count,
+                                                  std::memory_order_relaxed);
+    }
+  }
+  Profiler::Global()->ChargeSpan(&frame_, self_micros, self_bytes,
+                                 self_count);
+
   SpanEvent event;
   event.name = name_;
   event.trace_id = trace_id_;

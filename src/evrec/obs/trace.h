@@ -157,6 +157,15 @@ class TraceLog {
 // RAII span. `name` must outlive the span (string literals in practice).
 // Registry/log default to the process-wide globals; tests inject their
 // own.
+//
+// Every span is also a profiler cost scope: it owns a ProfileFrame (the
+// symbolic stack link ParallelFor propagates to shards), accumulates its
+// children's durations and allocation windows in atomics, and on close
+// charges its *self* cost — duration minus children, allocation window
+// minus same-thread children — to the global Profiler when deterministic
+// collection is live (obs/profile.h). Both subtractions are sums of
+// commutative atomic adds, so self costs are identical for any thread
+// count under a FakeClock.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, MetricRegistry* registry = nullptr,
@@ -191,6 +200,15 @@ class ScopedSpan {
   int64_t start_micros_;
   std::vector<std::pair<std::string, std::string>> tags_;
   ScopedSpan* prev_active_;
+  // Profiler cost scope (see class comment). The frame is pushed into the
+  // thread's TraceContext so children — including cross-thread shards —
+  // can find their parent's accumulators.
+  ProfileFrame frame_;
+  std::atomic<int64_t> child_micros_{0};
+  std::atomic<uint64_t> child_alloc_bytes_{0};
+  std::atomic<uint64_t> child_alloc_count_{0};
+  uint64_t open_alloc_bytes_ = 0;
+  uint64_t open_alloc_count_ = 0;
 };
 
 // Tags the innermost open span on this thread; silently dropped when no

@@ -31,6 +31,10 @@ TwoStagePipeline::TwoStagePipeline(const PipelineConfig& config)
 
 ThreadPool* TwoStagePipeline::pool() {
   if (pool_ == nullptr) {
+    // Pool infrastructure (worker vector, thread stacks) scales with the
+    // thread count; keep it out of the allocation tallies so profiler
+    // attribution stays byte-identical across --threads values.
+    obs::ScopedTallySuppress suppress;
     pool_ = std::make_unique<ThreadPool>(config_.threads);
   }
   return pool_.get();
@@ -292,8 +296,12 @@ void TwoStagePipeline::ComputeRepVectors() {
   // function of the frozen model, so the parallel fill is deterministic;
   // the cache itself is sharded + stampede-guarded, hence thread-safe.
   user_reps_.resize(data_.world.users.size());
+  // Each fill is span-wrapped so its forward-pass allocations are charged
+  // to the rep_vector frame on whichever thread runs it — profiler
+  // attribution stays byte-identical across --threads values.
   pool()->ParallelFor(
       static_cast<int>(data_.world.users.size()), [&](int u) {
+        obs::ScopedSpan vector_span("pipeline.rep_vector");
         user_reps_[static_cast<size_t>(u)] = cache_.GetOrCompute(
             store::EntityKind::kUser, u, [&]() {
               return model_->UserVector(
@@ -302,6 +310,7 @@ void TwoStagePipeline::ComputeRepVectors() {
       });
   event_reps_.resize(data_.events.size());
   pool()->ParallelFor(static_cast<int>(data_.events.size()), [&](int e) {
+    obs::ScopedSpan vector_span("pipeline.rep_vector");
     event_reps_[static_cast<size_t>(e)] = cache_.GetOrCompute(
         store::EntityKind::kEvent, e, [&]() {
           return model_->EventVector(

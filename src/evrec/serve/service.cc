@@ -231,6 +231,10 @@ RankResponse RecommendationService::Rank(int user,
                       StrFormat("%lld",
                                 static_cast<long long>(budget_micros)));
   int64_t start = backends_.clock->NowMicros();
+  // Cost attribution window: CPU samples and heap bytes this thread
+  // tallies between here and the end of the request (the Rank path runs
+  // entirely on the serving thread, so the delta is the request's cost).
+  const obs::ThreadCostSnapshot request_cost_open = obs::ThreadCost();
   DeadlineBudget budget(backends_.clock, budget_micros);
 
   // The user vector is shared by every candidate: resolve it once.
@@ -341,6 +345,31 @@ RankResponse RecommendationService::Rank(int user,
   if (backends_.slo != nullptr) {
     backends_.slo->RecordRequest(had_errors, response.elapsed_micros,
                                  request_span.trace_id());
+  }
+  // Per-request profiler attribution, after RecordRequest: a firing alert
+  // has already force-enabled an armed profiler and marked this trace, so
+  // the cost entry merges into the incident placeholder.
+  obs::Profiler* profiler = backends_.profiler != nullptr
+                                ? backends_.profiler
+                                : obs::Profiler::Global();
+  if (profiler->collecting()) {
+    const obs::ThreadCostSnapshot request_cost_close = obs::ThreadCost();
+    const uint64_t cpu_samples =
+        request_cost_close.cpu_samples - request_cost_open.cpu_samples;
+    const uint64_t alloc_bytes =
+        request_cost_close.alloc_bytes - request_cost_open.alloc_bytes;
+    request_span.AddTag("cpu_samples",
+                        StrFormat("%llu",
+                                  static_cast<unsigned long long>(
+                                      cpu_samples)));
+    request_span.AddTag("alloc_bytes",
+                        StrFormat("%llu",
+                                  static_cast<unsigned long long>(
+                                      alloc_bytes)));
+    const bool slo_firing =
+        backends_.slo != nullptr && backends_.slo->AnyFiring();
+    profiler->NoteRequest(request_span.trace_id(), cpu_samples, alloc_bytes,
+                          slo_firing);
   }
   return response;
 }

@@ -21,6 +21,7 @@
 #include "evrec/obs/health.h"
 #include "evrec/obs/metrics.h"
 #include "evrec/obs/monitor.h"
+#include "evrec/obs/profile.h"
 #include "evrec/obs/slo.h"
 #include "evrec/serve/circuit_breaker.h"
 #include "evrec/serve/clock.h"
@@ -81,6 +82,12 @@ class RecommendationService {
     // and vector-store probes on construction and unregisters them on
     // destruction.
     obs::HealthRegistry* health = nullptr;
+    // Cost attribution: when the profiler is collecting, every request is
+    // tagged with the CPU samples and heap bytes tallied on the serving
+    // thread and filed in the profiler's per-request table under its
+    // trace id (forced-retained while an SLO alert is firing). nullptr
+    // means obs::Profiler::Global().
+    obs::Profiler* profiler = nullptr;
   };
 
   RecommendationService(const Backends& backends,

@@ -6,6 +6,8 @@
 #include <ctime>
 #include <mutex>
 
+#include "evrec/util/trace_context.h"
+
 namespace evrec {
 
 namespace {
@@ -99,8 +101,13 @@ LogMessage::~LogMessage() {
   // Assemble the entire record first; emit with one locked write.
   std::ostringstream record;
   record << '[' << LevelTag(level_) << ' ' << timestamp << " t"
-         << ThreadOrdinal() << ' ' << Basename(file_) << ':' << line_
-         << "] " << stream_.str() << '\n';
+         << ThreadOrdinal();
+  // Named threads (pool workers: "evrec-w3") log as t4/evrec-w3 — the
+  // ordinal keeps records diffable, the name says who the thread is.
+  const char* thread_name = TraceThreadName();
+  if (thread_name[0] != '\0') record << '/' << thread_name;
+  record << ' ' << Basename(file_) << ':' << line_ << "] " << stream_.str()
+         << '\n';
   std::string line = record.str();
   std::FILE* out = g_log_stream.load(std::memory_order_relaxed);
   if (out == nullptr) out = stderr;

@@ -1,6 +1,7 @@
 #include "evrec/util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace evrec {
 
@@ -51,6 +52,11 @@ void ThreadPool::RunShards(int worker) {
 }
 
 void ThreadPool::WorkerLoop(int worker) {
+  // Name the OS thread so profiles, TSan reports, /proc views, and log
+  // records identify pool workers instead of anonymous tids.
+  char name[16];
+  std::snprintf(name, sizeof(name), "evrec-w%d", worker);
+  SetTraceThreadName(name);
   uint64_t seen_epoch = 0;
   while (true) {
     {

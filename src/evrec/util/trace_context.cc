@@ -1,6 +1,9 @@
 #include "evrec/util/trace_context.h"
 
+#include <pthread.h>
+
 #include <atomic>
+#include <cstring>
 
 namespace evrec {
 
@@ -73,5 +76,20 @@ int TraceThreadOrdinal() {
   thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed) + 1;
   return id;
 }
+
+namespace {
+// 16 bytes is the kernel's TASK_COMM_LEN, including the terminator.
+thread_local char t_thread_name[16] = {0};
+}  // namespace
+
+void SetTraceThreadName(const char* name) {
+  std::strncpy(t_thread_name, name, sizeof(t_thread_name) - 1);
+  t_thread_name[sizeof(t_thread_name) - 1] = '\0';
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), t_thread_name);
+#endif
+}
+
+const char* TraceThreadName() { return t_thread_name; }
 
 }  // namespace evrec

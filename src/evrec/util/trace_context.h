@@ -20,15 +20,39 @@
 #ifndef EVREC_UTIL_TRACE_CONTEXT_H_
 #define EVREC_UTIL_TRACE_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace evrec {
+
+// One link of the symbolic stack the sampling profiler charges costs to:
+// the chain of open span names from the root down to the innermost span
+// (obs/profile.h). A frame is owned by the ScopedSpan that opened it and
+// outlives every child — including children running on pool workers,
+// because ParallelFor blocks the caller until all shards return. The
+// accumulator pointers let a closing child charge its duration and its
+// allocation window back to the owning span without the owner having to
+// poll; they point at atomics inside the owner so cross-thread children
+// (shards) can add concurrently, and the sums stay thread-count
+// independent because addition commutes.
+struct ProfileFrame {
+  const char* name = nullptr;            // span name (string literal)
+  const ProfileFrame* parent = nullptr;  // enclosing span's frame
+  std::atomic<int64_t>* child_micros = nullptr;
+  std::atomic<uint64_t>* child_alloc_bytes = nullptr;
+  std::atomic<uint64_t>* child_alloc_count = nullptr;
+  int thread = 0;  // TraceThreadOrdinal() of the opening thread
+};
 
 struct TraceContext {
   uint64_t trace_id = 0;   // 0 = no active trace; next span starts one
   uint64_t span_id = 0;    // innermost open span; 0 = next span is a root
   int depth = 0;           // depth the next span opened will record
   uint64_t child_seq = 0;  // sibling ordinal assigned to the next child
+  // Innermost open span's profile frame (null when no span is open).
+  // Propagated across ParallelFor exactly like the ids above, so costs
+  // incurred inside a shard fold into the caller's symbolic stack.
+  const ProfileFrame* frame = nullptr;
 };
 
 // The calling thread's current context (a zero context when no span is
@@ -69,6 +93,14 @@ uint64_t DeriveSpanId(uint64_t trace_id, uint64_t parent_id,
 // Compact monotone per-thread ordinal (first thread to ask is 1), used to
 // assign exporter tracks. Display-only: analysis must never depend on it.
 int TraceThreadOrdinal();
+
+// Names the calling thread for log records and debugger/TSan/procfs views
+// ("evrec-w3"): copies the name into thread-local storage (truncated to 15
+// chars, the kernel limit) and applies it to the OS thread. Display-only,
+// like the ordinal.
+void SetTraceThreadName(const char* name);
+// The name set on the calling thread, or "" when it was never named.
+const char* TraceThreadName();
 
 }  // namespace evrec
 

@@ -14,6 +14,7 @@
 #include "evrec/obs/metrics.h"
 #include "evrec/obs/monitor.h"
 #include "evrec/obs/openmetrics.h"
+#include "evrec/obs/profile.h"
 #include "evrec/obs/slo.h"
 #include "evrec/obs/trace.h"
 #include "evrec/util/clock.h"
@@ -540,6 +541,86 @@ TEST(OpenMetricsTest, MonitorWindowsAndDeterminism) {
             std::string::npos);
   // Identical replay, identical bytes.
   EXPECT_EQ(text, render());
+}
+
+TEST(OpenMetricsTest, RollingQuantilesSurviveARingWrap) {
+  // 8 one-second buckets: sixteen paced records wrap the ring once, so
+  // the exposition's windowed quantiles must reflect only the surviving
+  // half — pre-wrap values may not leak into the report.
+  auto render = [] {
+    FakeClock clock(0);
+    MetricRegistry registry;
+    Monitor monitor(&clock, SmallWindow(1000000, 8));
+    RollingHistogram* rh = monitor.GetHistogram("serve.request.micros");
+    for (int t = 0; t < 16; ++t) {
+      rh->Record(t < 8 ? 9999.0 : 1111.0);
+      clock.Advance(1000000);
+    }
+    return ToOpenMetricsString(registry, &monitor);
+  };
+  std::string text = render();
+  // The 10s report window clamps to the 8s ring, and the trailing
+  // Advance lands on a bucket boundary that rotates one more bucket out:
+  // exactly 7 post-wrap records remain.
+  EXPECT_NE(text.find("serve_request_micros_window_count{window=\"10s\"} 7"),
+            std::string::npos)
+      << text;
+  const std::string p50_key =
+      "serve_request_micros_window{window=\"10s\",quantile=\"0.5\"} ";
+  size_t at = text.find(p50_key);
+  ASSERT_NE(at, std::string::npos) << text;
+  double p50 = std::strtod(text.c_str() + at + p50_key.size(), nullptr);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LT(p50, 9000.0);  // every pre-wrap (9999.0) record has aged out
+  // Identical replay, identical bytes — wraps included.
+  EXPECT_EQ(text, render());
+}
+
+TEST(SloEngineTest, FiringForcesProfileRetentionParallelToTraces) {
+  FakeClock clock(0);
+  MetricRegistry registry;
+  TraceLog trace_log(1024);
+  Profiler profiler;
+  SloEngine engine(&clock, &registry, &trace_log, &profiler);
+  // Armed but not collecting: the first firing alert force-starts an
+  // incident collection (deterministic mode).
+  profiler.Arm(ProfileConfig());
+  EXPECT_FALSE(profiler.collecting());
+
+  SloConfig latency;
+  latency.name = "latency";
+  latency.kind = SloKind::kLatency;
+  latency.objective = 0.9;
+  latency.latency_threshold_micros = 5000;
+  latency.window = SmallWindow(1000000, 32);
+  latency.rules = TestAvailabilitySlo().rules;
+  latency.rules[0].pending_micros = 0;
+  engine.AddObjective(latency);
+
+  for (int t = 0; t < 10; ++t) {
+    engine.RecordRequest(false, 1000, /*trace_id=*/100 + t);
+    clock.Advance(1000000);
+  }
+  EXPECT_EQ(profiler.incident_activations(), 0u);
+  EXPECT_EQ(profiler.forced_requests(), 0u);
+
+  engine.RecordRequest(false, 50000, /*trace_id=*/7);
+  engine.RecordRequest(false, 50000, /*trace_id=*/8);
+  EXPECT_TRUE(engine.AnyFiring());
+  EXPECT_EQ(profiler.incident_activations(), 1u);
+  EXPECT_TRUE(profiler.collecting());
+
+  // Profile retention parallels trace retention: every trace the engine
+  // force-kept while firing has a forced entry in the profiler's request
+  // table, and nothing else was forced.
+  EXPECT_GE(engine.traces_marked(), 1u);
+  EXPECT_EQ(profiler.forced_requests(), engine.traces_marked());
+  std::vector<ProfileRequestEntry> requests = profiler.RequestEntries();
+  ASSERT_EQ(requests.size(), engine.traces_marked());
+  for (const ProfileRequestEntry& r : requests) {
+    EXPECT_TRUE(r.forced);
+    EXPECT_TRUE(r.trace_id == 7u || r.trace_id == 8u) << r.trace_id;
+  }
 }
 
 }  // namespace

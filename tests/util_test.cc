@@ -668,9 +668,11 @@ class LogCapture {
   std::FILE* file_;
 };
 
-// Every record: [<level> <ISO-8601 UTC ms> t<ordinal> <file>:<line>] <msg>
+// Every record: [<level> <ISO-8601 UTC ms> t<ordinal>[/<name>]
+// <file>:<line>] <msg> — the /name suffix appears on threads named via
+// SetTraceThreadName (pool workers).
 const char kRecordPattern[] =
-    R"(\[[DIWE] \d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z t\d+ )"
+    R"(\[[DIWE] \d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z t\d+(/[-\w.]+)? )"
     R"([^ :]+:\d+\] .*)";
 
 TEST(LoggingTest, RecordCarriesTimestampThreadIdAndLocation) {
@@ -682,6 +684,20 @@ TEST(LoggingTest, RecordCarriesTimestampThreadIdAndLocation) {
       << lines[0];
   EXPECT_NE(lines[0].find("util_test.cc"), std::string::npos);
   EXPECT_NE(lines[0].find("] hello 42"), std::string::npos);
+}
+
+TEST(LoggingTest, NamedThreadRecordsCarryTheName) {
+  LogCapture capture;
+  std::thread worker([] {
+    SetTraceThreadName("evrec-w1");
+    EVREC_LOG(INFO) << "from a named worker";
+  });
+  worker.join();
+  std::vector<std::string> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(std::regex_match(lines[0], std::regex(kRecordPattern)))
+      << lines[0];
+  EXPECT_NE(lines[0].find("/evrec-w1 "), std::string::npos) << lines[0];
 }
 
 TEST(LoggingTest, LevelThresholdSuppressesRecords) {

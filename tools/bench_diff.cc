@@ -67,7 +67,8 @@ bool LowerIsBetter(const std::string& name) {
          name.find("nanos") != std::string::npos ||
          name.find("ns_per_op") != std::string::npos ||
          name.find("time") != std::string::npos ||
-         name.find("loss") != std::string::npos;
+         name.find("loss") != std::string::npos ||
+         name.find("bytes") != std::string::npos;
 }
 
 }  // namespace

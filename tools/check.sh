@@ -16,6 +16,10 @@
 #                                           # byte-identity of trained models
 #                                           # and metrics JSON between
 #                                           # EVREC_SIMD=scalar and native
+#   tools/check.sh profile                  # profiler gate: profiler tests
+#                                           # under ASan/UBSan/TSan plus
+#                                           # byte-identity of deterministic
+#                                           # profile exports across threads
 #   EVREC_SANITIZE=address tools/check.sh   # ASan build + ctest
 #   EVREC_SANITIZE=undefined tools/check.sh # UBSan build + ctest
 #   EVREC_SANITIZE=thread tools/check.sh    # TSan build + concurrency tests
@@ -23,7 +27,8 @@
 # Each sanitizer uses its own build directory (build-address/,
 # build-undefined/, build-thread/) so instrumented and plain objects never
 # mix. The thread build runs only the concurrency-heavy suites (obs_test,
-# monitor_test for the rolling-window/SLO paths, util_test,
+# monitor_test for the rolling-window/SLO paths, profile_test for the
+# signal handler and lock-free sample ring, util_test,
 # checkpoint_test for kill-and-resume of the data-parallel trainers,
 # parallel_test, serve_test): TSan's ~5-15x slowdown makes the full suite
 # impractical, and the remaining tests are single-threaded.
@@ -192,6 +197,88 @@ if [ "$mode" = "monitor" ]; then
   exit 0
 fi
 
+if [ "$mode" = "profile" ]; then
+  # The profiler gate. Three layers:
+  #   1. the profiler suites (signal handler, allocation accountant,
+  #      deterministic mode, request table) plus the obs/serve consumers
+  #      under ASan, UBSan, and TSan — the SIGPROF smoke test runs under
+  #      each, so handler signal-safety and the lock-free ring are
+  #      sanitizer-verified;
+  #   2. end-to-end byte-identity: `serve-demo --profile-out` exports must
+  #      be bit-for-bit identical between --threads 1 and 4 (deterministic
+  #      mode is the contract: span-charged costs on the simulated clock);
+  #   3. the offline analyzer: the report must reproduce the serve frames
+  #      and the SLO-forced request entries, the folded export must be
+  #      non-empty flamegraph input, and bench_diff must treat *_bytes
+  #      metrics as lower-is-better.
+  profile_tests='^(profile_test|obs_test|monitor_test|serve_test)$'
+  for san in address undefined thread; do
+    build_dir="build-$san"
+    echo "== profile mode: $san =="
+    cmake -B "$build_dir" -S . -DEVREC_SANITIZE="$san"
+    cmake --build "$build_dir" -j"$jobs"
+    ctest --test-dir "$build_dir" --output-on-failure -j"$jobs" \
+      -R "$profile_tests"
+  done
+
+  echo "== profile mode: export byte-identity and analysis =="
+  cmake -B build -S .
+  cmake --build build -j"$jobs"
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  cli="build/tools/evrec_cli"
+  mkdir "$work/t1" "$work/t4"
+  (cd "$work/t1" && "$OLDPWD/$cli" serve-demo --threads 1 \
+    --profile-out profile.txt --profile-hz 10000 > /dev/null)
+  (cd "$work/t4" && "$OLDPWD/$cli" serve-demo --threads 4 \
+    --profile-out profile.txt --profile-hz 10000 > /dev/null)
+  if ! cmp -s "$work/t1/profile.txt" "$work/t4/profile.txt"; then
+    echo "profile export differs between --threads 1 and 4" >&2
+    diff "$work/t1/profile.txt" "$work/t4/profile.txt" | head -20 >&2
+    exit 1
+  fi
+  echo "profile export identical across thread counts"
+
+  # The replay's SLO alert must have fired: degraded requests appear as
+  # forced entries (trailing field 1) keyed by their trace ids.
+  if ! grep -Eq '^request [0-9a-f]{16} [0-9]+ [0-9]+ 1$' \
+      "$work/t1/profile.txt"; then
+    echo "profile has no slo-forced request entries" >&2
+    exit 1
+  fi
+  echo "slo-forced request entries present"
+
+  # Offline analysis reproduces the serving frames and request table.
+  "$cli" profile "$work/t1/profile.txt" --top 5 > "$work/report.txt"
+  grep -q "Top 5 frames by self time" "$work/report.txt"
+  grep -q "serve.request" "$work/report.txt"
+  grep -q "incident-forced" "$work/report.txt"
+  "$cli" profile "$work/t1/profile.txt" --folded > "$work/folded.txt"
+  if ! [ -s "$work/folded.txt" ]; then
+    echo "folded export is empty" >&2
+    exit 1
+  fi
+  echo "profile report and folded export ok"
+
+  # bench_diff infers lower-is-better for *_bytes: a self-compare passes,
+  # a planted allocation regression fails.
+  cat > "$work/base.json" <<'EOF'
+{"name": "t", "metrics": {"auc": 0.70, "epoch_alloc_bytes": 1000.0}}
+EOF
+  cat > "$work/bloat.json" <<'EOF'
+{"name": "t", "metrics": {"auc": 0.70, "epoch_alloc_bytes": 1500.0}}
+EOF
+  build/tools/bench_diff "$work/base.json" "$work/base.json"
+  if build/tools/bench_diff "$work/base.json" "$work/bloat.json"; then
+    echo "bench_diff missed a planted allocation regression" >&2
+    exit 1
+  fi
+  echo "bench_diff treats *_bytes as lower-is-better"
+  rm -rf "$work"
+  trap - EXIT
+  exit 0
+fi
+
 if [ "$mode" = "kernels" ]; then
   # The SIMD-tier contract gate. Three layers:
   #   1. the kernel parity/dispatch suites (plus the la/nn/serve suites
@@ -288,7 +375,7 @@ cmake -B "$build_dir" -S . -DEVREC_SANITIZE="$san"
 cmake --build "$build_dir" -j"$jobs"
 if [ "$san" = "thread" ]; then
   ctest --test-dir "$build_dir" --output-on-failure -j"$jobs" \
-    -R '^(obs_test|monitor_test|util_test|checkpoint_test|parallel_test|serve_test)$'
+    -R '^(obs_test|monitor_test|profile_test|util_test|checkpoint_test|parallel_test|serve_test)$'
 else
   ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
 fi

@@ -73,6 +73,7 @@
 #include "evrec/obs/metrics.h"
 #include "evrec/obs/monitor.h"
 #include "evrec/obs/openmetrics.h"
+#include "evrec/obs/profile.h"
 #include "evrec/obs/slo.h"
 #include "evrec/obs/trace.h"
 #include "evrec/obs/trace_analysis.h"
@@ -111,6 +112,13 @@ struct Args {
   double trace_sample = 1.0;
   uint64_t trace_seed = 1;
   int top = 10;
+  // In-process profiling (serve-demo) and profile analysis (profile).
+  // serve-demo profiles in deterministic mode (span-charged costs on the
+  // simulated clock), so the exported profile is byte-identical across
+  // runs and --threads values.
+  std::string profile_out;
+  int profile_hz = 100;
+  bool folded = false;
   // metrics/monitor exposition format: "text" or "openmetrics".
   std::string format = "text";
 
@@ -127,6 +135,10 @@ struct Args {
       }
       if (flag == "--resume") {
         out_args->resume = true;
+        continue;
+      }
+      if (flag == "--folded") {
+        out_args->folded = true;
         continue;
       }
       const char* v = next();
@@ -180,6 +192,10 @@ struct Args {
         out_args->trace_seed = static_cast<uint64_t>(std::atoll(v));
       } else if (flag == "--top") {
         out_args->top = std::atoi(v);
+      } else if (flag == "--profile-out") {
+        out_args->profile_out = v;
+      } else if (flag == "--profile-hz") {
+        out_args->profile_hz = std::atoi(v);
       } else if (flag == "--format") {
         out_args->format = v;
       } else {
@@ -489,11 +505,77 @@ DemoSystem BuildDemoSystem(const Args& args) {
   return sys;
 }
 
+// Burn-rate ladders scaled so an episode plays out in simulated seconds
+// (the production shape is DefaultBurnRateRules(): 5m/1h + 6h/3d). Shared
+// by the monitor demo and the profiled serve-demo replay.
+std::vector<obs::BurnRateRule> ScaledDemoRules() {
+  std::vector<obs::BurnRateRule> rules(2);
+  rules[0].name = "fast";
+  rules[0].short_window_micros = 5 * 1000000LL;
+  rules[0].long_window_micros = 20 * 1000000LL;
+  rules[0].threshold = 5.0;
+  rules[0].pending_micros = 2 * 1000000LL;
+  rules[0].resolve_micros = 10 * 1000000LL;
+  rules[1].name = "slow";
+  rules[1].short_window_micros = 20 * 1000000LL;
+  rules[1].long_window_micros = 100 * 1000000LL;
+  rules[1].threshold = 1.0;
+  rules[1].pending_micros = 5 * 1000000LL;
+  rules[1].resolve_micros = 20 * 1000000LL;
+  return rules;
+}
+
+// The demo's two objectives: availability at 95% and latency-under-budget
+// at 90%, both under the scaled rule ladder.
+void AddDemoObjectives(obs::SloEngine* slo, const obs::WindowOptions& window,
+                       int64_t budget_us) {
+  std::vector<obs::BurnRateRule> rules = ScaledDemoRules();
+
+  obs::SloConfig availability;
+  availability.name = "availability";
+  availability.kind = obs::SloKind::kAvailability;
+  availability.objective = 0.95;
+  availability.window = window;
+  availability.rules = rules;
+  slo->AddObjective(availability);
+
+  obs::SloConfig latency;
+  latency.name = "latency";
+  latency.kind = obs::SloKind::kLatency;
+  latency.objective = 0.9;
+  latency.latency_threshold_micros = budget_us;
+  latency.window = window;
+  latency.rules = rules;
+  slo->AddObjective(latency);
+}
+
 // Trains a tiny end-to-end system, then replays the week-6 (eval-split)
 // impressions as ranking requests through the fault-tolerant serving
 // layer, with deterministic fault injection on `clock`.
+//
+// With --profile-out the whole run (training included) is profiled in
+// deterministic mode, and the replay is paced at ~4 requests per simulated
+// second under the monitor demo's SLO engine: the storm-grade fault rates
+// drive an alert to firing, and the profiler force-retains the degraded
+// requests' trace ids in its request table (parity with trace retention).
 FaultStormResult RunFaultStorm(const Args& args, serve::FakeClock* clock) {
+  const bool profiling = !args.profile_out.empty();
+  if (profiling) {
+    obs::ProfileConfig pcfg;
+    pcfg.sample_hz = args.profile_hz;
+    obs::Profiler::Global()->StartDeterministic(pcfg);
+  }
+
   DemoSystem sys = BuildDemoSystem(args);
+
+  std::unique_ptr<obs::SloEngine> slo;
+  if (profiling) {
+    obs::WindowOptions window;
+    window.bucket_width_micros = 1000000;
+    window.num_buckets = 128;
+    slo = std::make_unique<obs::SloEngine>(clock);
+    AddDemoObjectives(slo.get(), window, args.budget_us);
+  }
 
   serve::FaultConfig fault_cfg;
   fault_cfg.transient_error_rate = args.error_rate;
@@ -508,8 +590,10 @@ FaultStormResult RunFaultStorm(const Args& args, serve::FakeClock* clock) {
 
   serve::ServiceConfig service_cfg;
   service_cfg.default_budget_micros = args.budget_us;
-  serve::RecommendationService service(
-      sys.bundle.MakeBackends(clock, &faulty_store), service_cfg);
+  serve::RecommendationService::Backends backends =
+      sys.bundle.MakeBackends(clock, &faulty_store);
+  if (slo != nullptr) backends.slo = slo.get();
+  serve::RecommendationService service(backends, service_cfg);
 
   std::printf("replaying %zu requests (error-rate=%.2f spike-rate=%.2f "
               "spike=%lldus corrupt-rate=%.2f budget=%lldus)...\n",
@@ -518,6 +602,9 @@ FaultStormResult RunFaultStorm(const Args& args, serve::FakeClock* clock) {
               static_cast<long long>(args.budget_us));
   FaultStormResult result;
   for (const auto& [key, candidates] : sys.requests) {
+    // Profiled replays pace the simulated clock (~4 requests/s) so the
+    // SLO burn-rate windows see sustained degradation and fire.
+    if (profiling) clock->Advance(250000);
     serve::RankResponse resp =
         service.Rank(key.first, candidates, key.second, args.budget_us);
     if (resp.ranking.size() != candidates.size()) ++result.incomplete;
@@ -566,6 +653,25 @@ int CmdServeDemo(const Args& args) {
                 static_cast<unsigned long long>(log->sampled_out()),
                 static_cast<unsigned long long>(log->dropped()),
                 args.trace_out.c_str());
+  }
+  if (!args.profile_out.empty()) {
+    obs::Profiler* profiler = obs::Profiler::Global();
+    profiler->Stop();
+    Status status = profiler->WriteText(args.profile_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve-demo: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const std::vector<obs::ProfileRequestEntry> requests =
+        profiler->RequestEntries();
+    std::printf("profile: %zu stacks, %llu samples, %zu requests "
+                "(%llu slo-forced) -> %s\n",
+                profiler->StackEntries().size(),
+                static_cast<unsigned long long>(profiler->total_samples()),
+                requests.size(),
+                static_cast<unsigned long long>(
+                    profiler->forced_requests()),
+                args.profile_out.c_str());
   }
   if (!result.complete()) {
     std::fprintf(stderr, "serve-demo: degradation chain failed to cover "
@@ -683,38 +789,7 @@ int CmdMonitor(const Args& args) {
   obs::HealthRegistry health;
   obs::SloEngine slo(&clock);
 
-  // Burn-rate ladders scaled so an episode plays out in simulated seconds
-  // (the production shape is DefaultBurnRateRules(): 5m/1h + 6h/3d).
-  std::vector<obs::BurnRateRule> rules(2);
-  rules[0].name = "fast";
-  rules[0].short_window_micros = 5 * 1000000LL;
-  rules[0].long_window_micros = 20 * 1000000LL;
-  rules[0].threshold = 5.0;
-  rules[0].pending_micros = 2 * 1000000LL;
-  rules[0].resolve_micros = 10 * 1000000LL;
-  rules[1].name = "slow";
-  rules[1].short_window_micros = 20 * 1000000LL;
-  rules[1].long_window_micros = 100 * 1000000LL;
-  rules[1].threshold = 1.0;
-  rules[1].pending_micros = 5 * 1000000LL;
-  rules[1].resolve_micros = 20 * 1000000LL;
-
-  obs::SloConfig availability;
-  availability.name = "availability";
-  availability.kind = obs::SloKind::kAvailability;
-  availability.objective = 0.95;
-  availability.window = window;
-  availability.rules = rules;
-  slo.AddObjective(availability);
-
-  obs::SloConfig latency;
-  latency.name = "latency";
-  latency.kind = obs::SloKind::kLatency;
-  latency.objective = 0.9;
-  latency.latency_threshold_micros = args.budget_us;
-  latency.window = window;
-  latency.rules = rules;
-  slo.AddObjective(latency);
+  AddDemoObjectives(&slo, window, args.budget_us);
 
   sys.pipeline->RegisterHealthProbes(&health);
 
@@ -883,11 +958,56 @@ int CmdTrace(const std::string& path, const Args& args) {
   return 0;
 }
 
+// Analyzes a text profile exported by `serve-demo --profile-out`. The
+// report depends only on the profile contents (never on thread ordinals
+// or record order), so profiles captured with different --threads values
+// analyze identically. --folded re-emits flamegraph.pl input instead.
+int CmdProfile(const std::string& path, const Args& args) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "profile: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  auto profile = obs::ParseProfileText(text);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "profile: %s\n",
+                 profile.status().ToString().c_str());
+    return 1;
+  }
+  if (args.folded) {
+    obs::WriteFoldedFromParsed(*profile, std::cout);
+    return 0;
+  }
+  obs::ProfileReportOptions options;
+  options.top_n = args.top;
+  obs::WriteProfileReport(*profile, options, std::cout);
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: evrec_cli "
-      "<generate|train|eval|search|serve-demo|metrics|monitor> [flags]\n"
+      "usage: evrec_cli <subcommand> [flags]\n"
+      "\n"
+      "subcommands:\n"
+      "  generate    write a synthetic SimNet dataset to --out DIR\n"
+      "  train       train the two-stage model on --data, save to --model\n"
+      "  eval        score a trained --model on the held-out week\n"
+      "  search      ANN nearest-event lookup around --event in rep space\n"
+      "  serve-demo  fault-storm replay through the degradation chain\n"
+      "  metrics     serve-demo + full metric-registry exposition\n"
+      "  monitor     healthy/storm/recovery replay with SLO alerts\n"
+      "  trace       analyze a Chrome trace exported by serve-demo\n"
+      "  profile     analyze a profile exported by serve-demo\n"
+      "\n"
       "  generate   --out DIR [--users N] [--events N] [--seed S]\n"
       "  train      --data DIR --model FILE [--epochs N] [--siamese]\n"
       "             [--threads N]  (data-parallel; same results for any N)\n"
@@ -898,13 +1018,19 @@ void Usage() {
       "  serve-demo [--seed S] [--error-rate P] [--spike-rate P]\n"
       "             [--spike-us U] [--corrupt-rate P] [--budget-us U]\n"
       "             [--trace-out FILE] [--trace-sample P] [--trace-seed S]\n"
+      "             [--profile-out FILE] [--profile-hz N]\n"
+      "             (deterministic profile of the whole run; the paced\n"
+      "             replay drives an SLO alert so degraded requests are\n"
+      "             force-retained in the profile's request table)\n"
       "  metrics    [serve-demo flags] [--json FILE]\n"
       "             [--format text|openmetrics] [--out FILE]\n"
       "  monitor    [serve-demo flags] [--out FILE]\n"
       "             (healthy/storm/recovery replay with rolling-window\n"
       "             metrics, SLO burn-rate alerts, health probes; --out\n"
       "             writes the OpenMetrics exposition)\n"
-      "  trace      FILE [--top N]  (analyze an exported Chrome trace)\n");
+      "  trace      FILE [--top N]  (analyze an exported Chrome trace)\n"
+      "  profile    FILE [--top N] [--folded]  (top-N self/total time and\n"
+      "             allocation tables; --folded emits flamegraph input)\n");
 }
 
 }  // namespace
@@ -916,7 +1042,7 @@ int main(int argc, char** argv) {
   }
   SetLogLevel(LogLevel::kWarn);
   std::string cmd = argv[1];
-  if (cmd == "trace") {
+  if (cmd == "trace" || cmd == "profile") {
     // Positional file argument, then flags.
     if (argc < 3 || argv[2][0] == '-') {
       Usage();
@@ -927,7 +1053,8 @@ int main(int argc, char** argv) {
       Usage();
       return 1;
     }
-    return CmdTrace(argv[2], args);
+    return cmd == "trace" ? CmdTrace(argv[2], args)
+                          : CmdProfile(argv[2], args);
   }
   Args args;
   if (!Args::Parse(argc, argv, &args)) {
@@ -941,6 +1068,8 @@ int main(int argc, char** argv) {
   if (cmd == "serve-demo") return CmdServeDemo(args);
   if (cmd == "metrics") return CmdMetrics(args);
   if (cmd == "monitor") return CmdMonitor(args);
+  std::fprintf(stderr, "evrec_cli: unknown subcommand '%s'\n\n",
+               cmd.c_str());
   Usage();
   return 1;
 }
